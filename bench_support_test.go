@@ -1,0 +1,30 @@
+package bsd6_test
+
+import (
+	"crypto/md5"
+	"fmt"
+	"hash"
+	"sync"
+
+	"bsd6/internal/ipsec"
+)
+
+var dummyOnce sync.Once
+
+// registerDummyAlgorithms crowds the authentication algorithm switch
+// with n extra entries for the §3.6 ablation.
+func registerDummyAlgorithms(n int) {
+	dummyOnce.Do(func() {
+		for i := 0; i < n; i++ {
+			ipsec.RegisterAuth(dummyAlg(fmt.Sprintf("dummy-%d", i)))
+		}
+	})
+}
+
+type dummyAuth struct{ name string }
+
+func dummyAlg(name string) ipsec.AuthAlg { return dummyAuth{name} }
+
+func (d dummyAuth) Name() string             { return d.name }
+func (d dummyAuth) DigestLen() int           { return md5.Size }
+func (d dummyAuth) New(key []byte) hash.Hash { return md5.New() }

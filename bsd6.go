@@ -1,0 +1,151 @@
+// Package bsd6 is a user-space Go reproduction of the NRL IPv6/IPsec
+// networking stack described in "Implementation of IPv6 in 4.4 BSD"
+// (Atkinson, McDonald, Phan, Metz & Chin — USENIX 1996).
+//
+// A Stack is one node: dual IPv4/IPv6 network layers structured like
+// 4.4 BSD-Lite, ICMPv6 with Neighbor Discovery / Router Discovery /
+// stateless address autoconfiguration, the IP security mechanisms
+// (AH + ESP with algorithm switches, the Key Engine, PF_KEY), and
+// shared TCP/UDP over dual protocol control blocks, all reachable
+// through a BSD-sockets-style API.  Stacks connect over simulated
+// links (Hub).
+//
+// Quickstart (the paper's Figure 7 scenario):
+//
+//	hub := bsd6.NewHub()
+//	a := bsd6.NewStack("a", bsd6.Options{})
+//	b := bsd6.NewStack("b", bsd6.Options{})
+//	a.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 1}, 1500)
+//	b.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 2}, 1500)
+//
+//	srv, _ := b.NewSocket(bsd6.AFInet6, bsd6.SockDgram)
+//	srv.Bind(bsd6.Sockaddr6{Family: bsd6.AFInet6, Port: 7})
+//
+//	cli, _ := a.NewSocket(bsd6.AFInet6, bsd6.SockDgram)
+//	dst, _ := bsd6.Ascii2Addr(bsd6.AFInet6, "fe80::800:dead:beef")
+//	cli.SendTo([]byte("hello"), bsd6.Addr6(dst.(bsd6.IP6), 7))
+//
+// See examples/ for complete programs and DESIGN.md for the map from
+// paper sections to packages.
+package bsd6
+
+import (
+	"bsd6/internal/core"
+	"bsd6/internal/icmp6"
+	"bsd6/internal/inet"
+	"bsd6/internal/ipsec"
+	"bsd6/internal/key"
+	"bsd6/internal/netif"
+	"bsd6/internal/route"
+)
+
+// Address types and families.
+type (
+	IP4      = inet.IP4
+	IP6      = inet.IP6
+	LinkAddr = inet.LinkAddr
+	Family   = inet.Family
+)
+
+const (
+	AFInet  = inet.AFInet
+	AFInet6 = inet.AFInet6
+)
+
+// The version-independent address library functions (§6.3).
+var (
+	Addr2Ascii = inet.Addr2Ascii
+	Ascii2Addr = inet.Ascii2Addr
+	ParseIP4   = inet.ParseIP4
+	ParseIP6   = inet.ParseIP6
+	V4Mapped   = inet.V4Mapped
+)
+
+// NewHostTable creates a hosts table for Hostname2Addr/Addr2Hostname.
+var NewHostTable = inet.NewHostTable
+
+// Stack assembly and the simulated wire.
+type (
+	Stack     = core.Stack
+	Options   = core.Options
+	Hub       = netif.Hub
+	Interface = netif.Interface
+)
+
+// NewStack builds and starts a stack.
+var NewStack = core.NewStack
+
+// NewHub creates a simulated link segment.
+var NewHub = netif.NewHub
+
+// Sockets API.
+type (
+	Socket         = core.Socket
+	Sockaddr6      = core.Sockaddr6
+	SecurityOption = core.SecurityOption
+)
+
+const (
+	SockDgram  = core.SockDgram
+	SockStream = core.SockStream
+
+	// The §6.1 security socket options.
+	SoSecurityAuthentication = core.SoSecurityAuthentication
+	SoSecurityEncryptTrans   = core.SoSecurityEncryptTrans
+	SoSecurityEncryptTunnel  = core.SoSecurityEncryptTunnel
+)
+
+// Security levels (§6.1).
+const (
+	LevelNone    = ipsec.LevelNone
+	LevelUse     = ipsec.LevelUse
+	LevelRequire = ipsec.LevelRequire
+	LevelUnique  = ipsec.LevelUnique
+)
+
+// Addr6 and Addr4 build sockaddrs.
+var (
+	Addr6 = core.Addr6
+	Addr4 = core.Addr4
+)
+
+// EIPSEC is the IP security processing error (§3.3).
+var EIPSEC = core.EIPSEC
+
+// Key management (§3.1, §6.2).
+type (
+	SA         = key.SA
+	KeyMessage = key.Message
+	KeySocket  = key.Socket
+	SecProto   = key.SecProto
+	SockOpts   = ipsec.SockOpts
+)
+
+const (
+	ProtoAH           = key.ProtoAH
+	ProtoESPTransport = key.ProtoESPTransport
+	ProtoESPTunnel    = key.ProtoESPTunnel
+)
+
+// Router discovery / autoconfiguration (§4.2).
+type (
+	RouterConfig = icmp6.RouterConfig
+	PrefixInfo   = icmp6.PrefixInfo
+)
+
+// Routing table types, for route inspection.
+type (
+	RouteEntry   = route.Entry
+	RouteMessage = route.Message
+)
+
+// Route flags (RTF_*).
+const (
+	RouteUp      = route.FlagUp
+	RouteGateway = route.FlagGateway
+	RouteHost    = route.FlagHost
+	RouteCloning = route.FlagCloning
+	RouteLLInfo  = route.FlagLLInfo
+	RouteReject  = route.FlagReject
+	RouteStatic  = route.FlagStatic
+)

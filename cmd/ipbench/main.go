@@ -1,0 +1,240 @@
+// ipbench regenerates the paper's evaluation tables and figure (§7)
+// over two simulated stacks, printing rows in the paper's format.
+//
+// Usage:
+//
+//	ipbench [-t table1|table2|table3|table4|table5|figure8|all] [-iters N] [-mb N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bsd6"
+	"bsd6/internal/core"
+	"bsd6/internal/netperf"
+)
+
+var (
+	flagTable = flag.String("t", "all", "which table/figure to regenerate")
+	flagIters = flag.Int("iters", 2000, "request-response transactions per cell")
+	flagMB    = flag.Int("mb", 8, "megabytes per throughput cell")
+)
+
+type testbed struct {
+	cli, srv *bsd6.Stack
+	dst4     bsd6.IP4
+	dst6     bsd6.IP6
+	cli6     bsd6.IP6
+	port     uint16
+}
+
+func newTestbed() *testbed {
+	hub := bsd6.NewHub()
+	cli := bsd6.NewStack("cli", bsd6.Options{})
+	srv := bsd6.NewStack("srv", bsd6.Options{})
+	cIf := cli.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 1}, 1500)
+	sIf := srv.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 2}, 1500)
+	cli.ConfigureV4(cIf, bsd6.IP4{10, 0, 0, 1}, 24)
+	srv.ConfigureV4(sIf, bsd6.IP4{10, 0, 0, 2}, 24)
+	cliLL, _ := cIf.LinkLocal6(time.Now())
+	srvLL, _ := sIf.LinkLocal6(time.Now())
+	return &testbed{cli: cli, srv: srv, dst4: bsd6.IP4{10, 0, 0, 2}, dst6: srvLL, cli6: cliLL, port: 20000}
+}
+
+func (tb *testbed) close() { tb.cli.Close(); tb.srv.Close() }
+
+func (tb *testbed) addr(v6 bool, port uint16) core.Sockaddr6 {
+	if v6 {
+		return bsd6.Addr6(tb.dst6, port)
+	}
+	return bsd6.Addr4(tb.dst4, port)
+}
+
+func (tb *testbed) nextPort() uint16 { tb.port++; return tb.port }
+
+func (tb *testbed) addSAs() {
+	authKey := []byte("0123456789abcdef")
+	encKey := []byte("DESCBC!!")
+	for _, s := range []*bsd6.Stack{tb.cli, tb.srv} {
+		s.Keys.Add(&bsd6.SA{SPI: 0x100, Src: tb.cli6, Dst: tb.dst6, Proto: bsd6.ProtoAH, AuthAlg: "keyed-md5", AuthKey: authKey})
+		s.Keys.Add(&bsd6.SA{SPI: 0x101, Src: tb.dst6, Dst: tb.cli6, Proto: bsd6.ProtoAH, AuthAlg: "keyed-md5", AuthKey: authKey})
+		s.Keys.Add(&bsd6.SA{SPI: 0x200, Src: tb.cli6, Dst: tb.dst6, Proto: bsd6.ProtoESPTransport, EncAlg: "des-cbc", EncKey: encKey})
+		s.Keys.Add(&bsd6.SA{SPI: 0x201, Src: tb.dst6, Dst: tb.cli6, Proto: bsd6.ProtoESPTransport, EncAlg: "des-cbc", EncKey: encKey})
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "ipbench:", err)
+	os.Exit(1)
+}
+
+// rr measures mean round-trip latency in microseconds.
+func (tb *testbed) rr(tcp, v6 bool, size int) float64 {
+	port := tb.nextPort()
+	sv, err := netperf.NewEchoServer(tb.srv, tcp, port, 0, nil)
+	if err != nil {
+		die(err)
+	}
+	defer sv.Close()
+	if _, err := netperf.RunRR(tb.cli, tb.addr(v6, port), tcp, size, 10, 0, nil); err != nil {
+		die(err)
+	}
+	// Best of three trials: scheduling noise only ever adds latency.
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		res, err := netperf.RunRR(tb.cli, tb.addr(v6, port), tcp, size, *flagIters, 0, nil)
+		if err != nil {
+			die(err)
+		}
+		µs := float64(res.MeanRTT.Nanoseconds()) / 1e3
+		if trial == 0 || µs < best {
+			best = µs
+		}
+	}
+	return best
+}
+
+// stream measures throughput in KB/s (best of three trials:
+// scheduling noise only ever lowers throughput).
+func (tb *testbed) stream(tcp, v6 bool, msgSize, sockbuf int, tune netperf.SocketTuner) float64 {
+	port := tb.nextPort()
+	sv, err := netperf.NewSinkServer(tb.srv, tcp, port, sockbuf, tune)
+	if err != nil {
+		die(err)
+	}
+	defer sv.Close()
+	total := int64(*flagMB) << 20
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		res, err := netperf.RunStream(tb.cli, sv, tb.addr(v6, port), tcp, msgSize, sockbuf, total, tune)
+		if err != nil {
+			die(err)
+		}
+		if res.KBps > best {
+			best = res.KBps
+		}
+	}
+	return best
+}
+
+func pct(v4, v6 float64) string {
+	return fmt.Sprintf("%+.0f%%", (v6-v4)/v4*100)
+}
+
+func latencyTable(title string, tcp bool) {
+	fmt.Printf("\n%s (microseconds per request/response transaction)\n", title)
+	fmt.Printf("%10s %12s %12s %10s\n", "bytes", "IPv4 (µs)", "IPv6 (µs)", "increase")
+	tb := newTestbed()
+	defer tb.close()
+	for _, size := range []int{1, 64, 1024, 2048, 4096, 8192} {
+		v4 := tb.rr(tcp, false, size)
+		v6 := tb.rr(tcp, true, size)
+		fmt.Printf("%10d %12.1f %12.1f %10s\n", size, v4, v6, pct(v4, v6))
+	}
+}
+
+func table3() {
+	fmt.Println("\nTable 3: TCP Throughput (KB/s)")
+	fmt.Printf("%10s %12s %12s %12s %10s\n", "data", "sockbuf", "IPv4", "IPv6", "drop")
+	tb := newTestbed()
+	defer tb.close()
+	for _, sockbuf := range []int{57344, 32768, 8192} {
+		for _, size := range []int{4096, 8192, 32768} {
+			v4 := tb.stream(true, false, size, sockbuf, nil)
+			v6 := tb.stream(true, true, size, sockbuf, nil)
+			fmt.Printf("%10d %12d %12.0f %12.0f %9.2f%%\n", size, sockbuf, v4, v6, (v4-v6)/v4*100)
+		}
+	}
+}
+
+func table4() {
+	fmt.Println("\nTable 4: UDP Throughput (KB/s)")
+	fmt.Printf("%10s %12s %12s %12s %10s\n", "data", "sockbuf", "IPv4", "IPv6", "drop")
+	tb := newTestbed()
+	defer tb.close()
+	for _, size := range []int{64, 1024} {
+		v4 := tb.stream(false, false, size, 32767, nil)
+		v6 := tb.stream(false, true, size, 32767, nil)
+		fmt.Printf("%10d %12d %12.0f %12.0f %9.2f%%\n", size, 32767, v4, v6, (v4-v6)/v4*100)
+	}
+}
+
+func table5() {
+	fmt.Println("\nTable 5: Impact of IPv6 Security On Throughput (ttcp-style, KB/s)")
+	fmt.Printf("%-16s %12s\n", "Security", "Throughput")
+	tb := newTestbed()
+	defer tb.close()
+	tb.addSAs()
+	cases := []struct {
+		name string
+		tune netperf.SocketTuner
+	}{
+		{"None", nil},
+		{"Authentication", func(s *core.Socket) {
+			s.SetSecurity(bsd6.SoSecurityAuthentication, bsd6.LevelRequire)
+		}},
+		{"Encryption", func(s *core.Socket) {
+			s.SetSecurity(bsd6.SoSecurityEncryptTrans, bsd6.LevelRequire)
+		}},
+		{"Both", func(s *core.Socket) {
+			s.SetSecurity(bsd6.SoSecurityAuthentication, bsd6.LevelRequire)
+			s.SetSecurity(bsd6.SoSecurityEncryptTrans, bsd6.LevelRequire)
+		}},
+	}
+	// Interleave trials across the four configurations so machine-load
+	// drift hits every row equally; keep each row's best.
+	best := make([]float64, len(cases))
+	for round := 0; round < 4; round++ {
+		for i, c := range cases {
+			if v := tb.stream(true, true, 8192, 32768, c.tune); v > best[i] {
+				best[i] = v
+			}
+		}
+	}
+	for i, c := range cases {
+		fmt.Printf("%-16s %12.0f\n", c.name, best[i])
+	}
+}
+
+func figure8() {
+	fmt.Println("\nFigure 8: UDP and TCP Latency series (µs vs message size)")
+	tb := newTestbed()
+	defer tb.close()
+	for _, proto := range []struct {
+		name string
+		tcp  bool
+	}{{"UDP", false}, {"TCP", true}} {
+		fmt.Printf("\n# %s latency\n# bytes IPv4 IPv6\n", proto.name)
+		for _, size := range []int{1, 64, 256, 1024, 2048, 4096, 8192} {
+			v4 := tb.rr(proto.tcp, false, size)
+			v6 := tb.rr(proto.tcp, true, size)
+			fmt.Printf("%7d %8.1f %8.1f\n", size, v4, v6)
+		}
+	}
+}
+
+func main() {
+	flag.Parse()
+	run := func(name string) bool { return *flagTable == "all" || *flagTable == name }
+	if run("table1") {
+		latencyTable("Table 1: TCP Latency", true)
+	}
+	if run("table2") {
+		latencyTable("Table 2: UDP Latency", false)
+	}
+	if run("table3") {
+		table3()
+	}
+	if run("table4") {
+		table4()
+	}
+	if run("table5") {
+		table5()
+	}
+	if run("figure8") {
+		figure8()
+	}
+}

@@ -1,0 +1,76 @@
+// ipdump watches the simulated wire with tcpdump-style decoding while
+// a scripted scenario runs: neighbor discovery, ping6, a UDP exchange,
+// a TCP handshake, and authenticated+encrypted traffic.
+//
+// Usage:
+//
+//	ipdump
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"bsd6"
+	"bsd6/internal/dump"
+	"bsd6/internal/ipsec"
+	"bsd6/internal/key"
+)
+
+func main() {
+	hub := bsd6.NewHub()
+	a := bsd6.NewStack("a", bsd6.Options{})
+	b := bsd6.NewStack("b", bsd6.Options{})
+	defer a.Close()
+	defer b.Close()
+	aIf := a.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 1}, 1500)
+	bIf := b.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 2}, 1500)
+	a.ConfigureV4(aIf, bsd6.IP4{10, 0, 0, 1}, 24)
+	b.ConfigureV4(bIf, bsd6.IP4{10, 0, 0, 2}, 24)
+	aLL, _ := aIf.LinkLocal6(time.Now())
+	bLL, _ := bIf.LinkLocal6(time.Now())
+
+	stop := dump.Sniff(hub, os.Stdout)
+	defer stop()
+
+	fmt.Println("--- ping6 (triggers neighbor discovery) ---")
+	a.Ping6(bLL, 1, 1, []byte("hello"))
+	time.Sleep(50 * time.Millisecond)
+
+	fmt.Println("--- ping (IPv4: ARP then ICMP) ---")
+	a.Ping4(bsd6.IP4{10, 0, 0, 2}, 1, 1, []byte("hello"))
+	time.Sleep(50 * time.Millisecond)
+
+	fmt.Println("--- UDP datagram ---")
+	srv, _ := b.NewSocket(bsd6.AFInet6, bsd6.SockDgram)
+	srv.Bind(bsd6.Sockaddr6{Family: bsd6.AFInet6, Port: 53})
+	cli, _ := a.NewSocket(bsd6.AFInet6, bsd6.SockDgram)
+	cli.SendTo([]byte("query"), bsd6.Addr6(bLL, 53))
+	time.Sleep(50 * time.Millisecond)
+
+	fmt.Println("--- TCP handshake and close ---")
+	l, _ := b.NewSocket(bsd6.AFInet6, bsd6.SockStream)
+	l.Bind(bsd6.Sockaddr6{Family: bsd6.AFInet6, Port: 80})
+	l.Listen(1)
+	c, _ := a.NewSocket(bsd6.AFInet6, bsd6.SockStream)
+	if err := c.Connect(bsd6.Addr6(bLL, 80), 2*time.Second); err == nil {
+		c.Send([]byte("GET /"), time.Second)
+		time.Sleep(50 * time.Millisecond)
+		c.Close()
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	fmt.Println("--- authenticated + encrypted datagram (AH outside ESP) ---")
+	authKey := []byte("0123456789abcdef")
+	encKey := []byte("DESCBC!!")
+	for _, s := range []*bsd6.Stack{a, b} {
+		s.Keys.Add(&key.SA{SPI: 0x1111, Src: aLL, Dst: bLL, Proto: bsd6.ProtoAH, AuthAlg: "keyed-md5", AuthKey: authKey})
+		s.Keys.Add(&key.SA{SPI: 0x2222, Src: aLL, Dst: bLL, Proto: bsd6.ProtoESPTransport, EncAlg: "des-cbc", EncKey: encKey})
+	}
+	sec, _ := a.NewSocket(bsd6.AFInet6, bsd6.SockDgram)
+	sec.SetSecurity(bsd6.SoSecurityAuthentication, ipsec.LevelRequire)
+	sec.SetSecurity(bsd6.SoSecurityEncryptTrans, ipsec.LevelRequire)
+	sec.SendTo([]byte("secret"), bsd6.Addr6(bLL, 53))
+	time.Sleep(50 * time.Millisecond)
+}

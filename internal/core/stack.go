@@ -1,0 +1,388 @@
+// Package core assembles the paper's system: a dual IPv4/IPv6 stack
+// structured like 4.4 BSD-Lite networking with the NRL IPv6 and IP
+// security additions, exposed through a BSD-sockets-style API.
+//
+// One Stack corresponds to one kernel: interfaces, routing table,
+// IPv4, IPv6 + ICMPv6/ND, IP security + Key Engine, TCP and UDP, and
+// the socket layer.  Frames from the (simulated) wire enter through a
+// netisr-style input queue serviced by a dedicated goroutine, just as
+// BSD drivers enqueue to the protocol input queues for the software
+// interrupt level to drain — this also decouples stacks that share a
+// wire, so no stack processes packets on another stack's goroutine.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bsd6/internal/icmp6"
+	"bsd6/internal/inet"
+	"bsd6/internal/ipsec"
+	"bsd6/internal/ipv4"
+	"bsd6/internal/ipv6"
+	"bsd6/internal/key"
+	"bsd6/internal/mbuf"
+	"bsd6/internal/netif"
+	"bsd6/internal/pcb"
+	"bsd6/internal/proto"
+	"bsd6/internal/route"
+	"bsd6/internal/tcp"
+	"bsd6/internal/udp"
+)
+
+// Stack is one node's network stack.
+type Stack struct {
+	Name  string
+	RT    *route.Table
+	V4    *ipv4.Layer
+	V6    *ipv6.Layer
+	ICMP4 *ipv4.ICMP
+	ICMP6 *icmp6.Module
+	Sec   *ipsec.Module
+	Keys  *key.Engine
+	UDP   *udp.UDP
+	TCP   *tcp.TCP
+	Hosts *inet.HostTable
+	Lo    *netif.Interface
+
+	inq      chan inputItem
+	InqDrops uint64 // frames dropped because the input queue was full
+
+	mu     sync.Mutex
+	ifps   []*netif.Interface
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+type inputItem struct {
+	ifp *netif.Interface
+	fr  netif.Frame
+}
+
+// Options configures stack construction.
+type Options struct {
+	// InputQueueLen sizes the netisr queue (BSD's ifqmaxlen spirit).
+	InputQueueLen int
+	// NoTimers disables the background timer goroutine; tests and
+	// benchmarks then drive Tick themselves.
+	NoTimers bool
+}
+
+// NewStack builds and starts a stack.
+func NewStack(name string, opts Options) *Stack {
+	if opts.InputQueueLen == 0 {
+		opts.InputQueueLen = 512
+	}
+	rt := route.NewTable()
+	s := &Stack{
+		Name:  name,
+		RT:    rt,
+		Hosts: inet.NewHostTable(),
+		inq:   make(chan inputItem, opts.InputQueueLen),
+		stop:  make(chan struct{}),
+	}
+	s.V4 = ipv4.NewLayer(rt)
+	s.V6 = ipv6.NewLayer(rt)
+	s.ICMP4 = ipv4.AttachICMP(s.V4)
+	s.ICMP6 = icmp6.Attach(s.V6)
+	s.Keys = key.NewEngine()
+	s.Sec = ipsec.Attach(s.V6, s.Keys)
+	s.UDP = udp.New(s.V4, s.V6)
+	s.TCP = tcp.New(s.V4, s.V6)
+
+	// Wire the cross-module relationships the paper describes.
+	s.UDP.InputPolicy = s.Sec.InputPolicy
+	s.UDP.InputPolicyPort = s.Sec.InputPolicyPort
+	s.UDP.AllowError = s.Sec.AllowError
+	s.TCP.InputPolicy = s.Sec.InputPolicy
+	s.TCP.InputPolicyPort = s.Sec.InputPolicyPort
+	s.TCP.AllowError = s.Sec.AllowError
+	s.TCP.Confirm = s.ICMP6.Confirm // §4.3: TCP confirms reachability
+	s.TCP.SecOverhead = s.Sec.HdrSize
+	s.ICMP6.InputPolicy = s.Sec.InputPolicy
+	s.TCP.FatalOutErr = func(err error) bool { return errors.Is(err, ipsec.EIPSEC) }
+	s.Sec.SocketOpts = func(so any) ipsec.SockOpts {
+		if sock, ok := so.(*Socket); ok {
+			return sock.SecurityOpts()
+		}
+		return ipsec.SockOpts{}
+	}
+	s.UDP.Deliver = deliverDatagram
+	s.UDP.Notify = notifyDatagramErr
+
+	// Loopback.
+	s.Lo = netif.NewLoopback(name+"-lo0", 32768)
+	s.Lo.SetInput(s.enqueue)
+	s.V4.AddInterface(s.Lo)
+	s.V6.AddInterface(s.Lo)
+
+	// netisr.
+	s.wg.Add(1)
+	go s.netisr()
+
+	if !opts.NoTimers {
+		s.wg.Add(1)
+		go s.timers()
+	}
+	return s
+}
+
+// Close stops the stack's goroutines.
+func (s *Stack) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// enqueue is the driver-side input hook: non-blocking, dropping on
+// overflow as BSD's IF_DROP does.
+func (s *Stack) enqueue(ifp *netif.Interface, fr netif.Frame) {
+	select {
+	case s.inq <- inputItem{ifp, fr}:
+	default:
+		s.mu.Lock()
+		s.InqDrops++
+		s.mu.Unlock()
+	}
+}
+
+// netisr drains the input queue, dispatching frames by EtherType.
+func (s *Stack) netisr() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case it := <-s.inq:
+			s.dispatch(it.ifp, it.fr)
+		}
+	}
+}
+
+func (s *Stack) dispatch(ifp *netif.Interface, fr netif.Frame) {
+	switch fr.EtherType {
+	case ipv4.EtherTypeARP:
+		s.V4.ArpInput(ifp, fr.Payload)
+	case netif.EtherTypeIPv4:
+		s.V4.Input(ifp, fr.Payload)
+	case netif.EtherTypeIPv6:
+		s.V6.Input(ifp, fr.Payload)
+	}
+}
+
+// timers runs the BSD timeout cadence: 200ms fast, 500ms slow, 1s for
+// ND/autoconf/key lifetimes.
+func (s *Stack) timers() {
+	defer s.wg.Done()
+	fast := time.NewTicker(tcp.FastTickInterval)
+	slow := time.NewTicker(tcp.SlowTickInterval)
+	sec := time.NewTicker(time.Second)
+	defer fast.Stop()
+	defer slow.Stop()
+	defer sec.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-fast.C:
+			s.TCP.FastTimo()
+		case <-slow.C:
+			now := time.Now()
+			s.TCP.SlowTimo()
+			s.V4.SlowTimo(now)
+			s.V6.SlowTimo(now)
+		case <-sec.C:
+			now := time.Now()
+			s.ICMP6.FastTimo(now)
+			s.Keys.SlowTimo(now)
+		}
+	}
+}
+
+// Tick drives every timer once with the given time; for tests and
+// benchmarks running with NoTimers.
+func (s *Stack) Tick(now time.Time) {
+	s.TCP.FastTimo()
+	s.TCP.SlowTimo()
+	s.V4.SlowTimo(now)
+	s.V6.SlowTimo(now)
+	s.ICMP6.FastTimo(now)
+	s.Keys.SlowTimo(now)
+}
+
+//
+// Interface configuration (what ifconfig(8) does, §4.2).
+//
+
+// AttachLink connects the stack to a hub. The interface gets its
+// link-local address immediately (pre-verified; use AttachLinkDAD for
+// the full duplicate-address-detection flow) and the fe80::/64 on-link
+// route.
+func (s *Stack) AttachLink(hub *netif.Hub, mac inet.LinkAddr, mtu int) *netif.Interface {
+	ifp := s.newLink(hub, mac, mtu)
+	ll := inet.LinkLocal(mac.Token())
+	ifp.AddAddr6(netif.Addr6{Addr: ll, Plen: 64})
+	s.V6.JoinGroup(ifp.Name, inet.SolicitedNode(ll))
+	return ifp
+}
+
+// AttachLinkDAD connects the stack to a hub and runs duplicate address
+// detection on the link-local address (§4.2.1), returning after DAD
+// concludes. ok is false if the address turned out to be a duplicate.
+func (s *Stack) AttachLinkDAD(hub *netif.Hub, mac inet.LinkAddr, mtu int) (*netif.Interface, bool) {
+	ifp := s.newLink(hub, mac, mtu)
+	ll := inet.LinkLocal(mac.Token())
+	ifp.AddAddr6(netif.Addr6{Addr: ll, Plen: 64, Tentative: true})
+	done := s.ICMP6.StartDAD(ifp, ll)
+	<-done
+	for _, a := range ifp.Addrs6() {
+		if a.Addr == ll {
+			return ifp, !a.Duplicated
+		}
+	}
+	return ifp, false
+}
+
+func (s *Stack) newLink(hub *netif.Hub, mac inet.LinkAddr, mtu int) *netif.Interface {
+	s.mu.Lock()
+	name := fmt.Sprintf("%s-sim%d", s.Name, len(s.ifps))
+	s.mu.Unlock()
+	ifp := netif.New(name, mac, mtu)
+	ifp.SetInput(s.enqueue)
+	hub.Attach(ifp)
+	s.V4.AddInterface(ifp)
+	s.V6.AddInterface(ifp)
+	s.mu.Lock()
+	s.ifps = append(s.ifps, ifp)
+	s.mu.Unlock()
+	llPrefix := inet.IP6{0: 0xfe, 1: 0x80}
+	s.RT.Add(&route.Entry{
+		Family: inet.AFInet6, Dst: llPrefix[:], Plen: 64,
+		Flags: route.FlagUp | route.FlagCloning | route.FlagLLInfo, IfName: ifp.Name,
+	})
+	return ifp
+}
+
+// Interfaces lists the stack's non-loopback interfaces.
+func (s *Stack) Interfaces() []*netif.Interface {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*netif.Interface(nil), s.ifps...)
+}
+
+// ConfigureV6 adds a global IPv6 address and its on-link prefix route.
+func (s *Stack) ConfigureV6(ifp *netif.Interface, addr inet.IP6, plen int) error {
+	if err := ifp.AddAddr6(netif.Addr6{Addr: addr, Plen: plen}); err != nil {
+		return err
+	}
+	s.V6.JoinGroup(ifp.Name, inet.SolicitedNode(addr))
+	prefix := addr
+	m := inet.Mask6(plen)
+	for i := range prefix {
+		prefix[i] &= m[i]
+	}
+	s.RT.Add(&route.Entry{
+		Family: inet.AFInet6, Dst: prefix[:], Plen: plen,
+		Flags: route.FlagUp | route.FlagCloning | route.FlagLLInfo, IfName: ifp.Name,
+	})
+	return nil
+}
+
+// ConfigureV4 adds an IPv4 address and its on-link subnet route.
+func (s *Stack) ConfigureV4(ifp *netif.Interface, addr inet.IP4, plen int) {
+	ifp.AddAddr4(netif.Addr4{Addr: addr, Plen: plen})
+	netAddr := addr
+	m := inet.Mask4(plen)
+	for i := range netAddr {
+		netAddr[i] &= m[i]
+	}
+	s.RT.Add(&route.Entry{
+		Family: inet.AFInet, Dst: netAddr[:], Plen: plen,
+		Flags: route.FlagUp | route.FlagCloning | route.FlagLLInfo, IfName: ifp.Name,
+	})
+}
+
+// DefaultRoute6 installs an IPv6 default route via gw.
+func (s *Stack) DefaultRoute6(gw inet.IP6, ifName string) {
+	var zero inet.IP6
+	s.RT.Add(&route.Entry{
+		Family: inet.AFInet6, Dst: zero[:], Plen: 0,
+		Flags: route.FlagUp | route.FlagGateway | route.FlagStatic, Gateway: gw, IfName: ifName,
+	})
+}
+
+// DefaultRoute4 installs an IPv4 default route via gw.
+func (s *Stack) DefaultRoute4(gw inet.IP4, ifName string) {
+	var zero inet.IP4
+	s.RT.Add(&route.Entry{
+		Family: inet.AFInet, Dst: zero[:], Plen: 0,
+		Flags: route.FlagUp | route.FlagGateway | route.FlagStatic, Gateway: gw, IfName: ifName,
+	})
+}
+
+// EnableRouter6 turns the stack into an advertising IPv6 router on the
+// interface (§4.2.2).
+func (s *Stack) EnableRouter6(ifName string, cfg icmp6.RouterConfig) error {
+	return s.ICMP6.EnableRouter(ifName, cfg)
+}
+
+// SolicitRouters sends a Router Solicitation (§4.2.1 second phase).
+func (s *Stack) SolicitRouters(ifName string) error {
+	return s.ICMP6.SendRouterSolicit(ifName)
+}
+
+// PFKey opens a PF_KEY socket on the stack's Key Engine (§6.2).
+func (s *Stack) PFKey() *key.Socket { return s.Keys.Open() }
+
+// RouteSocket subscribes to routing messages (PF_ROUTE).
+func (s *Stack) RouteSocket(buf int) chan route.Message { return s.RT.Subscribe(buf) }
+
+// Ping6 sends an ICMPv6 echo request.
+func (s *Stack) Ping6(dst inet.IP6, id, seq uint16, payload []byte) error {
+	return s.ICMP6.SendEcho(dst, id, seq, payload)
+}
+
+// Ping4 sends an ICMPv4 echo request.
+func (s *Stack) Ping4(dst inet.IP4, id, seq uint16, payload []byte) error {
+	return s.ICMP4.SendEcho(dst, id, seq, payload)
+}
+
+// deliverDatagram is the UDP-to-socket delivery glue.
+func deliverDatagram(p *pcb.PCB, data []byte, src inet.IP6, sport uint16, meta *proto.Meta) {
+	sock, _ := p.Socket.(*Socket)
+	if sock == nil {
+		return
+	}
+	sock.enqueueDgram(data, src, sport, meta.FlowInfo)
+}
+
+// notifyDatagramErr surfaces ICMP errors on UDP sockets.
+func notifyDatagramErr(p *pcb.PCB, kind proto.CtlType, mtu int) {
+	sock, _ := p.Socket.(*Socket)
+	if sock == nil {
+		return
+	}
+	sock.setError(ctlError(kind))
+}
+
+func ctlError(kind proto.CtlType) error {
+	switch kind {
+	case proto.CtlPortUnreach:
+		return ErrConnRefused
+	case proto.CtlMsgSize:
+		return ErrMsgSize
+	default:
+		return ErrHostUnreach
+	}
+}
+
+var _ = mbuf.Mbuf{} // keep the import set stable for future use

@@ -1,0 +1,83 @@
+package dump_test
+
+import (
+	"strings"
+	"testing"
+
+	"bsd6/internal/dump"
+	"bsd6/internal/inet"
+	"bsd6/internal/ipv4"
+	"bsd6/internal/ipv6"
+	"bsd6/internal/mbuf"
+	"bsd6/internal/netif"
+	"bsd6/internal/proto"
+)
+
+func frameOf(et uint16, payload []byte) netif.Frame {
+	return netif.Frame{
+		Src: inet.LinkAddr{2, 0, 0, 0, 0, 1}, Dst: inet.LinkAddr{2, 0, 0, 0, 0, 2},
+		EtherType: et, Payload: mbuf.New(payload),
+	}
+}
+
+func TestDecodeTruncatedInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		fr   netif.Frame
+		want string
+	}{
+		{"short-arp", frameOf(ipv4.EtherTypeARP, []byte{0, 1}), "ARP, truncated"},
+		{"bad-v4", frameOf(netif.EtherTypeIPv4, []byte{0x45, 0}), "bad header"},
+		{"bad-v6", frameOf(netif.EtherTypeIPv6, []byte{0x60}), "bad header"},
+		{"unknown-ethertype", frameOf(0x1234, []byte{1, 2, 3}), "ethertype 0x1234"},
+	}
+	for _, c := range cases {
+		got := dump.Frame(c.fr)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("%s: %q missing %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDecodeTruncatedTransports(t *testing.T) {
+	mk6 := func(nh uint8, payload []byte) netif.Frame {
+		h := &ipv6.Header{NextHdr: nh, HopLimit: 1, PayloadLen: len(payload)}
+		b := append(h.Marshal(nil), payload...)
+		return frameOf(netif.EtherTypeIPv6, b)
+	}
+	if got := dump.Frame(mk6(proto.UDP, []byte{1, 2})); !strings.Contains(got, "UDP, truncated") {
+		t.Errorf("udp: %q", got)
+	}
+	if got := dump.Frame(mk6(proto.TCP, []byte{1, 2, 3})); !strings.Contains(got, "TCP, truncated") {
+		t.Errorf("tcp: %q", got)
+	}
+	if got := dump.Frame(mk6(proto.ESP, []byte{1})); !strings.Contains(got, "ESP, truncated") {
+		t.Errorf("esp: %q", got)
+	}
+	if got := dump.Frame(mk6(proto.NoNext, nil)); !strings.Contains(got, "no next header") {
+		t.Errorf("nonext: %q", got)
+	}
+	if got := dump.Frame(mk6(200, []byte{9})); !strings.Contains(got, "length 1") {
+		t.Errorf("unknown proto: %q", got)
+	}
+}
+
+func TestDecodeTruncatedChain(t *testing.T) {
+	// A hop-by-hop header whose length runs past the packet.
+	h := &ipv6.Header{NextHdr: proto.HopByHop, HopLimit: 1, PayloadLen: 4}
+	b := append(h.Marshal(nil), proto.UDP, 9, 0, 0) // claims 80 bytes of options
+	got := dump.Frame(frameOf(netif.EtherTypeIPv6, b))
+	if !strings.Contains(got, "truncated extension chain") {
+		t.Errorf("chain: %q", got)
+	}
+}
+
+func TestDecodeV4FragmentTail(t *testing.T) {
+	oh := ipv4.Header{TotalLen: ipv4.HeaderLen + 8, ID: 7, FragOff: 64, TTL: 3, Proto: proto.UDP,
+		Src: inet.IP4{10, 0, 0, 1}, Dst: inet.IP4{10, 0, 0, 2}}
+	b := append(oh.Marshal(nil), make([]byte, 8)...)
+	got := dump.Frame(frameOf(netif.EtherTypeIPv4, b))
+	if !strings.Contains(got, "frag(off=64") || !strings.Contains(got, "udp") {
+		t.Errorf("v4 frag tail: %q", got)
+	}
+}

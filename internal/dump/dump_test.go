@@ -1,0 +1,176 @@
+package dump_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bsd6/internal/core"
+	"bsd6/internal/dump"
+	"bsd6/internal/icmp6"
+	"bsd6/internal/inet"
+	"bsd6/internal/ipsec"
+	"bsd6/internal/key"
+	"bsd6/internal/netif"
+	"bsd6/internal/testnet"
+)
+
+// wireLog captures rendered frames from a hub.
+type wireLog struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (w *wireLog) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.lines = append(w.lines, strings.TrimRight(string(p), "\n"))
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+func (w *wireLog) contains(t *testing.T, substrs ...string) {
+	t.Helper()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	all := strings.Join(w.lines, "\n")
+	for _, s := range substrs {
+		if !strings.Contains(all, s) {
+			t.Fatalf("wire log missing %q:\n%s", s, all)
+		}
+	}
+}
+
+func setup(t *testing.T) (*core.Stack, *core.Stack, *netif.Hub, *wireLog) {
+	t.Helper()
+	hub := netif.NewHub()
+	a := core.NewStack("a", core.Options{})
+	b := core.NewStack("b", core.Options{})
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	aIf := a.AttachLink(hub, testnet.MacA, 1500)
+	bIf := b.AttachLink(hub, testnet.MacB, 1500)
+	a.ConfigureV4(aIf, inet.IP4{10, 0, 0, 1}, 24)
+	b.ConfigureV4(bIf, inet.IP4{10, 0, 0, 2}, 24)
+	log := &wireLog{}
+	stop := dump.Sniff(hub, log)
+	t.Cleanup(stop)
+	return a, b, hub, log
+}
+
+func ll(s *core.Stack) inet.IP6 {
+	a, _ := s.Interfaces()[0].LinkLocal6(time.Now())
+	return a
+}
+
+func TestDumpICMPv6AndND(t *testing.T) {
+	a, b, _, log := setup(t)
+	a.Ping6(ll(b), 7, 1, []byte("x"))
+	testnet.WaitFor(t, "reply", func() bool { return a.ICMP6.Stats.InEchoReps.Get() >= 1 })
+	log.contains(t,
+		"ICMP6 neighbor solicitation, who has",
+		"ICMP6 neighbor advertisement, tgt is",
+		"ICMP6 echo request, id 7, seq 1",
+		"ICMP6 echo reply, id 7, seq 1",
+		"IP6 fe80::",
+	)
+}
+
+func TestDumpARPAndICMPv4(t *testing.T) {
+	a, _, _, log := setup(t)
+	got := make(chan struct{}, 1)
+	a.ICMP4.OnEcho = func(inet.IP4, uint16, uint16, []byte) { got <- struct{}{} }
+	a.Ping4(inet.IP4{10, 0, 0, 2}, 9, 2, []byte("y"))
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no v4 reply")
+	}
+	log.contains(t,
+		"ARP, Request who-has 10.0.0.2 tell 10.0.0.1",
+		"ARP, Reply 10.0.0.2 is-at",
+		"ICMP echo request, id 9, seq 2",
+		"ICMP echo reply, id 9, seq 2",
+		"IP 10.0.0.1 > 10.0.0.2",
+	)
+}
+
+func TestDumpUDPAndTCP(t *testing.T) {
+	a, b, _, log := setup(t)
+	srv, _ := b.NewSocket(inet.AFInet6, core.SockDgram)
+	srv.Bind(core.Sockaddr6{Family: inet.AFInet6, Port: 53})
+	cli, _ := a.NewSocket(inet.AFInet6, core.SockDgram)
+	cli.SendTo([]byte("query"), core.Addr6(ll(b), 53))
+	srv.RecvFrom(64, 2*time.Second)
+
+	l, _ := b.NewSocket(inet.AFInet6, core.SockStream)
+	l.Bind(core.Sockaddr6{Family: inet.AFInet6, Port: 80})
+	l.Listen(1)
+	c, _ := a.NewSocket(inet.AFInet6, core.SockStream)
+	if err := c.Connect(core.Addr6(ll(b), 80), 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	log.contains(t,
+		"UDP 1024 > 53, length 5",
+		"Flags [S]",
+		"Flags [S.]",
+		"Flags [.]",
+	)
+}
+
+func TestDumpSecuredTraffic(t *testing.T) {
+	a, b, _, log := setup(t)
+	authKey := []byte("0123456789abcdef")
+	encKey := []byte("DESCBC!!")
+	for _, s := range []*core.Stack{a, b} {
+		s.Keys.Add(&key.SA{SPI: 0xfeed, Src: ll(a), Dst: ll(b), Proto: key.ProtoAH, AuthAlg: "keyed-md5", AuthKey: authKey})
+		s.Keys.Add(&key.SA{SPI: 0xbead, Src: ll(a), Dst: ll(b), Proto: key.ProtoESPTransport, EncAlg: "des-cbc", EncKey: encKey})
+	}
+	cli, _ := a.NewSocket(inet.AFInet6, core.SockDgram)
+	cli.SetSecurity(core.SoSecurityAuthentication, ipsec.LevelRequire)
+	cli.SetSecurity(core.SoSecurityEncryptTrans, ipsec.LevelRequire)
+	if err := cli.SendTo([]byte("wrapped"), core.Addr6(ll(b), 9)); err != nil {
+		t.Fatal(err)
+	}
+	testnet.WaitFor(t, "AH on the wire", func() bool {
+		log.mu.Lock()
+		defer log.mu.Unlock()
+		return strings.Contains(strings.Join(log.lines, "\n"), "AH(spi=0xfeed)")
+	})
+	log.contains(t, "AH(spi=0xfeed)", "ESP(spi=0xbead)")
+	// The UDP payload must NOT be decodable on the wire.
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	for _, line := range log.lines {
+		if strings.Contains(line, "ESP") && strings.Contains(line, "UDP ") {
+			t.Fatalf("ESP frame leaked UDP decode: %s", line)
+		}
+	}
+}
+
+func TestDumpFragments(t *testing.T) {
+	a, b, _, log := setup(t)
+	srv, _ := b.NewSocket(inet.AFInet6, core.SockDgram)
+	srv.Bind(core.Sockaddr6{Family: inet.AFInet6, Port: 60})
+	cli, _ := a.NewSocket(inet.AFInet6, core.SockDgram)
+	cli.SendTo(make([]byte, 4000), core.Addr6(ll(b), 60))
+	data, _, err := srv.RecvFrom(4096, 2*time.Second)
+	if err != nil || len(data) != 4000 {
+		t.Fatalf("%d %v", len(data), err)
+	}
+	log.contains(t, "frag[off=0,mf=true", "fragment data")
+}
+
+func TestDumpRouterAdvertisement(t *testing.T) {
+	a, _, _, log := setup(t)
+	prefix := testnet.IP6(t, "2001:db8::")
+	a.EnableRouter6(a.Interfaces()[0].Name, icmp6.RouterConfig{
+		Interval: 50 * time.Millisecond, Lifetime: time.Hour,
+		Prefixes: []icmp6.PrefixInfo{{Prefix: prefix, Plen: 64, OnLink: true, Autonomous: true}},
+	})
+	testnet.WaitFor(t, "RA on the wire", func() bool {
+		log.mu.Lock()
+		defer log.mu.Unlock()
+		return strings.Contains(strings.Join(log.lines, "\n"), "ICMP6 router advertisement")
+	})
+}

@@ -1,0 +1,125 @@
+package icmp6
+
+import (
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/proto"
+)
+
+// Group membership (§4.1): ICMPv6 absorbs IGMP.  Group Report and
+// Group Query behave like their IGMP counterparts; Group Terminate is
+// the optimization "so that routers can be informed more quickly about
+// hosts leaving multicast groups".
+
+// groupBody builds the common body of the three group messages:
+// maximum response delay, reserved, group address.
+func groupBody(maxDelay time.Duration, group inet.IP6) []byte {
+	b := make([]byte, 4+16)
+	d := uint16(maxDelay / time.Millisecond)
+	b[0], b[1] = byte(d>>8), byte(d)
+	copy(b[4:], group[:])
+	return b
+}
+
+// groupChange is wired to the layer's multicast join/leave events.
+func (m *Module) groupChange(ifName string, group inet.IP6, joined bool) {
+	// Reports are not sent for the trivial memberships every node has.
+	if group == inet.AllNodes || group == inet.AllRouters {
+		return
+	}
+	if joined {
+		m.Stats.OutReports.Inc()
+		m.sendCtl(TypeGroupReport, 0, groupBody(0, group), inet.IP6{}, group, 1, ifName)
+	} else {
+		// Terminate goes to all-routers (§4.1: informs routers more
+		// quickly about hosts leaving groups).
+		m.Stats.OutTerm.Inc()
+		m.sendCtl(TypeGroupTerminate, 0, groupBody(0, group), inet.IP6{}, inet.AllRouters, 1, ifName)
+	}
+}
+
+// SendGroupQuery asks nodes to report their memberships (router side).
+// A general query uses the unspecified group.
+func (m *Module) SendGroupQuery(ifName string, group inet.IP6, maxDelay time.Duration) error {
+	dst := group
+	if group.IsUnspecified() {
+		dst = inet.AllNodes
+	}
+	return m.sendCtl(TypeGroupQuery, 0, groupBody(maxDelay, group), inet.IP6{}, dst, 1, ifName)
+}
+
+// queryInput answers a Group Query with Reports for our memberships.
+// (The protocol staggers reports over the max-delay window; this
+// implementation reports immediately, which is correct if chattier.)
+func (m *Module) queryInput(body []byte, meta *proto.Meta) {
+	if len(body) < 20 {
+		m.Stats.InErrors.Inc()
+		return
+	}
+	var group inet.IP6
+	copy(group[:], body[4:20])
+	for _, g := range m.l.Groups(meta.RcvIf) {
+		if g == inet.AllRouters {
+			continue
+		}
+		if group.IsUnspecified() || g == group {
+			m.Stats.OutReports.Inc()
+			m.sendCtl(TypeGroupReport, 0, groupBody(0, g), inet.IP6{}, g, 1, meta.RcvIf)
+		}
+	}
+}
+
+// GroupRecord tracks a learned membership on a router.
+type GroupRecord struct {
+	Group   inet.IP6
+	IfName  string
+	Expires time.Time
+}
+
+const groupLifetime = 4 * time.Minute
+
+// reportInput (router side) records or removes memberships learned
+// from Reports and Terminates.
+func (m *Module) reportInput(typ uint8, body []byte, meta *proto.Meta) {
+	if len(body) < 20 {
+		m.Stats.InErrors.Inc()
+		return
+	}
+	if !m.isRouterIf(meta.RcvIf) {
+		return
+	}
+	var group inet.IP6
+	copy(group[:], body[4:20])
+	key := groupKey{meta.RcvIf, group}
+	m.mu.Lock()
+	if m.members == nil {
+		m.members = make(map[groupKey]time.Time)
+	}
+	if typ == TypeGroupReport {
+		m.members[key] = m.l.Routes().Now().Add(groupLifetime)
+	} else {
+		delete(m.members, key)
+	}
+	m.mu.Unlock()
+}
+
+type groupKey struct {
+	ifName string
+	group  inet.IP6
+}
+
+// Memberships lists the groups a router believes have members on a
+// link.
+func (m *Module) Memberships(ifName string) []inet.IP6 {
+	now := m.l.Routes().Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []inet.IP6
+	for k, exp := range m.members {
+		if k.ifName == ifName && now.Before(exp) {
+			out = append(out, k.group)
+		}
+	}
+	return out
+}

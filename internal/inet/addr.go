@@ -1,0 +1,565 @@
+// Package inet provides the address types and address library functions
+// shared by every layer of the stack.
+//
+// The paper (§6.3) introduces four library functions — addr2ascii,
+// ascii2addr, hostname2addr, and addr2hostname — that supersede
+// inet_ntoa/inet_aton/gethostbyname/gethostbyaddr and work identically
+// for IPv4 and IPv6.  This package implements those functions over its
+// own address types (no use of the net package: the point of the
+// reproduction is building the stack from scratch).
+//
+// It also implements the ones-complement internet checksum, including
+// the IPv6 pseudo-header that ICMPv6, TCP and UDP over IPv6 must
+// include in their checksum computation (§4, §5.2).
+package inet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Address families, mirroring BSD's AF_* constants.
+type Family int
+
+const (
+	AFUnspec Family = 0
+	AFInet   Family = 2  // IPv4
+	AFInet6  Family = 26 // IPv6 (4.4 BSD value differed; the number is arbitrary)
+)
+
+func (f Family) String() string {
+	switch f {
+	case AFInet:
+		return "inet"
+	case AFInet6:
+		return "inet6"
+	default:
+		return fmt.Sprintf("af%d", int(f))
+	}
+}
+
+// IP4 is a 32-bit IPv4 address in wire (big-endian) order.
+type IP4 [4]byte
+
+// IP6 is a 128-bit IPv6 address in wire order.
+type IP6 [16]byte
+
+// Well-known IPv6 addresses and prefixes.
+var (
+	IP6Unspecified = IP6{}
+	IP6Loopback    = IP6{15: 1}
+	// AllNodes is ff02::1, the all-nodes link-local multicast group.
+	AllNodes = IP6{0: 0xff, 1: 0x02, 15: 0x01}
+	// AllRouters is ff02::2, the all-routers link-local multicast group.
+	AllRouters = IP6{0: 0xff, 1: 0x02, 15: 0x02}
+)
+
+// IP4 predicates.
+
+func (a IP4) IsUnspecified() bool { return a == IP4{} }
+func (a IP4) IsLoopback() bool    { return a[0] == 127 }
+func (a IP4) IsMulticast() bool   { return a[0] >= 224 && a[0] < 240 }
+func (a IP4) IsBroadcast() bool   { return a == IP4{255, 255, 255, 255} }
+
+// IP6 predicates.
+
+func (a IP6) IsUnspecified() bool { return a == IP6{} }
+func (a IP6) IsLoopback() bool    { return a == IP6Loopback }
+func (a IP6) IsMulticast() bool   { return a[0] == 0xff }
+
+// IsLinkLocal reports whether a is in fe80::/10, the prefix placed on
+// every interface before any other address (§4.2.1).
+func (a IP6) IsLinkLocal() bool { return a[0] == 0xfe && a[1]&0xc0 == 0x80 }
+
+// IsLinkLocalMulticast reports whether a is in ff02::/16.
+func (a IP6) IsLinkLocalMulticast() bool { return a[0] == 0xff && a[1]&0x0f == 0x02 }
+
+// IsV4Mapped reports whether a is an IPv4-mapped IPv6 address
+// (::ffff:a.b.c.d), the transition-spec form (§5.1) that lets a single
+// PF_INET6 protocol control block denote an IPv4 peer.
+func (a IP6) IsV4Mapped() bool {
+	for i := 0; i < 10; i++ {
+		if a[i] != 0 {
+			return false
+		}
+	}
+	return a[10] == 0xff && a[11] == 0xff
+}
+
+// V4Mapped returns the IPv4-mapped IPv6 address for v4.
+func V4Mapped(v4 IP4) IP6 {
+	var a IP6
+	a[10], a[11] = 0xff, 0xff
+	copy(a[12:], v4[:])
+	return a
+}
+
+// MappedV4 extracts the IPv4 address from an IPv4-mapped address.
+// ok is false if a is not IPv4-mapped.
+func (a IP6) MappedV4() (v4 IP4, ok bool) {
+	if !a.IsV4Mapped() {
+		return IP4{}, false
+	}
+	copy(v4[:], a[12:])
+	return v4, true
+}
+
+// SolicitedNode returns the solicited-node multicast address for a:
+// the special prefix ff02::1:ff00:0/104 prepended to the low 24 bits of
+// the address.  (The paper describes prepending ff02::1: to the low 32
+// bits per the September-1995 ND draft; the final RFC settled on 24
+// bits with ff02::1:ff00:0/104, which is what we implement — every node
+// joins this group for each of its own addresses, §4.3.)
+func SolicitedNode(a IP6) IP6 {
+	s := IP6{0: 0xff, 1: 0x02, 11: 0x01, 12: 0xff}
+	s[13], s[14], s[15] = a[13], a[14], a[15]
+	return s
+}
+
+// LinkLocal forms the fe80:: link-local address from an interface token
+// (§4.2.1: "a link-local prefix fe80:: in front of a token, usually the
+// interface's MAC address").
+func LinkLocal(token [8]byte) IP6 {
+	a := IP6{0: 0xfe, 1: 0x80}
+	copy(a[8:], token[:])
+	return a
+}
+
+// WithPrefix replaces the top plen bits of a with those of prefix,
+// forming (for plen=64) the "advertised prefix + token" address of
+// stateless autoconfiguration (§4.2.2).
+func WithPrefix(prefix IP6, plen int, a IP6) IP6 {
+	out := a
+	for i := 0; i < 16; i++ {
+		bits := plen - i*8
+		if bits <= 0 {
+			break
+		}
+		if bits >= 8 {
+			out[i] = prefix[i]
+			continue
+		}
+		mask := byte(0xff << (8 - bits))
+		out[i] = prefix[i]&mask | a[i]&^mask
+	}
+	return out
+}
+
+// Token returns the low 64 bits of the address — the interface token
+// used by stateless autoconfiguration.
+func (a IP6) Token() [8]byte {
+	var t [8]byte
+	copy(t[:], a[8:])
+	return t
+}
+
+// MatchPrefix reports whether a and b agree in their top plen bits.
+func MatchPrefix(a, b IP6, plen int) bool {
+	if plen < 0 {
+		plen = 0
+	}
+	if plen > 128 {
+		plen = 128
+	}
+	full := plen / 8
+	for i := 0; i < full; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	if rem := plen % 8; rem != 0 {
+		mask := byte(0xff << (8 - rem))
+		if a[full]&mask != b[full]&mask {
+			return false
+		}
+	}
+	return true
+}
+
+// Mask4 returns an IPv4 netmask of the given prefix length.
+func Mask4(plen int) IP4 {
+	var m IP4
+	for i := range m {
+		bits := plen - i*8
+		switch {
+		case bits >= 8:
+			m[i] = 0xff
+		case bits > 0:
+			m[i] = byte(0xff << (8 - bits))
+		}
+	}
+	return m
+}
+
+// Mask6 returns an IPv6 netmask of the given prefix length.
+func Mask6(plen int) IP6 {
+	var m IP6
+	for i := range m {
+		bits := plen - i*8
+		switch {
+		case bits >= 8:
+			m[i] = 0xff
+		case bits > 0:
+			m[i] = byte(0xff << (8 - bits))
+		}
+	}
+	return m
+}
+
+// LinkAddr is a 48-bit IEEE-802 link-layer (MAC) address, the usual
+// interface token source.
+type LinkAddr [6]byte
+
+// Token expands a MAC address into a 64-bit interface token.  The NRL
+// implementation predated EUI-64; we use the EUI-64 expansion
+// (ff:fe insertion, universal/local bit flip) so that tokens formed
+// from distinct MACs remain distinct.
+func (l LinkAddr) Token() [8]byte {
+	return [8]byte{l[0] ^ 0x02, l[1], l[2], 0xff, 0xfe, l[3], l[4], l[5]}
+}
+
+func (l LinkAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", l[0], l[1], l[2], l[3], l[4], l[5])
+}
+
+// EthernetMulticast maps an IPv6 multicast address to the Ethernet
+// multicast address 33:33:xx:xx:xx:xx carrying its low 32 bits.
+func EthernetMulticast(a IP6) LinkAddr {
+	return LinkAddr{0x33, 0x33, a[12], a[13], a[14], a[15]}
+}
+
+// EthernetMulticast4 maps an IPv4 multicast address to 01:00:5e + low 23 bits.
+func EthernetMulticast4(a IP4) LinkAddr {
+	return LinkAddr{0x01, 0x00, 0x5e, a[1] & 0x7f, a[2], a[3]}
+}
+
+//
+// Address formatting and parsing: the addr2ascii / ascii2addr pair.
+//
+
+// Addr2Ascii formats an address of the given family.  It is the
+// version-independent replacement for inet_ntoa (§6.3).
+func Addr2Ascii(family Family, addr any) (string, error) {
+	switch family {
+	case AFInet:
+		a, ok := addr.(IP4)
+		if !ok {
+			return "", errors.New("addr2ascii: AF_INET wants an IP4")
+		}
+		return a.String(), nil
+	case AFInet6:
+		a, ok := addr.(IP6)
+		if !ok {
+			return "", errors.New("addr2ascii: AF_INET6 wants an IP6")
+		}
+		return a.String(), nil
+	default:
+		return "", fmt.Errorf("addr2ascii: unsupported family %v", family)
+	}
+}
+
+// String formats an IPv4 address in dotted-quad form.
+func (a IP4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// String formats an IPv6 address in canonical RFC 5952 style:
+// lower-case hex, longest run of zero groups (length >= 2) compressed,
+// IPv4-mapped addresses shown with a dotted-quad suffix.
+func (a IP6) String() string {
+	if a.IsV4Mapped() {
+		v4, _ := a.MappedV4()
+		return "::ffff:" + v4.String()
+	}
+	var g [8]uint16
+	for i := range g {
+		g[i] = uint16(a[2*i])<<8 | uint16(a[2*i+1])
+	}
+	// Longest zero run.
+	best, bestLen := -1, 1
+	for i := 0; i < 8; {
+		if g[i] != 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < 8 && g[j] == 0 {
+			j++
+		}
+		if j-i > bestLen {
+			best, bestLen = i, j-i
+		}
+		i = j
+	}
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		if i == best {
+			b.WriteString("::")
+			i += bestLen - 1
+			continue
+		}
+		if i > 0 && !(best >= 0 && i == best+bestLen) {
+			b.WriteByte(':')
+		}
+		fmt.Fprintf(&b, "%x", g[i])
+	}
+	s := b.String()
+	if s == "" {
+		return "::"
+	}
+	return s
+}
+
+// Ascii2Addr parses a textual address of the given family, the
+// version-independent replacement for inet_aton (§6.3).
+func Ascii2Addr(family Family, s string) (any, error) {
+	switch family {
+	case AFInet:
+		return ParseIP4(s)
+	case AFInet6:
+		return ParseIP6(s)
+	default:
+		return nil, fmt.Errorf("ascii2addr: unsupported family %v", family)
+	}
+}
+
+// ParseIP4 parses a dotted-quad IPv4 address.
+func ParseIP4(s string) (IP4, error) {
+	var a IP4
+	part := 0
+	val, digits := 0, 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if digits == 0 || part > 3 {
+				return IP4{}, fmt.Errorf("inet: bad IPv4 address %q", s)
+			}
+			a[part] = byte(val)
+			part++
+			val, digits = 0, 0
+			continue
+		}
+		c := s[i]
+		if c < '0' || c > '9' {
+			return IP4{}, fmt.Errorf("inet: bad IPv4 address %q", s)
+		}
+		if digits > 0 && val == 0 {
+			return IP4{}, fmt.Errorf("inet: leading zero in IPv4 address %q", s)
+		}
+		val = val*10 + int(c-'0')
+		digits++
+		if val > 255 {
+			return IP4{}, fmt.Errorf("inet: IPv4 octet out of range in %q", s)
+		}
+	}
+	if part != 4 {
+		return IP4{}, fmt.Errorf("inet: bad IPv4 address %q", s)
+	}
+	return a, nil
+}
+
+// ParseIP6 parses an IPv6 address in RFC-4291 text form, including "::"
+// compression and an optional trailing dotted-quad.
+func ParseIP6(s string) (IP6, error) {
+	var a IP6
+	orig := s
+	fail := func() (IP6, error) { return IP6{}, fmt.Errorf("inet: bad IPv6 address %q", orig) }
+
+	ellipsis := -1 // byte index into a where :: was seen
+	i := 0         // next byte of a to fill
+
+	if strings.HasPrefix(s, "::") {
+		ellipsis = 0
+		s = s[2:]
+		if s == "" {
+			return a, nil
+		}
+	} else if strings.HasPrefix(s, ":") {
+		return fail()
+	}
+
+	for i < 16 {
+		// A trailing dotted-quad consumes the final 4 bytes.
+		if i <= 12 && strings.Contains(s, ".") && !strings.Contains(s, ":") {
+			v4, err := ParseIP4(s)
+			if err != nil {
+				return fail()
+			}
+			copy(a[i:], v4[:])
+			i += 4
+			s = ""
+			break
+		}
+		// Hex group.
+		j := 0
+		val := 0
+		for j < len(s) && j < 4 {
+			c := s[j]
+			var d int
+			switch {
+			case c >= '0' && c <= '9':
+				d = int(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = int(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = int(c-'A') + 10
+			default:
+				goto doneGroup
+			}
+			val = val<<4 | d
+			j++
+		}
+	doneGroup:
+		if j == 0 {
+			return fail()
+		}
+		a[i] = byte(val >> 8)
+		a[i+1] = byte(val)
+		i += 2
+		s = s[j:]
+		if s == "" {
+			break
+		}
+		if s[0] == '.' {
+			return fail() // dot may only start a group
+		}
+		if s[0] != ':' {
+			return fail()
+		}
+		s = s[1:]
+		if s == "" {
+			return fail() // trailing single colon
+		}
+		if s[0] == ':' {
+			if ellipsis >= 0 {
+				return fail() // second ::
+			}
+			ellipsis = i
+			s = s[1:]
+			if s == "" {
+				break
+			}
+		}
+	}
+	if s != "" {
+		return fail()
+	}
+	if i < 16 {
+		if ellipsis < 0 {
+			return fail()
+		}
+		n := 16 - i // zeros to insert
+		copy(a[ellipsis+n:], a[ellipsis:i])
+		for k := ellipsis; k < ellipsis+n; k++ {
+			a[k] = 0
+		}
+	} else if ellipsis >= 0 {
+		// All 16 bytes were filled by explicit groups, so the "::"
+		// expanded to zero groups, which RFC 4291 forbids.
+		return fail()
+	}
+	return a, nil
+}
+
+//
+// Host name resolution: hostname2addr / addr2hostname over an
+// in-memory hosts table (the paper's functions consult the resolver;
+// the table substitutes for DNS in this self-contained reproduction).
+//
+
+// HostTable maps names to addresses, like /etc/hosts.
+type HostTable struct {
+	mu    sync.RWMutex
+	byN4  map[string]IP4
+	byN6  map[string]IP6
+	byA4  map[IP4]string
+	byA6  map[IP6]string
+	order map[string]Family // family of first-registered record per name
+}
+
+// NewHostTable returns an empty hosts table.
+func NewHostTable() *HostTable {
+	return &HostTable{
+		byN4:  make(map[string]IP4),
+		byN6:  make(map[string]IP6),
+		byA4:  make(map[IP4]string),
+		byA6:  make(map[IP6]string),
+		order: make(map[string]Family),
+	}
+}
+
+// Add registers a name/address pair. addr must be IP4 or IP6.
+func (h *HostTable) Add(name string, addr any) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch a := addr.(type) {
+	case IP4:
+		h.byN4[name] = a
+		h.byA4[a] = name
+	case IP6:
+		h.byN6[name] = a
+		h.byA6[a] = name
+	default:
+		return fmt.Errorf("inet: HostTable.Add: unsupported address type %T", addr)
+	}
+	if _, ok := h.order[name]; !ok {
+		if _, is4 := addr.(IP4); is4 {
+			h.order[name] = AFInet
+		} else {
+			h.order[name] = AFInet6
+		}
+	}
+	return nil
+}
+
+// ErrHostNotFound is returned when resolution fails.
+var ErrHostNotFound = errors.New("inet: host not found")
+
+// Hostname2Addr resolves a host name (or textual address) for a family.
+// Like the paper's hostname2addr, AFInet6 resolution prefers an IPv6
+// record but falls back to the host's IPv4 record as an IPv4-mapped
+// address, so applications can transparently reach IPv4-only peers.
+func (h *HostTable) Hostname2Addr(family Family, name string) (any, error) {
+	if addr, err := Ascii2Addr(family, name); err == nil {
+		return addr, nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	switch family {
+	case AFInet:
+		if a, ok := h.byN4[name]; ok {
+			return a, nil
+		}
+	case AFInet6:
+		if a, ok := h.byN6[name]; ok {
+			return a, nil
+		}
+		if a, ok := h.byN4[name]; ok {
+			return V4Mapped(a), nil
+		}
+	}
+	return nil, ErrHostNotFound
+}
+
+// Addr2Hostname resolves an address back to a name.
+func (h *HostTable) Addr2Hostname(addr any) (string, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	switch a := addr.(type) {
+	case IP4:
+		if n, ok := h.byA4[a]; ok {
+			return n, nil
+		}
+	case IP6:
+		if n, ok := h.byA6[a]; ok {
+			return n, nil
+		}
+		if v4, ok := a.MappedV4(); ok {
+			if n, ok := h.byA4[v4]; ok {
+				return n, nil
+			}
+		}
+	}
+	return "", ErrHostNotFound
+}

@@ -1,0 +1,341 @@
+package inet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustIP6(t *testing.T, s string) IP6 {
+	t.Helper()
+	a, err := ParseIP6(s)
+	if err != nil {
+		t.Fatalf("ParseIP6(%q): %v", s, err)
+	}
+	return a
+}
+
+func TestParseIP4(t *testing.T) {
+	good := map[string]IP4{
+		"0.0.0.0":         {},
+		"127.0.0.1":       {127, 0, 0, 1},
+		"255.255.255.255": {255, 255, 255, 255},
+		"10.1.2.3":        {10, 1, 2, 3},
+	}
+	for s, want := range good {
+		got, err := ParseIP4(s)
+		if err != nil || got != want {
+			t.Errorf("ParseIP4(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	bad := []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1..2.3", "a.b.c.d", "01.2.3.4", "1.2.3.4.", ".1.2.3.4", "-1.2.3.4"}
+	for _, s := range bad {
+		if _, err := ParseIP4(s); err == nil {
+			t.Errorf("ParseIP4(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseIP6(t *testing.T) {
+	cases := map[string]string{ // input -> canonical re-formatting
+		"::":                       "::",
+		"::1":                      "::1",
+		"fe80::1":                  "fe80::1",
+		"FE80::800:DEAD:BEEF":      "fe80::800:dead:beef", // the paper's Figure 7 address
+		"1:2:3:4:5:6:7:8":          "1:2:3:4:5:6:7:8",
+		"1::8":                     "1::8",
+		"1:0:0:2:0:0:0:8":          "1:0:0:2::8", // longest run wins
+		"ff02::1":                  "ff02::1",
+		"::ffff:10.1.2.3":          "::ffff:10.1.2.3",
+		"64:ff9b::1.2.3.4":         "64:ff9b::102:304",
+		"1:2:3:4:5:6:1.2.3.4":      "1:2:3:4:5:6:102:304",
+		"0:0:0:0:0:0:0:0":          "::",
+		"2001:db8:0:0:1:0:0:1":     "2001:db8::1:0:0:1",
+		"fe80:0:0:0:200:ff:fe00:1": "fe80::200:ff:fe00:1",
+	}
+	for in, want := range cases {
+		a, err := ParseIP6(in)
+		if err != nil {
+			t.Errorf("ParseIP6(%q): %v", in, err)
+			continue
+		}
+		if got := a.String(); got != want {
+			t.Errorf("ParseIP6(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+	bad := []string{"", ":", ":::", "1:2:3:4:5:6:7:8:9", "1:2:3:4:5:6:7", "g::1",
+		"1::2::3", "1:2:3:4:5:6:7:8::", "::1:2:3:4:5:6:7:8", "12345::", "1.2.3.4::1",
+		"1:", "1:2:3:4:5:6:1.2.3", "1:2:3:4:5:6:7:1.2.3.4", "fe80::1%eth0"}
+	for _, s := range bad {
+		if _, err := ParseIP6(s); err == nil {
+			a, _ := ParseIP6(s)
+			t.Errorf("ParseIP6(%q) succeeded (%v), want error", s, a)
+		}
+	}
+}
+
+// Property: formatting then reparsing any IPv6 address is the identity.
+func TestQuickIP6RoundTrip(t *testing.T) {
+	f := func(a IP6) bool {
+		b, err := ParseIP6(a.String())
+		return err == nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIP4RoundTrip(t *testing.T) {
+	f := func(a IP4) bool {
+		b, err := ParseIP4(a.String())
+		return err == nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IP6Loopback.IsLoopback() || IP6Loopback.IsUnspecified() {
+		t.Fatal("loopback predicates")
+	}
+	if !(IP6{}).IsUnspecified() {
+		t.Fatal("unspecified")
+	}
+	ll := mustIP6(t, "fe80::1")
+	if !ll.IsLinkLocal() || ll.IsMulticast() {
+		t.Fatal("link-local predicates")
+	}
+	if !AllNodes.IsMulticast() || !AllNodes.IsLinkLocalMulticast() {
+		t.Fatal("all-nodes predicates")
+	}
+	global := mustIP6(t, "2001:db8::1")
+	if global.IsLinkLocal() || global.IsMulticast() || global.IsV4Mapped() {
+		t.Fatal("global predicates")
+	}
+	if !(IP4{224, 0, 0, 1}).IsMulticast() || (IP4{223, 0, 0, 1}).IsMulticast() {
+		t.Fatal("v4 multicast predicate")
+	}
+	if !(IP4{127, 0, 0, 1}).IsLoopback() {
+		t.Fatal("v4 loopback")
+	}
+}
+
+func TestV4Mapped(t *testing.T) {
+	v4 := IP4{10, 9, 8, 7}
+	m := V4Mapped(v4)
+	if !m.IsV4Mapped() {
+		t.Fatal("V4Mapped not recognized")
+	}
+	if got := m.String(); got != "::ffff:10.9.8.7" {
+		t.Fatalf("mapped string = %q", got)
+	}
+	back, ok := m.MappedV4()
+	if !ok || back != v4 {
+		t.Fatalf("MappedV4 = %v, %v", back, ok)
+	}
+	if _, ok := mustIP6(t, "2001:db8::1").MappedV4(); ok {
+		t.Fatal("non-mapped reported mapped")
+	}
+	// ::fffe:... (wrong marker) must not be mapped.
+	var near IP6
+	near[10], near[11] = 0xff, 0xfe
+	if near.IsV4Mapped() {
+		t.Fatal("wrong marker accepted as mapped")
+	}
+}
+
+func TestSolicitedNode(t *testing.T) {
+	a := mustIP6(t, "fe80::800:dead:beef")
+	s := SolicitedNode(a)
+	if got := s.String(); got != "ff02::1:ffad:beef" {
+		t.Fatalf("solicited-node = %q", got)
+	}
+	if !s.IsMulticast() {
+		t.Fatal("solicited-node must be multicast")
+	}
+	// Addresses differing only above the low 24 bits share a group.
+	b := mustIP6(t, "2001:db8::1234:adbe:ef00")
+	_ = b
+	c := mustIP6(t, "2001:db8::99:dead:beef")
+	if SolicitedNode(c) != s {
+		t.Fatal("solicited-node must depend only on low 24 bits")
+	}
+}
+
+func TestLinkLocalAndPrefix(t *testing.T) {
+	mac := LinkAddr{0x08, 0x00, 0xde, 0xad, 0xbe, 0xef}
+	tok := mac.Token()
+	ll := LinkLocal(tok)
+	if !ll.IsLinkLocal() {
+		t.Fatal("LinkLocal not link-local")
+	}
+	if got := ll.String(); got != "fe80::a00:deff:fead:beef" {
+		t.Fatalf("link-local = %q", got)
+	}
+	prefix := mustIP6(t, "2001:db8:1:2::")
+	global := WithPrefix(prefix, 64, ll)
+	if got := global.String(); got != "2001:db8:1:2:a00:deff:fead:beef" {
+		t.Fatalf("autoconf global = %q", got)
+	}
+	if global.Token() != ll.Token() {
+		t.Fatal("token must survive prefixing")
+	}
+	if !MatchPrefix(global, prefix, 64) {
+		t.Fatal("MatchPrefix after WithPrefix")
+	}
+}
+
+func TestWithPrefixPartialByte(t *testing.T) {
+	prefix := mustIP6(t, "fc00::")
+	a := mustIP6(t, "1ff::1")
+	out := WithPrefix(prefix, 7, a)
+	// Top 7 bits from fc00:: (1111110x), low bit of byte 0 from a (1).
+	if out[0] != 0xfd || out[1] != 0xff || out[15] != 1 {
+		t.Fatalf("WithPrefix(7) = %v", out.String())
+	}
+}
+
+func TestMatchPrefix(t *testing.T) {
+	a := mustIP6(t, "2001:db8::1")
+	b := mustIP6(t, "2001:db8::2")
+	c := mustIP6(t, "2001:db9::1")
+	if !MatchPrefix(a, b, 64) || MatchPrefix(a, c, 32) {
+		t.Fatal("MatchPrefix byte cases")
+	}
+	if !MatchPrefix(a, c, 30) { // db8 vs db9 differ in bit 31/32
+		t.Fatal("MatchPrefix bit case (30)")
+	}
+	if !MatchPrefix(a, b, 0) || !MatchPrefix(a, a, 128) {
+		t.Fatal("MatchPrefix extremes")
+	}
+	if MatchPrefix(a, c, 200) { // clamped to 128
+		t.Fatal("MatchPrefix clamp")
+	}
+}
+
+func TestMasks(t *testing.T) {
+	if Mask4(24) != (IP4{255, 255, 255, 0}) || Mask4(0) != (IP4{}) || Mask4(32) != (IP4{255, 255, 255, 255}) {
+		t.Fatal("Mask4")
+	}
+	if Mask4(20) != (IP4{255, 255, 240, 0}) {
+		t.Fatal("Mask4(20)")
+	}
+	m := Mask6(64)
+	for i := 0; i < 8; i++ {
+		if m[i] != 0xff || m[i+8] != 0 {
+			t.Fatal("Mask6(64)")
+		}
+	}
+	if Mask6(10)[1] != 0xc0 {
+		t.Fatal("Mask6(10)")
+	}
+}
+
+func TestEthernetMulticast(t *testing.T) {
+	s := SolicitedNode(mustIP6(t, "fe80::1:2"))
+	mac := EthernetMulticast(s)
+	if mac[0] != 0x33 || mac[1] != 0x33 {
+		t.Fatal("33:33 prefix")
+	}
+	if mac[2] != s[12] || mac[5] != s[15] {
+		t.Fatal("low 32 bits")
+	}
+	m4 := EthernetMulticast4(IP4{224, 129, 1, 2})
+	if m4 != (LinkAddr{0x01, 0x00, 0x5e, 0x01, 1, 2}) {
+		t.Fatalf("v4 multicast mac = %v", m4)
+	}
+}
+
+func TestAddr2Ascii(t *testing.T) {
+	s, err := Addr2Ascii(AFInet, IP4{1, 2, 3, 4})
+	if err != nil || s != "1.2.3.4" {
+		t.Fatalf("Addr2Ascii v4: %q %v", s, err)
+	}
+	s, err = Addr2Ascii(AFInet6, mustIP6(t, "fe80::1"))
+	if err != nil || s != "fe80::1" {
+		t.Fatalf("Addr2Ascii v6: %q %v", s, err)
+	}
+	if _, err := Addr2Ascii(AFInet, mustIP6(t, "::1")); err == nil {
+		t.Fatal("family mismatch must error")
+	}
+	if _, err := Addr2Ascii(AFUnspec, IP4{}); err == nil {
+		t.Fatal("unknown family must error")
+	}
+}
+
+func TestAscii2Addr(t *testing.T) {
+	a, err := Ascii2Addr(AFInet6, "FE80::800:dead:beef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.(IP6).String() != "fe80::800:dead:beef" {
+		t.Fatalf("ascii2addr = %v", a)
+	}
+	if _, err := Ascii2Addr(AFInet, "1.2.3.4.5"); err == nil {
+		t.Fatal("bad v4 must error")
+	}
+	if _, err := Ascii2Addr(AFUnspec, "x"); err == nil {
+		t.Fatal("unknown family must error")
+	}
+}
+
+func TestHostTable(t *testing.T) {
+	h := NewHostTable()
+	if err := h.Add("dual", IP4{10, 0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add("dual", mustIP6(t, "2001:db8::1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add("v4only", IP4{10, 0, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add("bad", "nope"); err == nil {
+		t.Fatal("Add of non-address must error")
+	}
+
+	a, err := h.Hostname2Addr(AFInet6, "dual")
+	if err != nil || a.(IP6).String() != "2001:db8::1" {
+		t.Fatalf("v6 lookup: %v %v", a, err)
+	}
+	a, err = h.Hostname2Addr(AFInet, "dual")
+	if err != nil || a.(IP4) != (IP4{10, 0, 0, 1}) {
+		t.Fatalf("v4 lookup: %v %v", a, err)
+	}
+	// v6 lookup of a v4-only host returns a mapped address (transition).
+	a, err = h.Hostname2Addr(AFInet6, "v4only")
+	if err != nil || !a.(IP6).IsV4Mapped() {
+		t.Fatalf("mapped fallback: %v %v", a, err)
+	}
+	// Literal addresses resolve without table entries.
+	a, err = h.Hostname2Addr(AFInet6, "fe80::7")
+	if err != nil || a.(IP6).String() != "fe80::7" {
+		t.Fatalf("literal: %v %v", a, err)
+	}
+	if _, err := h.Hostname2Addr(AFInet6, "missing"); err != ErrHostNotFound {
+		t.Fatalf("missing host: %v", err)
+	}
+
+	n, err := h.Addr2Hostname(mustIP6(t, "2001:db8::1"))
+	if err != nil || n != "dual" {
+		t.Fatalf("reverse v6: %q %v", n, err)
+	}
+	n, err = h.Addr2Hostname(IP4{10, 0, 0, 2})
+	if err != nil || n != "v4only" {
+		t.Fatalf("reverse v4: %q %v", n, err)
+	}
+	// Reverse of a mapped address finds the v4 record.
+	n, err = h.Addr2Hostname(V4Mapped(IP4{10, 0, 0, 2}))
+	if err != nil || n != "v4only" {
+		t.Fatalf("reverse mapped: %q %v", n, err)
+	}
+	if _, err := h.Addr2Hostname(IP4{9, 9, 9, 9}); err != ErrHostNotFound {
+		t.Fatalf("reverse missing: %v", err)
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if AFInet.String() != "inet" || AFInet6.String() != "inet6" || AFUnspec.String() != "af0" {
+		t.Fatal("Family.String")
+	}
+}

@@ -1,0 +1,65 @@
+package inet
+
+// The ones-complement internet checksum (RFC 1071) and its
+// pseudo-headers.  The paper leans on the checksum in three places:
+// IPv4 keeps a header checksum that IPv6 drops (§2.1); ICMPv6 newly
+// includes a pseudo-header in its checksum (§4); and the UDP checksum
+// becomes mandatory over IPv6 because nothing else protects the
+// addresses (§5.2).
+
+// Sum computes the unfolded 32-bit ones-complement sum of b, starting
+// from an initial accumulator. Use Fold to produce the 16-bit checksum.
+func Sum(initial uint32, b []byte) uint32 {
+	sum := initial
+	n := len(b) &^ 1
+	for i := 0; i < n; i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)&1 != 0 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	return sum
+}
+
+// Fold reduces a 32-bit accumulator to the final 16-bit ones-complement
+// checksum.
+func Fold(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Checksum computes the internet checksum of b.
+func Checksum(b []byte) uint16 { return Fold(Sum(0, b)) }
+
+// PseudoHeader6 computes the unfolded sum of the IPv6 pseudo-header:
+// source, destination, upper-layer packet length, and next-header value.
+func PseudoHeader6(src, dst IP6, length uint32, nextHdr uint8) uint32 {
+	sum := Sum(0, src[:])
+	sum = Sum(sum, dst[:])
+	sum += length>>16 + length&0xffff
+	sum += uint32(nextHdr)
+	return sum
+}
+
+// PseudoHeader4 computes the unfolded sum of the IPv4 pseudo-header.
+func PseudoHeader4(src, dst IP4, length uint16, proto uint8) uint32 {
+	sum := Sum(0, src[:])
+	sum = Sum(sum, dst[:])
+	sum += uint32(length)
+	sum += uint32(proto)
+	return sum
+}
+
+// TransportChecksum6 computes the checksum for a transport payload
+// carried over IPv6 (TCP, UDP, ICMPv6 all use this form).
+func TransportChecksum6(src, dst IP6, nextHdr uint8, payload []byte) uint16 {
+	return Fold(Sum(PseudoHeader6(src, dst, uint32(len(payload)), nextHdr), payload))
+}
+
+// TransportChecksum4 computes the checksum for a transport payload
+// carried over IPv4.
+func TransportChecksum4(src, dst IP4, proto uint8, payload []byte) uint16 {
+	return Fold(Sum(PseudoHeader4(src, dst, uint16(len(payload)), proto), payload))
+}

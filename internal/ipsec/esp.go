@@ -1,0 +1,150 @@
+package ipsec
+
+import (
+	"errors"
+	"fmt"
+
+	"bsd6/internal/ipv6"
+	"bsd6/internal/key"
+	"bsd6/internal/proto"
+)
+
+// Encapsulating Security Payload processing (§3.2/§3.6).
+//
+// The ESP switch is two-dimensional: "the switch allows implementors
+// to specify the header processing code and the encryption code
+// separately for greater flexibility."  ESPTransform is the header
+// processing half; EncAlg (alg.go) is the cipher half.  The DES-CBC
+// transform (RFC 1829) is the default header format, and idea-cbc /
+// 3des-cbc reuse it with different ciphers — §3.6's worked example.
+//
+// Wire format after the IPv6 chain (RFC 1827 + RFC 1829):
+//
+//	| SPI (4) | IV (block) | ciphertext( payload | pad | padLen | payloadType ) |
+//
+// Transport mode encrypts the upper-layer header and data; tunnel mode
+// encrypts an entire IP datagram, with payloadType = 41 (IPv6).
+
+// ESPTransform is the header-processing half of an ESP switch entry.
+type ESPTransform interface {
+	Name() string
+	// Wrap encrypts plaintext (which already ends with pad/padLen/type
+	// handling done inside) and returns the full ESP payload starting
+	// with the SPI.
+	Wrap(sa *key.SA, enc EncAlg, plaintext []byte, payloadType uint8) ([]byte, error)
+	// Unwrap decrypts the ESP payload b (starting at the SPI) and
+	// returns the inner plaintext and payload type.
+	Unwrap(sa *key.SA, enc EncAlg, b []byte) (inner []byte, payloadType uint8, err error)
+}
+
+// cbcTransform is the RFC 1829 style header processing: SPI, explicit
+// IV, CBC ciphertext trailing pad/padLen/payloadType.
+type cbcTransform struct{}
+
+func (cbcTransform) Name() string { return "cbc" }
+
+func (cbcTransform) Wrap(sa *key.SA, enc EncAlg, plaintext []byte, payloadType uint8) ([]byte, error) {
+	blk, err := enc.NewCipher(sa.EncKey)
+	if err != nil {
+		return nil, err
+	}
+	bs := enc.BlockSize()
+	// pad so that len(plaintext)+pad+2 is a whole number of blocks.
+	pad := (bs - (len(plaintext)+2)%bs) % bs
+	body := make([]byte, len(plaintext)+pad+2)
+	copy(body, plaintext)
+	body[len(body)-2] = byte(pad)
+	body[len(body)-1] = payloadType
+	out := make([]byte, 4+bs+len(body))
+	out[0] = byte(sa.SPI >> 24)
+	out[1] = byte(sa.SPI >> 16)
+	out[2] = byte(sa.SPI >> 8)
+	out[3] = byte(sa.SPI)
+	iv := out[4 : 4+bs]
+	newIV(iv)
+	copy(out[4+bs:], body)
+	if err := Reblock(blk, iv, out[4+bs:], true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Errors from ESP input processing.
+var (
+	errESPShort = errors.New("ipsec: ESP payload too short")
+	errESPPad   = errors.New("ipsec: ESP padding check failed")
+)
+
+func (cbcTransform) Unwrap(sa *key.SA, enc EncAlg, b []byte) ([]byte, uint8, error) {
+	blk, err := enc.NewCipher(sa.EncKey)
+	if err != nil {
+		return nil, 0, err
+	}
+	bs := enc.BlockSize()
+	if len(b) < 4+bs+bs {
+		return nil, 0, errESPShort
+	}
+	iv := b[4 : 4+bs]
+	ct := append([]byte(nil), b[4+bs:]...)
+	if err := Reblock(blk, iv, ct, false); err != nil {
+		return nil, 0, err
+	}
+	padLen := int(ct[len(ct)-2])
+	payloadType := ct[len(ct)-1]
+	if padLen+2 > len(ct) {
+		return nil, 0, errESPPad
+	}
+	return ct[:len(ct)-2-padLen], payloadType, nil
+}
+
+// espEntry pairs a transform with a cipher — one row of the
+// two-dimensional ESP switch.
+type espEntry struct {
+	transform ESPTransform
+	cipher    EncAlg
+}
+
+// espSwitch maps an SA's EncAlg name to its entry.
+func espLookup(name string) (espEntry, error) {
+	enc, ok := LookupEnc(name)
+	if !ok {
+		return espEntry{}, fmt.Errorf("ipsec: unknown encryption algorithm %q", name)
+	}
+	return espEntry{transform: cbcTransform{}, cipher: enc}, nil
+}
+
+// buildESPTransport wraps an upper-layer payload (transport mode).
+func buildESPTransport(sa *key.SA, payload []byte, nh uint8) ([]byte, error) {
+	e, err := espLookup(sa.EncAlg)
+	if err != nil {
+		return nil, err
+	}
+	return e.transform.Wrap(sa, e.cipher, payload, nh)
+}
+
+// buildESPTunnel encapsulates an entire IPv6 datagram: the inner
+// packet is rebuilt under hdr and encrypted whole, "prepending an
+// additional cleartext IP header outside the encrypted IP datagram so
+// that the packet can be routed" (§3) — the caller prepends that outer
+// header.
+func buildESPTunnel(sa *key.SA, hdr *ipv6.Header, payload []byte, nh uint8) ([]byte, error) {
+	e, err := espLookup(sa.EncAlg)
+	if err != nil {
+		return nil, err
+	}
+	inner := *hdr
+	inner.NextHdr = nh
+	inner.PayloadLen = len(payload)
+	datagram := inner.Marshal(nil)
+	datagram = append(datagram, payload...)
+	return e.transform.Wrap(sa, e.cipher, datagram, proto.IPv6)
+}
+
+// openESP decrypts an ESP payload, returning the plaintext and type.
+func openESP(sa *key.SA, b []byte) ([]byte, uint8, error) {
+	e, err := espLookup(sa.EncAlg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return e.transform.Unwrap(sa, e.cipher, b)
+}

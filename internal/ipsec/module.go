@@ -1,0 +1,417 @@
+package ipsec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/ipv6"
+	"bsd6/internal/key"
+	"bsd6/internal/mbuf"
+	"bsd6/internal/proto"
+	"bsd6/internal/stat"
+)
+
+// EIPSEC is "the newly defined IP Security processing error" (§3.3):
+// returned to the user when a packet needed security that could not be
+// applied (no association, no key management, or a processing failure).
+var EIPSEC = errors.New("EIPSEC: IP security processing error")
+
+// Level is a socket/system security level (§6.1):
+//
+//	0: no security on outbound, none required inbound
+//	1: use security outbound if available, not required inbound
+//	2: require security outbound and inbound
+//	3: level 2, with a security association unique to the socket
+type Level int
+
+const (
+	LevelNone    Level = 0
+	LevelUse     Level = 1
+	LevelRequire Level = 2
+	LevelUnique  Level = 3
+)
+
+// SockOpts is the per-socket (or system-wide) security request: one
+// level for each of the three services — "the same matrix of 3
+// protocols and 4 security levels" (§6.1).
+type SockOpts struct {
+	Auth         Level // SO_SECURITY_AUTHENTICATION
+	ESPTransport Level // SO_SECURITY_ENCRYPTION_TRANSPORT
+	ESPTunnel    Level // SO_SECURITY_ENCRYPTION_TUNNEL
+
+	// Bypass exempts the socket from IP security entirely — the
+	// privileged option §6.3 plans "to permit applications that need
+	// to bypass IP security to do so (for example, a Photuris
+	// daemon)".  The socket layer only sets it for effective uid 0.
+	// Never meaningful in the system-wide policy.
+	Bypass bool
+}
+
+// merge applies "the more paranoid of these policies" (§3.3).
+func merge(a, b SockOpts) SockOpts {
+	max := func(x, y Level) Level {
+		if x > y {
+			return x
+		}
+		return y
+	}
+	return SockOpts{
+		Auth:         max(a.Auth, b.Auth),
+		ESPTransport: max(a.ESPTransport, b.ESPTransport),
+		ESPTunnel:    max(a.ESPTunnel, b.ESPTunnel),
+		Bypass:       b.Bypass, // only the socket side may carry it
+	}
+}
+
+// Stats counts security processing events; netstat(8) displays them
+// (§3.4: "appropriate kernel statistics counters are incremented").
+type Stats struct {
+	OutAH          stat.Counter
+	OutESP         stat.Counter
+	OutTunnel      stat.Counter
+	OutPolicyDrops stat.Counter
+	InAuthOK       stat.Counter
+	InAuthFail     stat.Counter
+	InDecryptOK    stat.Counter
+	InDecryptFail  stat.Counter
+	InNoSA         stat.Counter
+	InPolicyDrops  stat.Counter
+	TunnelSrcFail  stat.Counter
+}
+
+// portPolicy is one administrative per-port rule (§3.5's example: "an
+// administrator could require that packets coming in on a certain
+// range of privileged ports ... must be authentic").
+type portPolicy struct {
+	lo, hi uint16
+	req    SockOpts
+}
+
+// Module is the IP security instance of one stack.
+type Module struct {
+	l   *ipv6.Layer
+	Key *key.Engine
+
+	mu     sync.Mutex
+	system SockOpts
+	ports  []portPolicy
+
+	// SocketOpts reads the security options of a socket (set by the
+	// sockets layer); nil sockets get zero levels.
+	SocketOpts func(socket any) SockOpts
+
+	Stats Stats
+}
+
+// Attach creates the security module and installs its hooks on the
+// IPv6 layer (§3.3 output, §3.4 input).
+func Attach(l *ipv6.Layer, ke *key.Engine) *Module {
+	m := &Module{l: l, Key: ke}
+	l.SecOut = m.OutputPolicy
+	l.SecIn = m.Input
+	return m
+}
+
+// SetSystemPolicy installs the administrator's system-wide levels.
+func (m *Module) SetSystemPolicy(p SockOpts) {
+	m.mu.Lock()
+	m.system = p
+	m.mu.Unlock()
+}
+
+// SystemPolicy returns the system-wide levels.
+func (m *Module) SystemPolicy() SockOpts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.system
+}
+
+func (m *Module) effective(socket any) SockOpts {
+	m.mu.Lock()
+	sys := m.system
+	m.mu.Unlock()
+	if socket == nil || m.SocketOpts == nil {
+		return sys
+	}
+	so := m.SocketOpts(socket)
+	if so.Bypass {
+		return SockOpts{Bypass: true}
+	}
+	return merge(sys, so)
+}
+
+// AddPortPolicy installs an administrative input requirement for local
+// ports in [lo, hi] — the §3.5 enhancement to the "simple system-wide
+// decisions" of the current policy engine.
+func (m *Module) AddPortPolicy(lo, hi uint16, req SockOpts) {
+	m.mu.Lock()
+	m.ports = append(m.ports, portPolicy{lo: lo, hi: hi, req: req})
+	m.mu.Unlock()
+}
+
+// portRequirements merges the policies covering the local port.
+func (m *Module) portRequirements(port uint16) SockOpts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var req SockOpts
+	for _, p := range m.ports {
+		if port >= p.lo && port <= p.hi {
+			req = merge(req, p.req)
+		}
+	}
+	return req
+}
+
+// OutputPolicy is ipsec_output_policy() (§3.3), installed as the IPv6
+// layer's SecOut hook and called immediately before fragmentation.  It
+// merges system and socket policy, obtains associations from the Key
+// Engine, and applies the needed services to the fragmentable part:
+// ESP transport innermost, then ESP tunnel, then AH outermost.
+func (m *Module) OutputPolicy(hdr *ipv6.Header, payload *mbuf.Mbuf, nh uint8, socket any) (*mbuf.Mbuf, uint8, error) {
+	eff := m.effective(socket)
+	if eff.Bypass || eff == (SockOpts{}) {
+		return payload, nh, nil
+	}
+
+	get := func(p key.SecProto, lvl Level) (*key.SA, error) {
+		if lvl == LevelNone {
+			return nil, nil
+		}
+		sa, err := m.Key.GetBySocket(hdr.Src, hdr.Dst, p, socket, lvl == LevelUnique)
+		if err != nil {
+			if lvl == LevelUse {
+				return nil, nil // level 1: use if available
+			}
+			m.Stats.OutPolicyDrops.Inc()
+			return nil, fmt.Errorf("%w: %v", EIPSEC, err)
+		}
+		return sa, nil
+	}
+
+	data := payload.Bytes()
+
+	if sa, err := get(key.ProtoESPTransport, eff.ESPTransport); err != nil {
+		return nil, 0, err
+	} else if sa != nil {
+		wrapped, werr := buildESPTransport(sa, data, nh)
+		if werr != nil {
+			m.Stats.OutPolicyDrops.Inc()
+			return nil, 0, fmt.Errorf("%w: %v", EIPSEC, werr)
+		}
+		m.Stats.OutESP.Inc()
+		m.Key.CountBytes(sa, len(data))
+		data, nh = wrapped, proto.ESP
+	}
+
+	if sa, err := get(key.ProtoESPTunnel, eff.ESPTunnel); err != nil {
+		return nil, 0, err
+	} else if sa != nil {
+		// The inner datagram keeps the real destination; the outer
+		// header is readdressed to the association's endpoint when it
+		// is a security gateway ("prepending an additional cleartext
+		// IP header outside the encrypted IP datagram so that the
+		// packet can be routed", §3).
+		wrapped, werr := buildESPTunnel(sa, hdr, data, nh)
+		if werr != nil {
+			m.Stats.OutPolicyDrops.Inc()
+			return nil, 0, fmt.Errorf("%w: %v", EIPSEC, werr)
+		}
+		m.Stats.OutTunnel.Inc()
+		m.Key.CountBytes(sa, len(data))
+		data, nh = wrapped, proto.ESP
+		if sa.Dst != hdr.Dst {
+			hdr.Dst = sa.Dst // the layer re-routes toward the gateway
+		}
+	}
+
+	if sa, err := get(key.ProtoAH, eff.Auth); err != nil {
+		return nil, 0, err
+	} else if sa != nil {
+		wrapped, werr := buildAH(sa, hdr, data, nh)
+		if werr != nil {
+			m.Stats.OutPolicyDrops.Inc()
+			return nil, 0, fmt.Errorf("%w: %v", EIPSEC, werr)
+		}
+		m.Stats.OutAH.Inc()
+		m.Key.CountBytes(sa, len(data))
+		data, nh = wrapped, proto.AH
+	}
+
+	out := mbuf.NewNoCopy(data)
+	out.Hdr().Socket = payload.Hdr().Socket
+	return out, nh, nil
+}
+
+// Input is the IPv6 layer's SecIn hook (§3.4): process an AH or ESP
+// header found during input, setting M_AUTHENTIC / M_DECRYPTED and
+// recording the SPI for the transport-layer policy check.
+func (m *Module) Input(pkt *mbuf.Mbuf, hdr *ipv6.Header, p uint8, off int) (ipv6.SecAction, *mbuf.Mbuf) {
+	b := pkt.Bytes()
+	switch p {
+	case proto.AH:
+		if off+ahFixedLen > len(b) {
+			m.Stats.InAuthFail.Inc()
+			return ipv6.SecDrop, nil
+		}
+		spi := get32be(b[off+4:])
+		sa, ok := m.Key.GetBySPI(spi, hdr.Dst, key.ProtoAH)
+		if !ok {
+			m.Stats.InNoSA.Inc()
+			return ipv6.SecDrop, nil
+		}
+		if _, _, ok := verifyAH(sa, hdr, b, off); !ok {
+			m.Stats.InAuthFail.Inc()
+			return ipv6.SecDrop, nil
+		}
+		m.Stats.InAuthOK.Inc()
+		pkt.Hdr().Flags |= mbuf.MAuthentic
+		pkt.Hdr().AuxSPI = append(pkt.Hdr().AuxSPI, spi)
+		return ipv6.SecContinue, nil
+
+	case proto.ESP:
+		if off+4 > len(b) {
+			m.Stats.InDecryptFail.Inc()
+			return ipv6.SecDrop, nil
+		}
+		spi := get32be(b[off:])
+		sa, ok := m.Key.GetBySPI(spi, hdr.Dst, key.ProtoESPTransport)
+		if !ok {
+			sa, ok = m.Key.GetBySPI(spi, hdr.Dst, key.ProtoESPTunnel)
+		}
+		if !ok {
+			m.Stats.InNoSA.Inc()
+			return ipv6.SecDrop, nil
+		}
+		inner, payloadType, err := openESP(sa, b[off:])
+		if err != nil {
+			m.Stats.InDecryptFail.Inc()
+			return ipv6.SecDrop, nil
+		}
+		m.Stats.InDecryptOK.Inc()
+
+		if sa.Proto == key.ProtoESPTunnel || payloadType == proto.IPv6 {
+			// Tunnel mode: the plaintext is a complete datagram.
+			ih, perr := ipv6.Parse(inner)
+			if perr != nil {
+				m.Stats.InDecryptFail.Inc()
+				return ipv6.SecDrop, nil
+			}
+			rebuilt := mbuf.NewNoCopy(inner)
+			h := rebuilt.Hdr()
+			h.RcvIf = pkt.Hdr().RcvIf
+			h.Flags = pkt.Hdr().Flags | mbuf.MDecrypted
+			h.AuxSPI = append(append([]uint32(nil), pkt.Hdr().AuxSPI...), spi)
+			// Tunnel source-address check (§3.4): a forged inner
+			// packet must not inherit the outer packet's credentials.
+			if ih.Src != hdr.Src {
+				m.Stats.TunnelSrcFail.Inc()
+				h.Flags &^= mbuf.MAuthentic | mbuf.MDecrypted
+			}
+			return ipv6.SecReinject, rebuilt
+		}
+
+		// Transport mode: rebuild the datagram with the decrypted
+		// upper-layer content directly under the base header.
+		nhdr := *hdr
+		nhdr.NextHdr = payloadType
+		nhdr.PayloadLen = len(inner)
+		data := nhdr.Marshal(nil)
+		data = append(data, inner...)
+		rebuilt := mbuf.NewNoCopy(data)
+		h := rebuilt.Hdr()
+		h.RcvIf = pkt.Hdr().RcvIf
+		h.Flags = pkt.Hdr().Flags | mbuf.MDecrypted
+		h.AuxSPI = append(append([]uint32(nil), pkt.Hdr().AuxSPI...), spi)
+		return ipv6.SecReinject, rebuilt
+	}
+	return ipv6.SecDrop, nil
+}
+
+// InputPolicy is ipsec_input_policy() (§3.4): transport protocols call
+// it before processing a received packet; it checks both the socket
+// requirements and the system-wide requirements, so "the system
+// administrator can mandate a minimum security level for all normal
+// network connections".  It returns false if the packet must be
+// silently dropped.
+func (m *Module) InputPolicy(pkt *mbuf.Mbuf, dst inet.IP6, socket any) bool {
+	return m.InputPolicyPort(pkt, dst, socket, 0)
+}
+
+// InputPolicyPort is InputPolicy with the local port visible, so the
+// administrative per-port rules of §3.5 apply. Port 0 means "no port"
+// (ICMP and the like).
+func (m *Module) InputPolicyPort(pkt *mbuf.Mbuf, dst inet.IP6, socket any, lport uint16) bool {
+	eff := m.effective(socket)
+	if eff.Bypass {
+		return true
+	}
+	if lport != 0 {
+		eff = merge(eff, m.portRequirements(lport))
+	}
+	if eff == (SockOpts{}) {
+		return true
+	}
+	flags := pkt.Hdr().Flags
+	if eff.Auth >= LevelRequire && flags&mbuf.MAuthentic == 0 {
+		m.Stats.InPolicyDrops.Inc()
+		return false
+	}
+	needDecrypt := eff.ESPTransport >= LevelRequire || eff.ESPTunnel >= LevelRequire
+	if needDecrypt && flags&mbuf.MDecrypted == 0 {
+		m.Stats.InPolicyDrops.Inc()
+		return false
+	}
+	// Level 3: some association protecting the packet must be unique
+	// to this socket.
+	if (eff.Auth == LevelUnique || eff.ESPTransport == LevelUnique || eff.ESPTunnel == LevelUnique) && socket != nil {
+		found := false
+		for _, spi := range pkt.Hdr().AuxSPI {
+			for _, p := range []key.SecProto{key.ProtoAH, key.ProtoESPTransport, key.ProtoESPTunnel} {
+				if sa, ok := m.Key.GetBySPI(spi, dst, p); ok && sa.Unique && sa.Socket == socket {
+					found = true
+				}
+			}
+		}
+		if !found {
+			m.Stats.InPolicyDrops.Inc()
+			return false
+		}
+	}
+	return true
+}
+
+// HdrSize estimates the wrapping overhead the socket's effective
+// policy will add to each packet (BSD's ipsec_hdrsiz): transports
+// subtract it from the MSS so secured segments do not overflow the
+// path MTU and fragment.
+func (m *Module) HdrSize(socket any) int {
+	eff := m.effective(socket)
+	n := 0
+	if eff.Auth >= LevelUse {
+		n += ahFixedLen + 20 // header + largest registered digest in use
+	}
+	if eff.ESPTransport >= LevelUse {
+		n += 4 + 8 + 8 + 2 // SPI + IV + worst-case pad + trailer
+	}
+	if eff.ESPTunnel >= LevelUse {
+		n += 40 + 4 + 8 + 8 + 2 // inner header + ESP framing
+	}
+	return n
+}
+
+// AllowError implements the in6_pcbnotify() security check (§5.1):
+// whether an ICMP error may be delivered to applications. Under a
+// system policy requiring authentication, unauthenticated errors are
+// suppressed (ICMP errors echo packet contents and cannot themselves
+// be verified here).
+func (m *Module) AllowError() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.system.Auth < LevelRequire
+}
+
+func get32be(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

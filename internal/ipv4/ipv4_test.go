@@ -1,0 +1,497 @@
+package ipv4
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/mbuf"
+	"bsd6/internal/netif"
+	"bsd6/internal/proto"
+	"bsd6/internal/route"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := &Header{
+		TOS: 0x10, TotalLen: 1234, ID: 42, DF: true, FragOff: 0,
+		TTL: 63, Proto: proto.UDP,
+		Src: inet.IP4{10, 0, 0, 1}, Dst: inet.IP4{10, 0, 0, 2},
+	}
+	wire := h.Marshal(nil)
+	if len(wire) != HeaderLen {
+		t.Fatalf("wire len = %d", len(wire))
+	}
+	got, hl, err := Parse(wire)
+	if err != nil || hl != HeaderLen {
+		t.Fatal(err)
+	}
+	if got.TOS != h.TOS || got.TotalLen != h.TotalLen || got.ID != h.ID ||
+		!got.DF || got.MF || got.TTL != h.TTL || got.Proto != h.Proto ||
+		got.Src != h.Src || got.Dst != h.Dst {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestHeaderOptions(t *testing.T) {
+	h := &Header{TotalLen: 24, TTL: 1, Proto: 1, Options: []byte{1, 1, 1, 1}}
+	wire := h.Marshal(nil)
+	got, hl, err := Parse(wire)
+	if err != nil || hl != 24 || !bytes.Equal(got.Options, h.Options) {
+		t.Fatalf("options: %v %d %v", got, hl, err)
+	}
+}
+
+func TestHeaderChecksumDetectsCorruption(t *testing.T) {
+	h := &Header{TotalLen: 20, TTL: 64, Proto: 6, Src: inet.IP4{1, 2, 3, 4}}
+	wire := h.Marshal(nil)
+	for i := range wire {
+		w := append([]byte(nil), wire...)
+		w[i] ^= 0x04
+		if _, _, err := Parse(w); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, _, err := Parse(make([]byte, 10)); err != ErrShort {
+		t.Fatal("short")
+	}
+	h := (&Header{TotalLen: 20, TTL: 1}).Marshal(nil)
+	h[0] = 0x65 // version 6
+	if _, _, err := Parse(h); err != ErrVersion {
+		t.Fatal("version")
+	}
+	h2 := (&Header{TotalLen: 20, TTL: 1}).Marshal(nil)
+	h2[0] = 0x44 // IHL=4 < 5
+	if _, _, err := Parse(h2); err != ErrLength {
+		t.Fatal("ihl")
+	}
+}
+
+func TestQuickHeaderRoundTrip(t *testing.T) {
+	f := func(tos uint8, id uint16, ttl uint8, p uint8, src, dst inet.IP4, fragOff uint16, df, mf bool, payloadLen uint16) bool {
+		h := &Header{
+			TOS: tos, ID: id, TTL: ttl, Proto: p, Src: src, Dst: dst,
+			DF: df, MF: mf, FragOff: int(fragOff%0x2000) * 8,
+			// TotalLen is a 16-bit field; keep the generator in range.
+			TotalLen: HeaderLen + int(payloadLen)%(65536-HeaderLen),
+		}
+		got, _, err := Parse(h.Marshal(nil))
+		if err != nil {
+			return false
+		}
+		return got.TOS == h.TOS && got.ID == h.ID && got.FragOff == h.FragOff &&
+			got.DF == h.DF && got.MF == h.MF && got.TTL == h.TTL &&
+			got.Proto == h.Proto && got.Src == h.Src && got.Dst == h.Dst &&
+			got.TotalLen == h.TotalLen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+//
+// Node harness.
+//
+
+type node struct {
+	name string
+	rt   *route.Table
+	l    *Layer
+	ic   *ICMP
+	ifps []*netif.Interface
+}
+
+func newNode(name string) *node {
+	rt := route.NewTable()
+	l := NewLayer(rt)
+	ic := AttachICMP(l)
+	n := &node{name: name, rt: rt, l: l, ic: ic}
+	lo := netif.NewLoopback(name+"-lo", 32768)
+	lo.SetInput(func(ifp *netif.Interface, fr netif.Frame) { l.Input(ifp, fr.Payload) })
+	l.AddInterface(lo)
+	return n
+}
+
+// join attaches the node to a hub with the given address.
+func (n *node) join(hub *netif.Hub, mac inet.LinkAddr, addr inet.IP4, plen int, mtu int) *netif.Interface {
+	ifp := netif.New(fmt.Sprintf("%s-eth%d", n.name, len(n.ifps)), mac, mtu)
+	ifp.SetInput(func(ifp *netif.Interface, fr netif.Frame) {
+		switch fr.EtherType {
+		case EtherTypeARP:
+			n.l.ArpInput(ifp, fr.Payload)
+		case netif.EtherTypeIPv4:
+			n.l.Input(ifp, fr.Payload)
+		}
+	})
+	hub.Attach(ifp)
+	ifp.AddAddr4(netif.Addr4{Addr: addr, Plen: plen})
+	n.l.AddInterface(ifp)
+	n.ifps = append(n.ifps, ifp)
+	// On-link cloning route for the subnet.
+	netAddr := addr
+	m := inet.Mask4(plen)
+	for i := range netAddr {
+		netAddr[i] &= m[i]
+	}
+	n.rt.Add(&route.Entry{
+		Family: inet.AFInet, Dst: netAddr[:], Plen: plen,
+		Flags: route.FlagUp | route.FlagCloning | route.FlagLLInfo, IfName: ifp.Name,
+	})
+	return ifp
+}
+
+func (n *node) defaultVia(gw inet.IP4, ifName string) {
+	var zero inet.IP4
+	n.rt.Add(&route.Entry{
+		Family: inet.AFInet, Dst: zero[:], Plen: 0,
+		Flags: route.FlagUp | route.FlagGateway, Gateway: gw, IfName: ifName,
+	})
+}
+
+var (
+	addrA = inet.IP4{10, 0, 0, 1}
+	addrB = inet.IP4{10, 0, 0, 2}
+	macA  = inet.LinkAddr{2, 0, 0, 0, 0, 0xa}
+	macB  = inet.LinkAddr{2, 0, 0, 0, 0, 0xb}
+	macR1 = inet.LinkAddr{2, 0, 0, 0, 0, 1}
+	macR2 = inet.LinkAddr{2, 0, 0, 0, 0, 2}
+)
+
+func twoNodes(t *testing.T) (*node, *node) {
+	t.Helper()
+	hub := netif.NewHub()
+	a, b := newNode("a"), newNode("b")
+	a.join(hub, macA, addrA, 24, 1500)
+	b.join(hub, macB, addrB, 24, 1500)
+	return a, b
+}
+
+// pinger collects echo replies.
+type pinger struct {
+	mu      sync.Mutex
+	replies []uint16
+}
+
+func (p *pinger) hook(ic *ICMP) {
+	ic.OnEcho = func(src inet.IP4, id, seq uint16, payload []byte) {
+		p.mu.Lock()
+		p.replies = append(p.replies, seq)
+		p.mu.Unlock()
+	}
+}
+
+func (p *pinger) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.replies)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPingWithARPResolution(t *testing.T) {
+	a, b := twoNodes(t)
+	p := &pinger{}
+	p.hook(a.ic)
+	// First echo triggers ARP; the packet is queued and flushed on reply.
+	if err := a.ic.SendEcho(addrB, 7, 1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first reply", func() bool { return p.count() >= 1 })
+	if a.l.Stats.ArpRequests.Get() == 0 || b.l.Stats.ArpReplies.Get() == 0 {
+		t.Fatal("ARP exchange did not happen")
+	}
+	// Second echo uses the resolved entry: no new ARP request.
+	arpBefore := a.l.Stats.ArpRequests.Get()
+	a.ic.SendEcho(addrB, 7, 2, []byte("payload"))
+	waitFor(t, "second reply", func() bool { return p.count() >= 2 })
+	if a.l.Stats.ArpRequests.Get() != arpBefore {
+		t.Fatal("resolved neighbor re-ARPed")
+	}
+	// The neighbor is a cloned host route with a MAC gateway.
+	rt, ok := a.rt.Lookup(inet.AFInet, addrB[:])
+	if !ok || !rt.Host() {
+		t.Fatal("no neighbor host route")
+	}
+	if mac, ok := rt.Gateway.(inet.LinkAddr); !ok || mac != macB {
+		t.Fatalf("gateway = %v", rt.Gateway)
+	}
+}
+
+func TestPingSelfViaLoopback(t *testing.T) {
+	a, _ := twoNodes(t)
+	p := &pinger{}
+	p.hook(a.ic)
+	if err := a.ic.SendEcho(addrA, 1, 1, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "self reply", func() bool { return p.count() >= 1 })
+	if a.ifps[0].Stats().OutPackets != 0 {
+		t.Fatal("self ping left the node")
+	}
+}
+
+func TestARPFailureRejectsRoute(t *testing.T) {
+	a, _ := twoNodes(t)
+	missing := inet.IP4{10, 0, 0, 99}
+	a.ic.SendEcho(missing, 1, 1, nil)
+	// Drive retries well past arpMaxTries.
+	now := time.Now()
+	for i := 0; i < arpMaxTries+2; i++ {
+		now = now.Add(2 * arpRetry)
+		a.l.SlowTimo(now)
+	}
+	rt, ok := a.rt.Get(inet.AFInet, missing[:], 32)
+	if !ok || rt.Flags&route.FlagReject == 0 {
+		t.Fatalf("unresolvable neighbor not rejected: %+v", rt)
+	}
+	// Sends now fail fast with ErrReject.
+	err := a.l.Output(mbuf.New([]byte("x")), inet.IP4{}, missing, proto.UDP, OutputOpts{})
+	if err != ErrReject {
+		t.Fatalf("err = %v, want ErrReject", err)
+	}
+}
+
+func TestFragmentationAndReassembly(t *testing.T) {
+	hub := netif.NewHub()
+	a, b := newNode("a"), newNode("b")
+	a.join(hub, macA, addrA, 24, 500) // small MTU forces fragmentation
+	b.join(hub, macB, addrB, 24, 500)
+	p := &pinger{}
+	p.hook(a.ic)
+	payload := make([]byte, 1800)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	// Echo request fragments on output; B reassembles, replies (reply
+	// also fragments), A reassembles.
+	if err := a.ic.SendEcho(addrB, 3, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "fragmented reply", func() bool { return p.count() >= 1 })
+	if a.l.Stats.FragsCreated.Get() < 3 {
+		t.Fatalf("FragsCreated = %d", a.l.Stats.FragsCreated.Get())
+	}
+	if b.l.Stats.Reassembled.Get() < 1 || a.l.Stats.Reassembled.Get() < 1 {
+		t.Fatalf("reassembled: b=%d a=%d", b.l.Stats.Reassembled.Get(), a.l.Stats.Reassembled.Get())
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.replies) == 0 || p.replies[0] != 1 {
+		t.Fatal("reply sequence wrong")
+	}
+}
+
+func TestReassemblyTimeout(t *testing.T) {
+	a, b := twoNodes(t)
+	_ = a
+	// Inject a lone first fragment directly into B.
+	h := &Header{TotalLen: HeaderLen + 16, ID: 9, MF: true, TTL: 5, Proto: proto.UDP, Src: addrA, Dst: addrB}
+	frag := mbuf.New(make([]byte, 16))
+	frag.Prepend(h.Marshal(nil))
+	b.l.Input(b.ifps[0], frag)
+	if b.l.frags.Len() != 1 {
+		t.Fatal("fragment not queued")
+	}
+	b.l.SlowTimo(time.Now().Add(time.Minute))
+	if b.l.frags.Len() != 0 {
+		t.Fatal("fragment queue not expired")
+	}
+	if b.l.Stats.ReasmFails.Get() == 0 {
+		t.Fatal("ReasmFails not counted")
+	}
+}
+
+// threeNodeNet builds A --hub1-- R --hub2-- B with R forwarding.
+func threeNodeNet(t *testing.T, mtu2 int) (*node, *node, *node) {
+	t.Helper()
+	hub1, hub2 := netif.NewHub(), netif.NewHub()
+	a, r, b := newNode("a"), newNode("r"), newNode("b")
+	r.l.Forwarding = true
+
+	rA := inet.IP4{10, 0, 0, 254}
+	rB := inet.IP4{10, 0, 1, 254}
+	bAddr := inet.IP4{10, 0, 1, 2}
+
+	a.join(hub1, macA, addrA, 24, 1500)
+	ifr1 := r.join(hub1, macR1, rA, 24, 1500)
+	ifr2 := r.join(hub2, macR2, rB, 24, mtu2)
+	b.join(hub2, macB, bAddr, 24, mtu2)
+
+	a.defaultVia(rA, a.ifps[0].Name)
+	b.defaultVia(rB, b.ifps[0].Name)
+	_ = ifr1
+	_ = ifr2
+	return a, r, b
+}
+
+var addrB2 = inet.IP4{10, 0, 1, 2}
+
+func TestForwarding(t *testing.T) {
+	a, r, _ := threeNodeNet(t, 1500)
+	p := &pinger{}
+	p.hook(a.ic)
+	if err := a.ic.SendEcho(addrB2, 5, 1, []byte("via router")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "forwarded reply", func() bool { return p.count() >= 1 })
+	if r.l.Stats.Forwarded.Get() < 2 {
+		t.Fatalf("router forwarded %d", r.l.Stats.Forwarded.Get())
+	}
+}
+
+func TestRouterFragments(t *testing.T) {
+	// IPv4 routers fragment in the network (§2.1): MTU 1500 then 576.
+	a, r, b := threeNodeNet(t, 576)
+	p := &pinger{}
+	p.hook(a.ic)
+	if err := a.ic.SendEcho(addrB2, 5, 1, make([]byte, 1200)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "reply through narrow link", func() bool { return p.count() >= 1 })
+	if r.l.Stats.FragsCreated.Get() == 0 {
+		t.Fatal("router did not fragment")
+	}
+	if b.l.Stats.Reassembled.Get() == 0 {
+		t.Fatal("B did not reassemble")
+	}
+}
+
+func TestDFElicitsFragNeeded(t *testing.T) {
+	a, r, _ := threeNodeNet(t, 576)
+	var gotKind proto.CtlType
+	var mu sync.Mutex
+	a.ic.OnError = func(kind proto.CtlType, dst inet.IP4) {
+		mu.Lock()
+		gotKind = kind
+		mu.Unlock()
+	}
+	// Register a fake transport so ctlinput can be delivered.
+	var ctlMTU int
+	a.l.Register(proto.UDP, func(*mbuf.Mbuf, *proto.Meta) {}, func(kind proto.CtlType, meta *proto.Meta, contents []byte, mtu int) {
+		mu.Lock()
+		ctlMTU = mtu
+		mu.Unlock()
+	})
+	pkt := mbuf.New(make([]byte, 1200))
+	if err := a.l.Output(pkt, inet.IP4{}, addrB2, proto.UDP, OutputOpts{DF: true}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "frag-needed", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return gotKind == proto.CtlMsgSize
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if ctlMTU != 576 {
+		t.Fatalf("ctl MTU = %d", ctlMTU)
+	}
+	_ = r
+}
+
+func TestTTLExpiryElicitsTimeExceeded(t *testing.T) {
+	a, _, _ := threeNodeNet(t, 1500)
+	var got proto.CtlType
+	var mu sync.Mutex
+	a.l.Register(proto.UDP, func(*mbuf.Mbuf, *proto.Meta) {}, func(kind proto.CtlType, meta *proto.Meta, contents []byte, mtu int) {
+		mu.Lock()
+		got = kind
+		mu.Unlock()
+	})
+	pkt := mbuf.New(make([]byte, 32))
+	if err := a.l.Output(pkt, inet.IP4{}, addrB2, proto.UDP, OutputOpts{TTL: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "time exceeded", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return got == proto.CtlTimeExceed
+	})
+}
+
+func TestUnknownProtocolElicitsUnreach(t *testing.T) {
+	a, b := twoNodes(t)
+	_ = b
+	var got proto.CtlType
+	var mu sync.Mutex
+	a.ic.OnError = func(kind proto.CtlType, dst inet.IP4) {
+		mu.Lock()
+		got = kind
+		mu.Unlock()
+	}
+	pkt := mbuf.New([]byte("mystery"))
+	if err := a.l.Output(pkt, inet.IP4{}, addrB, 200, OutputOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "proto unreach", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return got == proto.CtlUnreach
+	})
+	if b.l.Stats.InUnknownProt.Get() == 0 {
+		t.Fatal("InUnknownProt not counted")
+	}
+}
+
+func TestNoRouteError(t *testing.T) {
+	a, _ := twoNodes(t)
+	err := a.l.Output(mbuf.New([]byte("x")), inet.IP4{}, inet.IP4{192, 168, 9, 9}, proto.UDP, OutputOpts{})
+	if err != ErrNoRoute {
+		t.Fatalf("err = %v", err)
+	}
+	if a.l.Stats.OutNoRoute.Get() == 0 {
+		t.Fatal("OutNoRoute not counted")
+	}
+}
+
+func TestBadChecksumDropped(t *testing.T) {
+	a, b := twoNodes(t)
+	_ = a
+	h := &Header{TotalLen: HeaderLen + 4, TTL: 5, Proto: proto.UDP, Src: addrA, Dst: addrB}
+	wire := h.Marshal(nil)
+	wire[10] ^= 0xff // corrupt checksum
+	pkt := mbuf.New(wire)
+	pkt.Append([]byte{1, 2, 3, 4})
+	before := b.l.Stats.InHdrErrors.Get()
+	b.l.Input(b.ifps[0], pkt)
+	if b.l.Stats.InHdrErrors.Get() != before+1 {
+		t.Fatal("bad checksum accepted")
+	}
+}
+
+func TestTruncatedPacketDropped(t *testing.T) {
+	_, b := twoNodes(t)
+	h := &Header{TotalLen: HeaderLen + 100, TTL: 5, Proto: proto.UDP, Src: addrA, Dst: addrB}
+	pkt := mbuf.New(h.Marshal(nil))
+	pkt.Append([]byte{1, 2, 3}) // claims 100 payload bytes, has 3
+	before := b.l.Stats.InHdrErrors.Get()
+	b.l.Input(b.ifps[0], pkt)
+	if b.l.Stats.InHdrErrors.Get() != before+1 {
+		t.Fatal("truncated packet accepted")
+	}
+}
+
+func TestNotForwardingDropsTransit(t *testing.T) {
+	_, b := twoNodes(t)
+	h := &Header{TotalLen: HeaderLen, TTL: 5, Proto: proto.UDP, Src: addrA, Dst: inet.IP4{172, 16, 0, 1}}
+	pkt := mbuf.New(h.Marshal(nil))
+	b.l.Input(b.ifps[0], pkt)
+	if b.l.Stats.InAddrErrors.Get() != 1 {
+		t.Fatal("transit packet not dropped on host")
+	}
+}

@@ -1,0 +1,456 @@
+package ipv4
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/mbuf"
+	"bsd6/internal/netif"
+	"bsd6/internal/proto"
+	"bsd6/internal/reasm"
+	"bsd6/internal/route"
+	"bsd6/internal/stat"
+)
+
+// Stats counts IPv4 protocol events (netstat's ipstat).
+type Stats struct {
+	InReceives    stat.Counter
+	InHdrErrors   stat.Counter
+	InAddrErrors  stat.Counter
+	InUnknownProt stat.Counter
+	InDelivers    stat.Counter
+	Forwarded     stat.Counter
+	OutRequests   stat.Counter
+	OutNoRoute    stat.Counter
+	OutDrops      stat.Counter
+	FragsCreated  stat.Counter
+	FragsReceived stat.Counter
+	Reassembled   stat.Counter
+	ReasmFails    stat.Counter
+	ArpRequests   stat.Counter
+	ArpReplies    stat.Counter
+	ArpBad        stat.Counter
+}
+
+// Output errors.
+var (
+	ErrNoRoute = errors.New("ipv4: no route to host")
+	ErrMsgSize = errors.New("ipv4: message too long (DF set)")
+	ErrReject  = errors.New("ipv4: host is unreachable (rejected)")
+)
+
+type fragKey struct {
+	src, dst inet.IP4
+	id       uint16
+	proto    uint8
+}
+
+// OutputOpts carries the per-packet options of ip_output.
+type OutputOpts struct {
+	TTL uint8 // 0 means the layer default
+	TOS uint8
+	DF  bool
+}
+
+// Layer is the IPv4 protocol instance of one stack.
+type Layer struct {
+	mu     sync.Mutex
+	routes *route.Table
+	ifaces map[string]*netif.Interface
+	lo     *netif.Interface
+	protos map[uint8]proto.TransportInput
+	ctls   map[uint8]proto.CtlInput
+	frags  *reasm.Queue[fragKey]
+	ident  uint16
+	icmp   *ICMP
+
+	// Forwarding enables router behavior.
+	Forwarding bool
+	// DefaultTTL is used when OutputOpts.TTL is zero.
+	DefaultTTL uint8
+
+	Stats Stats
+}
+
+// NewLayer creates an IPv4 layer over the given routing table.
+func NewLayer(rt *route.Table) *Layer {
+	return &Layer{
+		routes:     rt,
+		ifaces:     make(map[string]*netif.Interface),
+		protos:     make(map[uint8]proto.TransportInput),
+		ctls:       make(map[uint8]proto.CtlInput),
+		frags:      reasm.NewQueue[fragKey](30 * time.Second),
+		DefaultTTL: 64,
+	}
+}
+
+// AddInterface registers an interface with the layer. The first
+// loopback registered becomes the local-delivery path.
+func (l *Layer) AddInterface(ifp *netif.Interface) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ifaces[ifp.Name] = ifp
+	if ifp.Loopback() && l.lo == nil {
+		l.lo = ifp
+	}
+}
+
+// Interface returns a registered interface by name.
+func (l *Layer) Interface(name string) *netif.Interface {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ifaces[name]
+}
+
+// Register installs a transport protocol's input and control-input
+// entries in the protocol switch.
+func (l *Layer) Register(p uint8, in proto.TransportInput, ctl proto.CtlInput) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if in != nil {
+		l.protos[p] = in
+	}
+	if ctl != nil {
+		l.ctls[p] = ctl
+	}
+}
+
+// Routes returns the routing table the layer uses.
+func (l *Layer) Routes() *route.Table { return l.routes }
+
+// entryFlags reads a route entry's flags under the table lock.
+func (l *Layer) entryFlags(rt *route.Entry) int {
+	var f int
+	l.routes.View(func() { f = rt.Flags })
+	return f
+}
+
+// entryMTU reads a route entry's MTU under the table lock.
+func (l *Layer) entryMTU(rt *route.Entry) int {
+	var m int
+	l.routes.View(func() { m = rt.MTU })
+	return m
+}
+
+func (l *Layer) nextID() uint16 {
+	l.mu.Lock()
+	l.ident++
+	id := l.ident
+	l.mu.Unlock()
+	return id
+}
+
+// isLocal reports whether dst is one of this node's addresses.
+func (l *Layer) isLocal(dst inet.IP4) bool {
+	if dst.IsLoopback() {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ifp := range l.ifaces {
+		if ifp.HasAddr4(dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// SourceFor picks the source address the stack would use toward dst.
+func (l *Layer) SourceFor(dst inet.IP4) (inet.IP4, bool) {
+	if l.isLocal(dst) {
+		return dst, false // let Output pick; signal local
+	}
+	rt, ok := l.routes.Lookup(inet.AFInet, dst[:])
+	if !ok {
+		return inet.IP4{}, false
+	}
+	l.mu.Lock()
+	ifp := l.ifaces[rt.IfName]
+	l.mu.Unlock()
+	if ifp == nil {
+		return inet.IP4{}, false
+	}
+	return srcAddrOn(ifp)
+}
+
+// Output implements ip_output: build the header, route, fragment as
+// needed, resolve the link-layer address, and transmit.
+func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP4, p uint8, opts OutputOpts) error {
+	l.Stats.OutRequests.Inc()
+	ttl := opts.TTL
+	if ttl == 0 {
+		ttl = l.DefaultTTL
+	}
+
+	// Local destinations loop through the loopback interface, as BSD
+	// routes them via lo0.
+	if l.isLocal(dst) {
+		if src.IsUnspecified() {
+			src = dst
+		}
+		h := &Header{TotalLen: HeaderLen + pkt.Len(), ID: l.nextID(), TTL: ttl, TOS: opts.TOS, Proto: p, Src: src, Dst: dst}
+		pkt.Prepend(h.Marshal(nil))
+		return l.loop(pkt)
+	}
+
+	rt, ok := l.routes.Lookup(inet.AFInet, dst[:])
+	if !ok {
+		l.Stats.OutNoRoute.Inc()
+		return ErrNoRoute
+	}
+	if l.entryFlags(rt)&route.FlagReject != 0 {
+		l.Stats.OutNoRoute.Inc()
+		return ErrReject
+	}
+	l.mu.Lock()
+	ifp := l.ifaces[rt.IfName]
+	l.mu.Unlock()
+	if ifp == nil {
+		l.Stats.OutNoRoute.Inc()
+		return ErrNoRoute
+	}
+	if src.IsUnspecified() {
+		s, ok := srcAddrOn(ifp)
+		if !ok {
+			return ErrNoRoute
+		}
+		src = s
+	}
+	mtu := ifp.MTU()
+	if rtMTU := l.entryMTU(rt); rtMTU != 0 && rtMTU < mtu {
+		mtu = rtMTU
+	}
+
+	h := &Header{TotalLen: HeaderLen + pkt.Len(), ID: l.nextID(), TTL: ttl, TOS: opts.TOS, DF: opts.DF, Proto: p, Src: src, Dst: dst}
+	if h.TotalLen > mtu {
+		if opts.DF {
+			return ErrMsgSize
+		}
+		return l.fragment(ifp, rt, h, pkt, mtu)
+	}
+	pkt.Prepend(h.Marshal(nil))
+	return l.transmit(ifp, rt, dst, pkt)
+}
+
+// loop delivers a fully-formed packet to ourselves via loopback.
+func (l *Layer) loop(pkt *mbuf.Mbuf) error {
+	l.mu.Lock()
+	lo := l.lo
+	l.mu.Unlock()
+	if lo == nil {
+		return ErrNoRoute
+	}
+	return lo.Output(inet.LinkAddr{}, netif.EtherTypeIPv4, pkt)
+}
+
+// transmit resolves the link-layer next hop and hands the frame to the
+// interface. pkt already carries its IP header.
+func (l *Layer) transmit(ifp *netif.Interface, rt *route.Entry, dst inet.IP4, pkt *mbuf.Mbuf) error {
+	switch {
+	case dst.IsMulticast():
+		return ifp.Output(inet.EthernetMulticast4(dst), netif.EtherTypeIPv4, pkt)
+	case dst.IsBroadcast():
+		return ifp.Output(netif.Broadcast, netif.EtherTypeIPv4, pkt)
+	}
+	nextHop := dst
+	var flags int
+	var gwAny any
+	l.routes.View(func() { flags, gwAny = rt.Flags, rt.Gateway })
+	if flags&route.FlagGateway != 0 {
+		gw, ok := gwAny.(inet.IP4)
+		if !ok {
+			return ErrNoRoute
+		}
+		nextHop = gw
+		// The gateway itself must be on-link: find its neighbor route.
+		grt, ok := l.routes.Lookup(inet.AFInet, gw[:])
+		if !ok {
+			l.Stats.OutNoRoute.Inc()
+			return ErrNoRoute
+		}
+		rt = grt
+	}
+	mac, ok := l.arpResolve(ifp, rt, nextHop, pkt)
+	if !ok {
+		return nil // queued on the ARP entry (or dropped); not an error
+	}
+	return ifp.Output(mac, netif.EtherTypeIPv4, pkt)
+}
+
+// fragment splits pkt (payload only; h not yet prepended) into
+// MTU-sized fragments — the router/source fragmentation that IPv6
+// abolished in favor of PMTU discovery (§2.2).
+func (l *Layer) fragment(ifp *netif.Interface, rt *route.Entry, h *Header, pkt *mbuf.Mbuf, mtu int) error {
+	chunk := (mtu - h.HdrLen()) &^ 7
+	if chunk <= 0 {
+		return ErrMsgSize
+	}
+	payload := pkt.Bytes()
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		fh := *h
+		fh.FragOff = off
+		fh.MF = end < len(payload)
+		fh.TotalLen = h.HdrLen() + (end - off)
+		fm := mbuf.New(payload[off:end])
+		fm.Hdr().Flags |= mbuf.MFrag
+		fm.Prepend(fh.Marshal(nil))
+		l.Stats.FragsCreated.Inc()
+		if err := l.transmit(ifp, rt, h.Dst, fm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Input is ipintr: called by the stack for each received IPv4 packet.
+func (l *Layer) Input(ifp *netif.Interface, pkt *mbuf.Mbuf) {
+	l.Stats.InReceives.Inc()
+	b := pkt.PullUp(HeaderLen)
+	if b == nil {
+		l.Stats.InHdrErrors.Inc()
+		return
+	}
+	hl := int(b[0]&0xf) * 4
+	if full := pkt.PullUp(hl); full == nil {
+		l.Stats.InHdrErrors.Inc()
+		return
+	}
+	h, _, err := Parse(pkt.PullUp(hl))
+	if err != nil {
+		l.Stats.InHdrErrors.Inc()
+		return
+	}
+	if pkt.Len() < h.TotalLen {
+		l.Stats.InHdrErrors.Inc()
+		return
+	}
+	// Trim link-layer padding.
+	if pkt.Len() > h.TotalLen {
+		pkt.Adj(h.TotalLen - pkt.Len())
+	}
+
+	if l.isLocal(h.Dst) || h.Dst.IsMulticast() || h.Dst.IsBroadcast() {
+		l.deliverLocal(ifp, h, pkt)
+		return
+	}
+	if l.Forwarding {
+		l.forward(h, pkt)
+		return
+	}
+	l.Stats.InAddrErrors.Inc()
+}
+
+// deliverLocal strips the IP header, reassembles fragments, and runs
+// the protocol switch.
+func (l *Layer) deliverLocal(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
+	// Keep the leading bytes for ICMP errors before consuming.
+	errCtx := pkt.CopyRange(0, min(pkt.Len(), h.HdrLen()+8))
+	pkt.Adj(h.HdrLen())
+
+	if h.MF || h.FragOff != 0 {
+		l.Stats.FragsReceived.Inc()
+		key := fragKey{h.Src, h.Dst, h.ID, h.Proto}
+		l.mu.Lock()
+		data, done, err := l.frags.Add(key, l.routes.Now(), h.FragOff, h.MF, pkt.CopyBytes())
+		l.mu.Unlock()
+		if err != nil {
+			l.Stats.ReasmFails.Inc()
+			return
+		}
+		if !done {
+			return
+		}
+		l.Stats.Reassembled.Inc()
+		flags := pkt.Hdr().Flags
+		pkt = mbuf.NewNoCopy(data)
+		pkt.Hdr().Flags = flags &^ mbuf.MFrag
+		pkt.Hdr().RcvIf = ifp.Name
+	}
+
+	meta := &proto.Meta{
+		Family: inet.AFInet,
+		Src4:   h.Src, Dst4: h.Dst,
+		Proto: h.Proto, Hops: h.TTL, RcvIf: ifp.Name,
+	}
+	l.mu.Lock()
+	in := l.protos[h.Proto]
+	l.mu.Unlock()
+	if in == nil {
+		l.Stats.InUnknownProt.Inc()
+		if !h.Dst.IsMulticast() && !h.Dst.IsBroadcast() {
+			l.SendError(IcmpUnreach, CodeProtoUnreach, 0, errCtx)
+		}
+		return
+	}
+	l.Stats.InDelivers.Inc()
+	in(pkt, meta)
+}
+
+// forward implements the router path: TTL decrement, re-checksum,
+// fragmentation if needed (IPv4 routers fragment; §2.1 counts this
+// among the work IPv6 routers shed).
+func (l *Layer) forward(h *Header, pkt *mbuf.Mbuf) {
+	errCtx := pkt.CopyRange(0, min(pkt.Len(), h.HdrLen()+8))
+	if h.TTL <= 1 {
+		l.SendError(IcmpTimeExceeded, 0, 0, errCtx)
+		return
+	}
+	rt, ok := l.routes.Lookup(inet.AFInet, h.Dst[:])
+	if !ok || l.entryFlags(rt)&route.FlagReject != 0 {
+		l.Stats.OutNoRoute.Inc()
+		l.SendError(IcmpUnreach, CodeHostUnreach, 0, errCtx)
+		return
+	}
+	l.mu.Lock()
+	ifp := l.ifaces[rt.IfName]
+	l.mu.Unlock()
+	if ifp == nil {
+		l.Stats.OutNoRoute.Inc()
+		return
+	}
+	h.TTL--
+	pkt.Adj(h.HdrLen())
+	l.Stats.Forwarded.Inc()
+
+	mtu := ifp.MTU()
+	if rtMTU := l.entryMTU(rt); rtMTU != 0 && rtMTU < mtu {
+		mtu = rtMTU
+	}
+	if h.HdrLen()+pkt.Len() > mtu {
+		if h.DF {
+			l.SendError(IcmpUnreach, CodeFragNeeded, mtu, errCtx)
+			return
+		}
+		if err := l.fragment(ifp, rt, h, pkt, mtu); err != nil {
+			l.Stats.OutDrops.Inc()
+		}
+		return
+	}
+	pkt.Prepend(h.Marshal(nil))
+	if err := l.transmit(ifp, rt, h.Dst, pkt); err != nil {
+		l.Stats.OutDrops.Inc()
+	}
+}
+
+// SlowTimo drives timeouts: reassembly expiry and ARP retries. The
+// stack calls it every 500ms, as BSD's pr_slowtimo runs.
+func (l *Layer) SlowTimo(now time.Time) {
+	l.mu.Lock()
+	n := l.frags.Expire(now)
+	l.Stats.ReasmFails.Add(uint64(n))
+	l.mu.Unlock()
+	l.arpTimer(now)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,1111 @@
+package ipv6
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/mbuf"
+	"bsd6/internal/netif"
+	"bsd6/internal/proto"
+	"bsd6/internal/reasm"
+	"bsd6/internal/route"
+	"bsd6/internal/stat"
+)
+
+// Stats counts IPv6 protocol events.
+type Stats struct {
+	InReceives    stat.Counter
+	InHdrErrors   stat.Counter
+	InAddrErrors  stat.Counter
+	InUnknownProt stat.Counter
+	InTruncated   stat.Counter
+	InDelivers    stat.Counter
+	InOptErrors   stat.Counter
+	Forwarded     stat.Counter
+	OutRequests   stat.Counter
+	OutNoRoute    stat.Counter
+	OutDrops      stat.Counter
+	OutFrags      stat.Counter
+	FragsReceived stat.Counter
+	Reassembled   stat.Counter
+	ReasmFails    stat.Counter
+	RouteHdrSeen  stat.Counter
+	FastPathHits  stat.Counter
+	PreparseRuns  stat.Counter
+}
+
+// Output errors.
+var (
+	ErrNoRoute = errors.New("ipv6: no route to host")
+	ErrReject  = errors.New("ipv6: host is unreachable (rejected)")
+	ErrMsgSize = errors.New("ipv6: message too long")
+	ErrNoSrc   = errors.New("ipv6: no usable source address")
+)
+
+// ICMPv6 error kinds the layer can ask its error sink to emit.  The
+// actual message construction lives in icmp6; the layer only knows the
+// trigger points.
+const (
+	ErrDstUnreach   = 1 // type 1: no route (code 0), addr unreachable (code 3)
+	ErrPacketTooBig = 2 // type 2: forwarding hit a smaller link MTU
+	ErrTimeExceeded = 3 // type 3: hop limit exhausted
+	ErrParamProblem = 4 // type 4: bad header field / unknown option or header
+)
+
+// Parameter-problem codes (type 4).
+const (
+	ParamErrHeader  = 0 // erroneous header field
+	ParamUnknownNH  = 1 // unrecognized next-header type
+	ParamUnknownOpt = 2 // unrecognized option
+)
+
+// ErrorFunc emits an ICMPv6 error about a received packet. orig is the
+// offending packet from its IPv6 header; param is the type-specific
+// 32-bit field (MTU for Packet Too Big, pointer for Param Problem).
+type ErrorFunc func(kind int, code uint8, param uint32, orig *mbuf.Mbuf, rcvIf string)
+
+// ResolveFunc maps an on-link next hop to its link-layer address via
+// Neighbor Discovery.  If resolution is in progress the function
+// queues pkt and returns ok=false; the ND module transmits it later.
+type ResolveFunc func(ifp *netif.Interface, rt *route.Entry, nextHop inet.IP6, pkt *mbuf.Mbuf) (inet.LinkAddr, bool)
+
+// Security hook results (§3.4 input processing).
+type SecAction int
+
+const (
+	SecDrop     SecAction = iota // packet failed security processing
+	SecContinue                  // AH verified: continue the header walk
+	SecReinject                  // packet replaced (ESP): reprocess it
+)
+
+// SecInputFunc processes an AH or ESP header found at off. For
+// SecReinject, Packet is the replacement datagram (decrypted transport
+// content rebuilt under the original base header, or the tunneled
+// inner datagram).
+type SecInputFunc func(pkt *mbuf.Mbuf, hdr *Header, p uint8, off int) (SecAction, *mbuf.Mbuf)
+
+// SecOutputFunc is the ipsec_output_policy() call (§3.3), invoked by
+// Output "immediately before IP fragmentation is performed". hdr has
+// final source and destination; payload is the fragmentable part
+// beginning with first-next-header nh. It returns the (possibly
+// wrapped) payload and its first next-header, or an error (EIPSEC).
+// The hook may rewrite hdr.Dst (tunnel mode to a security gateway);
+// the layer then re-routes toward the new destination.
+type SecOutputFunc func(hdr *Header, payload *mbuf.Mbuf, nh uint8, socket any) (*mbuf.Mbuf, uint8, error)
+
+type fragKey struct {
+	src, dst inet.IP6
+	id       uint32
+}
+
+// OutputOpts carries per-packet options for Output.
+type OutputOpts struct {
+	HopLimit uint8  // 0 means layer default
+	FlowInfo uint32 // priority + flow label
+	// Extension headers to attach.
+	HopOpts      []Option   // hop-by-hop options
+	DstOptsList  []Option   // destination options
+	RoutingAddrs []inet.IP6 // type-0 source route
+	// RoutingStrict is the strict/loose bit map for RoutingAddrs: bit
+	// i set means hop i must be an on-link neighbor (§4.1).
+	RoutingStrict uint32
+	// NoFrag makes over-MTU sends fail with ErrMsgSize instead of
+	// fragmenting (TCP segments to the PMTU instead).
+	NoFrag bool
+	// Socket is the back pointer the security output policy examines
+	// (the NRL addition to the packet header, §3.3).
+	Socket any
+	// IfName forces the outgoing interface (link-local / multicast
+	// destinations that carry no route).
+	IfName string
+	// NoSecurity bypasses the security output hook. Reserved for key
+	// management traffic (§6.3 describes the planned privileged
+	// bypass); normal sockets cannot set it.
+	NoSecurity bool
+	// UnspecSource sends from the unspecified address instead of
+	// selecting a source (duplicate address detection probes).
+	UnspecSource bool
+}
+
+// Layer is the IPv6 protocol instance of one stack.
+type Layer struct {
+	mu     sync.Mutex
+	routes *route.Table
+	ifaces map[string]*netif.Interface
+	lo     *netif.Interface
+	protos map[uint8]proto.TransportInput
+	ctls   map[uint8]proto.CtlInput
+	frags  *reasm.Queue[fragKey]
+	fragID uint32
+	groups map[string]map[inet.IP6]int // multicast memberships per iface
+
+	// FastPath enables the bypass around pre-parsing for packets with
+	// no optional headers — the optimization §2.2 and §7 say is
+	// planned.  Off by default, as in the paper's alpha.
+	FastPath bool
+	// Forwarding enables router behavior.
+	Forwarding bool
+	// DefaultHopLimit is used when OutputOpts.HopLimit is 0.
+	DefaultHopLimit uint8
+
+	// Error is the ICMPv6 error sink, registered by icmp6.
+	Error ErrorFunc
+	// Resolve is the neighbor-discovery resolver, registered by icmp6.
+	Resolve ResolveFunc
+	// SecIn / SecOut are the IP security hooks, registered by ipsec.
+	SecIn  SecInputFunc
+	SecOut SecOutputFunc
+	// OnGroupChange observes multicast join/leave so ICMPv6 can send
+	// group membership messages (§4.1).
+	OnGroupChange func(ifName string, group inet.IP6, joined bool)
+
+	Stats Stats
+}
+
+// NewLayer creates an IPv6 layer over the routing table.
+func NewLayer(rt *route.Table) *Layer {
+	return &Layer{
+		routes:          rt,
+		ifaces:          make(map[string]*netif.Interface),
+		protos:          make(map[uint8]proto.TransportInput),
+		ctls:            make(map[uint8]proto.CtlInput),
+		frags:           reasm.NewQueue[fragKey](30 * time.Second),
+		groups:          make(map[string]map[inet.IP6]int),
+		DefaultHopLimit: 64,
+	}
+}
+
+// AddInterface registers an interface. The first loopback becomes the
+// local-delivery path. Non-loopback interfaces join the all-nodes
+// link-layer multicast group — every IPv6 node is implicitly a member
+// (§4.2.2: routers advertise to the all-nodes multicast address).
+func (l *Layer) AddInterface(ifp *netif.Interface) {
+	l.mu.Lock()
+	l.ifaces[ifp.Name] = ifp
+	if ifp.Loopback() && l.lo == nil {
+		l.lo = ifp
+	}
+	l.mu.Unlock()
+	if !ifp.Loopback() {
+		ifp.JoinGroup(inet.EthernetMulticast(inet.AllNodes))
+	}
+}
+
+// Interface returns a registered interface by name.
+func (l *Layer) Interface(name string) *netif.Interface {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ifaces[name]
+}
+
+// Interfaces returns all registered interfaces.
+func (l *Layer) Interfaces() []*netif.Interface {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*netif.Interface, 0, len(l.ifaces))
+	for _, ifp := range l.ifaces {
+		out = append(out, ifp)
+	}
+	return out
+}
+
+// Register installs a transport protocol in the protocol switch.
+func (l *Layer) Register(p uint8, in proto.TransportInput, ctl proto.CtlInput) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if in != nil {
+		l.protos[p] = in
+	}
+	if ctl != nil {
+		l.ctls[p] = ctl
+	}
+}
+
+// Ctl looks up a transport's control-input entry (used by icmp6 to
+// deliver errors upward).
+func (l *Layer) Ctl(p uint8) proto.CtlInput {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ctls[p]
+}
+
+// Routes returns the routing table.
+func (l *Layer) Routes() *route.Table { return l.routes }
+
+//
+// Multicast group membership.
+//
+
+// JoinGroup joins an IPv6 multicast group on an interface, programming
+// the link-layer filter and notifying the group-membership protocol.
+func (l *Layer) JoinGroup(ifName string, group inet.IP6) error {
+	l.mu.Lock()
+	ifp := l.ifaces[ifName]
+	if ifp == nil {
+		l.mu.Unlock()
+		return fmt.Errorf("ipv6: no interface %q", ifName)
+	}
+	g := l.groups[ifName]
+	if g == nil {
+		g = make(map[inet.IP6]int)
+		l.groups[ifName] = g
+	}
+	g[group]++
+	first := g[group] == 1
+	cb := l.OnGroupChange
+	l.mu.Unlock()
+	if first {
+		ifp.JoinGroup(inet.EthernetMulticast(group))
+		if cb != nil {
+			cb(ifName, group, true)
+		}
+	}
+	return nil
+}
+
+// LeaveGroup drops one membership reference.
+func (l *Layer) LeaveGroup(ifName string, group inet.IP6) {
+	l.mu.Lock()
+	ifp := l.ifaces[ifName]
+	g := l.groups[ifName]
+	last := false
+	if g != nil && g[group] > 0 {
+		g[group]--
+		if g[group] == 0 {
+			delete(g, group)
+			last = true
+		}
+	}
+	cb := l.OnGroupChange
+	l.mu.Unlock()
+	if last && ifp != nil {
+		ifp.LeaveGroup(inet.EthernetMulticast(group))
+		if cb != nil {
+			cb(ifName, group, false)
+		}
+	}
+}
+
+// InGroup reports whether the node is a member of group on the
+// interface (all-nodes is an implicit membership).
+func (l *Layer) InGroup(ifName string, group inet.IP6) bool {
+	if group == inet.AllNodes {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if g := l.groups[ifName]; g != nil {
+		return g[group] > 0
+	}
+	return false
+}
+
+// Groups lists the groups joined on an interface.
+func (l *Layer) Groups(ifName string) []inet.IP6 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []inet.IP6
+	for g := range l.groups[ifName] {
+		out = append(out, g)
+	}
+	return out
+}
+
+// isLocal reports whether dst is one of this node's unicast addresses.
+func (l *Layer) isLocal(dst inet.IP6) bool {
+	if dst.IsLoopback() {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ifp := range l.ifaces {
+		if ifp.HasAddr6(dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// SourceFor selects a source address for reaching dst, implementing
+// scope matching: link-local destinations get link-local sources,
+// global destinations prefer non-deprecated addresses sharing the
+// longest prefix (address lifetimes steer traffic away from
+// deprecated prefixes during renumbering, §4.2.2).
+func (l *Layer) SourceFor(dst inet.IP6, ifp *netif.Interface) (inet.IP6, bool) {
+	now := l.routes.Now()
+	wantLinkLocal := dst.IsLinkLocal() || dst.IsLinkLocalMulticast()
+	var best inet.IP6
+	bestScore := -1
+	consider := func(cand netif.Addr6) {
+		if !cand.Usable(now) {
+			return
+		}
+		isLL := cand.Addr.IsLinkLocal()
+		if wantLinkLocal != isLL {
+			return
+		}
+		score := 0
+		for i := 0; i < 128; i++ {
+			if !inet.MatchPrefix(cand.Addr, dst, i+1) {
+				break
+			}
+			score = i + 1
+		}
+		score *= 2
+		if !cand.Deprecated(now) {
+			score++ // prefer preferred addresses at equal prefix match
+		}
+		if score > bestScore {
+			bestScore, best = score, cand.Addr
+		}
+	}
+	if ifp != nil {
+		for _, a := range ifp.Addrs6() {
+			consider(a)
+		}
+	} else {
+		l.mu.Lock()
+		ifaces := make([]*netif.Interface, 0, len(l.ifaces))
+		for _, i := range l.ifaces {
+			ifaces = append(ifaces, i)
+		}
+		l.mu.Unlock()
+		for _, i := range ifaces {
+			for _, a := range i.Addrs6() {
+				consider(a)
+			}
+		}
+	}
+	if bestScore < 0 {
+		return inet.IP6{}, false
+	}
+	return best, true
+}
+
+// ensureHostRoute returns a host route for dst so there is a place to
+// store the path MTU: "Host routes are automatically created for IP
+// communications originating on the local machine" (§2.2).
+func (l *Layer) ensureHostRoute(dst inet.IP6) (*route.Entry, bool) {
+	rt, ok := l.routes.Lookup(inet.AFInet6, dst[:])
+	if !ok {
+		return nil, false
+	}
+	var host bool
+	var gw any
+	var flags, mtu int
+	l.routes.View(func() {
+		host = rt.Host()
+		gw, flags, mtu = rt.Gateway, rt.Flags, rt.MTU
+	})
+	if host {
+		return rt, true
+	}
+	clone := &route.Entry{
+		Family:  inet.AFInet6,
+		Dst:     append([]byte(nil), dst[:]...),
+		Plen:    128,
+		Gateway: gw,
+		Flags:   route.FlagUp | route.FlagHost | route.FlagDynamic | (flags & (route.FlagGateway | route.FlagLLInfo)),
+		IfName:  rt.IfName,
+		MTU:     mtu,
+	}
+	l.routes.Add(clone)
+	return clone, true
+}
+
+// entryFlags reads a route entry's flags under the table lock.
+func (l *Layer) entryFlags(rt *route.Entry) int {
+	var f int
+	l.routes.View(func() { f = rt.Flags })
+	return f
+}
+
+// entryMTU reads a route entry's MTU under the table lock.
+func (l *Layer) entryMTU(rt *route.Entry) int {
+	var m int
+	l.routes.View(func() { m = rt.MTU })
+	return m
+}
+
+func (l *Layer) nextFragID() uint32 {
+	l.mu.Lock()
+	l.fragID++
+	id := l.fragID
+	l.mu.Unlock()
+	return id
+}
+
+//
+// Output path (ipv6_output).
+//
+
+// extChain is the marshalled extension headers plus patch bookkeeping.
+type extChain struct {
+	unfrag      []byte // hop-by-hop + routing: stays with every fragment
+	unfragPatch int    // offset in unfrag of the next-header byte to patch, -1 if none
+	firstNH     uint8  // next-header value for the base header
+	unfragNH    uint8  // next-header the unfrag part currently points to
+}
+
+// buildExt assembles the extension chain for opts, with payloadNH the
+// protocol of the payload. Destination options join the fragmentable
+// part and are returned separately (prepended to the payload).
+func buildExt(opts *OutputOpts, payloadNH uint8) (extChain, []byte, uint8) {
+	c := extChain{firstNH: payloadNH, unfragPatch: -1, unfragNH: payloadNH}
+	fragNH := payloadNH
+	var fragPart []byte
+	if len(opts.DstOptsList) > 0 {
+		fragPart = MarshalOptions(payloadNH, opts.DstOptsList)
+		fragNH = proto.DstOpts
+	}
+	// Unfragmentable, built outside-in: hop-by-hop then routing.
+	next := fragNH
+	var routing []byte
+	if len(opts.RoutingAddrs) > 0 {
+		rh := &RoutingHeader{NextHdr: next, SegLeft: len(opts.RoutingAddrs), Addrs: opts.RoutingAddrs, StrictBits: opts.RoutingStrict}
+		routing = rh.Marshal(nil)
+		next = proto.Routing
+	}
+	var hbh []byte
+	if len(opts.HopOpts) > 0 {
+		hbh = MarshalOptions(next, opts.HopOpts)
+		next = proto.HopByHop
+	}
+	c.unfrag = append(hbh, routing...)
+	c.firstNH = next
+	if len(c.unfrag) > 0 {
+		// The next-header byte of the *last* unfrag header points at
+		// the fragmentable part; remember it for fragment patching.
+		if len(routing) > 0 {
+			c.unfragPatch = len(hbh)
+		} else {
+			c.unfragPatch = 0
+		}
+		c.unfragNH = fragNH
+	}
+	return c, fragPart, fragNH
+}
+
+// Output sends an upper-layer packet: select source, find (or create)
+// the host route, attach extension headers, run the security output
+// policy, fragment end-to-end if needed, resolve the neighbor, and
+// transmit (§2.2, §3.3).
+func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP6, nh uint8, opts OutputOpts) error {
+	l.Stats.OutRequests.Inc()
+	hops := opts.HopLimit
+	if hops == 0 {
+		hops = l.DefaultHopLimit
+	}
+	if dst.IsMulticast() && opts.HopLimit == 0 {
+		hops = 1 // link-local scope by default
+	}
+
+	var ifp *netif.Interface
+	var rt *route.Entry
+	var loopLocal bool
+	switch {
+	case l.isLocal(dst):
+		loopLocal = true
+	case dst.IsMulticast(), opts.IfName != "":
+		name := opts.IfName
+		if name == "" {
+			// Multicast with no pinned interface: use any non-loopback.
+			l.mu.Lock()
+			for _, cand := range l.ifaces {
+				if !cand.Loopback() && cand.Up() {
+					name = cand.Name
+					break
+				}
+			}
+			l.mu.Unlock()
+		}
+		ifp = l.Interface(name)
+		if ifp == nil {
+			l.Stats.OutNoRoute.Inc()
+			return ErrNoRoute
+		}
+		if !dst.IsMulticast() {
+			// Unicast pinned to an interface still needs a neighbor
+			// route for ND.
+			var ok bool
+			rt, ok = l.ensureHostRoute(dst)
+			if !ok {
+				rt = l.routes.Add(&route.Entry{
+					Family: inet.AFInet6, Dst: append([]byte(nil), dst[:]...), Plen: 128,
+					Flags: route.FlagUp | route.FlagHost | route.FlagLLInfo | route.FlagDynamic, IfName: ifp.Name,
+				})
+			}
+		}
+	default:
+		var ok bool
+		rt, ok = l.ensureHostRoute(dst)
+		if !ok {
+			l.Stats.OutNoRoute.Inc()
+			return ErrNoRoute
+		}
+		if l.entryFlags(rt)&route.FlagReject != 0 {
+			l.Stats.OutNoRoute.Inc()
+			return ErrReject
+		}
+		ifp = l.Interface(rt.IfName)
+		if ifp == nil {
+			l.Stats.OutNoRoute.Inc()
+			return ErrNoRoute
+		}
+	}
+
+	if src.IsUnspecified() && !opts.UnspecSource {
+		if loopLocal {
+			src = dst
+		} else {
+			s, ok := l.SourceFor(dst, ifp)
+			if !ok {
+				return ErrNoSrc
+			}
+			src = s
+		}
+	}
+
+	// Assemble extension headers.
+	chain, fragPart, fragNH := buildExt(&opts, nh)
+	if len(fragPart) > 0 {
+		pkt.Prepend(fragPart)
+	}
+
+	hdr := &Header{FlowInfo: opts.FlowInfo, NextHdr: chain.firstNH, HopLimit: hops, Src: src, Dst: dst}
+
+	// Security output processing, "immediately before IP fragmentation
+	// is performed" (§3.3). The hook wraps the fragmentable part.
+	effFragNH := fragNH
+	secWrapped := false
+	if l.SecOut != nil && !opts.NoSecurity {
+		wrapped, newNH, err := l.SecOut(hdr, pkt, fragNH, opts.Socket)
+		if err != nil {
+			l.Stats.OutDrops.Inc()
+			return err
+		}
+		secWrapped = newNH != fragNH
+		pkt = wrapped
+		effFragNH = newNH
+		if len(chain.unfrag) == 0 {
+			hdr.NextHdr = newNH
+		} else {
+			chain.unfrag[chain.unfragPatch] = newNH
+			chain.unfragNH = newNH
+		}
+		if hdr.Dst != dst {
+			// Tunnel mode readdressed the outer header to a security
+			// gateway: route toward it instead.
+			dst = hdr.Dst
+			loopLocal = l.isLocal(dst)
+			if !loopLocal && !dst.IsMulticast() {
+				var ok bool
+				rt, ok = l.ensureHostRoute(dst)
+				if !ok {
+					l.Stats.OutNoRoute.Inc()
+					return ErrNoRoute
+				}
+				ifp = l.Interface(rt.IfName)
+				if ifp == nil {
+					l.Stats.OutNoRoute.Inc()
+					return ErrNoRoute
+				}
+			}
+		}
+	} else if len(chain.unfrag) == 0 {
+		hdr.NextHdr = effFragNH
+	}
+
+	mtu := MinMTU
+	if loopLocal {
+		l.mu.Lock()
+		if l.lo != nil {
+			mtu = l.lo.MTU()
+		}
+		l.mu.Unlock()
+	} else {
+		mtu = ifp.MTU()
+		if rt != nil {
+			if rtMTU := l.entryMTU(rt); rtMTU != 0 && rtMTU < mtu {
+				mtu = rtMTU
+			}
+		}
+	}
+
+	total := HeaderLen + len(chain.unfrag) + pkt.Len()
+	if total-HeaderLen > 65535 {
+		// The payload length field is 16 bits; without jumbograms
+		// nothing larger is expressible (even reassembled).
+		return ErrMsgSize
+	}
+	if total <= mtu {
+		hdr.PayloadLen = len(chain.unfrag) + pkt.Len()
+		if len(chain.unfrag) > 0 {
+			pkt.Prepend(chain.unfrag)
+		}
+		pkt.Prepend(hdr.Marshal(nil))
+		if loopLocal {
+			return l.loop(pkt)
+		}
+		return l.transmit(ifp, rt, dst, pkt)
+	}
+	if opts.NoFrag && !secWrapped {
+		return ErrMsgSize
+	}
+	// End-to-end fragmentation (§2.2: IPv6 has no intermediate
+	// fragmentation; sources fragment when even the path MTU is too
+	// small, e.g. large hop-by-hop option loads).  Security-wrapped
+	// packets may fragment even for TCP: AH/ESP are applied
+	// "immediately before any fragmentation" (§3.3), and the transport
+	// cannot see the wrapping overhead.
+	return l.fragmentOut(ifp, rt, hdr, chain, effFragNH, pkt, mtu, loopLocal)
+}
+
+func (l *Layer) fragmentOut(ifp *netif.Interface, rt *route.Entry, hdr *Header, chain extChain, fragNH uint8, pkt *mbuf.Mbuf, mtu int, loopLocal bool) error {
+	id := l.nextFragID()
+	// Point the chain at the fragment header.
+	if len(chain.unfrag) > 0 {
+		chain.unfrag[chain.unfragPatch] = proto.Fragment
+	} else {
+		hdr.NextHdr = proto.Fragment
+	}
+	chunk := (mtu - HeaderLen - len(chain.unfrag) - FragHeaderLen) &^ 7
+	if chunk <= 0 {
+		return ErrMsgSize
+	}
+	payload := pkt.Bytes()
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		fh := FragHeader{NextHdr: fragNH, Off: off, More: end < len(payload), ID: id}
+		fm := mbuf.New(payload[off:end])
+		fm.Hdr().Flags |= mbuf.MFrag
+		fm.Prepend(fh.Marshal(nil))
+		if len(chain.unfrag) > 0 {
+			fm.Prepend(chain.unfrag)
+		}
+		fhdr := *hdr
+		fhdr.PayloadLen = fm.Len()
+		fm.Prepend(fhdr.Marshal(nil))
+		l.Stats.OutFrags.Inc()
+		var err error
+		if loopLocal {
+			err = l.loop(fm)
+		} else {
+			err = l.transmit(ifp, rt, hdr.Dst, fm)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loop delivers a packet to ourselves through loopback.
+func (l *Layer) loop(pkt *mbuf.Mbuf) error {
+	l.mu.Lock()
+	lo := l.lo
+	l.mu.Unlock()
+	if lo == nil {
+		return ErrNoRoute
+	}
+	return lo.Output(inet.LinkAddr{}, netif.EtherTypeIPv6, pkt)
+}
+
+// transmit resolves the link-layer destination and hands the packet to
+// the interface.
+func (l *Layer) transmit(ifp *netif.Interface, rt *route.Entry, dst inet.IP6, pkt *mbuf.Mbuf) error {
+	if dst.IsMulticast() {
+		return ifp.Output(inet.EthernetMulticast(dst), netif.EtherTypeIPv6, pkt)
+	}
+	nextHop := dst
+	var flags int
+	var gw any
+	if rt != nil {
+		l.routes.View(func() { flags, gw = rt.Flags, rt.Gateway })
+	}
+	if rt != nil && flags&route.FlagGateway != 0 {
+		gwAddr, ok := gw.(inet.IP6)
+		if !ok {
+			return ErrNoRoute
+		}
+		nextHop = gwAddr
+		grt, ok := l.routes.Lookup(inet.AFInet6, gwAddr[:])
+		if !ok {
+			l.Stats.OutNoRoute.Inc()
+			return ErrNoRoute
+		}
+		rt = grt
+		l.routes.View(func() { flags, gw = rt.Flags, rt.Gateway })
+	}
+	if rt != nil && flags&route.FlagReject != 0 {
+		l.Stats.OutNoRoute.Inc()
+		return ErrReject
+	}
+	// Fast case: the neighbor route already holds a link-layer address.
+	if rt != nil {
+		if mac, ok := gw.(inet.LinkAddr); ok && flags&route.FlagLLInfo != 0 && l.Resolve == nil {
+			return ifp.Output(mac, netif.EtherTypeIPv6, pkt)
+		}
+	}
+	if l.Resolve == nil {
+		return ErrNoRoute
+	}
+	mac, ok := l.Resolve(ifp, rt, nextHop, pkt)
+	if !ok {
+		return nil // queued on the neighbor entry
+	}
+	return ifp.Output(mac, netif.EtherTypeIPv6, pkt)
+}
+
+//
+// Input path (ipv6_input / preparse, §2.2).
+//
+
+const maxReinject = 8 // bound on reassembly/decryption reprocessing
+
+// Input is the per-packet entry from the network interfaces.
+func (l *Layer) Input(ifp *netif.Interface, pkt *mbuf.Mbuf) {
+	l.Stats.InReceives.Inc()
+	l.input(ifp, pkt, 0)
+}
+
+func (l *Layer) input(ifp *netif.Interface, pkt *mbuf.Mbuf, depth int) {
+	if depth > maxReinject {
+		l.Stats.InHdrErrors.Inc()
+		return
+	}
+	b := pkt.PullUp(HeaderLen)
+	if b == nil {
+		l.Stats.InHdrErrors.Inc()
+		return
+	}
+	h, err := Parse(b)
+	if err != nil {
+		l.Stats.InHdrErrors.Inc()
+		return
+	}
+	if pkt.Len() < HeaderLen+h.PayloadLen {
+		l.Stats.InTruncated.Inc()
+		return
+	}
+	if pkt.Len() > HeaderLen+h.PayloadLen {
+		pkt.Adj(HeaderLen + h.PayloadLen - pkt.Len()) // trim link padding
+	}
+
+	// Destination check: one of ours (unicast) or a group we belong to.
+	local := l.isLocal(h.Dst)
+	if !local && h.Dst.IsMulticast() {
+		// All-nodes is implicit; solicited-node and other groups are
+		// joined explicitly (ND joins one per configured address,
+		// §4.3).  Forwarding routers in all-multicast mode see every
+		// group's traffic so membership Reports reach them (§4.1).
+		local = l.InGroup(ifp.Name, h.Dst) ||
+			(l.Forwarding && ifp.Flags()&netif.FlagAllMulti != 0)
+	}
+	if !local {
+		if l.Forwarding && !h.Dst.IsMulticast() {
+			l.forward(ifp, h, pkt)
+			return
+		}
+		l.Stats.InAddrErrors.Inc()
+		return
+	}
+	l.process(ifp, h, pkt, depth)
+}
+
+// process runs the pre-parse and the header walk for a locally
+// destined packet.
+func (l *Layer) process(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, depth int) {
+	b := pkt.Bytes()
+	if l.FastPath && !IsExt(h.NextHdr) {
+		l.Stats.FastPathHits.Inc()
+		l.dispatch(ifp, h, pkt, h.NextHdr, HeaderLen, depth)
+		return
+	}
+	l.Stats.PreparseRuns.Inc()
+	info, err := Preparse(b, false)
+	if err != nil {
+		if _, isOptErr := err.(*OptionError); !isOptErr {
+			l.Stats.InHdrErrors.Inc()
+			if l.Error != nil && info != nil && info.Truncated {
+				l.Error(ErrParamProblem, ParamErrHeader, uint32(info.FinalOff), pkt, ifp.Name)
+			}
+			return
+		}
+	}
+
+	for i, rec := range info.Ext {
+		switch rec.Proto {
+		case proto.HopByHop:
+			if i != 0 {
+				l.paramProblem(ifp, pkt, ParamErrHeader, uint32(rec.Offset))
+				return
+			}
+			if !l.processOptions(ifp, h, pkt, rec) {
+				return
+			}
+		case proto.DstOpts:
+			if !l.processOptions(ifp, h, pkt, rec) {
+				return
+			}
+		case proto.Routing:
+			done, cont := l.processRouting(ifp, h, pkt, rec)
+			if done {
+				return
+			}
+			_ = cont
+		case proto.Fragment:
+			l.processFragment(ifp, h, pkt, rec, depth)
+			return
+		case proto.AH:
+			if l.SecIn == nil {
+				l.Stats.InUnknownProt.Inc()
+				l.paramProblem(ifp, pkt, ParamUnknownNH, uint32(rec.Offset))
+				return
+			}
+			action, _ := l.SecIn(pkt, h, proto.AH, rec.Offset)
+			if action == SecDrop {
+				return
+			}
+		}
+	}
+
+	l.dispatch(ifp, h, pkt, info.Final, info.FinalOff, depth)
+}
+
+// dispatch hands the upper-layer data to the protocol switch.
+func (l *Layer) dispatch(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, final uint8, off int, depth int) {
+	switch final {
+	case proto.NoNext:
+		return
+	case proto.ESP:
+		if l.SecIn == nil {
+			l.Stats.InUnknownProt.Inc()
+			l.paramProblem(ifp, pkt, ParamUnknownNH, uint32(off))
+			return
+		}
+		action, replacement := l.SecIn(pkt, h, proto.ESP, off)
+		if action != SecReinject || replacement == nil {
+			return
+		}
+		// Decrypted transport content or tunneled inner datagram:
+		// reprocess from the top ("After security input processing is
+		// completed, the normal input processing resumes", §3.4).
+		l.input(ifp, replacement, depth+1)
+		return
+	}
+	meta := &proto.Meta{
+		Family: inet.AFInet6,
+		Src6:   h.Src, Dst6: h.Dst,
+		Proto: final, Hops: h.HopLimit, FlowInfo: h.FlowInfo, RcvIf: ifp.Name,
+	}
+	l.mu.Lock()
+	in := l.protos[final]
+	l.mu.Unlock()
+	if in == nil {
+		l.Stats.InUnknownProt.Inc()
+		l.paramProblem(ifp, pkt, ParamUnknownNH, uint32(off))
+		return
+	}
+	l.Stats.InDelivers.Inc()
+	pkt.Adj(off)
+	in(pkt, meta)
+}
+
+// processOptions parses a hop-by-hop or destination options header and
+// applies the unknown-option action bits.
+func (l *Layer) processOptions(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, rec HeaderRec) bool {
+	b := pkt.Bytes()
+	body := b[rec.Offset+2 : rec.Offset+rec.Len]
+	_, err := ParseOptions(body, nil)
+	if err == nil {
+		return true
+	}
+	l.Stats.InOptErrors.Inc()
+	if oe, ok := err.(*OptionError); ok {
+		switch oe.Action {
+		case OptActDiscard:
+		case OptActDiscardICMP:
+			l.paramProblem(ifp, pkt, ParamUnknownOpt, uint32(rec.Offset+oe.Offset))
+		case OptActDiscardMcst:
+			if !h.Dst.IsMulticast() {
+				l.paramProblem(ifp, pkt, ParamUnknownOpt, uint32(rec.Offset+oe.Offset))
+			}
+		}
+		return false
+	}
+	l.paramProblem(ifp, pkt, ParamErrHeader, uint32(rec.Offset))
+	return false
+}
+
+// processRouting handles a type-0 routing header addressed to us:
+// swap in the next hop and re-emit (§4.1 mentions strict-source-route
+// errors; we reject strict hops that are not neighbors).
+func (l *Layer) processRouting(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, rec HeaderRec) (done, cont bool) {
+	l.Stats.RouteHdrSeen.Inc()
+	b := pkt.Bytes()
+	rh, err := ParseRouting(b[rec.Offset : rec.Offset+rec.Len])
+	if err != nil {
+		l.Stats.InHdrErrors.Inc()
+		l.paramProblem(ifp, pkt, ParamErrHeader, uint32(rec.Offset))
+		return true, false
+	}
+	if rh.SegLeft == 0 {
+		return false, true // fully traversed; continue to the payload
+	}
+	i := len(rh.Addrs) - rh.SegLeft
+	next := rh.Addrs[i]
+	if next.IsMulticast() {
+		l.paramProblem(ifp, pkt, ParamErrHeader, uint32(rec.Offset))
+		return true, false
+	}
+	// Swap dst and the current segment, decrement segments-left.
+	segOff := rec.Offset + 8 + 16*i
+	copy(b[segOff:segOff+16], h.Dst[:])
+	copy(b[24:40], next[:])
+	b[rec.Offset+3] = byte(rh.SegLeft - 1)
+	if b[7] <= 1 {
+		l.sendErr(ErrTimeExceeded, 0, 0, pkt, ifp.Name)
+		return true, false
+	}
+	b[7]--
+	// Re-route toward the new destination.
+	rt, ok := l.ensureHostRoute(next)
+	if !ok {
+		l.sendErr(ErrDstUnreach, 0, 0, pkt, ifp.Name)
+		return true, false
+	}
+	// Strict hops must be on-link neighbors: a set strict bit with a
+	// next hop reachable only through a gateway is the "errors with
+	// strict source routing" case of §4.1 (Unreachable, not-a-neighbor).
+	if rh.StrictBits&(1<<uint(i)) != 0 && l.entryFlags(rt)&route.FlagGateway != 0 {
+		l.sendErr(ErrDstUnreach, 2 /* not a neighbor */, 0, pkt, ifp.Name)
+		return true, false
+	}
+	oifp := l.Interface(rt.IfName)
+	if oifp == nil {
+		l.Stats.OutNoRoute.Inc()
+		return true, false
+	}
+	if err := l.transmit(oifp, rt, next, pkt); err != nil {
+		l.Stats.OutDrops.Inc()
+	}
+	return true, false
+}
+
+// processFragment feeds the reassembly queue; a completed datagram is
+// rebuilt and reprocessed.
+func (l *Layer) processFragment(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, rec HeaderRec, depth int) {
+	l.Stats.FragsReceived.Inc()
+	b := pkt.Bytes()
+	fh, err := ParseFrag(b[rec.Offset : rec.Offset+rec.Len])
+	if err != nil {
+		l.Stats.InHdrErrors.Inc()
+		return
+	}
+	key := fragKey{src: h.Src, dst: h.Dst, id: fh.ID}
+	frag := b[rec.Offset+FragHeaderLen:]
+	l.mu.Lock()
+	data, done, err := l.frags.Add(key, l.routes.Now(), fh.Off, fh.More, frag)
+	l.mu.Unlock()
+	if err != nil {
+		l.Stats.ReasmFails.Inc()
+		return
+	}
+	if !done {
+		return
+	}
+	l.Stats.Reassembled.Inc()
+	// Rebuild: headers up to (not including) the fragment header, the
+	// preceding next-header pointer patched, then the assembled data.
+	prefix := append([]byte(nil), b[:rec.Offset]...)
+	if rec.Offset == HeaderLen {
+		prefix[6] = fh.NextHdr
+	} else {
+		// The previous extension header's first byte is its
+		// next-header field; find it by rescanning.
+		info, _ := Preparse(b, false)
+		for _, r := range info.Ext {
+			if r.Offset+r.Len == rec.Offset {
+				prefix[r.Offset] = fh.NextHdr
+				break
+			}
+		}
+	}
+	plen := len(prefix) - HeaderLen + len(data)
+	prefix[4], prefix[5] = byte(plen>>8), byte(plen)
+	whole := mbuf.NewNoCopy(append(prefix, data...))
+	whole.Hdr().Flags = pkt.Hdr().Flags &^ mbuf.MFrag
+	whole.Hdr().RcvIf = ifp.Name
+	l.input(ifp, whole, depth+1)
+}
+
+// forward is the router path: hop-limit decrement and retransmission.
+// Note what is *not* here relative to IPv4's forward(): no checksum
+// recomputation and no fragmentation — an over-MTU packet elicits
+// Packet Too Big for the source's PMTU discovery (§2.1, §2.2).
+func (l *Layer) forward(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
+	b := pkt.Bytes()
+	if h.HopLimit <= 1 {
+		l.sendErr(ErrTimeExceeded, 0, 0, pkt, ifp.Name)
+		return
+	}
+	// Routers process hop-by-hop options when present (§2.1).
+	if h.NextHdr == proto.HopByHop {
+		n := extHeaderLen(proto.HopByHop, b[HeaderLen:])
+		if n < 0 || HeaderLen+n > len(b) {
+			l.Stats.InHdrErrors.Inc()
+			return
+		}
+		if !l.processOptions(ifp, h, pkt, HeaderRec{Proto: proto.HopByHop, Offset: HeaderLen, Len: n}) {
+			return
+		}
+	}
+	rt, ok := l.routes.Lookup(inet.AFInet6, h.Dst[:])
+	if !ok || l.entryFlags(rt)&route.FlagReject != 0 {
+		l.Stats.OutNoRoute.Inc()
+		l.sendErr(ErrDstUnreach, 0, 0, pkt, ifp.Name)
+		return
+	}
+	oifp := l.Interface(rt.IfName)
+	if oifp == nil {
+		l.Stats.OutNoRoute.Inc()
+		return
+	}
+	mtu := oifp.MTU()
+	if pkt.Len() > mtu {
+		l.sendErr(ErrPacketTooBig, 0, uint32(mtu), pkt, ifp.Name)
+		return
+	}
+	b[7]-- // hop limit; no checksum to fix up afterwards
+	l.Stats.Forwarded.Inc()
+	if err := l.transmit(oifp, rt, h.Dst, pkt); err != nil {
+		l.Stats.OutDrops.Inc()
+	}
+}
+
+func (l *Layer) paramProblem(ifp *netif.Interface, pkt *mbuf.Mbuf, code uint8, ptr uint32) {
+	l.sendErr(ErrParamProblem, code, ptr, pkt, ifp.Name)
+}
+
+func (l *Layer) sendErr(kind int, code uint8, param uint32, orig *mbuf.Mbuf, rcvIf string) {
+	if l.Error != nil {
+		l.Error(kind, code, param, orig, rcvIf)
+	}
+}
+
+// SlowTimo drives periodic work (reassembly expiry). Per the paper's
+// footnote, no Time Exceeded can be sent for reassembly timeouts: the
+// offending packet is no longer available for transmission.
+func (l *Layer) SlowTimo(now time.Time) {
+	l.mu.Lock()
+	n := l.frags.Expire(now)
+	l.Stats.ReasmFails.Add(uint64(n))
+	l.mu.Unlock()
+}

@@ -1,0 +1,518 @@
+// Package key implements the Key Engine (§3.1) and the PF_KEY key
+// management socket (§6.2).
+//
+// "Security associations are stored in a table inside the kernel.  A
+// module called the Key Engine controls access to the table."  Kernel
+// services (the IPsec module) obtain associations for inbound packets
+// by SPI (getassocbyspi) and for outbound packets by socket/destination
+// (getassocbysocket).  User-level key management — whether an automatic
+// daemon like Photuris or the manual key(8) tool — talks to the engine
+// over PF_KEY, a message interface modeled on the routing socket, so
+// that "the key management system [is] completely decoupled from the IP
+// security implementation" and can be replaced by installing a new
+// daemon, with no kernel rebuild.
+package key
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/stat"
+)
+
+// SecProto identifies which security service an association keys.
+type SecProto int
+
+const (
+	ProtoAH SecProto = iota + 1
+	ProtoESPTransport
+	ProtoESPTunnel
+)
+
+func (p SecProto) String() string {
+	switch p {
+	case ProtoAH:
+		return "ah"
+	case ProtoESPTransport:
+		return "esp-transport"
+	case ProtoESPTunnel:
+		return "esp-tunnel"
+	}
+	return "secproto?"
+}
+
+// SA is a Security Association: "all of the configuration data for a
+// particular secure session between two or more systems" (§3.1).
+// Associations are one-way from source to destination (so a telnet
+// session needs two) in order to support multicast as well as unicast.
+type SA struct {
+	SPI      uint32
+	Src, Dst inet.IP6
+	Proto    SecProto
+
+	// Algorithm selectors index the algorithm switches in the ipsec
+	// package (§3.6).
+	AuthAlg string
+	AuthKey []byte
+	EncAlg  string
+	EncKey  []byte
+
+	// Sensitivity is the session's level (e.g. Unclassified, Secret).
+	Sensitivity string
+
+	// SelDst/SelPlen form a destination selector for tunnel-mode
+	// associations whose other end is a security *gateway*: traffic to
+	// any address under the selector prefix is wrapped and carried to
+	// Dst (the gateway), which decapsulates and forwards.  Zero SelPlen
+	// means the association only matches traffic to Dst itself
+	// (host-to-host tunnels).
+	SelDst  inet.IP6
+	SelPlen int
+
+	// Unique associations belong to a single socket (security level 3,
+	// §6.1: "outbound packets use a security association unique to this
+	// socket").
+	Unique bool
+	Socket any
+
+	// Lifetimes. Soft expiry asks key management for a replacement;
+	// hard expiry removes the association. Zero means no limit.
+	AddedAt  time.Time
+	SoftLife time.Duration
+	HardLife time.Duration
+
+	// Usage counters.
+	UseCount  uint64
+	ByteCount uint64
+
+	softSent bool // soft-expire notification already emitted
+}
+
+func (sa *SA) String() string {
+	return fmt.Sprintf("SA{spi=%#x %s %s->%s auth=%s enc=%s}", sa.SPI, sa.Proto, sa.Src, sa.Dst, sa.AuthAlg, sa.EncAlg)
+}
+
+// Errors from the Key Engine.
+var (
+	ErrNoAssoc = errors.New("key: no security association")
+	// ErrAcquireDelayed reports that no association exists but a key
+	// management daemon has been asked for one (§3.3: "the Key Engine
+	// sends a Request message to that daemon and informs the output
+	// policy function that the Security Association has been delayed").
+	ErrAcquireDelayed = errors.New("key: security association delayed (acquire sent)")
+	ErrExists         = errors.New("key: association already exists")
+)
+
+// Engine is the in-kernel Security Association table plus the PF_KEY
+// plumbing.
+type Engine struct {
+	mu    sync.Mutex
+	sas   map[saKey]*SA
+	socks []*Socket
+	acq   map[acqKey]time.Time // outstanding acquires, rate-limited
+	seq   uint32
+
+	// Now is the clock; tests may replace it.
+	Now func() time.Time
+	// AcquireWindow suppresses duplicate ACQUIREs for a destination.
+	AcquireWindow time.Duration
+
+	Stats Stats
+}
+
+// Stats counts Key Engine events.
+type Stats struct {
+	Adds        stat.Counter
+	Deletes     stat.Counter
+	Lookups     stat.Counter
+	Misses      stat.Counter
+	Acquires    stat.Counter
+	SoftExpires stat.Counter
+	HardExpires stat.Counter
+}
+
+type saKey struct {
+	spi   uint32
+	dst   inet.IP6
+	proto SecProto
+}
+
+type acqKey struct {
+	dst   inet.IP6
+	proto SecProto
+}
+
+// NewEngine returns an empty Key Engine.
+func NewEngine() *Engine {
+	return &Engine{
+		sas:           make(map[saKey]*SA),
+		acq:           make(map[acqKey]time.Time),
+		Now:           time.Now,
+		AcquireWindow: 10 * time.Second,
+	}
+}
+
+// Add installs an association. An existing (SPI, dst, proto) entry is
+// an error; use Update to replace keys.
+func (e *Engine) Add(sa *SA) error {
+	if sa.SPI == 0 {
+		return errors.New("key: SPI 0 is reserved")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := saKey{sa.SPI, sa.Dst, sa.Proto}
+	if _, ok := e.sas[k]; ok {
+		return ErrExists
+	}
+	if sa.AddedAt.IsZero() {
+		sa.AddedAt = e.Now()
+	}
+	e.sas[k] = sa
+	e.Stats.Adds.Inc()
+	delete(e.acq, acqKey{sa.Dst, sa.Proto}) // acquire satisfied
+	e.notifyLocked(Message{Type: MsgAdd, SA: sa})
+	return nil
+}
+
+// Update replaces an existing association's keys/lifetimes.
+func (e *Engine) Update(sa *SA) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := saKey{sa.SPI, sa.Dst, sa.Proto}
+	if _, ok := e.sas[k]; !ok {
+		return ErrNoAssoc
+	}
+	if sa.AddedAt.IsZero() {
+		sa.AddedAt = e.Now()
+	}
+	e.sas[k] = sa
+	e.notifyLocked(Message{Type: MsgUpdate, SA: sa})
+	return nil
+}
+
+// Delete removes an association.
+func (e *Engine) Delete(spi uint32, dst inet.IP6, proto SecProto) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := saKey{spi, dst, proto}
+	sa, ok := e.sas[k]
+	if !ok {
+		return ErrNoAssoc
+	}
+	delete(e.sas, k)
+	e.Stats.Deletes.Inc()
+	e.notifyLocked(Message{Type: MsgDelete, SA: sa})
+	return nil
+}
+
+// Flush removes every association.
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sas = make(map[saKey]*SA)
+	e.notifyLocked(Message{Type: MsgFlush})
+}
+
+// Dump returns a snapshot of all associations.
+func (e *Engine) Dump() []*SA {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*SA, 0, len(e.sas))
+	for _, sa := range e.sas {
+		out = append(out, sa)
+	}
+	return out
+}
+
+// expired reports hard expiry (association unusable).
+func (e *Engine) expired(sa *SA, now time.Time) bool {
+	return sa.HardLife != 0 && now.After(sa.AddedAt.Add(sa.HardLife))
+}
+
+// GetBySPI is getassocbyspi (§3.4): locate the association for an
+// inbound packet from the SPI in its cleartext header.
+func (e *Engine) GetBySPI(spi uint32, dst inet.IP6, proto SecProto) (*SA, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.Stats.Lookups.Inc()
+	sa, ok := e.sas[saKey{spi, dst, proto}]
+	if !ok || e.expired(sa, e.Now()) {
+		e.Stats.Misses.Inc()
+		return nil, false
+	}
+	sa.UseCount++
+	return sa, true
+}
+
+// GetBySocket is getassocbysocket (§3.3): locate an outbound
+// association for (src, dst, service). When wantUnique is set (level
+// 3) only an association bound to socket qualifies; otherwise shared
+// (host-oriented) associations are used, preferring a socket-bound one
+// if present.  With no association, an ACQUIRE is sent to registered
+// key management and ErrAcquireDelayed returned; with no key
+// management at all, ErrNoAssoc (which surfaces to the user as
+// EIPSEC).
+func (e *Engine) GetBySocket(src, dst inet.IP6, proto SecProto, socket any, wantUnique bool) (*SA, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.Stats.Lookups.Inc()
+	now := e.Now()
+	var shared, bound *SA
+	for _, sa := range e.sas {
+		if sa.Proto != proto || e.expired(sa, now) {
+			continue
+		}
+		// Direct match on the association's destination, or — for
+		// gateway tunnels — on the destination selector prefix.
+		if sa.Dst != dst {
+			if !(proto == ProtoESPTunnel && sa.SelPlen > 0 && inet.MatchPrefix(dst, sa.SelDst, sa.SelPlen)) {
+				continue
+			}
+		}
+		if !sa.Src.IsUnspecified() && !src.IsUnspecified() && sa.Src != src {
+			continue
+		}
+		if sa.Unique {
+			if sa.Socket == socket && socket != nil {
+				bound = sa
+			}
+			continue
+		}
+		if shared == nil {
+			shared = sa
+		}
+	}
+	pick := bound
+	if pick == nil && !wantUnique {
+		pick = shared
+	}
+	if pick != nil {
+		pick.UseCount++
+		return pick, nil
+	}
+	e.Stats.Misses.Inc()
+	// No association: ask key management if anyone is listening.
+	if e.anyRegisteredLocked() {
+		k := acqKey{dst, proto}
+		if now.Sub(e.acq[k]) >= e.AcquireWindow {
+			e.acq[k] = now
+			e.Stats.Acquires.Inc()
+			e.seq++
+			e.notifyRegisteredLocked(Message{
+				Type: MsgAcquire, Seq: e.seq,
+				SA: &SA{Src: src, Dst: dst, Proto: proto, Unique: wantUnique, Socket: socket},
+			})
+		}
+		return nil, ErrAcquireDelayed
+	}
+	return nil, ErrNoAssoc
+}
+
+// CountBytes charges traffic against an association's lifetime.
+func (e *Engine) CountBytes(sa *SA, n int) {
+	e.mu.Lock()
+	sa.ByteCount += uint64(n)
+	e.mu.Unlock()
+}
+
+// SlowTimo expires associations: soft expiry notifies key management
+// so a replacement can be negotiated before the hard cutoff removes
+// the association.
+func (e *Engine) SlowTimo(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k, sa := range e.sas {
+		if sa.HardLife != 0 && now.After(sa.AddedAt.Add(sa.HardLife)) {
+			delete(e.sas, k)
+			e.Stats.HardExpires.Inc()
+			e.notifyRegisteredLocked(Message{Type: MsgExpire, SA: sa, Hard: true})
+			continue
+		}
+		if sa.SoftLife != 0 && !sa.softSent && now.After(sa.AddedAt.Add(sa.SoftLife)) {
+			sa.softSent = true
+			e.Stats.SoftExpires.Inc()
+			e.notifyRegisteredLocked(Message{Type: MsgExpire, SA: sa, Hard: false})
+		}
+	}
+}
+
+//
+// PF_KEY socket.
+//
+
+// MsgType enumerates PF_KEY message types.
+type MsgType int
+
+const (
+	MsgAdd MsgType = iota + 1
+	MsgUpdate
+	MsgDelete
+	MsgGet
+	MsgAcquire  // kernel -> daemon: need an association
+	MsgRegister // daemon -> kernel: I manage keys
+	MsgExpire   // kernel -> daemon: association (soft/hard) expired
+	MsgFlush
+	MsgDump
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgAdd:
+		return "SADB_ADD"
+	case MsgUpdate:
+		return "SADB_UPDATE"
+	case MsgDelete:
+		return "SADB_DELETE"
+	case MsgGet:
+		return "SADB_GET"
+	case MsgAcquire:
+		return "SADB_ACQUIRE"
+	case MsgRegister:
+		return "SADB_REGISTER"
+	case MsgExpire:
+		return "SADB_EXPIRE"
+	case MsgFlush:
+		return "SADB_FLUSH"
+	case MsgDump:
+		return "SADB_DUMP"
+	}
+	return "SADB_?"
+}
+
+// Message is one PF_KEY message.
+type Message struct {
+	Type MsgType
+	Seq  uint32
+	SA   *SA
+	Hard bool  // for MsgExpire
+	Err  error // set on replies when the operation failed
+	Dump []*SA // for MsgDump replies
+}
+
+// Socket is an open PF_KEY socket. Like the routing socket it carries
+// both synchronous request/reply traffic and asynchronous
+// notifications (ACQUIRE, EXPIRE).
+type Socket struct {
+	e          *Engine
+	mu         sync.Mutex
+	registered bool
+	closed     bool
+	// C delivers kernel-originated messages (acquires, expires, and
+	// echoes of table changes).
+	C chan Message
+}
+
+// Open creates a PF_KEY socket on the engine.
+func (e *Engine) Open() *Socket {
+	s := &Socket{e: e, C: make(chan Message, 64)}
+	e.mu.Lock()
+	e.socks = append(e.socks, s)
+	e.mu.Unlock()
+	return s
+}
+
+// Close detaches the socket.
+func (s *Socket) Close() {
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
+	for i, x := range s.e.socks {
+		if x == s {
+			s.e.socks = append(s.e.socks[:i], s.e.socks[i+1:]...)
+			break
+		}
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.C) // senders check closed under s.mu before sending
+	}
+	s.mu.Unlock()
+}
+
+// Register marks this socket as a key management endpoint: it will
+// receive ACQUIRE and EXPIRE messages.
+func (s *Socket) Register() {
+	s.mu.Lock()
+	s.registered = true
+	s.mu.Unlock()
+}
+
+// Send submits a request message and returns the reply synchronously
+// (PF_KEY write(2) followed by read(2) of the echo).
+func (s *Socket) Send(m Message) Message {
+	switch m.Type {
+	case MsgAdd:
+		return Message{Type: MsgAdd, SA: m.SA, Err: s.e.Add(m.SA)}
+	case MsgUpdate:
+		return Message{Type: MsgUpdate, SA: m.SA, Err: s.e.Update(m.SA)}
+	case MsgDelete:
+		if m.SA == nil {
+			return Message{Type: MsgDelete, Err: ErrNoAssoc}
+		}
+		return Message{Type: MsgDelete, SA: m.SA, Err: s.e.Delete(m.SA.SPI, m.SA.Dst, m.SA.Proto)}
+	case MsgGet:
+		if m.SA == nil {
+			return Message{Type: MsgGet, Err: ErrNoAssoc}
+		}
+		sa, ok := s.e.GetBySPI(m.SA.SPI, m.SA.Dst, m.SA.Proto)
+		if !ok {
+			return Message{Type: MsgGet, Err: ErrNoAssoc}
+		}
+		return Message{Type: MsgGet, SA: sa}
+	case MsgRegister:
+		s.Register()
+		return Message{Type: MsgRegister}
+	case MsgFlush:
+		s.e.Flush()
+		return Message{Type: MsgFlush}
+	case MsgDump:
+		return Message{Type: MsgDump, Dump: s.e.Dump()}
+	}
+	return Message{Type: m.Type, Err: fmt.Errorf("key: unsupported message %v", m.Type)}
+}
+
+// anyRegisteredLocked reports whether a key management daemon is
+// listening. Caller holds e.mu.
+func (e *Engine) anyRegisteredLocked() bool {
+	for _, s := range e.socks {
+		s.mu.Lock()
+		r := s.registered && !s.closed
+		s.mu.Unlock()
+		if r {
+			return true
+		}
+	}
+	return false
+}
+
+// notifyLocked echoes table changes to every PF_KEY socket (as the
+// routing socket echoes route changes). Caller holds e.mu.
+func (e *Engine) notifyLocked(m Message) {
+	for _, s := range e.socks {
+		s.mu.Lock()
+		if !s.closed {
+			select {
+			case s.C <- m:
+			default:
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// notifyRegisteredLocked delivers to registered (daemon) sockets only.
+func (e *Engine) notifyRegisteredLocked(m Message) {
+	for _, s := range e.socks {
+		s.mu.Lock()
+		if s.registered && !s.closed {
+			select {
+			case s.C <- m:
+			default:
+			}
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,333 @@
+// Package mbuf implements BSD-style packet data chains.
+//
+// 4.4 BSD carries every packet through the kernel as a chain of "mbufs":
+// fixed-size buffers linked by m_next, with the first mbuf of a packet
+// carrying a packet header (m_pkthdr) that records the total length, the
+// receiving interface, and per-packet flags.  The NRL IPv6 work extended
+// the packet header in two ways this package reproduces:
+//
+//   - two new flags, M_AUTHENTIC and M_DECRYPTED, set by IP security
+//     input processing when a packet passes Authentication Header or ESP
+//     processing (and cleared again if the tunnel source-address checks
+//     fail), and
+//   - a back pointer from the packet to the sending socket, so that
+//     ipsec_output_policy() can read the socket's requested security
+//     level while the packet is already deep in the output path.
+//
+// A Mbuf here is a chain of segments rather than 128-byte clusters; what
+// matters for the reproduction is the chain structure (headers are
+// prepended as separate segments, PullUp linearizes on demand) and the
+// packet-header metadata, not the allocator geometry.
+package mbuf
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Packet flags carried in the packet header. MAuthentic and MDecrypted
+// are the NRL additions described in the paper's §3.4.
+const (
+	MBcast     = 1 << iota // received as a link-level broadcast
+	MMcast                 // received as a link-level multicast
+	MAuthentic             // packet passed AH authentication processing
+	MDecrypted             // packet passed ESP decryption processing
+	MLoop                  // looped back (sent and received on loopback)
+	MFrag                  // packet is a fragment of a larger datagram
+)
+
+// PktHdr is the per-packet header present on the first mbuf of a chain
+// (BSD's m_pkthdr).
+type PktHdr struct {
+	Len    int    // total length of the chain
+	RcvIf  string // name of the receiving interface, "" on output
+	Flags  int    // MBcast, MMcast, MAuthentic, MDecrypted, ...
+	Socket any    // back pointer to the sending socket (NRL addition)
+
+	// AuxSPI records the SPIs of security associations already applied
+	// to this packet on input, so the transport-layer policy check can
+	// tell *which* associations protected the data.
+	AuxSPI []uint32
+}
+
+// segment is one buffer in the chain (an mbuf without a packet header).
+type segment struct {
+	data []byte
+	next *segment
+}
+
+// Mbuf is a packet: a chain of data segments plus a packet header.
+// The zero value is an empty packet.
+type Mbuf struct {
+	hdr  PktHdr
+	head *segment
+	tail *segment
+}
+
+// New builds a packet holding a copy of data.
+func New(data []byte) *Mbuf {
+	m := &Mbuf{}
+	m.Append(data)
+	return m
+}
+
+// NewNoCopy builds a packet that takes ownership of data without copying.
+// The caller must not modify data afterwards.
+func NewNoCopy(data []byte) *Mbuf {
+	m := &Mbuf{}
+	if len(data) > 0 {
+		seg := &segment{data: data}
+		m.head, m.tail = seg, seg
+		m.hdr.Len = len(data)
+	}
+	return m
+}
+
+// Hdr returns the packet header for inspection and modification.
+func (m *Mbuf) Hdr() *PktHdr { return &m.hdr }
+
+// Len returns the total number of bytes in the chain.
+func (m *Mbuf) Len() int { return m.hdr.Len }
+
+// Segments returns the number of segments in the chain.
+func (m *Mbuf) Segments() int {
+	n := 0
+	for s := m.head; s != nil; s = s.next {
+		n++
+	}
+	return n
+}
+
+// Append adds a copy of data at the tail of the chain.
+func (m *Mbuf) Append(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	seg := &segment{data: append([]byte(nil), data...)}
+	if m.tail == nil {
+		m.head, m.tail = seg, seg
+	} else {
+		m.tail.next = seg
+		m.tail = seg
+	}
+	m.hdr.Len += len(data)
+}
+
+// Prepend adds a copy of data at the head of the chain.  This is how
+// each protocol layer contributes its header on the output path
+// (BSD's M_PREPEND).
+func (m *Mbuf) Prepend(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	seg := &segment{data: append([]byte(nil), data...), next: m.head}
+	m.head = seg
+	if m.tail == nil {
+		m.tail = seg
+	}
+	m.hdr.Len += len(data)
+}
+
+// Cat appends the segments of n to m, transferring ownership. n must not
+// be used afterwards. Packet-header flags of n are ORed into m.
+func (m *Mbuf) Cat(n *Mbuf) {
+	if n == nil || n.head == nil {
+		return
+	}
+	if m.tail == nil {
+		m.head, m.tail = n.head, n.tail
+	} else {
+		m.tail.next = n.head
+		m.tail = n.tail
+	}
+	m.hdr.Len += n.hdr.Len
+	m.hdr.Flags |= n.hdr.Flags
+	n.head, n.tail, n.hdr.Len = nil, nil, 0
+}
+
+// PullUp guarantees that the first n bytes of the packet are contiguous
+// in the first segment and returns them. It returns nil if the packet is
+// shorter than n. This is BSD's m_pullup: protocol input routines call
+// it before overlaying header structures on the data.
+func (m *Mbuf) PullUp(n int) []byte {
+	if n < 0 || n > m.hdr.Len {
+		return nil
+	}
+	if n == 0 {
+		return []byte{}
+	}
+	if len(m.head.data) >= n {
+		return m.head.data[:n]
+	}
+	// Coalesce segments until the first holds >= n bytes.
+	buf := make([]byte, 0, n)
+	s := m.head
+	for s != nil && len(buf) < n {
+		buf = append(buf, s.data...)
+		s = s.next
+	}
+	first := &segment{data: buf, next: s}
+	m.head = first
+	if s == nil {
+		m.tail = first
+	}
+	return m.head.data[:n]
+}
+
+// Bytes linearizes the whole chain into a single contiguous slice and
+// returns it. After Bytes the chain has one segment; the returned slice
+// aliases it, so callers may modify packet contents in place.
+func (m *Mbuf) Bytes() []byte {
+	if m.head == nil {
+		return []byte{}
+	}
+	if m.head.next == nil {
+		return m.head.data
+	}
+	return m.PullUp(m.hdr.Len)
+}
+
+// CopyBytes returns a copy of the packet contents without altering the
+// chain structure.
+func (m *Mbuf) CopyBytes() []byte {
+	buf := make([]byte, 0, m.hdr.Len)
+	for s := m.head; s != nil; s = s.next {
+		buf = append(buf, s.data...)
+	}
+	return buf
+}
+
+// Copy returns a deep copy of the packet, including the packet header.
+func (m *Mbuf) Copy() *Mbuf {
+	n := &Mbuf{hdr: m.hdr}
+	n.hdr.AuxSPI = append([]uint32(nil), m.hdr.AuxSPI...)
+	n.hdr.Len = 0
+	for s := m.head; s != nil; s = s.next {
+		n.Append(s.data)
+	}
+	return n
+}
+
+// Adj trims bytes from the packet, as BSD's m_adj: positive n trims from
+// the front, negative n trims -n bytes from the back. Trimming more than
+// the packet holds empties it.
+func (m *Mbuf) Adj(n int) {
+	if n >= 0 {
+		if n >= m.hdr.Len {
+			m.head, m.tail, m.hdr.Len = nil, nil, 0
+			return
+		}
+		m.hdr.Len -= n
+		for n > 0 {
+			if len(m.head.data) > n {
+				m.head.data = m.head.data[n:]
+				return
+			}
+			n -= len(m.head.data)
+			m.head = m.head.next
+		}
+		if m.head == nil {
+			m.tail = nil
+		}
+		return
+	}
+	drop := -n
+	if drop >= m.hdr.Len {
+		m.head, m.tail, m.hdr.Len = nil, nil, 0
+		return
+	}
+	keep := m.hdr.Len - drop
+	m.hdr.Len = keep
+	s := m.head
+	for keep > len(s.data) {
+		keep -= len(s.data)
+		s = s.next
+	}
+	s.data = s.data[:keep]
+	s.next = nil
+	m.tail = s
+}
+
+// Split severs the packet at offset off, returning a new packet holding
+// everything from off onward. The receiver keeps the first off bytes and
+// the packet header; the tail packet gets a copy of the header with its
+// length fixed up (BSD's m_split). Returns nil if off is out of range.
+func (m *Mbuf) Split(off int) *Mbuf {
+	if off < 0 || off > m.hdr.Len {
+		return nil
+	}
+	tailLen := m.hdr.Len - off
+	t := &Mbuf{hdr: m.hdr}
+	t.hdr.AuxSPI = append([]uint32(nil), m.hdr.AuxSPI...)
+	t.hdr.Len = 0
+	if tailLen == 0 {
+		return t
+	}
+	// Walk to the split point.
+	s := m.head
+	rem := off
+	for s != nil && rem >= len(s.data) {
+		rem -= len(s.data)
+		s = s.next
+	}
+	if rem > 0 { // split lands inside segment s
+		t.Append(s.data[rem:])
+		s.data = s.data[:rem]
+		for n := s.next; n != nil; n = n.next {
+			t.Append(n.data)
+		}
+		s.next = nil
+		m.tail = s
+	} else { // split lands exactly on a segment boundary before s
+		for n := s; n != nil; n = n.next {
+			t.Append(n.data)
+		}
+		if off == 0 {
+			m.head, m.tail = nil, nil
+		} else {
+			p := m.head
+			for p.next != s {
+				p = p.next
+			}
+			p.next = nil
+			m.tail = p
+		}
+	}
+	m.hdr.Len = off
+	return t
+}
+
+// CopyRange copies n bytes starting at offset off into a fresh slice.
+// It returns nil if the range is out of bounds (BSD's m_copydata).
+func (m *Mbuf) CopyRange(off, n int) []byte {
+	if off < 0 || n < 0 || off+n > m.hdr.Len {
+		return nil
+	}
+	out := make([]byte, 0, n)
+	s := m.head
+	for s != nil && off >= len(s.data) {
+		off -= len(s.data)
+		s = s.next
+	}
+	for s != nil && n > 0 {
+		chunk := s.data[off:]
+		if len(chunk) > n {
+			chunk = chunk[:n]
+		}
+		out = append(out, chunk...)
+		n -= len(chunk)
+		off = 0
+		s = s.next
+	}
+	return out
+}
+
+// Equal reports whether two packets carry identical byte contents.
+func Equal(a, b *Mbuf) bool {
+	return a.Len() == b.Len() && bytes.Equal(a.CopyBytes(), b.CopyBytes())
+}
+
+// String summarizes the chain for diagnostics.
+func (m *Mbuf) String() string {
+	return fmt.Sprintf("mbuf{len=%d segs=%d flags=%#x}", m.hdr.Len, m.Segments(), m.hdr.Flags)
+}

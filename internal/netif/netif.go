@@ -1,0 +1,542 @@
+// Package netif implements network interfaces and the simulated links
+// that connect stacks.
+//
+// This is the substitution boundary of the reproduction: where the NRL
+// implementation sat on real Ethernet drivers in SPARC and i486
+// machines, we provide an in-process Hub that moves link-layer frames
+// between attached interfaces.  Everything above the frame boundary —
+// MTUs, link-layer addressing, multicast filtering, and the interface
+// address lists — behaves as the paper requires:
+//
+//   - every IPv6 interface carries a link-local address before any
+//     other address (§4.2.1), formed from the interface token;
+//   - IPv6 interface addresses carry lifetime fields to support the
+//     rapid renumbering that provider-oriented addressing needs
+//     (§4.2.2);
+//   - interfaces maintain multicast group memberships, because IPv6
+//     replaces every use of broadcast with multicast (§4.3) and
+//     neighbor discovery depends on solicited-node group filtering.
+//
+// The Hub supports latency and loss injection so integration tests can
+// exercise retransmission and reassembly-timeout paths.
+package netif
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/mbuf"
+)
+
+// EtherTypes for the two IP versions.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeIPv6 = 0x86dd
+)
+
+// Broadcast is the all-ones link address (IPv4's link broadcast; IPv6
+// never uses it).
+var Broadcast = inet.LinkAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// Frame is a link-layer frame.
+type Frame struct {
+	Src, Dst  inet.LinkAddr
+	EtherType uint16
+	Payload   *mbuf.Mbuf
+}
+
+// Interface flags.
+const (
+	FlagUp = 1 << iota
+	FlagLoopback
+	FlagMulticast
+	FlagPromisc
+	FlagAllMulti // accept all multicast frames (router/MLD mode)
+	FlagRouter   // interface belongs to a router (advertises, forwards)
+)
+
+// Addr6 is an IPv6 interface address with the lifetime fields the NRL
+// implementation added to support renumbering (§4.2.2), and the
+// tentative/duplicated state used by duplicate address detection.
+type Addr6 struct {
+	Addr inet.IP6
+	Plen int
+
+	// Autoconf marks addresses formed by stateless autoconfiguration.
+	Autoconf bool
+	// Tentative is set while duplicate address detection is running.
+	Tentative bool
+	// Duplicated is set if DAD found a collision; the address must not
+	// be used.
+	Duplicated bool
+
+	// Created is when the address was configured.
+	Created time.Time
+	// PreferredLft / ValidLft are the address lifetimes; zero means
+	// infinite.  An address past its preferred lifetime is deprecated
+	// (not chosen as a source); past its valid lifetime it is removed.
+	PreferredLft time.Duration
+	ValidLft     time.Duration
+}
+
+// Deprecated reports whether the address is past its preferred lifetime.
+func (a *Addr6) Deprecated(now time.Time) bool {
+	return a.PreferredLft != 0 && now.After(a.Created.Add(a.PreferredLft))
+}
+
+// Invalid reports whether the address is past its valid lifetime.
+func (a *Addr6) Invalid(now time.Time) bool {
+	return a.ValidLft != 0 && now.After(a.Created.Add(a.ValidLft))
+}
+
+// Usable reports whether the address may be used as a source.
+func (a *Addr6) Usable(now time.Time) bool {
+	return !a.Tentative && !a.Duplicated && !a.Invalid(now)
+}
+
+// Addr4 is an IPv4 interface address.
+type Addr4 struct {
+	Addr inet.IP4
+	Plen int
+}
+
+// Stats counts interface traffic.
+type Stats struct {
+	InPackets  uint64
+	OutPackets uint64
+	InBytes    uint64
+	OutBytes   uint64
+	InDrops    uint64 // frames dropped by the MAC filter or down interface
+	OutErrors  uint64
+}
+
+// InputFunc receives a frame accepted by the interface filter. It runs
+// on the sender's goroutine (or the hub's delay goroutine); stacks
+// should enqueue to their input queue rather than process inline.
+type InputFunc func(ifp *Interface, fr Frame)
+
+// Interface is a network interface (BSD's struct ifnet plus its
+// address list).
+type Interface struct {
+	Name string
+	HW   inet.LinkAddr
+
+	mu     sync.Mutex
+	mtu    int
+	flags  int
+	v4     []Addr4
+	v6     []Addr6
+	groups map[inet.LinkAddr]int // multicast MAC filter, refcounted
+	input  InputFunc
+	output func(Frame) error
+	stats  Stats
+}
+
+// New creates an interface with the given name, MAC and MTU.
+func New(name string, hw inet.LinkAddr, mtu int) *Interface {
+	return &Interface{
+		Name:   name,
+		HW:     hw,
+		mtu:    mtu,
+		flags:  FlagMulticast,
+		groups: make(map[inet.LinkAddr]int),
+	}
+}
+
+// NewLoopback creates a loopback interface: frames sent are delivered
+// back to the input function with the MLoop flag set.
+func NewLoopback(name string, mtu int) *Interface {
+	ifp := New(name, inet.LinkAddr{}, mtu)
+	ifp.flags |= FlagLoopback | FlagUp
+	ifp.output = func(fr Frame) error {
+		fr.Payload.Hdr().Flags |= mbuf.MLoop
+		ifp.deliver(fr, true)
+		return nil
+	}
+	return ifp
+}
+
+// MTU returns the interface MTU.
+func (ifp *Interface) MTU() int {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	return ifp.mtu
+}
+
+// SetMTU changes the interface MTU (router advertisements can suggest
+// one on variable-MTU links, §4.2.2).
+func (ifp *Interface) SetMTU(mtu int) {
+	ifp.mu.Lock()
+	ifp.mtu = mtu
+	ifp.mu.Unlock()
+}
+
+// Flags returns the interface flags.
+func (ifp *Interface) Flags() int {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	return ifp.flags
+}
+
+// SetFlags sets (on=true) or clears the given flag bits.
+func (ifp *Interface) SetFlags(bits int, on bool) {
+	ifp.mu.Lock()
+	if on {
+		ifp.flags |= bits
+	} else {
+		ifp.flags &^= bits
+	}
+	ifp.mu.Unlock()
+}
+
+// Up reports whether the interface is up.
+func (ifp *Interface) Up() bool { return ifp.Flags()&FlagUp != 0 }
+
+// Loopback reports whether the interface is a loopback.
+func (ifp *Interface) Loopback() bool { return ifp.Flags()&FlagLoopback != 0 }
+
+// SetInput installs the frame input handler (the stack's "driver
+// interrupt" entry).
+func (ifp *Interface) SetInput(fn InputFunc) {
+	ifp.mu.Lock()
+	ifp.input = fn
+	ifp.mu.Unlock()
+}
+
+// Stats returns a copy of the interface counters.
+func (ifp *Interface) Stats() Stats {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	return ifp.stats
+}
+
+//
+// Address list management (what ifconfig(8) manipulates, §4.2).
+//
+
+// AddAddr6 adds an IPv6 address. Per §4.2.1, the first address placed
+// on an interface must be a link-local address; AddAddr6 enforces that
+// ordering (as the NRL ifconfig did by convention).
+func (ifp *Interface) AddAddr6(a Addr6) error {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	if len(ifp.v6) == 0 && !a.Addr.IsLinkLocal() && ifp.flags&FlagLoopback == 0 {
+		return errors.New("netif: first IPv6 address on an interface must be link-local")
+	}
+	for _, old := range ifp.v6 {
+		if old.Addr == a.Addr {
+			return fmt.Errorf("netif: address %v already configured", a.Addr)
+		}
+	}
+	ifp.v6 = append(ifp.v6, a)
+	return nil
+}
+
+// RemoveAddr6 removes an IPv6 address.
+func (ifp *Interface) RemoveAddr6(addr inet.IP6) bool {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	for i, a := range ifp.v6 {
+		if a.Addr == addr {
+			ifp.v6 = append(ifp.v6[:i], ifp.v6[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// UpdateAddr6 applies fn to the address record for addr, returning
+// false if it is not configured. Used by DAD (tentative→usable or
+// duplicated) and by RA processing (lifetime refresh).
+func (ifp *Interface) UpdateAddr6(addr inet.IP6, fn func(*Addr6)) bool {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	for i := range ifp.v6 {
+		if ifp.v6[i].Addr == addr {
+			fn(&ifp.v6[i])
+			return true
+		}
+	}
+	return false
+}
+
+// Addrs6 returns a snapshot of the IPv6 address list.
+func (ifp *Interface) Addrs6() []Addr6 {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	return append([]Addr6(nil), ifp.v6...)
+}
+
+// HasAddr6 reports whether addr is configured (and not duplicated).
+func (ifp *Interface) HasAddr6(addr inet.IP6) bool {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	for _, a := range ifp.v6 {
+		if a.Addr == addr && !a.Duplicated {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkLocal6 returns the interface's usable link-local address.
+func (ifp *Interface) LinkLocal6(now time.Time) (inet.IP6, bool) {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	for i := range ifp.v6 {
+		if ifp.v6[i].Addr.IsLinkLocal() && ifp.v6[i].Usable(now) {
+			return ifp.v6[i].Addr, true
+		}
+	}
+	return inet.IP6{}, false
+}
+
+// ExpireAddrs6 removes addresses past their valid lifetime and returns
+// the removed addresses (the renumbering mechanism of §4.2.2).
+func (ifp *Interface) ExpireAddrs6(now time.Time) []inet.IP6 {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	var removed []inet.IP6
+	kept := ifp.v6[:0]
+	for _, a := range ifp.v6 {
+		if a.Invalid(now) {
+			removed = append(removed, a.Addr)
+		} else {
+			kept = append(kept, a)
+		}
+	}
+	ifp.v6 = kept
+	return removed
+}
+
+// AddAddr4 adds an IPv4 address.
+func (ifp *Interface) AddAddr4(a Addr4) {
+	ifp.mu.Lock()
+	ifp.v4 = append(ifp.v4, a)
+	ifp.mu.Unlock()
+}
+
+// Addrs4 returns a snapshot of the IPv4 address list.
+func (ifp *Interface) Addrs4() []Addr4 {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	return append([]Addr4(nil), ifp.v4...)
+}
+
+// HasAddr4 reports whether addr is configured.
+func (ifp *Interface) HasAddr4(addr inet.IP4) bool {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	for _, a := range ifp.v4 {
+		if a.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+//
+// Multicast filter.
+//
+
+// JoinGroup adds a link-layer multicast address to the receive filter
+// (refcounted, like BSD's if_addmulti).
+func (ifp *Interface) JoinGroup(mac inet.LinkAddr) {
+	ifp.mu.Lock()
+	ifp.groups[mac]++
+	ifp.mu.Unlock()
+}
+
+// LeaveGroup drops one reference on a multicast filter entry.
+func (ifp *Interface) LeaveGroup(mac inet.LinkAddr) {
+	ifp.mu.Lock()
+	if n := ifp.groups[mac]; n > 1 {
+		ifp.groups[mac] = n - 1
+	} else {
+		delete(ifp.groups, mac)
+	}
+	ifp.mu.Unlock()
+}
+
+// InGroup reports whether the filter accepts the multicast address.
+func (ifp *Interface) InGroup(mac inet.LinkAddr) bool {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	return ifp.groups[mac] > 0
+}
+
+//
+// Frame I/O.
+//
+
+// ErrIfDown is returned when transmitting on a down interface.
+var ErrIfDown = errors.New("netif: interface is down")
+
+// ErrTooBig is returned when a frame payload exceeds the interface MTU;
+// IP must fragment (IPv4) or report Packet Too Big (IPv6 router).
+var ErrTooBig = errors.New("netif: frame exceeds interface MTU")
+
+// Output transmits an IP packet as a frame to the given link address.
+func (ifp *Interface) Output(dst inet.LinkAddr, etherType uint16, pkt *mbuf.Mbuf) error {
+	ifp.mu.Lock()
+	up := ifp.flags&FlagUp != 0
+	out := ifp.output
+	mtu := ifp.mtu
+	ifp.mu.Unlock()
+	if !up || out == nil {
+		ifp.mu.Lock()
+		ifp.stats.OutErrors++
+		ifp.mu.Unlock()
+		return ErrIfDown
+	}
+	if pkt.Len() > mtu {
+		ifp.mu.Lock()
+		ifp.stats.OutErrors++
+		ifp.mu.Unlock()
+		return ErrTooBig
+	}
+	ifp.mu.Lock()
+	ifp.stats.OutPackets++
+	ifp.stats.OutBytes += uint64(pkt.Len())
+	ifp.mu.Unlock()
+	return out(Frame{Src: ifp.HW, Dst: dst, EtherType: etherType, Payload: pkt})
+}
+
+// deliver runs the receive filter and hands accepted frames to the
+// input function. force bypasses the filter (loopback).
+func (ifp *Interface) deliver(fr Frame, force bool) {
+	ifp.mu.Lock()
+	up := ifp.flags&FlagUp != 0
+	in := ifp.input
+	accept := force || ifp.acceptLocked(fr.Dst)
+	if !up || in == nil || !accept {
+		ifp.stats.InDrops++
+		ifp.mu.Unlock()
+		return
+	}
+	ifp.stats.InPackets++
+	ifp.stats.InBytes += uint64(fr.Payload.Len())
+	ifp.mu.Unlock()
+
+	hdr := fr.Payload.Hdr()
+	hdr.RcvIf = ifp.Name
+	if fr.Dst == Broadcast {
+		hdr.Flags |= mbuf.MBcast
+	} else if fr.Dst[0]&1 != 0 { // link-layer multicast bit
+		hdr.Flags |= mbuf.MMcast
+	}
+	in(ifp, fr)
+}
+
+// acceptLocked is the MAC receive filter.
+func (ifp *Interface) acceptLocked(dst inet.LinkAddr) bool {
+	if ifp.flags&FlagPromisc != 0 {
+		return true
+	}
+	if dst == ifp.HW || dst == Broadcast {
+		return true
+	}
+	if dst[0]&1 != 0 { // multicast
+		return ifp.flags&FlagAllMulti != 0 || ifp.groups[dst] > 0
+	}
+	return false
+}
+
+//
+// The Hub: a shared-medium link connecting interfaces.
+//
+
+// Hub is a simulated Ethernet segment. Frames transmitted by one
+// attached interface are delivered to all others (subject to each
+// receiver's MAC filter), optionally after a fixed latency and with
+// random loss for failure injection.
+type Hub struct {
+	mu      sync.Mutex
+	ports   []*Interface
+	latency time.Duration
+	loss    float64
+	rng     *rand.Rand
+
+	// Capture, if set, observes every frame that traverses the hub
+	// (before loss), like a packet sniffer.
+	Capture func(Frame)
+}
+
+// NewHub creates a hub with no latency or loss.
+func NewHub() *Hub {
+	return &Hub{rng: rand.New(rand.NewSource(1))}
+}
+
+// SetImpairments configures delivery latency and a loss probability in
+// [0,1). seed makes the loss pattern reproducible.
+func (h *Hub) SetImpairments(latency time.Duration, loss float64, seed int64) {
+	h.mu.Lock()
+	h.latency = latency
+	h.loss = loss
+	h.rng = rand.New(rand.NewSource(seed))
+	h.mu.Unlock()
+}
+
+// Attach connects an interface to the hub and brings it up.
+func (h *Hub) Attach(ifp *Interface) {
+	h.mu.Lock()
+	h.ports = append(h.ports, ifp)
+	h.mu.Unlock()
+	ifp.mu.Lock()
+	ifp.output = func(fr Frame) error { return h.transmit(ifp, fr) }
+	ifp.flags |= FlagUp
+	ifp.mu.Unlock()
+}
+
+// Detach removes an interface from the hub.
+func (h *Hub) Detach(ifp *Interface) {
+	h.mu.Lock()
+	for i, p := range h.ports {
+		if p == ifp {
+			h.ports = append(h.ports[:i], h.ports[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+	ifp.mu.Lock()
+	ifp.output = nil
+	ifp.flags &^= FlagUp
+	ifp.mu.Unlock()
+}
+
+func (h *Hub) transmit(src *Interface, fr Frame) error {
+	h.mu.Lock()
+	if h.Capture != nil {
+		h.Capture(fr)
+	}
+	if h.loss > 0 && h.rng.Float64() < h.loss {
+		h.mu.Unlock()
+		return nil // the wire ate it; senders can't tell
+	}
+	ports := append([]*Interface(nil), h.ports...)
+	latency := h.latency
+	h.mu.Unlock()
+
+	deliver := func() {
+		for _, p := range ports {
+			if p == src {
+				continue
+			}
+			// Each receiver gets its own copy, as a real wire gives
+			// each NIC its own signal.
+			cp := fr
+			cp.Payload = fr.Payload.Copy()
+			p.deliver(cp, false)
+		}
+	}
+	if latency > 0 {
+		time.AfterFunc(latency, deliver)
+		return nil
+	}
+	deliver()
+	return nil
+}

@@ -1,0 +1,396 @@
+package netif
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/mbuf"
+)
+
+var (
+	macA = inet.LinkAddr{2, 0, 0, 0, 0, 0xa}
+	macB = inet.LinkAddr{2, 0, 0, 0, 0, 0xb}
+	macC = inet.LinkAddr{2, 0, 0, 0, 0, 0xc}
+)
+
+// collector records delivered frames.
+type collector struct {
+	mu     sync.Mutex
+	frames []Frame
+}
+
+func (c *collector) input(ifp *Interface, fr Frame) {
+	c.mu.Lock()
+	c.frames = append(c.frames, fr)
+	c.mu.Unlock()
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frames)
+}
+
+func twoOnHub(t *testing.T) (*Hub, *Interface, *Interface, *collector, *collector) {
+	t.Helper()
+	h := NewHub()
+	a := New("a0", macA, 1500)
+	b := New("b0", macB, 1500)
+	ca, cb := &collector{}, &collector{}
+	a.SetInput(ca.input)
+	b.SetInput(cb.input)
+	h.Attach(a)
+	h.Attach(b)
+	return h, a, b, ca, cb
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	_, a, _, ca, cb := twoOnHub(t)
+	pkt := mbuf.New([]byte("hello"))
+	if err := a.Output(macB, EtherTypeIPv6, pkt); err != nil {
+		t.Fatal(err)
+	}
+	if cb.count() != 1 {
+		t.Fatalf("b received %d frames", cb.count())
+	}
+	if ca.count() != 0 {
+		t.Fatal("sender received its own unicast")
+	}
+	fr := cb.frames[0]
+	if fr.Src != macA || fr.EtherType != EtherTypeIPv6 {
+		t.Fatalf("frame meta: %+v", fr)
+	}
+	if fr.Payload.Hdr().RcvIf != "b0" {
+		t.Fatalf("RcvIf = %q", fr.Payload.Hdr().RcvIf)
+	}
+	if fr.Payload.Hdr().Flags&(mbuf.MMcast|mbuf.MBcast) != 0 {
+		t.Fatal("unicast frame flagged multicast")
+	}
+}
+
+func TestUnicastFilteredByMAC(t *testing.T) {
+	h, a, _, _, cb := twoOnHub(t)
+	c := New("c0", macC, 1500)
+	cc := &collector{}
+	c.SetInput(cc.input)
+	h.Attach(c)
+	a.Output(macB, EtherTypeIPv6, mbuf.New([]byte("x")))
+	if cc.count() != 0 {
+		t.Fatal("frame for B delivered to C")
+	}
+	if cb.count() != 1 {
+		t.Fatal("frame for B not delivered")
+	}
+	if c.Stats().InDrops != 1 {
+		t.Fatalf("C drops = %d", c.Stats().InDrops)
+	}
+}
+
+func TestPromiscuousReceivesAll(t *testing.T) {
+	h, a, _, _, _ := twoOnHub(t)
+	c := New("c0", macC, 1500)
+	cc := &collector{}
+	c.SetInput(cc.input)
+	c.SetFlags(FlagPromisc, true)
+	h.Attach(c)
+	a.Output(macB, EtherTypeIPv6, mbuf.New([]byte("x")))
+	if cc.count() != 1 {
+		t.Fatal("promiscuous interface missed frame")
+	}
+}
+
+func TestMulticastFilter(t *testing.T) {
+	solicited := inet.SolicitedNode(inet.IP6{15: 7})
+	group := inet.EthernetMulticast(solicited)
+	_, a, b, _, cb := twoOnHub(t)
+	// Not joined: filtered.
+	a.Output(group, EtherTypeIPv6, mbuf.New([]byte("ns")))
+	if cb.count() != 0 {
+		t.Fatal("unjoined multicast delivered")
+	}
+	b.JoinGroup(group)
+	a.Output(group, EtherTypeIPv6, mbuf.New([]byte("ns")))
+	if cb.count() != 1 {
+		t.Fatal("joined multicast not delivered")
+	}
+	if cb.frames[0].Payload.Hdr().Flags&mbuf.MMcast == 0 {
+		t.Fatal("multicast flag not set")
+	}
+	// Refcounting: join twice, leave once, still member.
+	b.JoinGroup(group)
+	b.LeaveGroup(group)
+	if !b.InGroup(group) {
+		t.Fatal("refcounted leave removed membership early")
+	}
+	b.LeaveGroup(group)
+	if b.InGroup(group) {
+		t.Fatal("final leave did not remove membership")
+	}
+}
+
+func TestAllMultiAcceptsUnjoinedGroups(t *testing.T) {
+	_, a, b, _, cb := twoOnHub(t)
+	group := inet.EthernetMulticast(inet.SolicitedNode(inet.IP6{15: 0x42}))
+	a.Output(group, EtherTypeIPv6, mbuf.New([]byte("x")))
+	if cb.count() != 0 {
+		t.Fatal("unjoined multicast delivered without all-multi")
+	}
+	b.SetFlags(FlagAllMulti, true)
+	a.Output(group, EtherTypeIPv6, mbuf.New([]byte("x")))
+	if cb.count() != 1 {
+		t.Fatal("all-multi interface missed a multicast frame")
+	}
+	// All-multi is multicast-only: foreign unicast is still filtered.
+	a.Output(macC, EtherTypeIPv6, mbuf.New([]byte("x")))
+	if cb.count() != 1 {
+		t.Fatal("all-multi accepted foreign unicast")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	_, a, _, _, cb := twoOnHub(t)
+	a.Output(Broadcast, EtherTypeIPv4, mbuf.New([]byte("arp-ish")))
+	if cb.count() != 1 {
+		t.Fatal("broadcast not delivered")
+	}
+	if cb.frames[0].Payload.Hdr().Flags&mbuf.MBcast == 0 {
+		t.Fatal("broadcast flag not set")
+	}
+}
+
+func TestReceiverGetsOwnCopy(t *testing.T) {
+	h, a, b, _, cb := twoOnHub(t)
+	c := New("c0", macC, 1500)
+	cc := &collector{}
+	c.SetInput(cc.input)
+	c.SetFlags(FlagPromisc, true)
+	h.Attach(c)
+	b.SetFlags(FlagPromisc, true)
+	a.Output(Broadcast, EtherTypeIPv6, mbuf.New([]byte("abc")))
+	cb.frames[0].Payload.Bytes()[0] = 'X'
+	if string(cc.frames[0].Payload.CopyBytes()) != "abc" {
+		t.Fatal("receivers share payload storage")
+	}
+}
+
+func TestMTUEnforced(t *testing.T) {
+	_, a, _, _, _ := twoOnHub(t)
+	big := mbuf.New(make([]byte, 1501))
+	if err := a.Output(macB, EtherTypeIPv6, big); err != ErrTooBig {
+		t.Fatalf("err = %v, want ErrTooBig", err)
+	}
+	if a.Stats().OutErrors != 1 {
+		t.Fatal("OutErrors not counted")
+	}
+}
+
+func TestDownInterface(t *testing.T) {
+	_, a, b, _, cb := twoOnHub(t)
+	a.SetFlags(FlagUp, false)
+	if err := a.Output(macB, EtherTypeIPv6, mbuf.New([]byte("x"))); err != ErrIfDown {
+		t.Fatalf("err = %v, want ErrIfDown", err)
+	}
+	a.SetFlags(FlagUp, true)
+	b.SetFlags(FlagUp, false)
+	a.Output(macB, EtherTypeIPv6, mbuf.New([]byte("x")))
+	if cb.count() != 0 {
+		t.Fatal("down interface received")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	h, a, b, _, cb := twoOnHub(t)
+	h.Detach(b)
+	a.Output(macB, EtherTypeIPv6, mbuf.New([]byte("x")))
+	if cb.count() != 0 {
+		t.Fatal("detached interface received")
+	}
+	if err := b.Output(macA, EtherTypeIPv6, mbuf.New([]byte("x"))); err != ErrIfDown {
+		t.Fatal("detached interface transmitted")
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	lo := NewLoopback("lo0", 32768)
+	c := &collector{}
+	lo.SetInput(c.input)
+	pkt := mbuf.New([]byte("self"))
+	if err := lo.Output(inet.LinkAddr{}, EtherTypeIPv6, pkt); err != nil {
+		t.Fatal(err)
+	}
+	if c.count() != 1 {
+		t.Fatal("loopback did not deliver")
+	}
+	if c.frames[0].Payload.Hdr().Flags&mbuf.MLoop == 0 {
+		t.Fatal("MLoop not set")
+	}
+	if c.frames[0].Payload.Hdr().RcvIf != "lo0" {
+		t.Fatal("RcvIf not set on loopback")
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	h, a, _, _, cb := twoOnHub(t)
+	h.SetImpairments(0, 1.0, 42) // everything lost
+	for i := 0; i < 10; i++ {
+		a.Output(macB, EtherTypeIPv6, mbuf.New([]byte("x")))
+	}
+	if cb.count() != 0 {
+		t.Fatal("lossy hub delivered")
+	}
+	h.SetImpairments(0, 0.5, 42)
+	for i := 0; i < 200; i++ {
+		a.Output(macB, EtherTypeIPv6, mbuf.New([]byte("x")))
+	}
+	got := cb.count()
+	if got < 60 || got > 140 {
+		t.Fatalf("50%% loss delivered %d/200", got)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	h, a, _, _, cb := twoOnHub(t)
+	h.SetImpairments(5*time.Millisecond, 0, 1)
+	a.Output(macB, EtherTypeIPv6, mbuf.New([]byte("x")))
+	if cb.count() != 0 {
+		t.Fatal("latent frame arrived immediately")
+	}
+	deadline := time.Now().Add(time.Second)
+	for cb.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if cb.count() != 1 {
+		t.Fatal("latent frame never arrived")
+	}
+}
+
+func TestCapture(t *testing.T) {
+	h, a, _, _, _ := twoOnHub(t)
+	var captured int
+	h.Capture = func(Frame) { captured++ }
+	a.Output(macB, EtherTypeIPv6, mbuf.New([]byte("x")))
+	if captured != 1 {
+		t.Fatalf("captured %d", captured)
+	}
+}
+
+func TestAddr6LinkLocalFirst(t *testing.T) {
+	ifp := New("a0", macA, 1500)
+	global := Addr6{Addr: inet.IP6{0: 0x20, 1: 0x01, 15: 1}, Plen: 64}
+	if err := ifp.AddAddr6(global); err == nil {
+		t.Fatal("global address accepted before link-local")
+	}
+	ll := Addr6{Addr: inet.LinkLocal(macA.Token()), Plen: 64}
+	if err := ifp.AddAddr6(ll); err != nil {
+		t.Fatal(err)
+	}
+	if err := ifp.AddAddr6(global); err != nil {
+		t.Fatal(err)
+	}
+	if err := ifp.AddAddr6(ll); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+	if got, ok := ifp.LinkLocal6(time.Now()); !ok || got != ll.Addr {
+		t.Fatal("LinkLocal6")
+	}
+	if !ifp.HasAddr6(global.Addr) || ifp.HasAddr6(inet.IP6{15: 9}) {
+		t.Fatal("HasAddr6")
+	}
+	if !ifp.RemoveAddr6(global.Addr) || ifp.RemoveAddr6(global.Addr) {
+		t.Fatal("RemoveAddr6")
+	}
+}
+
+func TestAddrLifetimes(t *testing.T) {
+	now := time.Unix(5000, 0)
+	a := Addr6{
+		Addr: inet.IP6{15: 1}, Created: now,
+		PreferredLft: 10 * time.Second, ValidLft: 20 * time.Second,
+	}
+	if a.Deprecated(now.Add(5*time.Second)) || a.Invalid(now.Add(5*time.Second)) {
+		t.Fatal("fresh address flagged")
+	}
+	if !a.Deprecated(now.Add(15*time.Second)) || a.Invalid(now.Add(15*time.Second)) {
+		t.Fatal("deprecated window wrong")
+	}
+	if !a.Invalid(now.Add(25 * time.Second)) {
+		t.Fatal("invalid not reached")
+	}
+	inf := Addr6{Addr: inet.IP6{15: 2}, Created: now}
+	if inf.Deprecated(now.Add(time.Hour)) || inf.Invalid(now.Add(time.Hour)) {
+		t.Fatal("zero lifetime must mean infinite")
+	}
+}
+
+func TestAddrUsableStates(t *testing.T) {
+	now := time.Now()
+	a := Addr6{Addr: inet.IP6{15: 1}, Tentative: true}
+	if a.Usable(now) {
+		t.Fatal("tentative usable")
+	}
+	a.Tentative = false
+	a.Duplicated = true
+	if a.Usable(now) {
+		t.Fatal("duplicated usable")
+	}
+	a.Duplicated = false
+	if !a.Usable(now) {
+		t.Fatal("clean address unusable")
+	}
+}
+
+func TestExpireAddrs6(t *testing.T) {
+	ifp := New("a0", macA, 1500)
+	now := time.Unix(9000, 0)
+	ll := Addr6{Addr: inet.LinkLocal(macA.Token()), Plen: 64, Created: now}
+	short := Addr6{Addr: inet.IP6{0: 0x20, 15: 3}, Plen: 64, Created: now, ValidLft: time.Second}
+	ifp.AddAddr6(ll)
+	ifp.AddAddr6(short)
+	removed := ifp.ExpireAddrs6(now.Add(2 * time.Second))
+	if len(removed) != 1 || removed[0] != short.Addr {
+		t.Fatalf("removed %v", removed)
+	}
+	if !ifp.HasAddr6(ll.Addr) || ifp.HasAddr6(short.Addr) {
+		t.Fatal("wrong survivor")
+	}
+}
+
+func TestUpdateAddr6(t *testing.T) {
+	ifp := New("a0", macA, 1500)
+	ll := Addr6{Addr: inet.LinkLocal(macA.Token()), Plen: 64, Tentative: true}
+	ifp.AddAddr6(ll)
+	if !ifp.UpdateAddr6(ll.Addr, func(a *Addr6) { a.Tentative = false }) {
+		t.Fatal("UpdateAddr6 failed")
+	}
+	if ifp.Addrs6()[0].Tentative {
+		t.Fatal("update not applied")
+	}
+	if ifp.UpdateAddr6(inet.IP6{15: 99}, func(*Addr6) {}) {
+		t.Fatal("update of absent address succeeded")
+	}
+}
+
+func TestAddr4(t *testing.T) {
+	ifp := New("a0", macA, 1500)
+	ifp.AddAddr4(Addr4{Addr: inet.IP4{10, 0, 0, 1}, Plen: 24})
+	if !ifp.HasAddr4(inet.IP4{10, 0, 0, 1}) || ifp.HasAddr4(inet.IP4{10, 0, 0, 2}) {
+		t.Fatal("HasAddr4")
+	}
+	if len(ifp.Addrs4()) != 1 {
+		t.Fatal("Addrs4")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	_, a, b, _, _ := twoOnHub(t)
+	a.Output(macB, EtherTypeIPv6, mbuf.New(make([]byte, 100)))
+	as, bs := a.Stats(), b.Stats()
+	if as.OutPackets != 1 || as.OutBytes != 100 {
+		t.Fatalf("a out stats: %+v", as)
+	}
+	if bs.InPackets != 1 || bs.InBytes != 100 {
+		t.Fatalf("b in stats: %+v", bs)
+	}
+}

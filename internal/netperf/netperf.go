@@ -1,0 +1,356 @@
+// Package netperf reimplements the measurement workloads of §7: Rick
+// Jones' NetPerf request-response (latency) and stream (throughput)
+// tests, plus the ttcp-style bulk test used for Table 5 — the paper
+// notes ttcp "was easily modified to use the security socket options",
+// which RunStream supports through its socket-configuration hook.
+package netperf
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"bsd6/internal/core"
+	"bsd6/internal/inet"
+)
+
+// SocketTuner adjusts a freshly created socket (buffer sizes are
+// applied separately; use this for the §6.1 security options, like
+// the modified ttcp's -A/-E flags).
+type SocketTuner func(*core.Socket)
+
+// Server is a running echo or sink endpoint.
+type Server struct {
+	sock     *core.Socket
+	stop     chan struct{}
+	received atomic.Int64
+}
+
+// Received reports the payload bytes the server has consumed.
+func (sv *Server) Received() int64 { return sv.received.Load() }
+
+// Close shuts the server down.
+func (sv *Server) Close() {
+	close(sv.stop)
+	sv.sock.Close()
+}
+
+const ioTimeout = 10 * time.Second
+
+// NewEchoServer starts a request-response responder: every received
+// message is sent back whole (NetPerf's *_RR pattern).
+func NewEchoServer(s *core.Stack, tcp bool, port uint16, sockbuf int, tune SocketTuner) (*Server, error) {
+	typ := core.SockDgram
+	if tcp {
+		typ = core.SockStream
+	}
+	sock, err := s.NewSocket(inet.AFInet6, typ)
+	if err != nil {
+		return nil, err
+	}
+	if sockbuf > 0 {
+		sock.SetBuffers(sockbuf, sockbuf)
+	}
+	if tune != nil {
+		tune(sock)
+	}
+	if err := sock.Bind(core.Sockaddr6{Family: inet.AFInet6, Port: port}); err != nil {
+		return nil, err
+	}
+	sv := &Server{sock: sock, stop: make(chan struct{})}
+	if tcp {
+		if err := sock.Listen(4); err != nil {
+			return nil, err
+		}
+		go sv.tcpEchoLoop(sockbuf)
+	} else {
+		go sv.udpEchoLoop()
+	}
+	return sv, nil
+}
+
+func (sv *Server) tcpEchoLoop(sockbuf int) {
+	for {
+		conn, err := sv.sock.Accept(ioTimeout)
+		if err != nil {
+			select {
+			case <-sv.stop:
+				return
+			default:
+				continue
+			}
+		}
+		if sockbuf > 0 {
+			conn.SetBuffers(sockbuf, sockbuf)
+		}
+		go func() {
+			defer conn.Close()
+			for {
+				data, err := conn.Recv(64<<10, ioTimeout)
+				if err != nil {
+					return
+				}
+				sv.received.Add(int64(len(data)))
+				if _, err := conn.Send(data, ioTimeout); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (sv *Server) udpEchoLoop() {
+	for {
+		data, from, err := sv.sock.RecvFrom(64<<10, ioTimeout)
+		if err != nil {
+			select {
+			case <-sv.stop:
+				return
+			default:
+				continue
+			}
+		}
+		sv.received.Add(int64(len(data)))
+		sv.sock.SendTo(data, from)
+	}
+}
+
+// NewSinkServer starts a throughput sink: received bytes are counted
+// and discarded (NetPerf's *_STREAM pattern / ttcp -r).
+func NewSinkServer(s *core.Stack, tcp bool, port uint16, sockbuf int, tune SocketTuner) (*Server, error) {
+	typ := core.SockDgram
+	if tcp {
+		typ = core.SockStream
+	}
+	sock, err := s.NewSocket(inet.AFInet6, typ)
+	if err != nil {
+		return nil, err
+	}
+	if sockbuf > 0 {
+		sock.SetBuffers(sockbuf, sockbuf)
+	}
+	if tune != nil {
+		tune(sock)
+	}
+	if err := sock.Bind(core.Sockaddr6{Family: inet.AFInet6, Port: port}); err != nil {
+		return nil, err
+	}
+	sv := &Server{sock: sock, stop: make(chan struct{})}
+	if tcp {
+		if err := sock.Listen(4); err != nil {
+			return nil, err
+		}
+		go func() {
+			for {
+				conn, err := sv.sock.Accept(ioTimeout)
+				if err != nil {
+					select {
+					case <-sv.stop:
+						return
+					default:
+						continue
+					}
+				}
+				if sockbuf > 0 {
+					conn.SetBuffers(sockbuf, sockbuf)
+				}
+				go func() {
+					defer conn.Close()
+					for {
+						data, err := conn.Recv(64<<10, ioTimeout)
+						if err != nil {
+							return
+						}
+						sv.received.Add(int64(len(data)))
+					}
+				}()
+			}
+		}()
+	} else {
+		go func() {
+			for {
+				data, _, err := sv.sock.RecvFrom(64<<10, ioTimeout)
+				if err != nil {
+					select {
+					case <-sv.stop:
+						return
+					default:
+						continue
+					}
+				}
+				sv.received.Add(int64(len(data)))
+			}
+		}()
+	}
+	return sv, nil
+}
+
+// RRResult is a request-response (latency) measurement.
+type RRResult struct {
+	Transactions int
+	Elapsed      time.Duration
+	MeanRTT      time.Duration
+}
+
+func (r RRResult) String() string {
+	return fmt.Sprintf("%d transactions in %v (%.2fµs/RTT)", r.Transactions, r.Elapsed, float64(r.MeanRTT.Nanoseconds())/1e3)
+}
+
+// RunRR runs a request-response latency test of iters transactions of
+// msgSize bytes against an echo server at dst.
+func RunRR(c *core.Stack, dst core.Sockaddr6, tcp bool, msgSize, iters, sockbuf int, tune SocketTuner) (RRResult, error) {
+	typ := core.SockDgram
+	if tcp {
+		typ = core.SockStream
+	}
+	sock, err := c.NewSocket(inet.AFInet6, typ)
+	if err != nil {
+		return RRResult{}, err
+	}
+	defer sock.Close()
+	if sockbuf > 0 {
+		sock.SetBuffers(sockbuf, sockbuf)
+	}
+	if tune != nil {
+		tune(sock)
+	}
+	if err := sock.Connect(dst, ioTimeout); err != nil {
+		return RRResult{}, err
+	}
+	msg := make([]byte, msgSize)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if tcp {
+			if _, err := sock.Send(msg, ioTimeout); err != nil {
+				return RRResult{}, err
+			}
+			got := 0
+			for got < msgSize {
+				data, err := sock.Recv(msgSize-got, ioTimeout)
+				if err != nil {
+					return RRResult{}, err
+				}
+				got += len(data)
+			}
+		} else {
+			if err := sock.SendTo(msg, dst); err != nil {
+				return RRResult{}, err
+			}
+			// One datagram out, one back; a lost reply would hang, so
+			// bound the wait (the benches run over a lossless hub).
+			if _, _, err := sock.RecvFrom(msgSize, ioTimeout); err != nil {
+				return RRResult{}, err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	return RRResult{Transactions: iters, Elapsed: elapsed, MeanRTT: elapsed / time.Duration(iters)}, nil
+}
+
+// StreamResult is a throughput measurement.
+type StreamResult struct {
+	Bytes   int64
+	Elapsed time.Duration
+	// KBps is throughput in the paper's units (kilobytes/second).
+	KBps float64
+}
+
+func (r StreamResult) String() string {
+	return fmt.Sprintf("%d bytes in %v (%.0f KB/s)", r.Bytes, r.Elapsed, r.KBps)
+}
+
+// ErrStalled reports that a stream test stopped making progress.
+var ErrStalled = errors.New("netperf: stream stalled")
+
+// RunStream pushes total bytes of msgSize writes at a sink server and
+// reports the receiver-side throughput (NetPerf *_STREAM / ttcp -t).
+func RunStream(c *core.Stack, sv *Server, dst core.Sockaddr6, tcp bool, msgSize, sockbuf int, total int64, tune SocketTuner) (StreamResult, error) {
+	typ := core.SockDgram
+	if tcp {
+		typ = core.SockStream
+	}
+	sock, err := c.NewSocket(inet.AFInet6, typ)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	defer sock.Close()
+	if sockbuf > 0 {
+		sock.SetBuffers(sockbuf, sockbuf)
+	}
+	if tune != nil {
+		tune(sock)
+	}
+	if err := sock.Connect(dst, ioTimeout); err != nil {
+		return StreamResult{}, err
+	}
+	msg := make([]byte, msgSize)
+	if !tcp {
+		// Warm the path: the first datagram triggers neighbor
+		// discovery, and only a handful of packets queue behind an
+		// unresolved neighbor (as with ARP in BSD). One throwaway
+		// datagram plus a settle period keeps the measured stream
+		// from racing the resolution.
+		sock.Send(msg[:1], ioTimeout)
+		deadline := time.Now().Add(time.Second)
+		for sv.Received() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	window := int64(sockbuf)
+	if window <= 0 {
+		window = 32 << 10
+	}
+	base := sv.Received()
+	start := time.Now()
+	var sent int64
+	for sent < total {
+		if !tcp {
+			// UDP has no flow control; the paper's ttcp was paced by
+			// a 10 Mb/s Ethernet, ours by the receiver's socket
+			// buffer. Keep the in-flight bytes within it so the
+			// measurement reflects stack throughput, not drops.
+			deadline := time.Now().Add(ioTimeout)
+			for sent-(sv.Received()-base) >= window {
+				if time.Now().After(deadline) {
+					return StreamResult{}, ErrStalled
+				}
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+		n, err := sock.Send(msg, ioTimeout)
+		if err != nil {
+			return StreamResult{}, err
+		}
+		sent += int64(n)
+	}
+	// Wait for the sink to drain what was sent (bounded for UDP, where
+	// a datagram can still be lost to a full queue).
+	deadline := time.Now().Add(ioTimeout)
+	lastGot := int64(-1)
+	lastProgress := time.Now()
+	for sv.Received()-base < sent {
+		got := sv.Received() - base
+		if got != lastGot {
+			lastGot = got
+			lastProgress = time.Now()
+		}
+		if tcp && time.Now().After(deadline) {
+			return StreamResult{}, ErrStalled
+		}
+		if !tcp && time.Since(lastProgress) > 50*time.Millisecond {
+			break // residual loss; report what arrived
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	got := sv.Received() - base
+	return StreamResult{
+		Bytes:   got,
+		Elapsed: elapsed,
+		KBps:    float64(got) / 1024 / elapsed.Seconds(),
+	}, nil
+}

@@ -1,0 +1,287 @@
+// Package pcb implements the modified Protocol Control Blocks of §5.1.
+//
+// TCP and UDP are shared between IPv4 and IPv6, so the PCB "was
+// modified to support both IPv4 and IPv6 addresses and to denote which
+// addresses are actually in use".  Where the C implementation devised
+// unions with #defines that silently dereference the right member
+// (paper Figure 4), this implementation stores every address as an
+// IP6, using IPv4-mapped form for IPv4 peers — exactly the
+// transition-specification trick the paper leans on: "allocating a
+// portion of the IPv6 address space for use as 'IPv4-mapped'
+// addresses" makes one PCB serve both protocols.  A flag bit records
+// whether the session is sending IPv6 datagrams; if it is not set,
+// IPv4 is in use.
+package pcb
+
+import (
+	"errors"
+	"sync"
+
+	"bsd6/internal/inet"
+)
+
+// PCB flag bits.
+const (
+	// FlagIPv6 is "a bit in the session's PCB's flags ... indicating"
+	// that the session sends IPv6 datagrams (§5.1).
+	FlagIPv6 = 1 << iota
+	// FlagV6Only restricts a PF_INET6 socket to IPv6 traffic
+	// (suppresses the §5.2 v4-datagram-to-v6-socket delivery).
+	FlagV6Only
+)
+
+// PCB is one protocol control block.
+type PCB struct {
+	// Family is the socket's protocol family: AFInet for PF_INET
+	// sockets, AFInet6 for PF_INET6 sockets (which "can be used to
+	// send and receive either IPv4 or IPv6 traffic", §5.1).
+	Family inet.Family
+
+	// LAddr/FAddr are the local and foreign addresses in the unified
+	// representation (v4-mapped for IPv4). Unspecified means wildcard.
+	LAddr, FAddr inet.IP6
+	LPort, FPort uint16
+
+	Flags int
+	// FlowInfo is the IPv6 flow identifier for this session (§5.1:
+	// "we intend to enhance these functions to fully support the IPv6
+	// Flow Identifier field").
+	FlowInfo uint32
+	// HopLimit overrides the layer default when nonzero.
+	HopLimit uint8
+
+	// Socket is the back pointer to the owning socket — the NRL
+	// addition that lets the security output policy see the socket
+	// from deep in the output path (§3.3).
+	Socket any
+
+	// Owner is protocol-private state (the tcpcb for TCP sessions).
+	Owner any
+
+	table *Table
+}
+
+// IsIPv6 reports whether the session sends IPv6 datagrams.
+func (p *PCB) IsIPv6() bool { return p.Flags&FlagIPv6 != 0 }
+
+// Errors.
+var (
+	ErrAddrInUse      = errors.New("pcb: address already in use")
+	ErrNoPorts        = errors.New("pcb: out of ephemeral ports")
+	ErrNotBound       = errors.New("pcb: not bound")
+	ErrFamilyMismatch = errors.New("pcb: address family mismatch for socket")
+)
+
+// Table is a per-protocol PCB table (BSD's udb / tcb).
+type Table struct {
+	mu        sync.Mutex
+	pcbs      map[*PCB]struct{}
+	nextEphem uint16
+}
+
+// Ephemeral port range (BSD's traditional 1024..5000).
+const (
+	ephemFirst = 1024
+	ephemLast  = 5000
+)
+
+// NewTable creates an empty PCB table.
+func NewTable() *Table {
+	return &Table{pcbs: make(map[*PCB]struct{}), nextEphem: ephemFirst}
+}
+
+// Attach allocates a PCB in the table (in_pcballoc).
+func (t *Table) Attach(family inet.Family, socket any) *PCB {
+	p := &PCB{Family: family, Socket: socket, table: t}
+	t.mu.Lock()
+	t.pcbs[p] = struct{}{}
+	t.mu.Unlock()
+	return p
+}
+
+// Detach removes the PCB (in_pcbdetach).
+func (t *Table) Detach(p *PCB) {
+	t.mu.Lock()
+	delete(t.pcbs, p)
+	t.mu.Unlock()
+}
+
+// Len returns the number of PCBs.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pcbs)
+}
+
+// normalize validates an address against the socket family and maps it
+// into the unified form. A PF_INET socket speaks raw IPv4 only; a
+// PF_INET6 socket accepts native IPv6 or v4-mapped addresses.
+func normalize(family inet.Family, addr inet.IP6) (inet.IP6, error) {
+	if family == inet.AFInet && !addr.IsUnspecified() && !addr.IsV4Mapped() {
+		return inet.IP6{}, ErrFamilyMismatch
+	}
+	return addr, nil
+}
+
+// Bind is in6_pcbbind: set the local address and port, allocating an
+// ephemeral port for port 0 and checking conflicts.
+func (t *Table) Bind(p *PCB, laddr inet.IP6, lport uint16) error {
+	laddr, err := normalize(p.Family, laddr)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if lport == 0 {
+		lport, err = t.ephemeralLocked(laddr)
+		if err != nil {
+			return err
+		}
+	} else {
+		for q := range t.pcbs {
+			if q == p || q.LPort != lport {
+				continue
+			}
+			// Conflict if either side is wildcard or addresses match,
+			// and the two sockets could see the same traffic.
+			if q.LAddr.IsUnspecified() || laddr.IsUnspecified() || q.LAddr == laddr {
+				// Distinct connected sockets may share a local port.
+				if q.FAddr.IsUnspecified() {
+					return ErrAddrInUse
+				}
+			}
+		}
+	}
+	p.LAddr = laddr
+	p.LPort = lport
+	return nil
+}
+
+func (t *Table) ephemeralLocked(laddr inet.IP6) (uint16, error) {
+	for i := 0; i <= ephemLast-ephemFirst; i++ {
+		port := t.nextEphem
+		t.nextEphem++
+		if t.nextEphem > ephemLast {
+			t.nextEphem = ephemFirst
+		}
+		free := true
+		for q := range t.pcbs {
+			if q.LPort == port && (q.LAddr.IsUnspecified() || laddr.IsUnspecified() || q.LAddr == laddr) {
+				free = false
+				break
+			}
+		}
+		if free {
+			return port, nil
+		}
+	}
+	return 0, ErrNoPorts
+}
+
+// Connect is in6_pcbconnect: fix the foreign address/port and set the
+// IPv6-in-use flag from the address form (§5.1). The local port is
+// bound if needed; the local address is left for the caller/IP layer
+// to fill from source selection.
+func (t *Table) Connect(p *PCB, faddr inet.IP6, fport uint16) error {
+	faddr, err := normalize(p.Family, faddr)
+	if err != nil {
+		return err
+	}
+	if faddr.IsV4Mapped() && p.Flags&FlagV6Only != 0 {
+		return ErrFamilyMismatch
+	}
+	if p.LPort == 0 {
+		if err := t.Bind(p, p.LAddr, 0); err != nil {
+			return err
+		}
+	}
+	p.FAddr = faddr
+	p.FPort = fport
+	if faddr.IsV4Mapped() {
+		p.Flags &^= FlagIPv6
+	} else {
+		p.Flags |= FlagIPv6
+	}
+	return nil
+}
+
+// Disconnect clears the foreign association.
+func (t *Table) Disconnect(p *PCB) {
+	p.FAddr = inet.IP6{}
+	p.FPort = 0
+}
+
+// Lookup finds the PCB for a received packet (in_pcblookup with
+// wildcard scoring): prefer exact foreign match, then bound-local,
+// then full wildcard. v4 reports whether the packet arrived over IPv4;
+// a PF_INET6 socket matches v4 traffic through its mapped form unless
+// FlagV6Only is set (§5.2: "allows an application to receive both IPv4
+// and IPv6 datagrams using an IPv6 socket").
+func (t *Table) Lookup(laddr inet.IP6, lport uint16, faddr inet.IP6, fport uint16, v4 bool) *PCB {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var best *PCB
+	bestScore := -1
+	for p := range t.pcbs {
+		if p.LPort != lport {
+			continue
+		}
+		// Family/traffic compatibility.
+		if v4 {
+			if p.Family == inet.AFInet6 && p.Flags&FlagV6Only != 0 {
+				continue
+			}
+		} else {
+			if p.Family == inet.AFInet {
+				continue
+			}
+		}
+		score := 0
+		if !p.FAddr.IsUnspecified() || p.FPort != 0 {
+			if p.FAddr != faddr || p.FPort != fport {
+				continue
+			}
+			score += 2
+		}
+		if !p.LAddr.IsUnspecified() {
+			if p.LAddr != laddr {
+				continue
+			}
+			score++
+		}
+		if score > bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best
+}
+
+// Notify is in6_pcbnotify: apply fn to every PCB connected to faddr
+// (or bound toward it), delivering ICMP-derived errors upward.  The
+// caller performs the §5.1 security policy check before invoking this
+// ("to determine whether a particular error can be passed upwards to
+// the application or whether that would cause a security violation").
+func (t *Table) Notify(faddr inet.IP6, fport uint16, fn func(*PCB)) {
+	t.mu.Lock()
+	var hit []*PCB
+	for p := range t.pcbs {
+		if p.FAddr == faddr && (fport == 0 || p.FPort == fport) {
+			hit = append(hit, p)
+		}
+	}
+	t.mu.Unlock()
+	for _, p := range hit {
+		fn(p)
+	}
+}
+
+// All returns a snapshot of the table, for netstat.
+func (t *Table) All() []*PCB {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*PCB, 0, len(t.pcbs))
+	for p := range t.pcbs {
+		out = append(out, p)
+	}
+	return out
+}

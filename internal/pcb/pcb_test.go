@@ -1,0 +1,228 @@
+package pcb
+
+import (
+	"testing"
+
+	"bsd6/internal/inet"
+)
+
+func ip6(t *testing.T, s string) inet.IP6 {
+	t.Helper()
+	a, err := inet.ParseIP6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBindEphemeral(t *testing.T) {
+	tb := NewTable()
+	p := tb.Attach(inet.AFInet6, nil)
+	if err := tb.Bind(p, inet.IP6{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.LPort < 1024 || p.LPort > 5000 {
+		t.Fatalf("ephemeral port %d", p.LPort)
+	}
+	q := tb.Attach(inet.AFInet6, nil)
+	tb.Bind(q, inet.IP6{}, 0)
+	if q.LPort == p.LPort {
+		t.Fatal("duplicate ephemeral port")
+	}
+}
+
+func TestBindConflicts(t *testing.T) {
+	tb := NewTable()
+	a1 := ip6(t, "2001:db8::1")
+	a2 := ip6(t, "2001:db8::2")
+	p := tb.Attach(inet.AFInet6, nil)
+	if err := tb.Bind(p, a1, 7777); err != nil {
+		t.Fatal(err)
+	}
+	// Same port, same addr: conflict.
+	q := tb.Attach(inet.AFInet6, nil)
+	if err := tb.Bind(q, a1, 7777); err != ErrAddrInUse {
+		t.Fatalf("same addr/port: %v", err)
+	}
+	// Same port, different addr: allowed.
+	if err := tb.Bind(q, a2, 7777); err != nil {
+		t.Fatalf("different addr: %v", err)
+	}
+	// Wildcard vs specific on the same port: conflict.
+	r := tb.Attach(inet.AFInet6, nil)
+	if err := tb.Bind(r, inet.IP6{}, 7777); err != ErrAddrInUse {
+		t.Fatalf("wildcard overlap: %v", err)
+	}
+	// Rebinding the same PCB is fine.
+	if err := tb.Bind(p, a1, 7777); err != nil {
+		t.Fatalf("self rebind: %v", err)
+	}
+}
+
+func TestConnectSetsIPv6Flag(t *testing.T) {
+	tb := NewTable()
+	p := tb.Attach(inet.AFInet6, nil)
+	// Native v6 destination: flag set (§5.1).
+	if err := tb.Connect(p, ip6(t, "2001:db8::9"), 80); err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsIPv6() {
+		t.Fatal("FlagIPv6 not set for native destination")
+	}
+	if p.LPort == 0 {
+		t.Fatal("connect did not auto-bind")
+	}
+	// v4-mapped destination: flag cleared ("If that bit is not set,
+	// then IPv4 is in use").
+	tb.Disconnect(p)
+	if err := tb.Connect(p, inet.V4Mapped(inet.IP4{10, 0, 0, 9}), 80); err != nil {
+		t.Fatal(err)
+	}
+	if p.IsIPv6() {
+		t.Fatal("FlagIPv6 set for mapped destination")
+	}
+}
+
+func TestFamilyEnforcement(t *testing.T) {
+	tb := NewTable()
+	v4sock := tb.Attach(inet.AFInet, nil)
+	// PF_INET socket cannot take a native v6 address.
+	if err := tb.Connect(v4sock, ip6(t, "2001:db8::1"), 80); err != ErrFamilyMismatch {
+		t.Fatalf("v4 socket to v6 dest: %v", err)
+	}
+	if err := tb.Connect(v4sock, inet.V4Mapped(inet.IP4{1, 2, 3, 4}), 80); err != nil {
+		t.Fatalf("v4 socket to mapped: %v", err)
+	}
+	// V6ONLY blocks mapped destinations.
+	v6only := tb.Attach(inet.AFInet6, nil)
+	v6only.Flags |= FlagV6Only
+	if err := tb.Connect(v6only, inet.V4Mapped(inet.IP4{1, 2, 3, 4}), 80); err != ErrFamilyMismatch {
+		t.Fatalf("v6only to mapped: %v", err)
+	}
+}
+
+func TestLookupPreference(t *testing.T) {
+	tb := NewTable()
+	local := ip6(t, "2001:db8::1")
+	peer := ip6(t, "2001:db8::2")
+
+	// Install PCBs directly: wildcard + specific on one port would
+	// need SO_REUSEADDR to coexist via Bind, but Lookup must still
+	// rank them correctly when they do.
+	wild := tb.Attach(inet.AFInet6, "wild")
+	wild.LPort = 53
+	bound := tb.Attach(inet.AFInet6, "bound")
+	bound.LAddr, bound.LPort = local, 53
+	connected := tb.Attach(inet.AFInet6, "conn")
+	connected.LAddr, connected.LPort = local, 53
+	connected.FAddr, connected.FPort = peer, 4242
+
+	// Fully matching traffic hits the connected PCB.
+	got := tb.Lookup(local, 53, peer, 4242, false)
+	if got != connected {
+		t.Fatalf("connected lookup: %v", got.Socket)
+	}
+	// Different foreign port falls back to bound-local.
+	got = tb.Lookup(local, 53, peer, 9999, false)
+	if got != bound {
+		t.Fatalf("bound lookup: %v", got.Socket)
+	}
+	// Different local address falls back to wildcard.
+	got = tb.Lookup(ip6(t, "2001:db8::7"), 53, peer, 9999, false)
+	if got != wild {
+		t.Fatalf("wildcard lookup: %v", got.Socket)
+	}
+	// No port match: nothing.
+	if tb.Lookup(local, 55, peer, 4242, false) != nil {
+		t.Fatal("matched wrong port")
+	}
+}
+
+func TestV4TrafficToV6Socket(t *testing.T) {
+	// §5.2: "The IPv6 BSD Sockets API specification allows an
+	// application to receive both IPv4 and IPv6 datagrams using an
+	// IPv6 socket."
+	tb := NewTable()
+	v6 := tb.Attach(inet.AFInet6, "v6")
+	tb.Bind(v6, inet.IP6{}, 88)
+
+	mappedSrc := inet.V4Mapped(inet.IP4{10, 0, 0, 2})
+	mappedDst := inet.V4Mapped(inet.IP4{10, 0, 0, 1})
+	if got := tb.Lookup(mappedDst, 88, mappedSrc, 1234, true); got != v6 {
+		t.Fatal("v4 datagram did not reach v6 socket")
+	}
+	// With V6ONLY it must not.
+	v6.Flags |= FlagV6Only
+	if got := tb.Lookup(mappedDst, 88, mappedSrc, 1234, true); got != nil {
+		t.Fatal("v4 datagram reached v6only socket")
+	}
+	// A v4 socket never sees v6 traffic.
+	v4 := tb.Attach(inet.AFInet, "v4")
+	tb.Bind(v4, inet.IP6{}, 99)
+	if got := tb.Lookup(ip6(t, "2001:db8::1"), 99, ip6(t, "2001:db8::2"), 5, false); got != nil {
+		t.Fatal("v6 datagram reached v4 socket")
+	}
+}
+
+func TestV4V6SocketsCoexistOnPort(t *testing.T) {
+	// A PF_INET and a PF_INET6 socket... actually share the port space
+	// in BSD; binding both wildcard must conflict.
+	tb := NewTable()
+	v6 := tb.Attach(inet.AFInet6, nil)
+	if err := tb.Bind(v6, inet.IP6{}, 7); err != nil {
+		t.Fatal(err)
+	}
+	v4 := tb.Attach(inet.AFInet, nil)
+	if err := tb.Bind(v4, inet.IP6{}, 7); err != ErrAddrInUse {
+		t.Fatalf("cross-family wildcard bind: %v", err)
+	}
+}
+
+func TestNotify(t *testing.T) {
+	tb := NewTable()
+	peer := ip6(t, "2001:db8::2")
+	p := tb.Attach(inet.AFInet6, nil)
+	tb.Connect(p, peer, 80)
+	q := tb.Attach(inet.AFInet6, nil)
+	tb.Connect(q, ip6(t, "2001:db8::3"), 80)
+
+	var hit int
+	tb.Notify(peer, 0, func(*PCB) { hit++ })
+	if hit != 1 {
+		t.Fatalf("notify hit %d", hit)
+	}
+	hit = 0
+	tb.Notify(peer, 81, func(*PCB) { hit++ })
+	if hit != 0 {
+		t.Fatal("port-filtered notify matched")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	tb := NewTable()
+	p := tb.Attach(inet.AFInet6, nil)
+	tb.Bind(p, inet.IP6{}, 42)
+	tb.Detach(p)
+	if tb.Len() != 0 {
+		t.Fatal("detach")
+	}
+	q := tb.Attach(inet.AFInet6, nil)
+	if err := tb.Bind(q, inet.IP6{}, 42); err != nil {
+		t.Fatal("port not released after detach")
+	}
+}
+
+func TestEphemeralExhaustion(t *testing.T) {
+	tb := NewTable()
+	// Fill the whole range.
+	for port := 1024; port <= 5000; port++ {
+		p := tb.Attach(inet.AFInet6, nil)
+		if err := tb.Bind(p, inet.IP6{}, uint16(port)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := tb.Attach(inet.AFInet6, nil)
+	if err := tb.Bind(p, inet.IP6{}, 0); err != ErrNoPorts {
+		t.Fatalf("exhaustion: %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package proto
+
+import (
+	"testing"
+
+	"bsd6/internal/inet"
+)
+
+func TestName(t *testing.T) {
+	cases := map[uint8]string{
+		TCP: "tcp", UDP: "udp", ICMPv6: "icmp6", ICMP: "icmp",
+		AH: "ah", ESP: "esp", HopByHop: "hopopt", Fragment: "frag6",
+		Routing: "route6", DstOpts: "dstopts", NoNext: "nonext",
+		IPv4: "ipip", IPv6: "ipv6", 99: "proto?",
+	}
+	for p, want := range cases {
+		if got := Name(p); got != want {
+			t.Errorf("Name(%d) = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestMetaMappedViews(t *testing.T) {
+	m4 := &Meta{Family: inet.AFInet, Src4: inet.IP4{10, 0, 0, 1}, Dst4: inet.IP4{10, 0, 0, 2}}
+	if !m4.SrcIs6().IsV4Mapped() || !m4.DstIs6().IsV4Mapped() {
+		t.Fatal("v4 meta not presented mapped")
+	}
+	if v4, _ := m4.SrcIs6().MappedV4(); v4 != m4.Src4 {
+		t.Fatal("mapped source mismatch")
+	}
+	src6, _ := inet.ParseIP6("2001:db8::1")
+	m6 := &Meta{Family: inet.AFInet6, Src6: src6}
+	if m6.SrcIs6() != src6 {
+		t.Fatal("v6 meta rewritten")
+	}
+}
+
+func TestCtlTypeString(t *testing.T) {
+	for _, c := range []CtlType{CtlUnreach, CtlPortUnreach, CtlMsgSize, CtlTimeExceed, CtlParamProb} {
+		if c.String() == "ctl?" {
+			t.Fatalf("missing name for %d", int(c))
+		}
+	}
+	if CtlType(99).String() != "ctl?" {
+		t.Fatal("unknown ctl name")
+	}
+}

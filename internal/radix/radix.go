@@ -1,0 +1,193 @@
+// Package radix implements a tree-based longest-prefix-match table over
+// fixed-length binary keys.
+//
+// 4.4 BSD stores all routes — network routes, cloned host routes, and
+// (after the NRL changes) IPv6 neighbor entries and Path-MTU host
+// routes — in Keith Sklower's radix tree ("A Tree-Based Packet Routing
+// Table for Berkeley UNIX", USENIX Winter '91).  This package provides
+// the same service: insert a (key, prefix-length, value) triple, then
+// look up the most specific entry matching a full key.
+//
+// The implementation is a binary trie descending one bit per level.
+// Keys are at most 16 bytes (an IPv6 address), so lookups touch at most
+// 128 nodes; the structural simplicity keeps the matching semantics —
+// the part the routing layer's correctness depends on — obvious.
+// Callers provide their own locking.
+package radix
+
+import "fmt"
+
+// Tree is a longest-prefix-match table over keys of a fixed byte length.
+type Tree struct {
+	keyLen int
+	root   *node
+	count  int
+}
+
+type node struct {
+	child [2]*node
+	// entry is non-nil if a prefix terminates at this node.
+	entry *entry
+}
+
+type entry struct {
+	key   []byte
+	plen  int
+	value any
+}
+
+// New creates a table for keys of keyLen bytes (1..16).
+func New(keyLen int) *Tree {
+	if keyLen < 1 || keyLen > 16 {
+		panic(fmt.Sprintf("radix: invalid key length %d", keyLen))
+	}
+	return &Tree{keyLen: keyLen, root: &node{}}
+}
+
+// KeyLen returns the byte length of keys in this table.
+func (t *Tree) KeyLen() int { return t.keyLen }
+
+// Len returns the number of entries in the table.
+func (t *Tree) Len() int { return t.count }
+
+func bitAt(key []byte, i int) int {
+	return int(key[i/8]>>(7-i%8)) & 1
+}
+
+func (t *Tree) check(key []byte, plen int) {
+	if len(key) != t.keyLen {
+		panic(fmt.Sprintf("radix: key length %d, table wants %d", len(key), t.keyLen))
+	}
+	if plen < 0 || plen > t.keyLen*8 {
+		panic(fmt.Sprintf("radix: prefix length %d out of range", plen))
+	}
+}
+
+// Insert adds or replaces the entry for key/plen and returns the
+// previous value, if any. Bits of key beyond plen are ignored.
+func (t *Tree) Insert(key []byte, plen int, value any) (prev any, replaced bool) {
+	t.check(key, plen)
+	n := t.root
+	for i := 0; i < plen; i++ {
+		b := bitAt(key, i)
+		if n.child[b] == nil {
+			n.child[b] = &node{}
+		}
+		n = n.child[b]
+	}
+	if n.entry != nil {
+		prev, replaced = n.entry.value, true
+		n.entry.value = value
+		return prev, replaced
+	}
+	k := append([]byte(nil), key...)
+	maskTail(k, plen)
+	n.entry = &entry{key: k, plen: plen, value: value}
+	t.count++
+	return nil, false
+}
+
+// maskTail zeroes the bits of k beyond plen so stored keys are canonical.
+func maskTail(k []byte, plen int) {
+	full := plen / 8
+	if rem := plen % 8; rem != 0 {
+		k[full] &= 0xff << (8 - rem)
+		full++
+	}
+	for i := full; i < len(k); i++ {
+		k[i] = 0
+	}
+}
+
+// Lookup returns the value of the most specific prefix matching key.
+func (t *Tree) Lookup(key []byte) (value any, ok bool) {
+	v, _, ok := t.LookupPrefix(key)
+	return v, ok
+}
+
+// LookupPrefix returns the value and prefix length of the most specific
+// match for key.
+func (t *Tree) LookupPrefix(key []byte) (value any, plen int, ok bool) {
+	t.check(key, t.keyLen*8)
+	n := t.root
+	for i := 0; ; i++ {
+		if n.entry != nil {
+			value, plen, ok = n.entry.value, n.entry.plen, true
+		}
+		if i == t.keyLen*8 {
+			return value, plen, ok
+		}
+		n = n.child[bitAt(key, i)]
+		if n == nil {
+			return value, plen, ok
+		}
+	}
+}
+
+// LookupExact returns the value stored for exactly key/plen.
+func (t *Tree) LookupExact(key []byte, plen int) (value any, ok bool) {
+	t.check(key, plen)
+	n := t.root
+	for i := 0; i < plen; i++ {
+		n = n.child[bitAt(key, i)]
+		if n == nil {
+			return nil, false
+		}
+	}
+	if n.entry == nil {
+		return nil, false
+	}
+	return n.entry.value, true
+}
+
+// Delete removes the entry for exactly key/plen, returning its value.
+// Empty interior nodes left behind are pruned.
+func (t *Tree) Delete(key []byte, plen int) (value any, ok bool) {
+	t.check(key, plen)
+	// Record the path for pruning.
+	path := make([]*node, 0, plen+1)
+	n := t.root
+	path = append(path, n)
+	for i := 0; i < plen; i++ {
+		n = n.child[bitAt(key, i)]
+		if n == nil {
+			return nil, false
+		}
+		path = append(path, n)
+	}
+	if n.entry == nil {
+		return nil, false
+	}
+	value, ok = n.entry.value, true
+	n.entry = nil
+	t.count--
+	// Prune childless, entryless nodes bottom-up (never the root).
+	for i := len(path) - 1; i > 0; i-- {
+		cur := path[i]
+		if cur.entry != nil || cur.child[0] != nil || cur.child[1] != nil {
+			break
+		}
+		parent := path[i-1]
+		b := bitAt(key, i-1)
+		parent.child[b] = nil
+	}
+	return value, ok
+}
+
+// Walk visits every entry in lexicographic key order. Returning false
+// from fn stops the walk. The tree must not be modified during a walk.
+func (t *Tree) Walk(fn func(key []byte, plen int, value any) bool) {
+	t.walk(t.root, fn)
+}
+
+func (t *Tree) walk(n *node, fn func([]byte, int, any) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.entry != nil {
+		if !fn(n.entry.key, n.entry.plen, n.entry.value) {
+			return false
+		}
+	}
+	return t.walk(n.child[0], fn) && t.walk(n.child[1], fn)
+}

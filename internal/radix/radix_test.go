@@ -1,0 +1,311 @@
+package radix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func k4(a, b, c, d byte) []byte { return []byte{a, b, c, d} }
+
+func TestBasicLPM(t *testing.T) {
+	tr := New(4)
+	tr.Insert(k4(0, 0, 0, 0), 0, "default")
+	tr.Insert(k4(10, 0, 0, 0), 8, "ten")
+	tr.Insert(k4(10, 1, 0, 0), 16, "ten-one")
+	tr.Insert(k4(10, 1, 2, 3), 32, "host")
+
+	cases := []struct {
+		key  []byte
+		want string
+	}{
+		{k4(10, 1, 2, 3), "host"},
+		{k4(10, 1, 2, 4), "ten-one"},
+		{k4(10, 2, 0, 1), "ten"},
+		{k4(11, 0, 0, 1), "default"},
+	}
+	for _, c := range cases {
+		v, ok := tr.Lookup(c.key)
+		if !ok || v.(string) != c.want {
+			t.Errorf("Lookup(%v) = %v, %v; want %q", c.key, v, ok, c.want)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	tr := New(4)
+	tr.Insert(k4(10, 0, 0, 0), 8, "ten")
+	if _, ok := tr.Lookup(k4(11, 0, 0, 0)); ok {
+		t.Fatal("unexpected match")
+	}
+	if _, ok := tr.Lookup(k4(9, 255, 0, 0)); ok {
+		t.Fatal("unexpected match below")
+	}
+}
+
+func TestNonByteAlignedPrefix(t *testing.T) {
+	tr := New(4)
+	// 10.128.0.0/9
+	tr.Insert(k4(10, 128, 0, 0), 9, "high")
+	// 10.0.0.0/9
+	tr.Insert(k4(10, 0, 0, 0), 9, "low")
+	if v, _ := tr.Lookup(k4(10, 200, 1, 1)); v != "high" {
+		t.Fatalf("10.200 -> %v", v)
+	}
+	if v, _ := tr.Lookup(k4(10, 5, 1, 1)); v != "low" {
+		t.Fatalf("10.5 -> %v", v)
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := New(4)
+	if _, replaced := tr.Insert(k4(1, 2, 3, 4), 32, "a"); replaced {
+		t.Fatal("fresh insert reported replace")
+	}
+	prev, replaced := tr.Insert(k4(1, 2, 3, 4), 32, "b")
+	if !replaced || prev != "a" {
+		t.Fatalf("replace: %v %v", prev, replaced)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after replace = %d", tr.Len())
+	}
+	if v, _ := tr.Lookup(k4(1, 2, 3, 4)); v != "b" {
+		t.Fatal("replacement not visible")
+	}
+}
+
+func TestHostBitsIgnored(t *testing.T) {
+	tr := New(4)
+	tr.Insert(k4(10, 99, 88, 77), 8, "ten") // junk beyond /8 ignored
+	if v, _ := tr.Lookup(k4(10, 1, 1, 1)); v != "ten" {
+		t.Fatal("host bits not masked on insert")
+	}
+	if _, ok := tr.LookupExact(k4(10, 3, 3, 3), 8); !ok {
+		t.Fatal("exact lookup must mask host bits")
+	}
+}
+
+func TestLookupExactAndDelete(t *testing.T) {
+	tr := New(4)
+	tr.Insert(k4(10, 0, 0, 0), 8, "ten")
+	tr.Insert(k4(10, 1, 0, 0), 16, "ten-one")
+
+	if _, ok := tr.LookupExact(k4(10, 0, 0, 0), 16); ok {
+		t.Fatal("exact /16 should not exist")
+	}
+	if v, ok := tr.LookupExact(k4(10, 0, 0, 0), 8); !ok || v != "ten" {
+		t.Fatal("exact /8 lookup")
+	}
+	if _, ok := tr.Delete(k4(10, 0, 0, 0), 24); ok {
+		t.Fatal("delete of absent prefix succeeded")
+	}
+	v, ok := tr.Delete(k4(10, 0, 0, 0), 8)
+	if !ok || v != "ten" {
+		t.Fatal("delete /8")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after delete = %d", tr.Len())
+	}
+	// /16 must still match even though /8 is gone.
+	if v, _ := tr.Lookup(k4(10, 1, 2, 3)); v != "ten-one" {
+		t.Fatal("surviving entry lost")
+	}
+	if _, ok := tr.Lookup(k4(10, 2, 2, 3)); ok {
+		t.Fatal("deleted prefix still matches")
+	}
+}
+
+func TestDeletePrunes(t *testing.T) {
+	tr := New(16)
+	key := make([]byte, 16)
+	key[0] = 0xfe
+	tr.Insert(key, 128, "deep")
+	tr.Delete(key, 128)
+	if tr.root.child[0] != nil || tr.root.child[1] != nil {
+		t.Fatal("delete did not prune the spine")
+	}
+	// Pruning must stop at nodes that still carry entries.
+	tr.Insert(key, 8, "short")
+	tr.Insert(key, 128, "deep")
+	tr.Delete(key, 128)
+	if _, ok := tr.LookupExact(key, 8); !ok {
+		t.Fatal("pruning removed a live entry")
+	}
+}
+
+func TestZeroLengthPrefix(t *testing.T) {
+	tr := New(4)
+	tr.Insert(k4(0, 0, 0, 0), 0, "default")
+	v, plen, ok := tr.LookupPrefix(k4(255, 255, 255, 255))
+	if !ok || v != "default" || plen != 0 {
+		t.Fatalf("default route: %v %d %v", v, plen, ok)
+	}
+	if _, ok := tr.Delete(k4(0, 0, 0, 0), 0); !ok {
+		t.Fatal("cannot delete default route")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("Len after deleting default")
+	}
+}
+
+func TestWalkOrderAndStop(t *testing.T) {
+	tr := New(4)
+	tr.Insert(k4(20, 0, 0, 0), 8, 1)
+	tr.Insert(k4(10, 0, 0, 0), 8, 2)
+	tr.Insert(k4(10, 1, 0, 0), 16, 3)
+	var keys [][]byte
+	tr.Walk(func(key []byte, plen int, v any) bool {
+		keys = append(keys, append([]byte(nil), key...))
+		return true
+	})
+	if len(keys) != 3 {
+		t.Fatalf("walk visited %d entries", len(keys))
+	}
+	// Lexicographic order: 10/8, 10.1/16, 20/8. (10/8 terminates above
+	// 10.1/16 on the same path, so the shorter prefix comes first.)
+	if keys[0][0] != 10 || keys[1][1] != 1 || keys[2][0] != 20 {
+		t.Fatalf("walk order: %v", keys)
+	}
+	n := 0
+	tr.Walk(func([]byte, int, any) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	tr := New(4)
+	assertPanics(t, func() { tr.Insert([]byte{1, 2, 3}, 8, nil) })
+	assertPanics(t, func() { tr.Insert(k4(1, 2, 3, 4), 33, nil) })
+	assertPanics(t, func() { tr.Insert(k4(1, 2, 3, 4), -1, nil) })
+	assertPanics(t, func() { tr.Lookup([]byte{1}) })
+	assertPanics(t, func() { New(0) })
+	assertPanics(t, func() { New(17) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+// naive is a reference model: a list of prefixes scanned linearly.
+type naiveEntry struct {
+	key  []byte
+	plen int
+	val  any
+}
+
+type naive struct{ entries []naiveEntry }
+
+func prefixMatch(key, pfx []byte, plen int) bool {
+	for i := 0; i < plen; i++ {
+		if bitAt(key, i) != bitAt(pfx, i) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *naive) insert(key []byte, plen int, v any) {
+	for i := range n.entries {
+		if n.entries[i].plen == plen && prefixMatch(key, n.entries[i].key, plen) {
+			n.entries[i].val = v
+			return
+		}
+	}
+	n.entries = append(n.entries, naiveEntry{append([]byte(nil), key...), plen, v})
+}
+
+func (n *naive) delete(key []byte, plen int) {
+	for i := range n.entries {
+		if n.entries[i].plen == plen && prefixMatch(key, n.entries[i].key, plen) {
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+func (n *naive) lookup(key []byte) (any, bool) {
+	best := -1
+	var bestV any
+	for _, e := range n.entries {
+		if e.plen > best && prefixMatch(key, e.key, e.plen) {
+			best, bestV = e.plen, e.val
+		}
+	}
+	return bestV, best >= 0
+}
+
+// Property: random insert/delete/lookup agrees with the naive model,
+// for 16-byte (IPv6-sized) keys with clustered prefixes.
+func TestRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New(16)
+	model := &naive{}
+	randKey := func() []byte {
+		k := make([]byte, 16)
+		// Cluster keys so prefixes actually overlap.
+		k[0] = byte(rng.Intn(4))
+		k[1] = byte(rng.Intn(4))
+		k[15] = byte(rng.Intn(8))
+		k[7] = byte(rng.Intn(2) * 255)
+		return k
+	}
+	plens := []int{0, 8, 9, 10, 16, 48, 64, 127, 128}
+	for step := 0; step < 5000; step++ {
+		key := randKey()
+		plen := plens[rng.Intn(len(plens))]
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := rng.Intn(1000)
+			tr.Insert(key, plen, v)
+			model.insert(key, plen, v)
+		case 2:
+			tr.Delete(key, plen)
+			model.delete(key, plen)
+		case 3:
+			got, gok := tr.Lookup(key)
+			want, wok := model.lookup(key)
+			if gok != wok || (gok && got != want) {
+				t.Fatalf("step %d: Lookup(%v) = %v,%v; model %v,%v", step, key, got, gok, want, wok)
+			}
+		}
+	}
+	// Final full cross-check.
+	n := 0
+	tr.Walk(func(key []byte, plen int, v any) bool {
+		n++
+		w, ok := model.lookup(key)
+		if !ok {
+			t.Fatalf("tree entry %v/%d missing from model", key, plen)
+		}
+		_ = w
+		return true
+	})
+	if n != tr.Len() || n != len(model.entries) {
+		t.Fatalf("entry counts: walk=%d Len=%d model=%d", n, tr.Len(), len(model.entries))
+	}
+}
+
+func BenchmarkLookupIPv6(b *testing.B) {
+	tr := New(16)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		k := make([]byte, 16)
+		rng.Read(k)
+		tr.Insert(k, 64, i)
+	}
+	key := make([]byte, 16)
+	rng.Read(key)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(key)
+	}
+}

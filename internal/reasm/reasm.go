@@ -1,0 +1,181 @@
+// Package reasm implements fragment reassembly buffers shared by the
+// IPv4 and IPv6 layers.
+//
+// The two protocols differ in where fragmentation happens — IPv4
+// routers fragment in the network, IPv6 is end-to-end only (§2.2) —
+// but the receiver-side hole-filling is the same: collect byte ranges,
+// learn the total length from the fragment with more-fragments clear,
+// and complete when no holes remain.  Buffers are discarded after a
+// timeout (IPv6 reports it via an ICMPv6 Time Exceeded that this
+// implementation, like the paper's, cannot send with the offending
+// packet attached — §4.1 footnote).
+package reasm
+
+import (
+	"errors"
+	"time"
+)
+
+// Limits guarding against pathological fragment streams.
+const (
+	// maxDatagram bounds a reassembled datagram: the IP payload length
+	// fields are 16 bits, so nothing larger is expressible.
+	maxDatagram = 65535
+	maxPieces   = 512 // fragments per buffer
+)
+
+// Errors returned by Add.
+var (
+	ErrTooLong       = errors.New("reasm: reassembled datagram too long")
+	ErrTooManyPieces = errors.New("reasm: too many fragments")
+	ErrInconsistent  = errors.New("reasm: fragments disagree on total length")
+)
+
+type piece struct {
+	off  int
+	data []byte
+}
+
+// Buffer reassembles one datagram.
+type Buffer struct {
+	pieces  []piece // sorted by offset, non-overlapping
+	total   int     // -1 until the final fragment arrives
+	have    int     // bytes currently held
+	Created time.Time
+}
+
+// NewBuffer returns an empty reassembly buffer stamped with now.
+func NewBuffer(now time.Time) *Buffer {
+	return &Buffer{total: -1, Created: now}
+}
+
+// Add inserts a fragment covering [off, off+len(data)) with more
+// indicating whether more fragments follow. When the datagram is
+// complete it returns (payload, true, nil). Overlapping bytes from
+// later fragments are discarded in favor of earlier arrivals, as BSD
+// does.
+func (b *Buffer) Add(off int, more bool, data []byte) ([]byte, bool, error) {
+	if off < 0 || off+len(data) > maxDatagram {
+		return nil, false, ErrTooLong
+	}
+	if !more {
+		end := off + len(data)
+		if b.total >= 0 && b.total != end {
+			return nil, false, ErrInconsistent
+		}
+		b.total = end
+	}
+	if b.total >= 0 && off+len(data) > b.total {
+		return nil, false, ErrInconsistent
+	}
+	if len(data) > 0 {
+		if err := b.insert(off, data); err != nil {
+			return nil, false, err
+		}
+	}
+	if b.total >= 0 && b.have == b.total && b.contiguous() {
+		out := make([]byte, b.total)
+		for _, p := range b.pieces {
+			copy(out[p.off:], p.data)
+		}
+		return out, true, nil
+	}
+	return nil, false, nil
+}
+
+func (b *Buffer) insert(off int, data []byte) error {
+	if len(b.pieces) >= maxPieces {
+		return ErrTooManyPieces
+	}
+	// Trim the new fragment against existing pieces, then insert the
+	// surviving sub-ranges.
+	type rng struct{ lo, hi int }
+	pending := []rng{{off, off + len(data)}}
+	for _, p := range b.pieces {
+		plo, phi := p.off, p.off+len(p.data)
+		var next []rng
+		for _, r := range pending {
+			if r.hi <= plo || r.lo >= phi { // disjoint
+				next = append(next, r)
+				continue
+			}
+			if r.lo < plo {
+				next = append(next, rng{r.lo, plo})
+			}
+			if r.hi > phi {
+				next = append(next, rng{phi, r.hi})
+			}
+		}
+		pending = next
+	}
+	for _, r := range pending {
+		if r.hi <= r.lo {
+			continue
+		}
+		seg := make([]byte, r.hi-r.lo)
+		copy(seg, data[r.lo-off:])
+		b.pieces = append(b.pieces, piece{off: r.lo, data: seg})
+		b.have += len(seg)
+	}
+	// Keep sorted by offset (insertion sort; piece counts are small).
+	for i := 1; i < len(b.pieces); i++ {
+		for j := i; j > 0 && b.pieces[j].off < b.pieces[j-1].off; j-- {
+			b.pieces[j], b.pieces[j-1] = b.pieces[j-1], b.pieces[j]
+		}
+	}
+	return nil
+}
+
+func (b *Buffer) contiguous() bool {
+	at := 0
+	for _, p := range b.pieces {
+		if p.off != at {
+			return false
+		}
+		at += len(p.data)
+	}
+	return at == b.total
+}
+
+// Queue maps datagram keys to in-progress buffers and expires them.
+type Queue[K comparable] struct {
+	bufs map[K]*Buffer
+	// Timeout is how long an incomplete datagram may linger.
+	Timeout time.Duration
+}
+
+// NewQueue creates a reassembly queue with the given timeout.
+func NewQueue[K comparable](timeout time.Duration) *Queue[K] {
+	return &Queue[K]{bufs: make(map[K]*Buffer), Timeout: timeout}
+}
+
+// Add routes a fragment to its datagram's buffer, creating one if
+// needed. On completion or error the buffer is removed.
+func (q *Queue[K]) Add(key K, now time.Time, off int, more bool, data []byte) ([]byte, bool, error) {
+	b := q.bufs[key]
+	if b == nil {
+		b = NewBuffer(now)
+		q.bufs[key] = b
+	}
+	out, done, err := b.Add(off, more, data)
+	if done || err != nil {
+		delete(q.bufs, key)
+	}
+	return out, done, err
+}
+
+// Expire drops buffers older than the timeout, returning how many were
+// discarded.
+func (q *Queue[K]) Expire(now time.Time) int {
+	n := 0
+	for k, b := range q.bufs {
+		if now.Sub(b.Created) > q.Timeout {
+			delete(q.bufs, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of in-progress datagrams.
+func (q *Queue[K]) Len() int { return len(q.bufs) }

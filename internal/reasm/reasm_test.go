@@ -1,0 +1,198 @@
+package reasm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Unix(1000, 0)
+
+func TestInOrder(t *testing.T) {
+	b := NewBuffer(t0)
+	if _, done, _ := b.Add(0, true, []byte("hello ")); done {
+		t.Fatal("premature completion")
+	}
+	out, done, err := b.Add(6, false, []byte("world"))
+	if err != nil || !done || string(out) != "hello world" {
+		t.Fatalf("got %q %v %v", out, done, err)
+	}
+}
+
+func TestOutOfOrder(t *testing.T) {
+	b := NewBuffer(t0)
+	b.Add(6, false, []byte("world"))
+	out, done, err := b.Add(0, true, []byte("hello "))
+	if err != nil || !done || string(out) != "hello world" {
+		t.Fatalf("got %q %v %v", out, done, err)
+	}
+}
+
+func TestHoleBlocksCompletion(t *testing.T) {
+	b := NewBuffer(t0)
+	b.Add(0, true, []byte("aa"))
+	if _, done, _ := b.Add(4, false, []byte("bb")); done {
+		t.Fatal("completed with a hole")
+	}
+	out, done, _ := b.Add(2, true, []byte("cc"))
+	if !done || string(out) != "aaccbb" {
+		t.Fatalf("got %q %v", out, done)
+	}
+}
+
+func TestOverlapFirstArrivalWins(t *testing.T) {
+	b := NewBuffer(t0)
+	b.Add(0, true, []byte("AAAA"))
+	b.Add(2, true, []byte("bbbb")) // overlaps [2,4): dropped there
+	out, done, _ := b.Add(6, false, []byte("cc"))
+	if !done || string(out) != "AAAAbbcc" {
+		t.Fatalf("got %q %v", out, done)
+	}
+}
+
+func TestDuplicateFragment(t *testing.T) {
+	b := NewBuffer(t0)
+	b.Add(0, true, []byte("xx"))
+	b.Add(0, true, []byte("yy")) // exact duplicate range
+	out, done, _ := b.Add(2, false, []byte("zz"))
+	if !done || string(out) != "xxzz" {
+		t.Fatalf("got %q %v", out, done)
+	}
+}
+
+func TestInconsistentLength(t *testing.T) {
+	b := NewBuffer(t0)
+	b.Add(4, false, []byte("tail"))
+	if _, _, err := b.Add(10, false, []byte("t2")); err != ErrInconsistent {
+		t.Fatalf("two finals with different ends: %v", err)
+	}
+	b2 := NewBuffer(t0)
+	b2.Add(0, false, []byte("ab"))
+	if _, _, err := b2.Add(2, true, []byte("cd")); err != ErrInconsistent {
+		t.Fatalf("fragment beyond final end: %v", err)
+	}
+}
+
+func TestTooLong(t *testing.T) {
+	b := NewBuffer(t0)
+	if _, _, err := b.Add(maxDatagram, true, []byte("x")); err != ErrTooLong {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := b.Add(-1, true, []byte("x")); err != ErrTooLong {
+		t.Fatalf("negative offset: %v", err)
+	}
+}
+
+func TestTooManyPieces(t *testing.T) {
+	b := NewBuffer(t0)
+	var err error
+	for i := 0; i < maxPieces+1; i++ {
+		_, _, err = b.Add(i*2, true, []byte("x")) // gaps keep pieces separate
+		if err != nil {
+			break
+		}
+	}
+	if err != ErrTooManyPieces {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestZeroLengthFragment(t *testing.T) {
+	// An empty non-final fragment must not corrupt state.
+	b := NewBuffer(t0)
+	b.Add(0, true, nil)
+	out, done, err := b.Add(0, false, []byte("ab"))
+	if err != nil || !done || string(out) != "ab" {
+		t.Fatalf("got %q %v %v", out, done, err)
+	}
+}
+
+func TestSingleFragmentDatagram(t *testing.T) {
+	b := NewBuffer(t0)
+	out, done, err := b.Add(0, false, []byte("whole"))
+	if err != nil || !done || string(out) != "whole" {
+		t.Fatalf("got %q %v %v", out, done, err)
+	}
+}
+
+func TestQueueKeysIndependent(t *testing.T) {
+	q := NewQueue[int](time.Minute)
+	q.Add(1, t0, 0, true, []byte("a1"))
+	q.Add(2, t0, 0, true, []byte("b1"))
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	out, done, _ := q.Add(1, t0, 2, false, []byte("a2"))
+	if !done || string(out) != "a1a2" {
+		t.Fatalf("got %q %v", out, done)
+	}
+	if q.Len() != 1 {
+		t.Fatal("completed buffer not removed")
+	}
+}
+
+func TestQueueExpire(t *testing.T) {
+	q := NewQueue[int](10 * time.Second)
+	q.Add(1, t0, 0, true, []byte("a"))
+	q.Add(2, t0.Add(8*time.Second), 0, true, []byte("b"))
+	if n := q.Expire(t0.Add(11 * time.Second)); n != 1 {
+		t.Fatalf("expired %d", n)
+	}
+	if q.Len() != 1 {
+		t.Fatal("wrong buffer expired")
+	}
+	// Fragments for an expired datagram start a new buffer.
+	if _, done, _ := q.Add(1, t0.Add(12*time.Second), 2, false, []byte("late")); done {
+		t.Fatal("stale state survived expiry")
+	}
+}
+
+func TestQueueErrorRemovesBuffer(t *testing.T) {
+	q := NewQueue[int](time.Minute)
+	q.Add(1, t0, 4, false, []byte("tail"))
+	if _, _, err := q.Add(1, t0, 10, false, []byte("bad")); err == nil {
+		t.Fatal("expected error")
+	}
+	if q.Len() != 0 {
+		t.Fatal("errored buffer kept")
+	}
+}
+
+// Property: any partition of a payload into fragments, delivered in any
+// order, reassembles to the original.
+func TestQuickAnyOrderReassembly(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		type frag struct {
+			off  int
+			more bool
+			data []byte
+		}
+		var frags []frag
+		for off := 0; off < len(data); {
+			n := 1 + rng.Intn(len(data)-off)
+			frags = append(frags, frag{off, off+n < len(data), data[off : off+n]})
+			off += n
+		}
+		rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+		b := NewBuffer(t0)
+		var out []byte
+		var done bool
+		for _, fr := range frags {
+			var err error
+			out, done, err = b.Add(fr.off, fr.more, fr.data)
+			if err != nil {
+				return false
+			}
+		}
+		return done && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

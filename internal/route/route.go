@@ -1,0 +1,372 @@
+// Package route implements the routing table layer above the radix tree.
+//
+// The NRL IPv6 work leans on the 4.4 BSD routing table for two things
+// beyond forwarding:
+//
+//   - Path MTU discovery (§2.2): "Our implementation stores Path MTU
+//     information in host routes.  Host routes are automatically created
+//     for IP communications originating on the local machine."  The MTU
+//     field on Entry is that storage, read by TCP (for the MSS), UDP and
+//     ICMP, and written by ICMPv6 Packet Too Big processing.
+//
+//   - Neighbor Discovery (§4.3): "Our implementation uses host routes
+//     for on-link neighbors and keeps link-layer information inside the
+//     route, much as 4.4BSD implements ARP entries."  On-link prefixes
+//     are cloning network routes; sending to an on-link destination
+//     clones a host route whose Gateway is a link-layer address, and the
+//     ND state machine lives in the route's LLInfo.  Unreachable
+//     neighbors linger and are marked RTF_REJECT.
+//
+// A Table holds one radix tree per address family and emits
+// routing-socket-style messages (RTM_*) to subscribers, the mechanism
+// the paper compares PF_KEY to (§3.1, §6.2).
+package route
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/radix"
+)
+
+// Route flags, following 4.4 BSD's RTF_* values in spirit.
+const (
+	FlagUp       = 1 << iota // route usable
+	FlagGateway              // destination reached via a gateway
+	FlagHost                 // host route (full-length prefix)
+	FlagCloning              // network route that clones host routes on use
+	FlagLLInfo               // gateway is a link-layer address (ND/ARP entry)
+	FlagReject               // negative entry: fail sends immediately
+	FlagDynamic              // created dynamically (by cloning or redirect)
+	FlagModified             // modified dynamically (e.g. by PMTU discovery)
+	FlagLocal                // destination is one of our own addresses
+	FlagStatic               // manually added
+)
+
+// FlagString renders route flags the way netstat -r would.
+func FlagString(f int) string {
+	s := ""
+	for _, fl := range []struct {
+		bit int
+		ch  byte
+	}{
+		{FlagUp, 'U'}, {FlagGateway, 'G'}, {FlagHost, 'H'}, {FlagCloning, 'C'},
+		{FlagLLInfo, 'L'}, {FlagReject, 'R'}, {FlagDynamic, 'D'},
+		{FlagModified, 'M'}, {FlagLocal, 'l'}, {FlagStatic, 'S'},
+	} {
+		if f&fl.bit != 0 {
+			s += string(fl.ch)
+		}
+	}
+	return s
+}
+
+// Entry is a routing table entry (BSD's struct rtentry).
+type Entry struct {
+	Family inet.Family
+	Dst    []byte // destination address bytes (4 or 16)
+	Plen   int    // prefix length in bits
+	// Gateway is the next hop: an inet.IP4 / inet.IP6 for indirect
+	// routes, or an inet.LinkAddr for link-layer (ND/ARP) host routes.
+	Gateway any
+	Flags   int
+	IfName  string // outgoing interface
+
+	// MTU is the path MTU for this destination; 0 means "use the
+	// interface MTU". Updated by ICMPv6 Packet Too Big (§2.2).
+	MTU int
+
+	// Expire, if nonzero, is when the entry should be discarded or
+	// (for neighbor entries) re-verified.
+	Expire time.Time
+
+	// LLInfo carries protocol-private state: the ND reachability
+	// machine for neighbor host routes.
+	LLInfo any
+
+	// Use counts packets routed via this entry.
+	Use uint64
+}
+
+// Host reports whether e is a host (full-prefix) route.
+func (e *Entry) Host() bool { return e.Flags&FlagHost != 0 }
+
+func (e *Entry) dstString() string {
+	switch e.Family {
+	case inet.AFInet:
+		var a inet.IP4
+		copy(a[:], e.Dst)
+		if e.Host() {
+			return a.String()
+		}
+		return fmt.Sprintf("%s/%d", a.String(), e.Plen)
+	case inet.AFInet6:
+		var a inet.IP6
+		copy(a[:], e.Dst)
+		if e.Host() {
+			return a.String()
+		}
+		return fmt.Sprintf("%s/%d", a.String(), e.Plen)
+	}
+	return fmt.Sprintf("%x/%d", e.Dst, e.Plen)
+}
+
+func (e *Entry) String() string {
+	gw := ""
+	switch g := e.Gateway.(type) {
+	case inet.IP4:
+		gw = g.String()
+	case inet.IP6:
+		gw = g.String()
+	case inet.LinkAddr:
+		gw = g.String()
+	case nil:
+		gw = "-"
+	default:
+		gw = fmt.Sprint(g)
+	}
+	return fmt.Sprintf("%-28s %-20s %-8s %s", e.dstString(), gw, FlagString(e.Flags), e.IfName)
+}
+
+// Message types for the routing message stream (BSD's RTM_*).
+type MsgType int
+
+const (
+	MsgAdd     MsgType = iota + 1 // route added
+	MsgDelete                     // route deleted
+	MsgChange                     // route modified (gateway, MTU, flags)
+	MsgMiss                       // lookup failed
+	MsgResolve                    // host route cloned from a cloning route
+)
+
+func (m MsgType) String() string {
+	switch m {
+	case MsgAdd:
+		return "RTM_ADD"
+	case MsgDelete:
+		return "RTM_DELETE"
+	case MsgChange:
+		return "RTM_CHANGE"
+	case MsgMiss:
+		return "RTM_MISS"
+	case MsgResolve:
+		return "RTM_RESOLVE"
+	}
+	return fmt.Sprintf("RTM_%d", int(m))
+}
+
+// Message is one routing-socket message.
+type Message struct {
+	Type  MsgType
+	Entry *Entry // nil for MsgMiss
+	Dst   []byte // the address that missed, for MsgMiss
+}
+
+// Table is a dual-family routing table.
+type Table struct {
+	mu   sync.Mutex
+	v4   *radix.Tree
+	v6   *radix.Tree
+	subs []chan Message
+
+	// Now is the clock; tests may replace it.
+	Now func() time.Time
+}
+
+// NewTable returns an empty routing table.
+func NewTable() *Table {
+	return &Table{v4: radix.New(4), v6: radix.New(16), Now: time.Now}
+}
+
+func (t *Table) tree(f inet.Family) *radix.Tree {
+	if f == inet.AFInet {
+		return t.v4
+	}
+	return t.v6
+}
+
+// Subscribe registers a routing message channel. Messages are sent
+// non-blocking: a full subscriber misses messages rather than stalling
+// the stack (as a full routing socket buffer drops messages in BSD).
+func (t *Table) Subscribe(buf int) chan Message {
+	ch := make(chan Message, buf)
+	t.mu.Lock()
+	t.subs = append(t.subs, ch)
+	t.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes a channel registered with Subscribe.
+func (t *Table) Unsubscribe(ch chan Message) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, c := range t.subs {
+		if c == ch {
+			t.subs = append(t.subs[:i], t.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// notify must be called with t.mu held.
+func (t *Table) notify(m Message) {
+	for _, ch := range t.subs {
+		select {
+		case ch <- m:
+		default:
+		}
+	}
+}
+
+func keyBytes(f inet.Family, dst []byte) []byte {
+	want := 4
+	if f == inet.AFInet6 {
+		want = 16
+	}
+	if len(dst) != want {
+		panic(fmt.Sprintf("route: family %v with %d-byte destination", f, len(dst)))
+	}
+	return dst
+}
+
+// Add inserts a route. An existing route for the same prefix is
+// replaced.
+func (t *Table) Add(e *Entry) *Entry {
+	keyBytes(e.Family, e.Dst)
+	if e.Plen == len(e.Dst)*8 {
+		e.Flags |= FlagHost
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tree(e.Family).Insert(e.Dst, e.Plen, e)
+	t.notify(Message{Type: MsgAdd, Entry: e})
+	return e
+}
+
+// Delete removes the route for exactly dst/plen.
+func (t *Table) Delete(f inet.Family, dst []byte, plen int) (*Entry, bool) {
+	keyBytes(f, dst)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.tree(f).Delete(dst, plen)
+	if !ok {
+		return nil, false
+	}
+	e := v.(*Entry)
+	t.notify(Message{Type: MsgDelete, Entry: e})
+	return e, true
+}
+
+// Get returns the route for exactly dst/plen.
+func (t *Table) Get(f inet.Family, dst []byte, plen int) (*Entry, bool) {
+	keyBytes(f, dst)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.tree(f).LookupExact(dst, plen)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Entry), true
+}
+
+// Lookup finds the most specific usable route to dst, performing BSD's
+// rtalloc cloning: a match on an RTF_CLONING network route creates and
+// returns a host route for dst (this is how on-link IPv6 prefixes spawn
+// the neighbor host routes that ND then fills in, and how host routes
+// "automatically created for IP communications originating on the
+// local machine" come to exist for PMTU storage).
+func (t *Table) Lookup(f inet.Family, dst []byte) (*Entry, bool) {
+	keyBytes(f, dst)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lookupLocked(f, dst)
+}
+
+func (t *Table) lookupLocked(f inet.Family, dst []byte) (*Entry, bool) {
+	v, ok := t.tree(f).Lookup(dst)
+	if !ok {
+		t.notify(Message{Type: MsgMiss, Dst: append([]byte(nil), dst...)})
+		return nil, false
+	}
+	e := v.(*Entry)
+	if !e.Expire.IsZero() && e.Flags&FlagLLInfo == 0 && t.Now().After(e.Expire) {
+		// Expired non-neighbor dynamic route: drop and retry.
+		// (Neighbor routes expire under ND's control, not here.)
+		t.tree(f).Delete(e.Dst, e.Plen)
+		t.notify(Message{Type: MsgDelete, Entry: e})
+		return t.lookupLocked(f, dst)
+	}
+	if e.Flags&FlagCloning != 0 {
+		clone := &Entry{
+			Family:  f,
+			Dst:     append([]byte(nil), dst...),
+			Plen:    len(dst) * 8,
+			Gateway: e.Gateway,
+			Flags:   FlagUp | FlagHost | FlagDynamic | (e.Flags & FlagLLInfo),
+			IfName:  e.IfName,
+			MTU:     e.MTU,
+		}
+		t.tree(f).Insert(clone.Dst, clone.Plen, clone)
+		t.notify(Message{Type: MsgResolve, Entry: clone})
+		e = clone
+	}
+	e.Use++
+	return e, true
+}
+
+// Change updates an existing route in place under the table lock and
+// emits RTM_CHANGE. The update function must not call back into the
+// table.
+func (t *Table) Change(e *Entry, update func(*Entry)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	update(e)
+	e.Flags |= FlagModified
+	t.notify(Message{Type: MsgChange, Entry: e})
+}
+
+// Mutate runs fn with the table lock held.  Entry fields that change
+// after insertion — Gateway, Flags, Expire, MTU, LLInfo — are guarded
+// by this lock; protocol code (ARP, ND, PMTU) must read and write them
+// inside Mutate/View.  fn must not call other Table methods.
+func (t *Table) Mutate(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fn()
+}
+
+// View is Mutate's read-side alias, for consistent snapshots of entry
+// fields.
+func (t *Table) View(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fn()
+}
+
+// Walk visits every route of the family in key order.
+func (t *Table) Walk(f inet.Family, fn func(*Entry) bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tree(f).Walk(func(_ []byte, _ int, v any) bool {
+		return fn(v.(*Entry))
+	})
+}
+
+// Len returns the number of routes in the given family.
+func (t *Table) Len(f inet.Family) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tree(f).Len()
+}
+
+// Dump renders the table like netstat -r.
+func (t *Table) Dump(f inet.Family) string {
+	out := fmt.Sprintf("%-28s %-20s %-8s %s\n", "Destination", "Gateway", "Flags", "Netif")
+	t.Walk(f, func(e *Entry) bool {
+		out += e.String() + "\n"
+		return true
+	})
+	return out
+}

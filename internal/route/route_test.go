@@ -1,0 +1,256 @@
+package route
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bsd6/internal/inet"
+)
+
+func ip6(t *testing.T, s string) inet.IP6 {
+	t.Helper()
+	a, err := inet.ParseIP6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAddLookupHostFlag(t *testing.T) {
+	tb := NewTable()
+	dst := ip6(t, "2001:db8::1")
+	e := tb.Add(&Entry{Family: inet.AFInet6, Dst: dst[:], Plen: 128, Flags: FlagUp, IfName: "sim0"})
+	if !e.Host() {
+		t.Fatal("full-length prefix must set FlagHost")
+	}
+	got, ok := tb.Lookup(inet.AFInet6, dst[:])
+	if !ok || got != e {
+		t.Fatal("lookup of host route")
+	}
+	if got.Use != 1 {
+		t.Fatalf("Use = %d", got.Use)
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	tb := NewTable()
+	ch := tb.Subscribe(4)
+	dst := ip6(t, "2001:db8::1")
+	if _, ok := tb.Lookup(inet.AFInet6, dst[:]); ok {
+		t.Fatal("lookup in empty table succeeded")
+	}
+	select {
+	case m := <-ch:
+		if m.Type != MsgMiss {
+			t.Fatalf("message type %v", m.Type)
+		}
+	default:
+		t.Fatal("no RTM_MISS message")
+	}
+}
+
+func TestCloningCreatesHostRoute(t *testing.T) {
+	tb := NewTable()
+	ch := tb.Subscribe(4)
+	prefix := ip6(t, "2001:db8:1::")
+	tb.Add(&Entry{
+		Family: inet.AFInet6, Dst: prefix[:], Plen: 64,
+		Flags: FlagUp | FlagCloning | FlagLLInfo, IfName: "sim0", MTU: 1500,
+	})
+	<-ch // RTM_ADD
+	dst := ip6(t, "2001:db8:1::42")
+	e, ok := tb.Lookup(inet.AFInet6, dst[:])
+	if !ok {
+		t.Fatal("lookup via cloning route failed")
+	}
+	if !e.Host() || e.Flags&FlagDynamic == 0 || e.Flags&FlagLLInfo == 0 {
+		t.Fatalf("clone flags = %s", FlagString(e.Flags))
+	}
+	if e.MTU != 1500 || e.IfName != "sim0" {
+		t.Fatalf("clone did not inherit MTU/ifname: %+v", e)
+	}
+	m := <-ch
+	if m.Type != MsgResolve {
+		t.Fatalf("expected RTM_RESOLVE, got %v", m.Type)
+	}
+	// Second lookup returns the same host route, no second clone.
+	e2, _ := tb.Lookup(inet.AFInet6, dst[:])
+	if e2 != e {
+		t.Fatal("second lookup cloned again")
+	}
+	if tb.Len(inet.AFInet6) != 2 {
+		t.Fatalf("table size = %d", tb.Len(inet.AFInet6))
+	}
+}
+
+func TestPMTUStoredInHostRoute(t *testing.T) {
+	// The §2.2 pattern: a host route is cloned for a destination, and
+	// Packet Too Big processing lowers its MTU via Change.
+	tb := NewTable()
+	prefix := ip6(t, "2001:db8:1::")
+	tb.Add(&Entry{Family: inet.AFInet6, Dst: prefix[:], Plen: 64,
+		Flags: FlagUp | FlagCloning, IfName: "sim0", MTU: 1500})
+	dst := ip6(t, "2001:db8:1::9")
+	e, _ := tb.Lookup(inet.AFInet6, dst[:])
+	ch := tb.Subscribe(1)
+	tb.Change(e, func(e *Entry) { e.MTU = 1280 })
+	if e.MTU != 1280 || e.Flags&FlagModified == 0 {
+		t.Fatal("Change did not apply")
+	}
+	if m := <-ch; m.Type != MsgChange {
+		t.Fatalf("expected RTM_CHANGE, got %v", m.Type)
+	}
+	// The network route is untouched; a different destination clones
+	// with the original MTU.
+	other := ip6(t, "2001:db8:1::10")
+	e2, _ := tb.Lookup(inet.AFInet6, other[:])
+	if e2.MTU != 1500 {
+		t.Fatal("PMTU leaked to unrelated destination")
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tb := NewTable()
+	var zero inet.IP6
+	gw := ip6(t, "fe80::1")
+	tb.Add(&Entry{Family: inet.AFInet6, Dst: zero[:], Plen: 0,
+		Flags: FlagUp | FlagGateway, Gateway: gw, IfName: "sim0"})
+	dst := ip6(t, "2607:f8b0::99")
+	e, ok := tb.Lookup(inet.AFInet6, dst[:])
+	if !ok || e.Flags&FlagGateway == 0 {
+		t.Fatal("default route not used")
+	}
+	if g, _ := e.Gateway.(inet.IP6); g != gw {
+		t.Fatal("gateway lost")
+	}
+}
+
+func TestMoreSpecificWins(t *testing.T) {
+	tb := NewTable()
+	var zero inet.IP6
+	tb.Add(&Entry{Family: inet.AFInet6, Dst: zero[:], Plen: 0, Flags: FlagUp, IfName: "default"})
+	p := ip6(t, "2001:db8::")
+	tb.Add(&Entry{Family: inet.AFInet6, Dst: p[:], Plen: 32, Flags: FlagUp, IfName: "specific"})
+	dst := ip6(t, "2001:db8::5")
+	e, _ := tb.Lookup(inet.AFInet6, dst[:])
+	if e.IfName != "specific" {
+		t.Fatalf("matched %s", e.IfName)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tb := NewTable()
+	dst := ip6(t, "2001:db8::1")
+	tb.Add(&Entry{Family: inet.AFInet6, Dst: dst[:], Plen: 128, Flags: FlagUp})
+	ch := tb.Subscribe(2)
+	e, ok := tb.Delete(inet.AFInet6, dst[:], 128)
+	if !ok || e == nil {
+		t.Fatal("delete failed")
+	}
+	if m := <-ch; m.Type != MsgDelete {
+		t.Fatalf("expected RTM_DELETE, got %v", m.Type)
+	}
+	if _, ok := tb.Delete(inet.AFInet6, dst[:], 128); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	tb := NewTable()
+	now := time.Unix(1000, 0)
+	tb.Now = func() time.Time { return now }
+	dst := ip6(t, "2001:db8::1")
+	tb.Add(&Entry{Family: inet.AFInet6, Dst: dst[:], Plen: 128,
+		Flags: FlagUp | FlagDynamic, Expire: now.Add(10 * time.Second)})
+	if _, ok := tb.Lookup(inet.AFInet6, dst[:]); !ok {
+		t.Fatal("fresh dynamic route should match")
+	}
+	now = now.Add(time.Minute)
+	if _, ok := tb.Lookup(inet.AFInet6, dst[:]); ok {
+		t.Fatal("expired route still matched")
+	}
+	if tb.Len(inet.AFInet6) != 0 {
+		t.Fatal("expired route not removed")
+	}
+}
+
+func TestNeighborRoutesExpireUnderNDControl(t *testing.T) {
+	// Routes flagged LLInfo (neighbor entries) are not reaped by
+	// Lookup even when Expire has passed — ND decides their fate
+	// (lingering + RTF_REJECT, §4.3).
+	tb := NewTable()
+	now := time.Unix(1000, 0)
+	tb.Now = func() time.Time { return now }
+	dst := ip6(t, "fe80::2")
+	tb.Add(&Entry{Family: inet.AFInet6, Dst: dst[:], Plen: 128,
+		Flags:  FlagUp | FlagLLInfo | FlagHost,
+		Expire: now.Add(-time.Second)})
+	if _, ok := tb.Lookup(inet.AFInet6, dst[:]); !ok {
+		t.Fatal("neighbor route reaped by Lookup")
+	}
+}
+
+func TestV4Table(t *testing.T) {
+	tb := NewTable()
+	net := inet.IP4{10, 0, 0, 0}
+	tb.Add(&Entry{Family: inet.AFInet, Dst: net[:], Plen: 8, Flags: FlagUp | FlagCloning, IfName: "sim0"})
+	dst := inet.IP4{10, 1, 2, 3}
+	e, ok := tb.Lookup(inet.AFInet, dst[:])
+	if !ok || !e.Host() {
+		t.Fatal("v4 cloning lookup")
+	}
+	if tb.Len(inet.AFInet) != 2 || tb.Len(inet.AFInet6) != 0 {
+		t.Fatal("families must be independent")
+	}
+}
+
+func TestSubscribeNonBlocking(t *testing.T) {
+	tb := NewTable()
+	ch := tb.Subscribe(1) // tiny buffer
+	a := inet.IP4{1, 1, 1, 1}
+	b := inet.IP4{2, 2, 2, 2}
+	tb.Add(&Entry{Family: inet.AFInet, Dst: a[:], Plen: 32, Flags: FlagUp})
+	tb.Add(&Entry{Family: inet.AFInet, Dst: b[:], Plen: 32, Flags: FlagUp}) // dropped, must not block
+	if len(ch) != 1 {
+		t.Fatalf("queued %d", len(ch))
+	}
+	tb.Unsubscribe(ch)
+	c := inet.IP4{3, 3, 3, 3}
+	tb.Add(&Entry{Family: inet.AFInet, Dst: c[:], Plen: 32, Flags: FlagUp})
+	if len(ch) != 1 {
+		t.Fatal("unsubscribed channel still receiving")
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	s := FlagString(FlagUp | FlagHost | FlagLLInfo | FlagReject)
+	if s != "UHLR" {
+		t.Fatalf("FlagString = %q", s)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	tb := NewTable()
+	dst := ip6(t, "fe80::2")
+	mac := inet.LinkAddr{0, 1, 2, 3, 4, 5}
+	tb.Add(&Entry{Family: inet.AFInet6, Dst: dst[:], Plen: 128,
+		Flags: FlagUp | FlagLLInfo, Gateway: mac, IfName: "sim0"})
+	out := tb.Dump(inet.AFInet6)
+	if !strings.Contains(out, "fe80::2") || !strings.Contains(out, "00:01:02:03:04:05") {
+		t.Fatalf("dump:\n%s", out)
+	}
+	if !strings.Contains(out, "UHL") {
+		t.Fatalf("dump flags missing:\n%s", out)
+	}
+}
+
+func TestBadKeyPanics(t *testing.T) {
+	tb := NewTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong-size destination")
+		}
+	}()
+	tb.Lookup(inet.AFInet6, []byte{1, 2, 3, 4})
+}

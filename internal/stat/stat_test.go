@@ -1,0 +1,40 @@
+package stat
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Get() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Get() != 42 {
+		t.Fatalf("got %d", c.Get())
+	}
+	if s := fmt.Sprintf("%v", &c); s != "42" {
+		t.Fatalf("String: %q", s)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get() != 8000 {
+		t.Fatalf("lost increments: %d", c.Get())
+	}
+}

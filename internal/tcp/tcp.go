@@ -1,0 +1,599 @@
+package tcp
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/ipv4"
+	"bsd6/internal/ipv6"
+	"bsd6/internal/mbuf"
+	"bsd6/internal/pcb"
+	"bsd6/internal/proto"
+	"bsd6/internal/stat"
+)
+
+// Connection states.
+type State int
+
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateCloseWait
+	StateFinWait1
+	StateClosing
+	StateLastAck
+	StateFinWait2
+	StateTimeWait
+)
+
+func (s State) String() string {
+	return [...]string{"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+		"CLOSE_WAIT", "FIN_WAIT_1", "CLOSING", "LAST_ACK", "FIN_WAIT_2", "TIME_WAIT"}[s]
+}
+
+// Timer and protocol constants, in BSD's tick units: the slow timeout
+// runs every 500ms, the fast (delayed-ACK) timeout every 200ms.
+const (
+	// SlowTickInterval and FastTickInterval are the cadences at which
+	// SlowTimo and FastTimo expect to be driven.
+	SlowTickInterval = 500 * time.Millisecond
+	FastTickInterval = 200 * time.Millisecond
+
+	rtoMin     = 2   // 1s in slow ticks
+	rtoMax     = 128 // 64s
+	rexmtMax   = 12  // retransmissions before giving up
+	msl        = 4   // 2s in slow ticks (scaled down for the simulation)
+	connTicks  = 150 // 75s connection-establishment timer
+	defaultMSS = 512
+)
+
+// Errors delivered to sockets.
+var (
+	ErrRefused  = errors.New("tcp: connection refused")
+	ErrReset    = errors.New("tcp: connection reset by peer")
+	ErrTimeout  = errors.New("tcp: connection timed out")
+	ErrClosed   = errors.New("tcp: connection closed")
+	ErrListenQ  = errors.New("tcp: not a listening connection")
+	ErrNotConn  = errors.New("tcp: not connected")
+	ErrHostDown = errors.New("tcp: no route to host")
+)
+
+// Stats counts TCP events (netstat's tcpstat).
+type Stats struct {
+	ConnAttempt   stat.Counter
+	ConnAccepts   stat.Counter
+	ConnEstab     stat.Counter
+	ConnDrops     stat.Counter
+	SndPack       stat.Counter
+	SndByte       stat.Counter
+	SndRexmit     stat.Counter
+	RcvPack       stat.Counter
+	RcvByte       stat.Counter
+	RcvBadSum     stat.Counter
+	RcvDupPack    stat.Counter
+	RcvOutOfOrder stat.Counter
+	RcvAfterWin   stat.Counter
+	Reass4        stat.Counter // segments through tcp_reass
+	Reass6        stat.Counter // segments through tcpv6_reass
+	DelAcks       stat.Counter
+	RstOut        stat.Counter
+	PolicyDrops   stat.Counter
+	PersistProbe  stat.Counter
+	FastRexmit    stat.Counter
+}
+
+// TCP is the TCP protocol instance of one stack.
+type TCP struct {
+	mu    sync.Mutex
+	Table *pcb.Table
+	v4    *ipv4.Layer
+	v6    *ipv6.Layer
+
+	// InputPolicy is ipsec_input_policy (§5.3); nil means permit.
+	InputPolicy func(pkt *mbuf.Mbuf, dst inet.IP6, socket any) bool
+	// InputPolicyPort, when set, is used instead of InputPolicy and
+	// sees the local port (per-port administrative policy, §3.5).
+	InputPolicyPort func(pkt *mbuf.Mbuf, dst inet.IP6, socket any, lport uint16) bool
+	// AllowError gates ICMP error delivery upward (§5.1).
+	AllowError func() bool
+	// Confirm reports forward progress to neighbor discovery (§4.3:
+	// upper-level protocols confirming reachability).
+	Confirm func(dst inet.IP6)
+	// SecOverhead estimates per-packet security wrapping overhead for
+	// a socket (ipsec_hdrsiz); subtracted from the MSS.
+	SecOverhead func(socket any) int
+	// FatalOutErr classifies IP-output errors that must surface on the
+	// connection (§3.3: a security processing failure drops the packet
+	// "and the user will be given the EIPSEC error"). Transient errors
+	// — path-MTU races, neighbor resolution in progress — return
+	// false and the retransmission machinery rides them out.
+	FatalOutErr func(error) bool
+
+	Stats Stats
+
+	iss   uint32
+	conns map[*Conn]struct{}
+
+	// outbox collects segments to transmit after the lock drops, so a
+	// synchronously delivered reply cannot deadlock on re-entry.
+	outbox  []outSeg
+	wakeups []func()
+}
+
+type outSeg struct {
+	v6       bool
+	src, dst inet.IP6
+	pkt      *mbuf.Mbuf
+	flow     uint32
+	sock     any
+	conn     *Conn // for surfacing fatal output errors; nil for RSTs
+}
+
+// New creates the TCP instance and registers it with both IP layers.
+func New(v4l *ipv4.Layer, v6l *ipv6.Layer) *TCP {
+	t := &TCP{Table: pcb.NewTable(), v4: v4l, v6: v6l, conns: make(map[*Conn]struct{})}
+	if v4l != nil {
+		v4l.Register(proto.TCP, t.input, t.ctlInput)
+	}
+	if v6l != nil {
+		v6l.Register(proto.TCP, t.input, t.ctlInput)
+	}
+	return t
+}
+
+// Conn is a TCP connection (struct tcpcb).
+type Conn struct {
+	t   *TCP
+	pcb *pcb.PCB
+	// pf is the new tcpcb member of §5.3: the protocol family in use
+	// for this session, consulted wherever a version-specific branch
+	// is needed.
+	pf    inet.Family
+	state State
+
+	// Send sequence space.
+	iss                    uint32
+	sndUna, sndNxt, sndMax uint32
+	sndWnd                 int
+	cwnd, ssthresh         int
+	dupAcks                int
+	sndBuf                 []byte // bytes from sndUna upward
+	SndBufMax              int
+	sndClosed              bool // FIN queued behind the buffered data
+	finSeq                 uint32
+	finQueued              bool
+
+	// Receive sequence space.
+	irs       uint32
+	rcvNxt    uint32
+	rcvAdv    uint32
+	rcvBuf    []byte
+	RcvBufMax int
+	reassQ    []rseg
+	rcvClosed bool
+
+	// RTT estimation (Jacobson), in slow ticks.
+	srtt, rttvar int
+	rto          int
+	rttSeq       uint32
+	rttTicks     int // -1 when no measurement in flight
+	ticks        int // connection tick counter
+
+	// Timers, in remaining slow ticks; 0 means stopped.
+	tRexmt, tPersist, t2msl, tConn int
+	rexmtShift                     int
+
+	mss     int
+	delack  bool
+	needAck bool
+	err     error
+
+	// Listener state.
+	listening bool
+	backlog   int
+	acceptQ   []*Conn
+	parent    *Conn // listener this connection was spawned from
+
+	// Wakeup is invoked (outside the stack lock) whenever readable,
+	// writable, state or error conditions may have changed.
+	Wakeup func()
+}
+
+type rseg struct {
+	seq  uint32
+	data []byte
+	fin  bool
+}
+
+// Conns returns a snapshot of all connection blocks, for netstat.
+func (t *TCP) Conns() []*Conn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Conn, 0, len(t.conns))
+	for c := range t.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Listening reports whether the connection is a passive listener.
+func (c *Conn) Listening() bool {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	return c.listening
+}
+
+// Attach creates a connection block on a fresh PCB.
+func (t *TCP) Attach(family inet.Family, socket any) *Conn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &Conn{
+		t: t, pf: family, state: StateClosed,
+		SndBufMax: 32768, RcvBufMax: 32768,
+		rttTicks: -1, rto: rtoMin,
+		mss: defaultMSS,
+	}
+	c.pcb = t.Table.Attach(family, socket)
+	c.pcb.Owner = c
+	t.conns[c] = struct{}{}
+	return c
+}
+
+// PCB exposes the connection's protocol control block.
+func (c *Conn) PCB() *pcb.PCB { return c.pcb }
+
+// State returns the connection state.
+func (c *Conn) State() State {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	return c.state
+}
+
+// Err returns the terminal error, if any.
+func (c *Conn) Err() error {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	return c.err
+}
+
+// MSS returns the effective maximum segment size.
+func (c *Conn) MSS() int {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	return c.mss
+}
+
+// Bind sets the local address/port.
+func (c *Conn) Bind(laddr inet.IP6, lport uint16) error {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	return c.t.Table.Bind(c.pcb, laddr, lport)
+}
+
+// Listen makes the connection passive.
+func (c *Conn) Listen(backlog int) error {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	if c.pcb.LPort == 0 {
+		if err := c.t.Table.Bind(c.pcb, c.pcb.LAddr, 0); err != nil {
+			return err
+		}
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	c.listening = true
+	c.backlog = backlog
+	c.state = StateListen
+	return nil
+}
+
+// Accept dequeues an established child connection, or returns nil.
+func (c *Conn) Accept() *Conn {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	if len(c.acceptQ) == 0 {
+		return nil
+	}
+	child := c.acceptQ[0]
+	c.acceptQ = c.acceptQ[1:]
+	return child
+}
+
+// nextISS generates an initial send sequence (BSD's tcp_iss += TCP_ISSINCR).
+func (t *TCP) nextISS() uint32 {
+	t.iss += 64000
+	return t.iss
+}
+
+// Connect begins the three-way handshake. Completion (or failure) is
+// signaled through Wakeup; poll State/Err.
+func (c *Conn) Connect(faddr inet.IP6, fport uint16) error {
+	t := c.t
+	t.mu.Lock()
+	if err := t.Table.Connect(c.pcb, faddr, fport); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	// Fix the local address now (in_pcbconnect): the checksum needs it.
+	if c.pcb.LAddr.IsUnspecified() {
+		if v4, ok := faddr.MappedV4(); ok {
+			if s, found := t.v4.SourceFor(v4); found {
+				c.pcb.LAddr = inet.V4Mapped(s)
+			} else {
+				c.pcb.LAddr = inet.V4Mapped(v4) // local destination
+			}
+		} else if s, found := t.v6.SourceFor(faddr, nil); found {
+			c.pcb.LAddr = s
+		} else {
+			c.pcb.LAddr = faddr // local destination
+		}
+	}
+	c.mss = t.pathMSS(c.pcb)
+	c.iss = t.nextISS()
+	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
+	c.cwnd = c.mss
+	c.ssthresh = 65535
+	c.state = StateSynSent
+	c.tConn = connTicks
+	t.Stats.ConnAttempt.Inc()
+	c.output()
+	t.mu.Unlock()
+	t.flush()
+	return nil
+}
+
+// Send appends data to the send buffer, returning how many bytes were
+// accepted (0 when the buffer is full; wait for Wakeup).
+func (c *Conn) Send(data []byte) (int, error) {
+	t := c.t
+	t.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		t.mu.Unlock()
+		return 0, err
+	}
+	switch c.state {
+	case StateEstablished, StateCloseWait:
+	case StateSynSent, StateSynRcvd:
+		// Buffer ahead of establishment.
+	default:
+		t.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if c.sndClosed {
+		t.mu.Unlock()
+		return 0, ErrClosed
+	}
+	space := c.SndBufMax - len(c.sndBuf)
+	if space <= 0 {
+		t.mu.Unlock()
+		return 0, nil
+	}
+	n := len(data)
+	if n > space {
+		n = space
+	}
+	c.sndBuf = append(c.sndBuf, data[:n]...)
+	if c.state == StateEstablished || c.state == StateCloseWait {
+		c.output()
+	}
+	t.mu.Unlock()
+	t.flush()
+	return n, nil
+}
+
+// Recv takes up to n bytes from the receive buffer. It returns
+// (nil, nil) when no data is available yet, and (nil, ErrClosed) at
+// end of stream.
+func (c *Conn) Recv(n int) ([]byte, error) {
+	t := c.t
+	t.mu.Lock()
+	if len(c.rcvBuf) == 0 {
+		if c.err != nil {
+			err := c.err
+			t.mu.Unlock()
+			return nil, err
+		}
+		if c.rcvClosed || c.state == StateClosed {
+			t.mu.Unlock()
+			return nil, ErrClosed
+		}
+		t.mu.Unlock()
+		return nil, nil
+	}
+	if n > len(c.rcvBuf) {
+		n = len(c.rcvBuf)
+	}
+	out := c.rcvBuf[:n:n]
+	c.rcvBuf = c.rcvBuf[n:]
+	// The freed buffer space may open the advertised window enough to
+	// deserve a window update.
+	if c.state == StateEstablished && int(c.rcvAdv-c.rcvNxt) < c.rcvSpace()/2 {
+		c.needAck = true
+		c.output()
+	}
+	t.mu.Unlock()
+	t.flush()
+	return out, nil
+}
+
+// Buffered returns the bytes queued in each direction, for pollers.
+func (c *Conn) Buffered() (rcv, snd int) {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	return len(c.rcvBuf), len(c.sndBuf)
+}
+
+// Close half-closes the send direction (queues a FIN after the
+// buffered data).
+func (c *Conn) Close() error {
+	t := c.t
+	t.mu.Lock()
+	switch c.state {
+	case StateClosed, StateListen, StateSynSent:
+		c.closeLocked(nil)
+		t.mu.Unlock()
+		t.flush()
+		return nil
+	case StateSynRcvd, StateEstablished:
+		c.state = StateFinWait1
+	case StateCloseWait:
+		c.state = StateLastAck
+	default:
+		t.mu.Unlock()
+		return nil
+	}
+	c.sndClosed = true
+	c.output()
+	t.mu.Unlock()
+	t.flush()
+	return nil
+}
+
+// Abort sends RST and discards the connection.
+func (c *Conn) Abort() {
+	t := c.t
+	t.mu.Lock()
+	if c.state != StateClosed && c.state != StateListen && c.state != StateSynSent {
+		c.sendRST()
+	}
+	c.closeLocked(ErrClosed)
+	t.mu.Unlock()
+	t.flush()
+}
+
+// closeLocked tears the connection down. Caller holds t.mu.
+func (c *Conn) closeLocked(err error) {
+	if c.state == StateClosed && c.err != nil {
+		return
+	}
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	c.state = StateClosed
+	c.tRexmt, c.tPersist, c.t2msl, c.tConn = 0, 0, 0, 0
+	c.t.Table.Detach(c.pcb)
+	delete(c.t.conns, c)
+	c.wakeupLocked()
+}
+
+// drop is tcp_drop: close with an error and notify.
+func (c *Conn) drop(err error) {
+	c.t.Stats.ConnDrops.Inc()
+	c.closeLocked(err)
+}
+
+func (c *Conn) wakeupLocked() {
+	if c.Wakeup != nil {
+		c.t.wakeups = append(c.t.wakeups, c.Wakeup)
+	}
+}
+
+// rcvSpace is the receive window the connection can advertise.
+func (c *Conn) rcvSpace() int {
+	n := c.RcvBufMax - len(c.rcvBuf)
+	if n < 0 {
+		n = 0
+	}
+	if n > 65535 {
+		n = 65535
+	}
+	return n
+}
+
+// pathMSS derives the starting MSS from the route's path MTU ("Our
+// implementation stores Path MTU information in host routes ...
+// making this data available to TCP", §2.2).
+func (t *TCP) pathMSS(p *pcb.PCB) int {
+	var mtu int
+	var hdrs int
+	if v4, ok := p.FAddr.MappedV4(); ok {
+		hdrs = ipv4.HeaderLen + HeaderLen
+		if rt, found := t.v4.Routes().Lookup(inet.AFInet, v4[:]); found {
+			t.v4.Routes().View(func() { mtu = rt.MTU })
+			if ifp := t.ifMTU(false, rt.IfName); ifp > 0 && (mtu == 0 || ifp < mtu) {
+				mtu = ifp
+			}
+		}
+	} else {
+		hdrs = ipv6.HeaderLen + HeaderLen
+		if rt, found := t.v6.Routes().Lookup(inet.AFInet6, p.FAddr[:]); found {
+			t.v6.Routes().View(func() { mtu = rt.MTU })
+			if ifp := t.ifMTU(true, rt.IfName); ifp > 0 && (mtu == 0 || ifp < mtu) {
+				mtu = ifp
+			}
+		}
+	}
+	if mtu == 0 {
+		return defaultMSS
+	}
+	mss := mtu - hdrs
+	if t.SecOverhead != nil {
+		mss -= t.SecOverhead(p.Socket)
+	}
+	if mss < 32 {
+		mss = 32
+	}
+	return mss
+}
+
+func (t *TCP) ifMTU(v6 bool, name string) int {
+	if v6 {
+		if ifp := t.v6.Interface(name); ifp != nil {
+			return ifp.MTU()
+		}
+		return 0
+	}
+	if ifp := t.v4.Interface(name); ifp != nil {
+		return ifp.MTU()
+	}
+	return 0
+}
+
+// flush transmits queued segments and runs queued wakeups. Must be
+// called WITHOUT t.mu held.
+func (t *TCP) flush() {
+	for {
+		t.mu.Lock()
+		segs := t.outbox
+		wake := t.wakeups
+		t.outbox = nil
+		t.wakeups = nil
+		t.mu.Unlock()
+		if len(segs) == 0 && len(wake) == 0 {
+			return
+		}
+		for _, s := range segs {
+			var err error
+			if s.v6 {
+				err = t.v6.Output(s.pkt, s.src, s.dst, proto.TCP, ipv6.OutputOpts{
+					FlowInfo: s.flow, Socket: s.sock, NoFrag: true,
+				})
+			} else {
+				src4, _ := s.src.MappedV4()
+				dst4, _ := s.dst.MappedV4()
+				err = t.v4.Output(s.pkt, src4, dst4, proto.TCP, ipv4.OutputOpts{DF: true})
+			}
+			if err != nil && s.conn != nil && t.FatalOutErr != nil && t.FatalOutErr(err) {
+				t.mu.Lock()
+				// A passive open whose SYN-ACK fails is not surfaced:
+				// no user is waiting on it yet, and the retransmit
+				// timer retries once key management catches up.
+				if s.conn.err == nil && s.conn.state != StateSynRcvd {
+					s.conn.err = err
+					s.conn.wakeupLocked()
+				}
+				t.mu.Unlock()
+			}
+		}
+		for _, w := range wake {
+			w()
+		}
+	}
+}

@@ -1,0 +1,651 @@
+package tcp_test
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/ipsec"
+	"bsd6/internal/key"
+	"bsd6/internal/netif"
+	"bsd6/internal/route"
+	"bsd6/internal/tcp"
+	"bsd6/internal/testnet"
+)
+
+// tnode is a testnet node plus TCP and a timer driver.
+type tnode struct {
+	*testnet.Node
+	tcp  *tcp.TCP
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newTNode(t *testing.T, name string) *tnode {
+	n := &tnode{Node: testnet.NewNode(name), stop: make(chan struct{})}
+	n.tcp = tcp.New(n.V4, n.V6)
+	n.tcp.InputPolicy = n.Sec.InputPolicy
+	n.tcp.AllowError = n.Sec.AllowError
+	n.tcp.Confirm = n.ICMP6.Confirm
+	// Accelerated protocol timers so retransmission tests finish fast.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		slow := time.NewTicker(10 * time.Millisecond)
+		fast := time.NewTicker(5 * time.Millisecond)
+		defer slow.Stop()
+		defer fast.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-slow.C:
+				n.tcp.SlowTimo()
+			case <-fast.C:
+				n.tcp.FastTimo()
+			}
+		}
+	}()
+	t.Cleanup(func() { close(n.stop); n.wg.Wait() })
+	return n
+}
+
+func tcpPair(t *testing.T) (*tnode, *tnode) {
+	t.Helper()
+	hub := netif.NewHub()
+	a, b := newTNode(t, "a"), newTNode(t, "b")
+	a.Join(hub, testnet.MacA, 1500, inet.IP4{10, 0, 0, 1}, 24)
+	b.Join(hub, testnet.MacB, 1500, inet.IP4{10, 0, 0, 2}, 24)
+	return a, b
+}
+
+// helpers
+
+func waitState(t *testing.T, c *tcp.Conn, want tcp.State) {
+	t.Helper()
+	testnet.WaitFor(t, "state "+want.String(), func() bool { return c.State() == want })
+}
+
+func acceptOne(t *testing.T, l *tcp.Conn) *tcp.Conn {
+	t.Helper()
+	var child *tcp.Conn
+	testnet.WaitFor(t, "accept", func() bool {
+		child = l.Accept()
+		return child != nil
+	})
+	return child
+}
+
+func sendAll(t *testing.T, c *tcp.Conn, data []byte) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for len(data) > 0 {
+		n, err := c.Send(data)
+		if err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		data = data[n:]
+		if n == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("send stalled")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func recvN(t *testing.T, c *tcp.Conn, n int) []byte {
+	t.Helper()
+	out := make([]byte, 0, n)
+	deadline := time.Now().Add(20 * time.Second)
+	for len(out) < n {
+		chunk, err := c.Recv(n - len(out))
+		if err != nil {
+			t.Fatalf("recv after %d/%d bytes: %v", len(out), n, err)
+		}
+		if chunk == nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("recv stalled at %d/%d", len(out), n)
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		out = append(out, chunk...)
+	}
+	return out
+}
+
+func recvEOF(t *testing.T, c *tcp.Conn) {
+	t.Helper()
+	testnet.WaitFor(t, "EOF", func() bool {
+		b, err := c.Recv(64)
+		return err != nil && len(b) == 0
+	})
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i>>8)
+	}
+	return b
+}
+
+//
+// Tests.
+//
+
+func TestHandshakeAndEcho6(t *testing.T) {
+	a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, "listener")
+	if err := l.Bind(inet.IP6{}, 8080); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Listen(4); err != nil {
+		t.Fatal(err)
+	}
+	c := a.tcp.Attach(inet.AFInet6, "client")
+	if err := c.Connect(b.LinkLocal(0), 8080); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+	waitState(t, srv, tcp.StateEstablished)
+	if !c.PCB().IsIPv6() {
+		t.Fatal("client PCB not IPv6")
+	}
+
+	sendAll(t, c, []byte("GET / telnet-ish\r\n"))
+	got := recvN(t, srv, 18)
+	if string(got) != "GET / telnet-ish\r\n" {
+		t.Fatalf("server got %q", got)
+	}
+	sendAll(t, srv, []byte("OK"))
+	if string(recvN(t, c, 2)) != "OK" {
+		t.Fatal("client reply")
+	}
+	if a.tcp.Stats.ConnEstab.Get() == 0 || b.tcp.Stats.ConnAccepts.Get() == 0 {
+		t.Fatal("stats")
+	}
+}
+
+func TestTCPOverIPv4(t *testing.T) {
+	a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet, nil)
+	l.Bind(inet.IP6{}, 8081)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet, nil)
+	if err := c.Connect(inet.V4Mapped(inet.IP4{10, 0, 0, 2}), 8081); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, tcp.StateEstablished)
+	if c.PCB().IsIPv6() {
+		t.Fatal("v4 session flagged IPv6")
+	}
+	srv := acceptOne(t, l)
+	sendAll(t, c, []byte("ipv4 data"))
+	if string(recvN(t, srv, 9)) != "ipv4 data" {
+		t.Fatal("payload")
+	}
+}
+
+func TestV4ConnectionToV6Listener(t *testing.T) {
+	// A PF_INET6 listener accepts an IPv4 connection (§5.1-§5.2).
+	a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 8082)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet, nil)
+	if err := c.Connect(inet.V4Mapped(inet.IP4{10, 0, 0, 2}), 8082); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+	if srv.PCB().IsIPv6() {
+		t.Fatal("child session should be IPv4")
+	}
+	if !srv.PCB().FAddr.IsV4Mapped() {
+		t.Fatal("foreign address not mapped")
+	}
+	sendAll(t, c, []byte("crossing the families"))
+	recvN(t, srv, len("crossing the families"))
+}
+
+func TestBulkTransfer(t *testing.T) {
+	a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9000)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(b.LinkLocal(0), 9000)
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+
+	data := pattern(300_000)
+	done := make(chan []byte)
+	go func() {
+		done <- recvN(t, srv, len(data))
+	}()
+	sendAll(t, c, data)
+	got := <-done
+	if !bytes.Equal(got, data) {
+		t.Fatal("bulk data corrupted")
+	}
+	if a.tcp.Stats.SndByte.Get() < uint64(len(data)) {
+		t.Fatal("SndByte")
+	}
+}
+
+func TestCloseSequence(t *testing.T) {
+	a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9001)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(b.LinkLocal(0), 9001)
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+
+	sendAll(t, c, []byte("last words"))
+	c.Close()
+	// Server sees the data then EOF.
+	if string(recvN(t, srv, 10)) != "last words" {
+		t.Fatal("data before FIN")
+	}
+	recvEOF(t, srv)
+	waitState(t, srv, tcp.StateCloseWait)
+	srv.Close()
+	recvEOF(t, c)
+	// Active closer passes through TIME_WAIT and expires to CLOSED.
+	waitState(t, c, tcp.StateClosed)
+	waitState(t, srv, tcp.StateClosed)
+}
+
+func TestSimultaneousClose(t *testing.T) {
+	a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9002)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(b.LinkLocal(0), 9002)
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+	c.Close()
+	srv.Close()
+	waitState(t, c, tcp.StateClosed)
+	waitState(t, srv, tcp.StateClosed)
+}
+
+func TestConnectionRefused(t *testing.T) {
+	a, b := tcpPair(t)
+	_ = b // no listener
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(b.LinkLocal(0), 4999)
+	testnet.WaitFor(t, "refusal", func() bool { return c.Err() != nil })
+	if !errors.Is(c.Err(), tcp.ErrRefused) {
+		t.Fatalf("err = %v", c.Err())
+	}
+	if b.tcp.Stats.RstOut.Get() == 0 {
+		t.Fatal("no RST sent")
+	}
+}
+
+func TestAbortSendsRST(t *testing.T) {
+	a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9003)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(b.LinkLocal(0), 9003)
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+	c.Abort()
+	testnet.WaitFor(t, "reset at server", func() bool {
+		return errors.Is(srv.Err(), tcp.ErrReset)
+	})
+}
+
+func TestRetransmissionThroughLoss(t *testing.T) {
+	hub := netif.NewHub()
+	a, b := newTNode(t, "a"), newTNode(t, "b")
+	a.Join(hub, testnet.MacA, 1500, inet.IP4{}, 0)
+	b.Join(hub, testnet.MacB, 1500, inet.IP4{}, 0)
+
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9004)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(b.LinkLocal(0), 9004)
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+
+	// Now impair the link: 20% loss both ways.
+	hub.SetImpairments(0, 0.20, 1234)
+	data := pattern(60_000)
+	done := make(chan []byte)
+	go func() { done <- recvN(t, srv, len(data)) }()
+	sendAll(t, c, data)
+	got := <-done
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted through loss")
+	}
+	if a.tcp.Stats.SndRexmit.Get() == 0 {
+		t.Fatal("no retransmissions under 20% loss?")
+	}
+}
+
+func TestFlowControlSlowReader(t *testing.T) {
+	a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.RcvBufMax = 2048 // children inherit the small receive buffer
+	l.Bind(inet.IP6{}, 9005)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(b.LinkLocal(0), 9005)
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+
+	data := pattern(30_000)
+	sendErr := make(chan error, 1)
+	go func() {
+		rest := data
+		for len(rest) > 0 {
+			n, err := c.Send(rest)
+			if err != nil {
+				sendErr <- err
+				return
+			}
+			rest = rest[n:]
+			if n == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		sendErr <- nil
+	}()
+	// Drain slowly; flow control must prevent loss or corruption.
+	got := make([]byte, 0, len(data))
+	for len(got) < len(data) {
+		chunk, err := srv.Recv(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk == nil {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		got = append(got, chunk...)
+		time.Sleep(time.Millisecond)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("slow-reader data corrupted")
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPMTUDiscoveryShrinksMSS(t *testing.T) {
+	// The narrow link sits in the MIDDLE so neither endpoint's MSS
+	// option reveals it: A --1500-- R1 --576-- R2 --1500-- B.  TCP
+	// segments near 1500 first, gets Packet Too Big from R1, lowers
+	// the MSS from the host route's path MTU, and completes (§2.2).
+	hub1, hub2, hub3 := netif.NewHub(), netif.NewHub(), netif.NewHub()
+	a, r1, r2, b := newTNode(t, "a"), newTNode(t, "r1"), newTNode(t, "r2"), newTNode(t, "b")
+	aif := a.Join(hub1, testnet.MacA, 1500, inet.IP4{}, 0)
+	r1.Join(hub1, testnet.MacR, 1500, inet.IP4{}, 0)
+	r1.Join(hub2, testnet.MacS, 576, inet.IP4{}, 0)
+	r2.Join(hub2, inet.LinkAddr{2, 0, 0, 0, 0, 3}, 576, inet.IP4{}, 0)
+	r2.Join(hub3, inet.LinkAddr{2, 0, 0, 0, 0, 4}, 1500, inet.IP4{}, 0)
+	bif := b.Join(hub3, testnet.MacB, 1500, inet.IP4{}, 0)
+	r1.V6.Forwarding = true
+	r2.V6.Forwarding = true
+
+	a.AddGlobal6(aif, testnet.IP6(t, "2001:db8:1::a"), 64)
+	r1.AddGlobal6(r1.Ifps[0], testnet.IP6(t, "2001:db8:1::f"), 64)
+	r1.AddGlobal6(r1.Ifps[1], testnet.IP6(t, "2001:db8:2::e"), 64)
+	r2.AddGlobal6(r2.Ifps[0], testnet.IP6(t, "2001:db8:2::f"), 64)
+	r2.AddGlobal6(r2.Ifps[1], testnet.IP6(t, "2001:db8:3::f"), 64)
+	b.AddGlobal6(bif, testnet.IP6(t, "2001:db8:3::b"), 64)
+	a.DefaultVia6(testnet.IP6(t, "2001:db8:1::f"), aif.Name)
+	r1.DefaultVia6(testnet.IP6(t, "2001:db8:2::f"), r1.Ifps[1].Name)
+	r2.DefaultVia6(testnet.IP6(t, "2001:db8:2::e"), r2.Ifps[0].Name)
+	b.DefaultVia6(testnet.IP6(t, "2001:db8:3::f"), bif.Name)
+
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9006)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(testnet.IP6(t, "2001:db8:3::b"), 9006)
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+	if c.MSS() <= 576 {
+		t.Fatalf("initial MSS already small: %d", c.MSS())
+	}
+
+	data := pattern(20_000)
+	done := make(chan []byte)
+	go func() { done <- recvN(t, srv, len(data)) }()
+	sendAll(t, c, data)
+	got := <-done
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted across narrow link")
+	}
+	if c.MSS() > 576-60 {
+		t.Fatalf("MSS did not shrink: %d", c.MSS())
+	}
+	if a.ICMP6.Stats.PmtuUpdates.Get() == 0 {
+		t.Fatal("no PMTU update recorded")
+	}
+	// The router never fragmented (§2.2).
+	if r1.V6.Stats.OutFrags.Get() != 0 || r2.V6.Stats.OutFrags.Get() != 0 {
+		t.Fatal("IPv6 router fragmented TCP traffic")
+	}
+}
+
+func TestSecuredTCPSession(t *testing.T) {
+	// §6.3's telnet scenario: both sides require authentication; the
+	// session works once associations exist.
+	a, b := tcpPair(t)
+	authKey := []byte("0123456789abcdef")
+	aLL, bLL := a.LinkLocal(0), b.LinkLocal(0)
+	for _, n := range []*tnode{a, b} {
+		n.Keys.Add(&key.SA{SPI: 0x70, Src: aLL, Dst: bLL, Proto: key.ProtoAH, AuthAlg: "keyed-md5", AuthKey: authKey})
+		n.Keys.Add(&key.SA{SPI: 0x71, Src: bLL, Dst: aLL, Proto: key.ProtoAH, AuthAlg: "keyed-md5", AuthKey: authKey})
+		n.Sec.SetSystemPolicy(ipsec.SockOpts{Auth: ipsec.LevelRequire})
+	}
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 23)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(bLL, 23)
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+	sendAll(t, c, []byte("login: root\r\n"))
+	recvN(t, srv, 13)
+	if b.Sec.Stats.InAuthOK.Get() == 0 {
+		t.Fatal("segments not authenticated")
+	}
+}
+
+func TestUnauthenticatedConnSilentlyFails(t *testing.T) {
+	// §5.3: under require-authentication, an unauthenticated TCP open
+	// "will silently fail as if the destination system were not
+	// reachable at all" — SYNs dropped, no RST.
+	a, b := tcpPair(t)
+	b.Sec.SetSystemPolicy(ipsec.SockOpts{Auth: ipsec.LevelRequire})
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 23)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(b.LinkLocal(0), 23)
+	testnet.WaitFor(t, "policy drops", func() bool { return b.tcp.Stats.PolicyDrops.Get() >= 1 })
+	if c.State() == tcp.StateEstablished {
+		t.Fatal("cleartext connection established")
+	}
+	if b.tcp.Stats.RstOut.Get() != 0 {
+		t.Fatal("RST sent; failure is not silent")
+	}
+	if errors.Is(c.Err(), tcp.ErrRefused) {
+		t.Fatal("refusal delivered; should look like an unreachable host")
+	}
+}
+
+func TestReachabilityConfirmation(t *testing.T) {
+	// §4.3 footnote: TCP confirms neighbor reachability without extra
+	// ND traffic.
+	a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9007)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	bLL := b.LinkLocal(0)
+	c.Connect(bLL, 9007)
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+
+	// Age the neighbor entry to stale, then push data: the ACKs should
+	// re-confirm reachability without new solicits.
+	a.ICMP6.FastTimo(time.Now().Add(time.Hour))
+	nsBefore := a.ICMP6.Stats.OutNS.Get()
+	sendAll(t, c, []byte("keep fresh"))
+	recvN(t, srv, 10)
+	testnet.WaitFor(t, "reachable via TCP confirm", func() bool {
+		st, ok := a.ICMP6.NeighborState(bLL)
+		return ok && st.String() == "reachable"
+	})
+	if a.ICMP6.Stats.OutNS.Get() > nsBefore+1 {
+		t.Fatalf("ND probes sent despite TCP confirmation: %d", a.ICMP6.Stats.OutNS.Get()-nsBefore)
+	}
+}
+
+func TestListenBacklogOverflow(t *testing.T) {
+	a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9008)
+	l.Listen(2)
+	var conns []*tcp.Conn
+	for i := 0; i < 4; i++ {
+		c := a.tcp.Attach(inet.AFInet6, nil)
+		c.Connect(b.LinkLocal(0), 9008)
+		conns = append(conns, c)
+	}
+	// At least the backlog's worth establish; accept drains them.
+	got := 0
+	deadline := time.Now().Add(2 * time.Second)
+	for got < 2 && time.Now().Before(deadline) {
+		if l.Accept() != nil {
+			got++
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if got < 2 {
+		t.Fatalf("accepted %d", got)
+	}
+	_ = conns
+}
+
+func TestBindConflicts(t *testing.T) {
+	a, _ := tcpPair(t)
+	l1 := a.tcp.Attach(inet.AFInet6, nil)
+	if err := l1.Bind(inet.IP6{}, 7777); err != nil {
+		t.Fatal(err)
+	}
+	l2 := a.tcp.Attach(inet.AFInet6, nil)
+	if err := l2.Bind(inet.IP6{}, 7777); err == nil {
+		t.Fatal("duplicate bind allowed")
+	}
+}
+
+func TestRouteBasedMSS(t *testing.T) {
+	// MSS derives from the route/interface MTU (§2.2's PMTU storage).
+	a, b := tcpPair(t)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(b.LinkLocal(0), 9999)
+	if got := c.MSS(); got != 1500-40-20 {
+		t.Fatalf("MSS = %d, want %d", got, 1500-40-20)
+	}
+	// Lower the destination's host-route MTU: a new connection sees a
+	// smaller MSS.
+	bLL := b.LinkLocal(0)
+	rt, ok := a.RT.Lookup(inet.AFInet6, bLL[:])
+	if !ok {
+		t.Fatal("no host route")
+	}
+	a.RT.Change(rt, func(e *route.Entry) { e.MTU = 1280 })
+	c2 := a.tcp.Attach(inet.AFInet6, nil)
+	c2.Connect(bLL, 9999)
+	if got := c2.MSS(); got != 1280-60 {
+		t.Fatalf("MSS after PMTU = %d", got)
+	}
+}
+
+func TestHalfCloseDataFlow(t *testing.T) {
+	// After receiving the peer's FIN (CLOSE_WAIT) a side can still
+	// send; the other side in FIN_WAIT_2 still receives.
+	a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9100)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(b.LinkLocal(0), 9100)
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+
+	c.Close() // client half-closes
+	recvEOF(t, srv)
+	waitState(t, srv, tcp.StateCloseWait)
+	waitState(t, c, tcp.StateFinWait2)
+
+	// Server keeps talking into the half-open direction.
+	sendAll(t, srv, []byte("still talking"))
+	if string(recvN(t, c, 13)) != "still talking" {
+		t.Fatal("half-close data lost")
+	}
+	srv.Close()
+	waitState(t, srv, tcp.StateClosed)
+	waitState(t, c, tcp.StateClosed)
+}
+
+func TestZeroWindowPersist(t *testing.T) {
+	// A receiver that never reads closes its window; the sender's
+	// persist timer probes until space opens, and the transfer then
+	// completes without loss.
+	a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.RcvBufMax = 1024
+	l.Bind(inet.IP6{}, 9101)
+	l.Listen(1)
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(b.LinkLocal(0), 9101)
+	waitState(t, c, tcp.StateEstablished)
+	srv := acceptOne(t, l)
+
+	data := pattern(6000)
+	go func() {
+		rest := data
+		for len(rest) > 0 {
+			n, err := c.Send(rest)
+			if err != nil {
+				return
+			}
+			rest = rest[n:]
+			if n == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	// Let the window fill and the persist machinery engage.
+	testnet.WaitFor(t, "window stall", func() bool {
+		rcv, _ := srv.Buffered()
+		return rcv >= 1024-tcp.HeaderLen
+	})
+	time.Sleep(50 * time.Millisecond) // a few persist ticks at 10ms slowtimo
+	got := recvN(t, srv, len(data))
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted through zero-window stalls")
+	}
+}

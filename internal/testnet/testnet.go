@@ -1,0 +1,172 @@
+// Package testnet assembles complete dual-stack nodes on simulated
+// links for use by the transport-layer and integration tests.  It is
+// test support code, not part of the public surface; the production
+// assembly lives in internal/core.
+package testnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bsd6/internal/icmp6"
+	"bsd6/internal/inet"
+	"bsd6/internal/ipsec"
+	"bsd6/internal/ipv4"
+	"bsd6/internal/ipv6"
+	"bsd6/internal/key"
+	"bsd6/internal/netif"
+	"bsd6/internal/route"
+)
+
+// Node is a dual-stack host: IPv4 + IPv6 + ICMP(v4/v6) + IPsec + keys.
+type Node struct {
+	Name  string
+	RT    *route.Table
+	V4    *ipv4.Layer
+	V6    *ipv6.Layer
+	ICMP4 *ipv4.ICMP
+	ICMP6 *icmp6.Module
+	Sec   *ipsec.Module
+	Keys  *key.Engine
+	Ifps  []*netif.Interface
+}
+
+// NewNode builds a node with a loopback interface.
+func NewNode(name string) *Node {
+	rt := route.NewTable()
+	v4 := ipv4.NewLayer(rt)
+	v6 := ipv6.NewLayer(rt)
+	ic4 := ipv4.AttachICMP(v4)
+	ic6 := icmp6.Attach(v6)
+	ke := key.NewEngine()
+	sec := ipsec.Attach(v6, ke)
+	n := &Node{Name: name, RT: rt, V4: v4, V6: v6, ICMP4: ic4, ICMP6: ic6, Sec: sec, Keys: ke}
+	lo := netif.NewLoopback(name+"-lo", 32768)
+	lo.SetInput(func(ifp *netif.Interface, fr netif.Frame) {
+		switch fr.EtherType {
+		case netif.EtherTypeIPv4:
+			v4.Input(ifp, fr.Payload)
+		case netif.EtherTypeIPv6:
+			v6.Input(ifp, fr.Payload)
+		}
+	})
+	v4.AddInterface(lo)
+	v6.AddInterface(lo)
+	return n
+}
+
+// Join attaches the node to a hub with a link-local v6 address and an
+// optional v4 address (zero means none).
+func (n *Node) Join(hub *netif.Hub, mac inet.LinkAddr, mtu int, v4addr inet.IP4, v4plen int) *netif.Interface {
+	ifp := netif.New(fmt.Sprintf("%s-eth%d", n.Name, len(n.Ifps)), mac, mtu)
+	ifp.SetInput(func(ifp *netif.Interface, fr netif.Frame) {
+		switch fr.EtherType {
+		case ipv4.EtherTypeARP:
+			n.V4.ArpInput(ifp, fr.Payload)
+		case netif.EtherTypeIPv4:
+			n.V4.Input(ifp, fr.Payload)
+		case netif.EtherTypeIPv6:
+			n.V6.Input(ifp, fr.Payload)
+		}
+	})
+	hub.Attach(ifp)
+
+	// IPv6: link-local address + solicited-node group + on-link route.
+	ll := inet.LinkLocal(mac.Token())
+	ifp.AddAddr6(netif.Addr6{Addr: ll, Plen: 64})
+	n.V6.AddInterface(ifp)
+	n.V6.JoinGroup(ifp.Name, inet.SolicitedNode(ll))
+	llPrefix := inet.IP6{0: 0xfe, 1: 0x80}
+	n.RT.Add(&route.Entry{
+		Family: inet.AFInet6, Dst: llPrefix[:], Plen: 64,
+		Flags: route.FlagUp | route.FlagCloning | route.FlagLLInfo, IfName: ifp.Name,
+	})
+
+	// IPv4 if requested.
+	n.V4.AddInterface(ifp)
+	if !v4addr.IsUnspecified() {
+		ifp.AddAddr4(netif.Addr4{Addr: v4addr, Plen: v4plen})
+		netAddr := v4addr
+		m := inet.Mask4(v4plen)
+		for i := range netAddr {
+			netAddr[i] &= m[i]
+		}
+		n.RT.Add(&route.Entry{
+			Family: inet.AFInet, Dst: netAddr[:], Plen: v4plen,
+			Flags: route.FlagUp | route.FlagCloning | route.FlagLLInfo, IfName: ifp.Name,
+		})
+	}
+	n.Ifps = append(n.Ifps, ifp)
+	return ifp
+}
+
+// AddGlobal6 configures a global IPv6 address with its on-link prefix.
+func (n *Node) AddGlobal6(ifp *netif.Interface, addr inet.IP6, plen int) {
+	ifp.AddAddr6(netif.Addr6{Addr: addr, Plen: plen})
+	n.V6.JoinGroup(ifp.Name, inet.SolicitedNode(addr))
+	prefix := addr
+	m := inet.Mask6(plen)
+	for i := range prefix {
+		prefix[i] &= m[i]
+	}
+	n.RT.Add(&route.Entry{
+		Family: inet.AFInet6, Dst: prefix[:], Plen: plen,
+		Flags: route.FlagUp | route.FlagCloning | route.FlagLLInfo, IfName: ifp.Name,
+	})
+}
+
+// DefaultVia6 installs an IPv6 default route.
+func (n *Node) DefaultVia6(gw inet.IP6, ifName string) {
+	var zero inet.IP6
+	n.RT.Add(&route.Entry{
+		Family: inet.AFInet6, Dst: zero[:], Plen: 0,
+		Flags: route.FlagUp | route.FlagGateway, Gateway: gw, IfName: ifName,
+	})
+}
+
+// DefaultVia4 installs an IPv4 default route.
+func (n *Node) DefaultVia4(gw inet.IP4, ifName string) {
+	var zero inet.IP4
+	n.RT.Add(&route.Entry{
+		Family: inet.AFInet, Dst: zero[:], Plen: 0,
+		Flags: route.FlagUp | route.FlagGateway, Gateway: gw, IfName: ifName,
+	})
+}
+
+// LinkLocal returns the link-local address of interface i.
+func (n *Node) LinkLocal(i int) inet.IP6 {
+	ll, _ := n.Ifps[i].LinkLocal6(time.Now())
+	return ll
+}
+
+// WaitFor polls cond until it holds or the test times out.
+func WaitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Convenient MACs for tests.
+var (
+	MacA = inet.LinkAddr{2, 0, 0, 0, 0, 0xa}
+	MacB = inet.LinkAddr{2, 0, 0, 0, 0, 0xb}
+	MacC = inet.LinkAddr{2, 0, 0, 0, 0, 0xc}
+	MacR = inet.LinkAddr{2, 0, 0, 0, 0, 0x1}
+	MacS = inet.LinkAddr{2, 0, 0, 0, 0, 0x2}
+)
+
+// IP6 parses an address or fails the test.
+func IP6(t testing.TB, s string) inet.IP6 {
+	t.Helper()
+	a, err := inet.ParseIP6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

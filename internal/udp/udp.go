@@ -1,0 +1,307 @@
+// Package udp implements UDP over both IP versions (§5.2).
+//
+// "The UDP protocol remains unchanged for IPv6, but the BSD
+// implementation needed to be modified to support both versions of
+// IP."  The changes are where the paper says they are: udp_input and
+// udp_output carry per-version code paths chosen by a discriminator
+// set on entry; an IPv4 datagram can be delivered to a PF_INET6 socket
+// (through the v4-mapped PCB form); the checksum is optional over IPv4
+// (the udpcksum global) but mandatory over IPv6, since no IP header
+// checksum protects the addresses; and input runs the security policy
+// function before processing, a check the paper notes "does exact a
+// performance penalty on each received packet".
+package udp
+
+import (
+	"errors"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/ipv4"
+	"bsd6/internal/ipv6"
+	"bsd6/internal/mbuf"
+	"bsd6/internal/pcb"
+	"bsd6/internal/proto"
+	"bsd6/internal/stat"
+)
+
+// HeaderLen is the UDP header size.
+const HeaderLen = 8
+
+// Stats counts UDP events (netstat's udpstat).
+type Stats struct {
+	InDatagrams   stat.Counter
+	InErrors      stat.Counter
+	BadChecksums  stat.Counter
+	NoChecksum    stat.Counter // v4 datagrams that arrived without a checksum
+	MissingSum6   stat.Counter // v6 datagrams illegally lacking a checksum
+	InNoPorts     stat.Counter
+	InPolicyDrops stat.Counter
+	InV4ToV6      stat.Counter // IPv4 datagrams delivered to PF_INET6 sockets
+	OutDatagrams  stat.Counter
+	OutErrors     stat.Counter
+}
+
+// Errors.
+var (
+	ErrNotConnected = errors.New("udp: socket not connected")
+	ErrNoDest       = errors.New("udp: no destination")
+	ErrMsgTooBig    = errors.New("udp: datagram exceeds 64KB")
+)
+
+// DeliverFunc hands a received datagram to the owning socket.
+type DeliverFunc func(p *pcb.PCB, data []byte, src inet.IP6, sport uint16, meta *proto.Meta)
+
+// NotifyFunc delivers an ICMP-derived error to a socket.
+type NotifyFunc func(p *pcb.PCB, kind proto.CtlType, mtu int)
+
+// UDP is the UDP protocol instance of one stack.
+type UDP struct {
+	Table *pcb.Table
+	v4    *ipv4.Layer
+	v6    *ipv6.Layer
+
+	// SumTx mirrors the udpcksum global: whether to compute the
+	// optional IPv4 checksum on output. The IPv6 checksum is always
+	// computed (§5.2).
+	SumTx bool
+
+	// InputPolicy is ipsec_input_policy; nil means no security.
+	InputPolicy func(pkt *mbuf.Mbuf, dst inet.IP6, socket any) bool
+	// InputPolicyPort, when set, is used instead of InputPolicy and
+	// sees the local port, enabling per-port administrative policy
+	// (§3.5).
+	InputPolicyPort func(pkt *mbuf.Mbuf, dst inet.IP6, socket any, lport uint16) bool
+	// AllowError gates upward ICMP error delivery (§5.1's
+	// in6_pcbnotify security check); nil means allow.
+	AllowError func() bool
+
+	Deliver DeliverFunc
+	Notify  NotifyFunc
+
+	Stats Stats
+}
+
+// New creates the UDP instance and registers it with both IP layers.
+func New(v4l *ipv4.Layer, v6l *ipv6.Layer) *UDP {
+	u := &UDP{Table: pcb.NewTable(), v4: v4l, v6: v6l, SumTx: true}
+	if v4l != nil {
+		v4l.Register(proto.UDP, u.input, u.ctlInput)
+	}
+	if v6l != nil {
+		v6l.Register(proto.UDP, u.input, u.ctlInput)
+	}
+	return u
+}
+
+// header marshals a UDP header with checksum field ck.
+func header(sport, dport uint16, length int, ck uint16) []byte {
+	return []byte{
+		byte(sport >> 8), byte(sport), byte(dport >> 8), byte(dport),
+		byte(length >> 8), byte(length), byte(ck >> 8), byte(ck),
+	}
+}
+
+// Output is udp_output: create and send a datagram.  It "determines
+// whether to create an IPv4 or IPv6 datagram by looking at the
+// protocol control block"; faddr/fport override the connected peer for
+// sendto semantics.
+func (u *UDP) Output(p *pcb.PCB, data []byte, faddr inet.IP6, fport uint16) error {
+	if faddr.IsUnspecified() && fport == 0 {
+		faddr, fport = p.FAddr, p.FPort
+		if faddr.IsUnspecified() && fport == 0 {
+			return ErrNotConnected
+		}
+	}
+	if fport == 0 {
+		return ErrNoDest
+	}
+	if len(data)+HeaderLen > 65535 {
+		return ErrMsgTooBig
+	}
+	if p.LPort == 0 {
+		if err := u.Table.Bind(p, p.LAddr, 0); err != nil {
+			return err
+		}
+	}
+	length := HeaderLen + len(data)
+
+	if v4dst, isV4 := faddr.MappedV4(); isV4 || (p.Family == inet.AFInet) {
+		// IPv4 path: ip_output is called instead of ipv6_output.
+		if !isV4 {
+			return pcb.ErrFamilyMismatch
+		}
+		var src4 inet.IP4
+		if l4, ok := p.LAddr.MappedV4(); ok {
+			src4 = l4
+		} else if s, ok := u.v4.SourceFor(v4dst); ok {
+			src4 = s
+		} else if u.v4.Routes() != nil {
+			// Local destination: source = destination.
+			src4 = v4dst
+		}
+		var ck uint16
+		if u.SumTx {
+			sum := inet.PseudoHeader4(src4, v4dst, uint16(length), proto.UDP)
+			sum = inet.Sum(sum, header(p.LPort, fport, length, 0))
+			sum = inet.Sum(sum, data)
+			ck = inet.Fold(sum)
+			if ck == 0 {
+				ck = 0xffff // transmitted 0 means "no checksum" on v4
+			}
+		}
+		pkt := mbuf.New(header(p.LPort, fport, length, ck))
+		pkt.Append(data)
+		pkt.Hdr().Socket = p.Socket
+		u.Stats.OutDatagrams.Inc()
+		return u.v4.Output(pkt, src4, v4dst, proto.UDP, ipv4.OutputOpts{})
+	}
+
+	// IPv6 path: checksum mandatory — "necessary to provide integrity
+	// protection of the source and destination address that is not
+	// provided by IPv6, which lacks an IP header checksum" (§5.2).
+	src := p.LAddr
+	if src.IsUnspecified() {
+		if s, ok := u.v6.SourceFor(faddr, nil); ok {
+			src = s
+		} else {
+			src = faddr // local destination
+		}
+	}
+	sum := inet.PseudoHeader6(src, faddr, uint32(length), proto.UDP)
+	sum = inet.Sum(sum, header(p.LPort, fport, length, 0))
+	sum = inet.Sum(sum, data)
+	ck := inet.Fold(sum)
+	if ck == 0 {
+		ck = 0xffff
+	}
+	pkt := mbuf.New(header(p.LPort, fport, length, ck))
+	pkt.Append(data)
+	pkt.Hdr().Socket = p.Socket
+	u.Stats.OutDatagrams.Inc()
+	return u.v6.Output(pkt, src, faddr, proto.UDP, ipv6.OutputOpts{
+		FlowInfo: p.FlowInfo, HopLimit: p.HopLimit, Socket: p.Socket,
+	})
+}
+
+// input is udp_input: "Incoming UDP datagrams, regardless of whether
+// they are transported over IPv4 or IPv6, are processed by
+// udp_input()", with a local discriminator selecting version-specific
+// code paths.
+func (u *UDP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
+	isV4 := meta.Family == inet.AFInet // the §5.2 "local variable"
+	b := pkt.Bytes()
+	if len(b) < HeaderLen {
+		u.Stats.InErrors.Inc()
+		return
+	}
+	sport := uint16(b[0])<<8 | uint16(b[1])
+	dport := uint16(b[2])<<8 | uint16(b[3])
+	length := int(b[4])<<8 | int(b[5])
+	ck := uint16(b[6])<<8 | uint16(b[7])
+	if length < HeaderLen || length > len(b) {
+		u.Stats.InErrors.Inc()
+		return
+	}
+	b = b[:length]
+
+	if isV4 {
+		if ck == 0 {
+			u.Stats.NoChecksum.Inc() // optional on v4
+		} else if inet.TransportChecksum4(meta.Src4, meta.Dst4, proto.UDP, b) != 0 {
+			u.Stats.BadChecksums.Inc()
+			return
+		}
+	} else {
+		if ck == 0 {
+			u.Stats.MissingSum6.Inc() // forbidden on v6
+			return
+		}
+		if inet.TransportChecksum6(meta.Src6, meta.Dst6, proto.UDP, b) != 0 {
+			u.Stats.BadChecksums.Inc()
+			return
+		}
+	}
+
+	src := meta.SrcIs6()
+	dst := meta.DstIs6()
+	p := u.Table.Lookup(dst, dport, src, sport, isV4)
+	if p == nil {
+		u.Stats.InNoPorts.Inc()
+		u.portUnreach(pkt, meta, b)
+		return
+	}
+	// The input security policy check (§5.2): "If an incoming packet
+	// should not be delivered for security policy reasons, then it is
+	// silently dropped."
+	switch {
+	case u.InputPolicyPort != nil:
+		if !u.InputPolicyPort(pkt, dst, p.Socket, dport) {
+			u.Stats.InPolicyDrops.Inc()
+			return
+		}
+	case u.InputPolicy != nil:
+		if !u.InputPolicy(pkt, dst, p.Socket) {
+			u.Stats.InPolicyDrops.Inc()
+			return
+		}
+	}
+	if isV4 && p.Family == inet.AFInet6 {
+		u.Stats.InV4ToV6.Inc() // §5.2's special case, delivered mapped
+	}
+	u.Stats.InDatagrams.Inc()
+	if u.Deliver != nil {
+		u.Deliver(p, b[HeaderLen:], src, sport, meta)
+	}
+}
+
+// portUnreach reconstructs the offending datagram and asks ICMP to
+// report an unreachable port.
+func (u *UDP) portUnreach(pkt *mbuf.Mbuf, meta *proto.Meta, udpHdr []byte) {
+	if pkt.Hdr().Flags&(mbuf.MBcast|mbuf.MMcast) != 0 {
+		return
+	}
+	if meta.Family == inet.AFInet {
+		oh := ipv4.Header{
+			TotalLen: ipv4.HeaderLen + len(udpHdr), TTL: meta.Hops,
+			Proto: proto.UDP, Src: meta.Src4, Dst: meta.Dst4,
+		}
+		ctx := oh.Marshal(nil)
+		n := len(udpHdr)
+		if n > 8 {
+			n = 8
+		}
+		ctx = append(ctx, udpHdr[:n]...)
+		u.v4.SendError(ipv4.IcmpUnreach, ipv4.CodePortUnreach, 0, ctx)
+		return
+	}
+	oh := ipv6.Header{
+		PayloadLen: len(udpHdr), NextHdr: proto.UDP, HopLimit: meta.Hops,
+		Src: meta.Src6, Dst: meta.Dst6,
+	}
+	orig := mbuf.New(oh.Marshal(nil))
+	orig.Append(udpHdr)
+	if u.v6.Error != nil {
+		u.v6.Error(ipv6.ErrDstUnreach, 4 /* port */, 0, orig, meta.RcvIf)
+	}
+}
+
+// ctlInput is udp_ctlinput: route ICMP errors to the owning sockets.
+func (u *UDP) ctlInput(kind proto.CtlType, meta *proto.Meta, contents []byte, mtu int) {
+	if u.AllowError != nil && !u.AllowError() {
+		return // §5.1: suppressed by the input security policy
+	}
+	if len(contents) < 4 {
+		return
+	}
+	sport := uint16(contents[0])<<8 | uint16(contents[1])
+	dport := uint16(contents[2])<<8 | uint16(contents[3])
+	faddr := meta.DstIs6()
+	u.Table.Notify(faddr, dport, func(p *pcb.PCB) {
+		if p.LPort != sport && sport != 0 {
+			return
+		}
+		if u.Notify != nil {
+			u.Notify(p, kind, mtu)
+		}
+	})
+}
