@@ -3,6 +3,7 @@ package core_test
 import (
 	"bytes"
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -14,22 +15,63 @@ import (
 	"bsd6/internal/key"
 	"bsd6/internal/netif"
 	"bsd6/internal/testnet"
+	"bsd6/internal/vclock"
 )
 
-func newStack(t *testing.T, name string) *core.Stack {
-	t.Helper()
-	s := core.NewStack(name, core.Options{})
-	t.Cleanup(s.Close)
+// env is a virtual-time test environment: stacks and hubs share one
+// virtual clock, and a vclock.Driver advances it whenever every netisr
+// queue and every hub is quiescent. Real goroutines (blocking socket
+// calls) therefore run against simulated protocol time — DAD's seconds
+// of probing or a socket timeout cost microseconds of wall clock.
+type env struct {
+	t      *testing.T
+	clock  *vclock.Virtual
+	probes []func() int
+	driver *vclock.Driver
+}
+
+func newEnv(t *testing.T) *env {
+	e := &env{t: t, clock: vclock.NewVirtual(time.Unix(1_000_000, 0))}
+	t.Cleanup(func() {
+		if e.driver != nil {
+			e.driver.Stop()
+		}
+	})
+	return e
+}
+
+// start launches the driver; call after every stack and hub exists so
+// their quiescence probes are all registered.
+func (e *env) start() {
+	e.driver = vclock.NewDriver(e.clock, e.probes...)
+	e.driver.Start()
+}
+
+func (e *env) stack(name string) *core.Stack {
+	s := core.NewStack(name, core.Options{Clock: e.clock})
+	e.t.Cleanup(s.Close)
+	e.probes = append(e.probes, s.Pending)
 	return s
+}
+
+func (e *env) hub() *netif.Hub {
+	h := netif.NewHub()
+	h.SetClock(e.clock)
+	// Note: h.Pending is deliberately NOT a driver probe. It counts
+	// clock-gated deliveries (latency faults), which only the next
+	// Step can release — gating Step on it livelocks the driver.
+	return h
 }
 
 func stackPair(t *testing.T) (*core.Stack, *core.Stack, *netif.Hub) {
 	t.Helper()
-	hub := netif.NewHub()
-	a := newStack(t, "a")
-	b := newStack(t, "b")
+	e := newEnv(t)
+	hub := e.hub()
+	a := e.stack("a")
+	b := e.stack("b")
 	a.AttachLink(hub, testnet.MacA, 1500)
 	b.AttachLink(hub, testnet.MacB, 1500)
+	e.start()
 	return a, b, hub
 }
 
@@ -83,13 +125,16 @@ func TestStreamSocketsEcho(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		srv, err := l.Accept(5 * time.Second)
+		// Generous virtual-time timeouts: simulated seconds are free,
+		// and the driver may burn through them while this goroutine
+		// waits to be scheduled.
+		srv, err := l.Accept(time.Minute)
 		if err != nil {
 			done <- err
 			return
 		}
 		for {
-			data, err := srv.Recv(4096, 5*time.Second)
+			data, err := srv.Recv(4096, time.Minute)
 			if err != nil {
 				done <- nil // EOF
 				return
@@ -128,13 +173,15 @@ func TestStreamSocketsEcho(t *testing.T) {
 
 func TestTransitionV4MappedSockets(t *testing.T) {
 	// examples/transition in miniature: PF_INET6 server, IPv4 client.
-	hub := netif.NewHub()
-	a := newStack(t, "a")
-	b := newStack(t, "b")
+	e := newEnv(t)
+	hub := e.hub()
+	a := e.stack("a")
+	b := e.stack("b")
 	aIf := a.AttachLink(hub, testnet.MacA, 1500)
 	bIf := b.AttachLink(hub, testnet.MacB, 1500)
 	a.ConfigureV4(aIf, inet.IP4{10, 0, 0, 1}, 24)
 	b.ConfigureV4(bIf, inet.IP4{10, 0, 0, 2}, 24)
+	e.start()
 
 	srv, _ := b.NewSocket(inet.AFInet6, core.SockDgram)
 	srv.Bind(core.Sockaddr6{Family: inet.AFInet6, Port: 4242})
@@ -266,7 +313,7 @@ func TestKeyDaemonAcquireFlow(t *testing.T) {
 		if !errors.Is(lastErr, core.EIPSEC) {
 			t.Fatalf("unexpected error %v", lastErr)
 		}
-		time.Sleep(10 * time.Millisecond)
+		runtime.Gosched() // give the daemon goroutine the ACQUIRE
 	}
 	if lastErr != nil {
 		t.Fatalf("send never succeeded: %v", lastErr)
@@ -279,12 +326,14 @@ func TestKeyDaemonAcquireFlow(t *testing.T) {
 }
 
 func TestAutoconfThroughRouter(t *testing.T) {
-	// Full §4.2 flow through the public API with real timers: router
-	// advertises; host autoconfigures (DAD included) and reaches a
-	// remote network.
-	hub := netif.NewHub()
-	r := newStack(t, "r")
-	h := newStack(t, "h")
+	// Full §4.2 flow through the public API with live timers (on the
+	// virtual clock): router advertises; host autoconfigures (DAD
+	// included) and reaches a remote network.
+	e := newEnv(t)
+	hub := e.hub()
+	r := e.stack("r")
+	h := e.stack("h")
+	e.start()
 	rIf := r.AttachLink(hub, testnet.MacR, 1500)
 	hIf := h.AttachLink(hub, testnet.MacB, 1500)
 	prefix := testnet.IP6(t, "2001:db8:77::")
@@ -296,23 +345,16 @@ func TestAutoconfThroughRouter(t *testing.T) {
 	h.SolicitRouters(hIf.Name)
 
 	want := inet.WithPrefix(prefix, 64, inet.LinkLocal(testnet.MacB.Token()))
-	// DAD needs several seconds of real timer ticks; wait beyond the
-	// usual helper timeout.
-	usable := func() bool {
+	// DAD needs several seconds of timer ticks — simulated ones, which
+	// the driver burns through as soon as the wire is quiet.
+	testnet.WaitFor(t, "autoconf address to become usable", func() bool {
 		for _, a := range hIf.Addrs6() {
 			if a.Addr == want && !a.Tentative && !a.Duplicated {
 				return true
 			}
 		}
 		return false
-	}
-	deadline := time.Now().Add(10 * time.Second)
-	for !usable() {
-		if time.Now().After(deadline) {
-			t.Fatal("timeout waiting for autoconf address to become usable")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	})
 	// The ifconfig output shows the autoconf address.
 	if !strings.Contains(h.Ifconfig(), "autoconf") {
 		t.Fatalf("ifconfig:\n%s", h.Ifconfig())
@@ -368,15 +410,17 @@ func TestHostTableResolution(t *testing.T) {
 }
 
 func TestDADOnAttach(t *testing.T) {
-	hub := netif.NewHub()
-	a := newStack(t, "a")
+	e := newEnv(t)
+	hub := e.hub()
+	a := e.stack("a")
+	b := e.stack("b")
+	e.start()
 	_, ok := a.AttachLinkDAD(hub, testnet.MacA, 1500)
 	if !ok {
 		t.Fatal("lone host's DAD failed")
 	}
 	// A second stack with the SAME MAC (same token, same link-local)
 	// must detect the duplicate.
-	b := newStack(t, "b")
 	_, ok = b.AttachLinkDAD(hub, testnet.MacA, 1500)
 	if ok {
 		t.Fatal("duplicate link-local not detected")
@@ -418,13 +462,15 @@ func TestPortUnreachableOnSocket(t *testing.T) {
 }
 
 func TestStreamSocketsOverV4(t *testing.T) {
-	hub := netif.NewHub()
-	a := newStack(t, "a")
-	b := newStack(t, "b")
+	e := newEnv(t)
+	hub := e.hub()
+	a := e.stack("a")
+	b := e.stack("b")
 	aIf := a.AttachLink(hub, testnet.MacA, 1500)
 	bIf := b.AttachLink(hub, testnet.MacB, 1500)
 	a.ConfigureV4(aIf, inet.IP4{10, 0, 0, 1}, 24)
 	b.ConfigureV4(bIf, inet.IP4{10, 0, 0, 2}, 24)
+	e.start()
 
 	l, _ := b.NewSocket(inet.AFInet, core.SockStream)
 	l.Bind(core.Sockaddr6{Family: inet.AFInet, Port: 80})

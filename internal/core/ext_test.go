@@ -14,7 +14,6 @@ import (
 	"bsd6/internal/inet"
 	"bsd6/internal/ipsec"
 	"bsd6/internal/key"
-	"bsd6/internal/netif"
 	"bsd6/internal/route"
 	"bsd6/internal/testnet"
 )
@@ -120,15 +119,17 @@ func TestGatewayTunnelThroughSockets(t *testing.T) {
 	// client --tunnel-- gw --cleartext-- server, through the public
 	// API: the client's socket requires tunnel encryption; the SA
 	// names the gateway with a selector for the server's net.
-	hub1, hub2 := netif.NewHub(), netif.NewHub()
-	cli := newStack(t, "cli")
-	gw := newStack(t, "gw")
-	srv := newStack(t, "srv")
+	e := newEnv(t)
+	hub1, hub2 := e.hub(), e.hub()
+	cli := e.stack("cli")
+	gw := e.stack("gw")
+	srv := e.stack("srv")
 	cIf := cli.AttachLink(hub1, testnet.MacA, 1500)
 	g1 := gw.AttachLink(hub1, testnet.MacR, 1500)
 	g2 := gw.AttachLink(hub2, testnet.MacS, 1500)
 	sIf := srv.AttachLink(hub2, testnet.MacB, 1500)
 	gw.V6.Forwarding = true
+	e.start()
 
 	cliAddr := testnet.IP6(t, "2001:db8:1::c")
 	gwAddr := testnet.IP6(t, "2001:db8:1::1")
@@ -171,17 +172,19 @@ func TestGatewayTunnelThroughSockets(t *testing.T) {
 func TestLossyLinkUDPRetry(t *testing.T) {
 	// Failure injection at the application level: a lossy wire plus an
 	// app-level retry loop still converges.
-	hub := netif.NewHub()
-	a := newStack(t, "a")
-	b := newStack(t, "b")
+	e := newEnv(t)
+	hub := e.hub()
+	a := e.stack("a")
+	b := e.stack("b")
 	a.AttachLink(hub, testnet.MacA, 1500)
 	b.AttachLink(hub, testnet.MacB, 1500)
+	e.start()
 	// Resolve neighbors over a clean wire first, then impair it.
 	srv, _ := b.NewSocket(inet.AFInet6, core.SockDgram)
 	srv.Bind(core.Sockaddr6{Family: inet.AFInet6, Port: 600})
 	go func() {
 		for {
-			data, from, err := srv.RecvFrom(64, 5*time.Second)
+			data, from, err := srv.RecvFrom(64, time.Hour)
 			if err != nil {
 				return
 			}

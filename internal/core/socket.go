@@ -10,6 +10,7 @@ import (
 	"bsd6/internal/ipsec"
 	"bsd6/internal/pcb"
 	"bsd6/internal/tcp"
+	"bsd6/internal/vclock"
 )
 
 // Socket types.
@@ -115,6 +116,8 @@ func (s *Stack) NewSocket(family inet.Family, typ int) (*Socket, error) {
 	}
 	return sock, nil
 }
+
+func (sock *Socket) clock() vclock.Clock { return sock.stack.clock }
 
 func (sock *Socket) broadcast() {
 	sock.mu.Lock()
@@ -238,7 +241,7 @@ func (sock *Socket) Connect(sa Sockaddr6, timeout time.Duration) error {
 		if timeout == 0 {
 			timeout = 30 * time.Second
 		}
-		deadline := time.Now().Add(timeout)
+		deadline := sock.clock().Now().Add(timeout)
 		sock.mu.Lock()
 		defer sock.mu.Unlock()
 		for {
@@ -260,17 +263,19 @@ func (sock *Socket) Connect(sa Sockaddr6, timeout time.Duration) error {
 	return ErrNotStream
 }
 
-// waitLocked waits on the condition until broadcast or deadline.
-// Returns false on timeout. Caller holds sock.mu.
+// waitLocked waits on the condition until broadcast or deadline
+// (measured on the stack's clock, so virtual-time stacks time out in
+// simulated time). Returns false on timeout. Caller holds sock.mu.
 func (sock *Socket) waitLocked(deadline time.Time) bool {
-	if !deadline.IsZero() && !time.Now().Before(deadline) {
+	clk := sock.clock()
+	if !deadline.IsZero() && !clk.Now().Before(deadline) {
 		return false
 	}
 	done := make(chan struct{})
 	var fired bool
-	var tm *time.Timer
+	var tm vclock.Timer
 	if !deadline.IsZero() {
-		tm = time.AfterFunc(time.Until(deadline), func() {
+		tm = clk.AfterFunc(deadline.Sub(clk.Now()), func() {
 			sock.mu.Lock()
 			fired = true
 			sock.cond.Broadcast()
@@ -311,7 +316,7 @@ func (sock *Socket) Accept(timeout time.Duration) (*Socket, error) {
 	}
 	var deadline time.Time
 	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
+		deadline = sock.clock().Now().Add(timeout)
 	}
 	for {
 		child := sock.conn.Accept()
@@ -360,7 +365,7 @@ func (sock *Socket) Send(data []byte, timeout time.Duration) (int, error) {
 	case SockStream:
 		var deadline time.Time
 		if timeout > 0 {
-			deadline = time.Now().Add(timeout)
+			deadline = sock.clock().Now().Add(timeout)
 		}
 		sent := 0
 		for sent < len(data) {
@@ -410,7 +415,7 @@ func (sock *Socket) setError(err error) {
 func (sock *Socket) RecvFrom(max int, timeout time.Duration) ([]byte, Sockaddr6, error) {
 	var deadline time.Time
 	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
+		deadline = sock.clock().Now().Add(timeout)
 	}
 	switch sock.typ {
 	case SockDgram:
@@ -459,7 +464,7 @@ func (sock *Socket) Recv(max int, timeout time.Duration) ([]byte, error) {
 	}
 	var deadline time.Time
 	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
+		deadline = sock.clock().Now().Add(timeout)
 	}
 	return sock.recvStream(max, deadline)
 }

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bsd6/internal/icmp6"
@@ -30,6 +31,7 @@ import (
 	"bsd6/internal/route"
 	"bsd6/internal/tcp"
 	"bsd6/internal/udp"
+	"bsd6/internal/vclock"
 )
 
 // Stack is one node's network stack.
@@ -50,11 +52,17 @@ type Stack struct {
 	inq      chan inputItem
 	InqDrops uint64 // frames dropped because the input queue was full
 
+	clock   vclock.Clock
+	pending atomic.Int64 // frames queued or being dispatched
+
 	mu     sync.Mutex
 	ifps   []*netif.Interface
 	stop   chan struct{}
 	wg     sync.WaitGroup
 	closed bool
+
+	tmu    sync.Mutex
+	ttimer []vclock.Timer
 }
 
 type inputItem struct {
@@ -66,15 +74,22 @@ type inputItem struct {
 type Options struct {
 	// InputQueueLen sizes the netisr queue (BSD's ifqmaxlen spirit).
 	InputQueueLen int
-	// NoTimers disables the background timer goroutine; tests and
+	// NoTimers disables the periodic protocol timers; tests and
 	// benchmarks then drive Tick themselves.
 	NoTimers bool
+	// Clock is the stack's time source. Default: the real clock. Tests
+	// pass a vclock.Virtual to run protocol timers, socket deadlines
+	// and route/key expiry on simulated time.
+	Clock vclock.Clock
 }
 
 // NewStack builds and starts a stack.
 func NewStack(name string, opts Options) *Stack {
 	if opts.InputQueueLen == 0 {
 		opts.InputQueueLen = 512
+	}
+	if opts.Clock == nil {
+		opts.Clock = vclock.Real()
 	}
 	rt := route.NewTable()
 	s := &Stack{
@@ -83,12 +98,15 @@ func NewStack(name string, opts Options) *Stack {
 		Hosts: inet.NewHostTable(),
 		inq:   make(chan inputItem, opts.InputQueueLen),
 		stop:  make(chan struct{}),
+		clock: opts.Clock,
 	}
+	rt.Now = s.clock.Now
 	s.V4 = ipv4.NewLayer(rt)
 	s.V6 = ipv6.NewLayer(rt)
 	s.ICMP4 = ipv4.AttachICMP(s.V4)
 	s.ICMP6 = icmp6.Attach(s.V6)
 	s.Keys = key.NewEngine()
+	s.Keys.Now = s.clock.Now
 	s.Sec = ipsec.Attach(s.V6, s.Keys)
 	s.UDP = udp.New(s.V4, s.V6)
 	s.TCP = tcp.New(s.V4, s.V6)
@@ -124,11 +142,17 @@ func NewStack(name string, opts Options) *Stack {
 	go s.netisr()
 
 	if !opts.NoTimers {
-		s.wg.Add(1)
-		go s.timers()
+		s.startTimers()
 	}
 	return s
 }
+
+// Clock returns the stack's time source.
+func (s *Stack) Clock() vclock.Clock { return s.clock }
+
+// Pending reports frames queued on (or being dispatched from) the
+// netisr input queue — a quiescence probe for vclock.Driver.
+func (s *Stack) Pending() int { return int(s.pending.Load()) }
 
 // Close stops the stack's goroutines.
 func (s *Stack) Close() {
@@ -139,6 +163,11 @@ func (s *Stack) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.tmu.Lock()
+	for _, tm := range s.ttimer {
+		tm.Stop()
+	}
+	s.tmu.Unlock()
 	close(s.stop)
 	s.wg.Wait()
 }
@@ -146,9 +175,11 @@ func (s *Stack) Close() {
 // enqueue is the driver-side input hook: non-blocking, dropping on
 // overflow as BSD's IF_DROP does.
 func (s *Stack) enqueue(ifp *netif.Interface, fr netif.Frame) {
+	s.pending.Add(1)
 	select {
 	case s.inq <- inputItem{ifp, fr}:
 	default:
+		s.pending.Add(-1)
 		s.mu.Lock()
 		s.InqDrops++
 		s.mu.Unlock()
@@ -164,6 +195,7 @@ func (s *Stack) netisr() {
 			return
 		case it := <-s.inq:
 			s.dispatch(it.ifp, it.fr)
+			s.pending.Add(-1)
 		}
 	}
 }
@@ -179,33 +211,42 @@ func (s *Stack) dispatch(ifp *netif.Interface, fr netif.Frame) {
 	}
 }
 
-// timers runs the BSD timeout cadence: 200ms fast, 500ms slow, 1s for
-// ND/autoconf/key lifetimes.
-func (s *Stack) timers() {
-	defer s.wg.Done()
-	fast := time.NewTicker(tcp.FastTickInterval)
-	slow := time.NewTicker(tcp.SlowTickInterval)
-	sec := time.NewTicker(time.Second)
-	defer fast.Stop()
-	defer slow.Stop()
-	defer sec.Stop()
-	for {
-		select {
-		case <-s.stop:
+// startTimers schedules the BSD timeout cadence on the stack's clock:
+// 200ms fast, 500ms slow, 1s for ND/autoconf/key lifetimes. Each timer
+// re-arms itself after running, so on a virtual clock the cadence is
+// driven entirely by whoever advances simulated time.
+func (s *Stack) startTimers() {
+	s.every(tcp.FastTickInterval, func(time.Time) { s.TCP.FastTimo() })
+	s.every(tcp.SlowTickInterval, func(now time.Time) {
+		s.TCP.SlowTimo()
+		s.V4.SlowTimo(now)
+		s.V6.SlowTimo(now)
+	})
+	s.every(time.Second, func(now time.Time) {
+		s.ICMP6.FastTimo(now)
+		s.Keys.SlowTimo(now)
+	})
+}
+
+func (s *Stack) every(d time.Duration, fn func(now time.Time)) {
+	s.tmu.Lock()
+	idx := len(s.ttimer)
+	s.ttimer = append(s.ttimer, nil)
+	var arm func()
+	arm = func() {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
 			return
-		case <-fast.C:
-			s.TCP.FastTimo()
-		case <-slow.C:
-			now := time.Now()
-			s.TCP.SlowTimo()
-			s.V4.SlowTimo(now)
-			s.V6.SlowTimo(now)
-		case <-sec.C:
-			now := time.Now()
-			s.ICMP6.FastTimo(now)
-			s.Keys.SlowTimo(now)
 		}
+		fn(s.clock.Now())
+		s.tmu.Lock()
+		s.ttimer[idx] = s.clock.AfterFunc(d, arm)
+		s.tmu.Unlock()
 	}
+	s.ttimer[idx] = s.clock.AfterFunc(d, arm)
+	s.tmu.Unlock()
 }
 
 // Tick drives every timer once with the given time; for tests and

@@ -12,6 +12,7 @@ import (
 	"bsd6/internal/netif"
 	"bsd6/internal/proto"
 	"bsd6/internal/route"
+	"bsd6/internal/vclock"
 )
 
 func ip6(t testing.TB, s string) inet.IP6 {
@@ -107,14 +108,43 @@ func (p *pinger) count() int {
 	return len(p.replies)
 }
 
+// waitFor asserts that cond already holds. The hub delivers frames
+// synchronously and every timer is driven by explicit FastTimo /
+// SlowTimo calls, so there is nothing to wait on: if cond is false the
+// stack dropped something, and polling would only hide it.
 func waitFor(t testing.TB, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timeout waiting for %s", what)
+	if !cond() {
+		t.Fatalf("%s did not happen", what)
+	}
+}
+
+// virtualize points the nodes' route-table clocks (the time source for
+// all ND/DAD/reassembly state) at a shared virtual clock.
+func virtualize(clk *vclock.Virtual, nodes ...*node) {
+	for _, n := range nodes {
+		n.rt.Now = clk.Now
+	}
+}
+
+// driveDAD advances the virtual clock through enough FastTimo ticks to
+// let every node's DAD run conclude, entirely on this goroutine.
+func driveDAD(clk *vclock.Virtual, nodes ...*node) {
+	for i := 0; i < dadProbes+2; i++ {
+		clk.Advance(2 * dadInterval)
+		for _, n := range nodes {
+			n.m.FastTimo(clk.Now())
 		}
-		time.Sleep(time.Millisecond)
+	}
+}
+
+// concluded reports whether a StartDAD done channel has closed.
+func concluded(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -271,22 +301,15 @@ func TestUpperLayerConfirm(t *testing.T) {
 func TestDADUnique(t *testing.T) {
 	hub := netif.NewHub()
 	a, b := newNode("a"), newNode("b")
+	clk := vclock.NewVirtual(time.Unix(1_000_000, 0))
+	virtualize(clk, a, b)
 	ifp := a.join(hub, macA, 1500)
 	b.join(hub, macB, 1500)
 	addr := ip6(t, "2001:db8::a")
 	ifp.AddAddr6(netif.Addr6{Addr: addr, Plen: 64, Tentative: true})
 	done := a.m.StartDAD(ifp, addr)
-	now := time.Now()
-	go func() {
-		for i := 0; i < dadProbes+2; i++ {
-			now = now.Add(2 * dadInterval)
-			a.m.FastTimo(now)
-			time.Sleep(5 * time.Millisecond)
-		}
-	}()
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
+	driveDAD(clk, a, b)
+	if !concluded(done) {
 		t.Fatal("DAD did not conclude")
 	}
 	addrs := ifp.Addrs6()
@@ -310,10 +333,10 @@ func TestDADCollision(t *testing.T) {
 	b.addGlobal(ifpB, addr, 64)
 	// A tries to claim it; B's defending NA marks it duplicated.
 	ifpA.AddAddr6(netif.Addr6{Addr: addr, Plen: 64, Tentative: true})
+	// B's defending NA arrives synchronously, so DAD concludes inside
+	// StartDAD's first probe.
 	done := a.m.StartDAD(ifpA, addr)
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
+	if !concluded(done) {
 		t.Fatal("DAD did not conclude")
 	}
 	found := false
@@ -338,6 +361,8 @@ func TestDADSimultaneousProbes(t *testing.T) {
 	// the unspecified source tells the other prober about the clash.
 	hub := netif.NewHub()
 	a, b := newNode("a"), newNode("b")
+	clk := vclock.NewVirtual(time.Unix(1_000_000, 0))
+	virtualize(clk, a, b)
 	ifpA := a.join(hub, macA, 1500)
 	ifpB := b.join(hub, macB, 1500)
 	addr := ip6(t, "2001:db8::9")
@@ -346,18 +371,8 @@ func TestDADSimultaneousProbes(t *testing.T) {
 	doneA := a.m.StartDAD(ifpA, addr) // A's probe reaches B after B joins the group
 	doneB := b.m.StartDAD(ifpB, addr)
 	_ = doneA
-	go func() {
-		now := time.Now()
-		for i := 0; i < 2*(dadProbes+2); i++ {
-			now = now.Add(2 * dadInterval)
-			a.m.FastTimo(now)
-			b.m.FastTimo(now)
-			time.Sleep(5 * time.Millisecond)
-		}
-	}()
-	select {
-	case <-doneB:
-	case <-time.After(2 * time.Second):
+	driveDAD(clk, a, b)
+	if !concluded(doneB) {
 		t.Fatal("B's DAD did not conclude")
 	}
 	// At least one side must have detected the duplicate.
@@ -718,15 +733,9 @@ func TestFragmentationLoopback(t *testing.T) {
 	}
 }
 
-func TestReassemblyTimeoutNoTimeExceeded(t *testing.T) {
-	// The paper's footnote: no Time Exceeded can be sent for a
-	// reassembly timeout (the offending packet is gone).
-	hub := netif.NewHub()
-	a, b := newNode("a"), newNode("b")
-	a.join(hub, macA, 1500)
-	b.join(hub, macB, 1500)
-	// Inject a lone fragment directly.
-	fh := &ipv6.FragHeader{NextHdr: proto.UDP, Off: 0, More: true, ID: 77}
+// injectFragment hand-builds a lone fragment from a to b.
+func injectFragment(a, b *node, off int, more bool, id uint32) {
+	fh := &ipv6.FragHeader{NextHdr: proto.UDP, Off: off, More: more, ID: id}
 	fb := fh.Marshal(nil)
 	fb = append(fb, make([]byte, 64)...)
 	h := &ipv6.Header{NextHdr: proto.Fragment, HopLimit: 4, PayloadLen: len(fb),
@@ -734,13 +743,60 @@ func TestReassemblyTimeoutNoTimeExceeded(t *testing.T) {
 	pkt := mbuf.New(h.Marshal(nil))
 	pkt.Append(fb)
 	b.l.Input(b.ifps[0], pkt)
+}
+
+func TestReassemblyTimeoutTimeExceeded(t *testing.T) {
+	// The paper's footnote said no Time Exceeded could be sent for a
+	// reassembly timeout (the offending packet was gone); we retain the
+	// first fragment, so the error goes out — but only when fragment
+	// zero actually arrived (RFC 2460 §4.5).
+	hub := netif.NewHub()
+	a, b := newNode("a"), newNode("b")
+	clk := vclock.NewVirtual(time.Unix(1_000_000, 0))
+	virtualize(clk, a, b)
+	a.join(hub, macA, 1500)
+	b.join(hub, macB, 1500)
+	var mu sync.Mutex
+	var gotType, gotCode uint8
+	a.m.OnErrorMsg = func(typ, code uint8, src inet.IP6, inner []byte) {
+		mu.Lock()
+		gotType, gotCode = typ, code
+		mu.Unlock()
+	}
+
+	injectFragment(a, b, 0, true, 77) // first fragment, never completed
+	clk.Advance(time.Minute)
+	b.l.SlowTimo(clk.Now())
+	if b.l.Stats.ReasmFails.Get() != 1 {
+		t.Fatalf("ReasmFails = %d, want 1", b.l.Stats.ReasmFails.Get())
+	}
+	mu.Lock()
+	typ, code := gotType, gotCode
+	mu.Unlock()
+	if typ != TypeTimeExceeded || code != 1 {
+		t.Fatalf("got type=%d code=%d, want Time Exceeded code 1", typ, code)
+	}
+}
+
+func TestReassemblyTimeoutWithoutFirstFragmentSilent(t *testing.T) {
+	// A timeout where fragment zero never showed must stay silent: the
+	// error would have to quote a header we never received.
+	hub := netif.NewHub()
+	a, b := newNode("a"), newNode("b")
+	clk := vclock.NewVirtual(time.Unix(1_000_000, 0))
+	virtualize(clk, a, b)
+	a.join(hub, macA, 1500)
+	b.join(hub, macB, 1500)
+
+	injectFragment(a, b, 128, true, 78) // tail only, no fragment zero
 	errsBefore := b.m.Stats.OutErrors.Get()
-	b.l.SlowTimo(time.Now().Add(time.Minute))
-	if b.l.Stats.ReasmFails.Get() == 0 {
-		t.Fatal("reassembly did not time out")
+	clk.Advance(time.Minute)
+	b.l.SlowTimo(clk.Now())
+	if b.l.Stats.ReasmFails.Get() != 1 {
+		t.Fatalf("ReasmFails = %d, want 1", b.l.Stats.ReasmFails.Get())
 	}
 	if b.m.Stats.OutErrors.Get() != errsBefore {
-		t.Fatal("Time Exceeded sent for reassembly timeout")
+		t.Fatal("Time Exceeded sent without the first fragment")
 	}
 }
 

@@ -129,14 +129,13 @@ func (s *echoSink) count() int {
 	return s.n
 }
 
+// waitFor asserts cond already holds: hub links deliver synchronously
+// on the sender's goroutine, so by the time a send returns, every
+// consequence (including the reply) has been processed.
 func waitFor(t testing.TB, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timeout waiting for %s", what)
-		}
-		time.Sleep(time.Millisecond)
+	if !cond() {
+		t.Fatalf("%s did not happen", what)
 	}
 }
 

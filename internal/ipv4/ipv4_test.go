@@ -3,6 +3,7 @@ package ipv4
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -192,6 +193,9 @@ func (p *pinger) count() int {
 	return len(p.replies)
 }
 
+// waitFor waits until cond holds. Hub links deliver synchronously on
+// the sender's goroutine, so cond is normally true on the first check;
+// the spin-yield only covers stragglers, without sleeping.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)
@@ -199,7 +203,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 		if time.Now().After(deadline) {
 			t.Fatalf("timeout waiting for %s", what)
 		}
-		time.Sleep(time.Millisecond)
+		runtime.Gosched()
 	}
 }
 

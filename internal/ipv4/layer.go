@@ -358,6 +358,14 @@ func (l *Layer) deliverLocal(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 		key := fragKey{h.Src, h.Dst, h.ID, h.Proto}
 		l.mu.Lock()
 		data, done, err := l.frags.Add(key, l.routes.Now(), h.FragOff, h.MF, pkt.CopyBytes())
+		if err == nil && !done && h.FragOff == 0 {
+			// Keep the first fragment's leading bytes so a reassembly
+			// timeout can send Time Exceeded code 1 (RFC 792).
+			if buf := l.frags.Get(key); buf != nil && buf.Ctx == nil {
+				buf.Ctx = errCtx
+				buf.CtxIf = ifp.Name
+			}
+		}
 		l.mu.Unlock()
 		if err != nil {
 			l.Stats.ReasmFails.Inc()
@@ -439,12 +447,22 @@ func (l *Layer) forward(h *Header, pkt *mbuf.Mbuf) {
 }
 
 // SlowTimo drives timeouts: reassembly expiry and ARP retries. The
-// stack calls it every 500ms, as BSD's pr_slowtimo runs.
+// stack calls it every 500ms, as BSD's pr_slowtimo runs. Expired
+// reassemblies whose first fragment arrived elicit Time Exceeded code
+// 1, as ip_freef's caller does in BSD.
 func (l *Layer) SlowTimo(now time.Time) {
+	var errs [][]byte
 	l.mu.Lock()
-	n := l.frags.Expire(now)
+	n := l.frags.ExpireFunc(now, func(_ fragKey, b *reasm.Buffer) {
+		if b.HasFirst() && b.Ctx != nil {
+			errs = append(errs, b.Ctx)
+		}
+	})
 	l.Stats.ReasmFails.Add(uint64(n))
 	l.mu.Unlock()
+	for _, ctx := range errs {
+		l.SendError(IcmpTimeExceeded, 1, 0, ctx)
+	}
 	l.arpTimer(now)
 }
 

@@ -1013,6 +1013,18 @@ func (l *Layer) processFragment(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf,
 	frag := b[rec.Offset+FragHeaderLen:]
 	l.mu.Lock()
 	data, done, err := l.frags.Add(key, l.routes.Now(), fh.Off, fh.More, frag)
+	if err == nil && !done && fh.Off == 0 {
+		// Remember the first fragment so a reassembly timeout can quote
+		// it in the Time Exceeded error (RFC 2460 §4.5).
+		if buf := l.frags.Get(key); buf != nil && buf.Ctx == nil {
+			ctx := b
+			if len(ctx) > MinMTU {
+				ctx = ctx[:MinMTU]
+			}
+			buf.Ctx = append([]byte(nil), ctx...)
+			buf.CtxIf = ifp.Name
+		}
+	}
 	l.mu.Unlock()
 	if err != nil {
 		l.Stats.ReasmFails.Inc()
@@ -1100,12 +1112,28 @@ func (l *Layer) sendErr(kind int, code uint8, param uint32, orig *mbuf.Mbuf, rcv
 	}
 }
 
-// SlowTimo drives periodic work (reassembly expiry). Per the paper's
-// footnote, no Time Exceeded can be sent for reassembly timeouts: the
-// offending packet is no longer available for transmission.
+// SlowTimo drives periodic work (reassembly expiry). The paper's
+// footnote said no Time Exceeded could be sent for reassembly timeouts
+// because the offending packet was gone; we keep the first fragment on
+// the buffer, so the error goes out with code 1 (fragment reassembly
+// time exceeded) exactly when fragment zero arrived, per RFC 2460
+// §4.5. Timeouts where the first fragment never showed stay silent —
+// the error must quote the offender's header, which we never saw.
 func (l *Layer) SlowTimo(now time.Time) {
+	type timedOut struct {
+		ctx   []byte
+		rcvIf string
+	}
+	var errs []timedOut
 	l.mu.Lock()
-	n := l.frags.Expire(now)
+	n := l.frags.ExpireFunc(now, func(_ fragKey, b *reasm.Buffer) {
+		if b.HasFirst() && b.Ctx != nil {
+			errs = append(errs, timedOut{b.Ctx, b.CtxIf})
+		}
+	})
 	l.Stats.ReasmFails.Add(uint64(n))
 	l.mu.Unlock()
+	for _, e := range errs {
+		l.sendErr(ErrTimeExceeded, 1, 0, mbuf.New(e.ctx), e.rcvIf)
+	}
 }

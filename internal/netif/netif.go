@@ -30,6 +30,7 @@ import (
 
 	"bsd6/internal/inet"
 	"bsd6/internal/mbuf"
+	"bsd6/internal/vclock"
 )
 
 // EtherTypes for the two IP versions.
@@ -450,35 +451,154 @@ func (ifp *Interface) acceptLocked(dst inet.LinkAddr) bool {
 // The Hub: a shared-medium link connecting interfaces.
 //
 
+// Faults configures adversarial link behavior. The zero value is a
+// perfect wire. Probabilities are in [0,1); every random draw comes
+// from the hub's seeded RNG, so a run is reproducible from its seed
+// when the rest of the test is deterministic (single driving goroutine
+// on a virtual clock).
+type Faults struct {
+	// Latency delays every delivery by a fixed amount; Jitter adds a
+	// uniform random extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// Loss drops frames independently with this probability.
+	Loss float64
+
+	// BurstLoss models correlated outages (Gilbert-style): with this
+	// per-frame probability the link enters a bad state and eats
+	// BurstLen consecutive frames (default 4 when BurstLoss > 0).
+	BurstLoss float64
+	BurstLen  int
+
+	// Duplicate delivers a second copy of the frame, right after the
+	// first, with this probability.
+	Duplicate float64
+
+	// Corrupt flips one random bit in the frame payload with this
+	// probability (the MAC header is left intact so the receive filter
+	// still applies; IP/transport checksums must catch the damage).
+	Corrupt float64
+
+	// Reorder holds a frame back an extra ReorderDelay with this
+	// probability, letting later frames overtake it. ReorderDelay
+	// defaults to Latency + 1ms when zero.
+	Reorder      float64
+	ReorderDelay time.Duration
+}
+
 // Hub is a simulated Ethernet segment. Frames transmitted by one
 // attached interface are delivered to all others (subject to each
-// receiver's MAC filter), optionally after a fixed latency and with
-// random loss for failure injection.
+// receiver's MAC filter), optionally through a fault model: latency,
+// jitter, random and burst loss, duplication, bit corruption,
+// reordering, and partitions. Delayed deliveries are scheduled on the
+// hub's clock, so tests on a virtual clock get bit-for-bit
+// reproducible hostile-link runs.
 type Hub struct {
-	mu      sync.Mutex
-	ports   []*Interface
-	latency time.Duration
-	loss    float64
-	rng     *rand.Rand
+	mu         sync.Mutex
+	ports      []*Interface
+	faults     Faults                // hub-wide fault model
+	linkFaults map[*Interface]Faults // per-receiver overrides
+	burst      map[*Interface]int    // remaining frames in a loss burst
+	partition  map[*Interface]int    // partition group; nil = all connected
+	clock      vclock.Clock
+	inflight   int
+
+	// rng is guarded by its own mutex: delayed deliveries and
+	// concurrent senders all draw from it.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	// Capture, if set, observes every frame that traverses the hub
-	// (before loss), like a packet sniffer.
+	// (before any fault is applied), like a packet sniffer. It is
+	// called with the hub lock held; it must not call back into the
+	// hub or transmit frames.
 	Capture func(Frame)
 }
 
-// NewHub creates a hub with no latency or loss.
+// NewHub creates a hub with no latency or loss, running on the wall
+// clock.
 func NewHub() *Hub {
-	return &Hub{rng: rand.New(rand.NewSource(1))}
+	return &Hub{
+		clock: vclock.Real(),
+		burst: make(map[*Interface]int),
+		rng:   rand.New(rand.NewSource(1)),
+	}
+}
+
+// SetClock installs the clock used for delayed deliveries. Call before
+// traffic flows.
+func (h *Hub) SetClock(c vclock.Clock) {
+	h.mu.Lock()
+	h.clock = c
+	h.mu.Unlock()
+}
+
+// SetSeed reseeds the hub's fault RNG. Safe to call concurrently with
+// traffic.
+func (h *Hub) SetSeed(seed int64) {
+	h.rngMu.Lock()
+	h.rng = rand.New(rand.NewSource(seed))
+	h.rngMu.Unlock()
+}
+
+// SetFaults installs the hub-wide fault model.
+func (h *Hub) SetFaults(f Faults) {
+	h.mu.Lock()
+	h.faults = f
+	h.mu.Unlock()
+}
+
+// SetLinkFaults overrides the fault model for frames delivered *to*
+// ifp. Pass nil to remove the override.
+func (h *Hub) SetLinkFaults(ifp *Interface, f *Faults) {
+	h.mu.Lock()
+	if f == nil {
+		delete(h.linkFaults, ifp)
+	} else {
+		if h.linkFaults == nil {
+			h.linkFaults = make(map[*Interface]Faults)
+		}
+		h.linkFaults[ifp] = *f
+	}
+	h.mu.Unlock()
 }
 
 // SetImpairments configures delivery latency and a loss probability in
-// [0,1). seed makes the loss pattern reproducible.
+// [0,1). seed makes the loss pattern reproducible. Kept as shorthand
+// for SetFaults + SetSeed.
 func (h *Hub) SetImpairments(latency time.Duration, loss float64, seed int64) {
 	h.mu.Lock()
-	h.latency = latency
-	h.loss = loss
-	h.rng = rand.New(rand.NewSource(seed))
+	h.faults = Faults{Latency: latency, Loss: loss}
 	h.mu.Unlock()
+	h.SetSeed(seed)
+}
+
+// Partition splits the hub: each group lists interfaces that can still
+// reach each other; frames between different groups are dropped.
+// Interfaces in no group land in an implicit group of their own.
+// Calling Partition() with no arguments heals the hub.
+func (h *Hub) Partition(groups ...[]*Interface) {
+	h.mu.Lock()
+	if len(groups) == 0 {
+		h.partition = nil
+	} else {
+		h.partition = make(map[*Interface]int)
+		for i, g := range groups {
+			for _, ifp := range g {
+				h.partition[ifp] = i + 1
+			}
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Pending reports how many delayed deliveries are still in flight.
+// Zero with idle senders means the segment is quiescent.
+func (h *Hub) Pending() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.inflight
 }
 
 // Attach connects an interface to the hub and brings it up.
@@ -508,35 +628,116 @@ func (h *Hub) Detach(ifp *Interface) {
 	ifp.mu.Unlock()
 }
 
+// float draws from the hub RNG under its own lock.
+func (h *Hub) float() float64 {
+	h.rngMu.Lock()
+	defer h.rngMu.Unlock()
+	return h.rng.Float64()
+}
+
+func (h *Hub) intn(n int) int {
+	h.rngMu.Lock()
+	defer h.rngMu.Unlock()
+	return h.rng.Intn(n)
+}
+
 func (h *Hub) transmit(src *Interface, fr Frame) error {
 	h.mu.Lock()
 	if h.Capture != nil {
 		h.Capture(fr)
 	}
-	if h.loss > 0 && h.rng.Float64() < h.loss {
-		h.mu.Unlock()
-		return nil // the wire ate it; senders can't tell
-	}
 	ports := append([]*Interface(nil), h.ports...)
-	latency := h.latency
+	hubFaults := h.faults
+	linkFaults := h.linkFaults
+	partition := h.partition
+	clock := h.clock
 	h.mu.Unlock()
 
-	deliver := func() {
-		for _, p := range ports {
-			if p == src {
+	for _, p := range ports {
+		if p == src {
+			continue
+		}
+		if partition != nil && partition[src] != partition[p] {
+			continue // severed by the partition
+		}
+		f := hubFaults
+		if lf, ok := linkFaults[p]; ok {
+			f = lf
+		}
+
+		// Burst loss: a link in the bad state eats frames until the
+		// burst drains; entering the bad state is a per-frame draw.
+		if f.BurstLoss > 0 {
+			h.mu.Lock()
+			if h.burst[p] > 0 {
+				h.burst[p]--
+				h.mu.Unlock()
 				continue
 			}
+			h.mu.Unlock()
+			if h.float() < f.BurstLoss {
+				n := f.BurstLen
+				if n <= 0 {
+					n = 4
+				}
+				h.mu.Lock()
+				h.burst[p] = n - 1 // this frame is the first casualty
+				h.mu.Unlock()
+				continue
+			}
+		}
+		if f.Loss > 0 && h.float() < f.Loss {
+			continue // the wire ate it; senders can't tell
+		}
+
+		delay := f.Latency
+		if f.Jitter > 0 {
+			delay += time.Duration(h.intn(int(f.Jitter)))
+		}
+		if f.Reorder > 0 && h.float() < f.Reorder {
+			extra := f.ReorderDelay
+			if extra <= 0 {
+				extra = f.Latency + time.Millisecond
+			}
+			delay += extra
+		}
+
+		copies := 1
+		if f.Duplicate > 0 && h.float() < f.Duplicate {
+			copies = 2
+		}
+		for c := 0; c < copies; c++ {
 			// Each receiver gets its own copy, as a real wire gives
 			// each NIC its own signal.
 			cp := fr
 			cp.Payload = fr.Payload.Copy()
-			p.deliver(cp, false)
+			if f.Corrupt > 0 && h.float() < f.Corrupt {
+				if b := cp.Payload.Bytes(); len(b) > 0 {
+					bit := h.intn(len(b) * 8)
+					b[bit/8] ^= 1 << (bit % 8)
+				}
+			}
+			h.schedule(clock, delay, p, cp)
 		}
 	}
-	if latency > 0 {
-		time.AfterFunc(latency, deliver)
-		return nil
-	}
-	deliver()
 	return nil
+}
+
+// schedule delivers a frame to one receiver, either inline (zero
+// delay) or via the hub clock, tracking in-flight count so tests can
+// detect quiescence.
+func (h *Hub) schedule(clock vclock.Clock, delay time.Duration, p *Interface, fr Frame) {
+	if delay <= 0 {
+		p.deliver(fr, false)
+		return
+	}
+	h.mu.Lock()
+	h.inflight++
+	h.mu.Unlock()
+	clock.AfterFunc(delay, func() {
+		p.deliver(fr, false)
+		h.mu.Lock()
+		h.inflight--
+		h.mu.Unlock()
+	})
 }

@@ -1,0 +1,75 @@
+package reasm
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzReasmInsert interprets the input as a train of fragment-insert
+// operations against one reassembly buffer and checks the hole-filler
+// against an independent first-arrival-wins model: completion must
+// produce exactly the bytes of the earliest fragment to claim each
+// offset (the property RFC 5722 overlap attacks try to violate), at
+// exactly the announced total length, with every byte accounted for.
+//
+// Each 4-byte chunk encodes one fragment: 13-bit offset, 6-bit
+// length (1..64), a more bit, and a byte seed for the payload.
+func FuzzReasmInsert(f *testing.F) {
+	f.Add([]byte{0, 0, 23, 1, 0, 24 >> 8, 24, 7, 0xff})
+	f.Add([]byte{0, 8, 63, 2, 0, 0, 63, 0})
+	f.Add([]byte{0x1f, 0xff, 63, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const span = 1<<13 + 64 // max offset + max fragment length
+		b := NewBuffer(time.Unix(0, 0))
+		model := make([]byte, span)
+		written := make([]bool, span)
+		total := -1
+
+		for i := 0; i+4 <= len(ops) && i < 4*256; i += 4 {
+			off := int(uint16(ops[i])<<8|uint16(ops[i+1])) & 0x1fff
+			n := 1 + int(ops[i+2]&0x3f)
+			more := ops[i+3]&1 != 0
+			data := make([]byte, n)
+			for j := range data {
+				data[j] = ops[i+3] + byte(j)
+			}
+
+			out, done, err := b.Add(off, more, data)
+			if err != nil {
+				if done {
+					t.Fatalf("Add reported done alongside error %v", err)
+				}
+				// ErrTooManyPieces strikes after a final fragment may
+				// already have fixed the total; mirror that.
+				if err == ErrTooManyPieces && !more && total == -1 {
+					total = off + n
+				}
+				continue
+			}
+			if !more {
+				total = off + n
+			}
+			for j := 0; j < n; j++ {
+				if !written[off+j] {
+					written[off+j] = true
+					model[off+j] = data[j]
+				}
+			}
+			if done {
+				if total < 0 || len(out) != total {
+					t.Fatalf("completed with %d bytes, announced total %d", len(out), total)
+				}
+				for j := 0; j < total; j++ {
+					if !written[j] {
+						t.Fatalf("completed with a hole at offset %d", j)
+					}
+				}
+				if !bytes.Equal(out, model[:total]) {
+					t.Fatalf("reassembled bytes deviate from first-arrival model")
+				}
+				return // buffer is spent; the queue would have removed it
+			}
+		}
+	})
+}

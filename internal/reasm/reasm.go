@@ -6,9 +6,11 @@
 // but the receiver-side hole-filling is the same: collect byte ranges,
 // learn the total length from the fragment with more-fragments clear,
 // and complete when no holes remain.  Buffers are discarded after a
-// timeout (IPv6 reports it via an ICMPv6 Time Exceeded that this
-// implementation, like the paper's, cannot send with the offending
-// packet attached — §4.1 footnote).
+// timeout.  The paper's implementation could not send the ICMPv6 Time
+// Exceeded the timeout calls for because it no longer had the
+// offending packet (§4.1 footnote); we deviate by letting the caller
+// stash the first fragment's bytes on the buffer (Ctx), so the error
+// can be emitted iff fragment zero arrived, per RFC 2460 §4.5.
 package reasm
 
 import (
@@ -42,6 +44,19 @@ type Buffer struct {
 	total   int     // -1 until the final fragment arrives
 	have    int     // bytes currently held
 	Created time.Time
+
+	// Ctx is caller context for the timeout error path: the IP layer
+	// stores (a prefix of) the first fragment's packet here so an
+	// ICMP Time Exceeded can quote the offending packet. CtxIf is the
+	// interface the fragment arrived on.
+	Ctx   []byte
+	CtxIf string
+}
+
+// HasFirst reports whether the fragment at offset zero has arrived —
+// the RFC condition for sending Time Exceeded on timeout.
+func (b *Buffer) HasFirst() bool {
+	return len(b.pieces) > 0 && b.pieces[0].off == 0
 }
 
 // NewBuffer returns an empty reassembly buffer stamped with now.
@@ -138,8 +153,11 @@ func (b *Buffer) contiguous() bool {
 }
 
 // Queue maps datagram keys to in-progress buffers and expires them.
+// Buffers are tracked in creation order so expiry (and the ICMP errors
+// it triggers) is deterministic.
 type Queue[K comparable] struct {
-	bufs map[K]*Buffer
+	bufs  map[K]*Buffer
+	order []K // creation order of live buffers
 	// Timeout is how long an incomplete datagram may linger.
 	Timeout time.Duration
 }
@@ -156,22 +174,52 @@ func (q *Queue[K]) Add(key K, now time.Time, off int, more bool, data []byte) ([
 	if b == nil {
 		b = NewBuffer(now)
 		q.bufs[key] = b
+		q.order = append(q.order, key)
 	}
 	out, done, err := b.Add(off, more, data)
 	if done || err != nil {
-		delete(q.bufs, key)
+		q.remove(key)
 	}
 	return out, done, err
+}
+
+// Get returns the in-progress buffer for key, or nil. Callers use it
+// to attach Ctx after the first fragment arrives.
+func (q *Queue[K]) Get(key K) *Buffer { return q.bufs[key] }
+
+func (q *Queue[K]) remove(key K) {
+	delete(q.bufs, key)
+	for i, k := range q.order {
+		if k == key {
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			break
+		}
+	}
 }
 
 // Expire drops buffers older than the timeout, returning how many were
 // discarded.
 func (q *Queue[K]) Expire(now time.Time) int {
+	return q.ExpireFunc(now, nil)
+}
+
+// ExpireFunc drops buffers older than the timeout, calling fn (if
+// non-nil) for each in creation order — the hook the IP layers use to
+// emit Time Exceeded for buffers whose first fragment arrived.
+func (q *Queue[K]) ExpireFunc(now time.Time, fn func(K, *Buffer)) int {
 	n := 0
-	for k, b := range q.bufs {
+	for i := 0; i < len(q.order); {
+		k := q.order[i]
+		b := q.bufs[k]
 		if now.Sub(b.Created) > q.Timeout {
 			delete(q.bufs, k)
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			if fn != nil {
+				fn(k, b)
+			}
 			n++
+		} else {
+			i++
 		}
 	}
 	return n

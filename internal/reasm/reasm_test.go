@@ -196,3 +196,102 @@ func TestQuickAnyOrderReassembly(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHasFirst(t *testing.T) {
+	b := NewBuffer(t0)
+	if b.HasFirst() {
+		t.Fatal("empty buffer claims first fragment")
+	}
+	b.Add(8, true, []byte("tail"))
+	if b.HasFirst() {
+		t.Fatal("tail-only buffer claims first fragment")
+	}
+	b.Add(0, true, []byte("head"))
+	if !b.HasFirst() {
+		t.Fatal("first fragment not detected")
+	}
+}
+
+func TestQueueGetAndCtx(t *testing.T) {
+	q := NewQueue[int](time.Minute)
+	q.Add(1, t0, 0, true, []byte("head"))
+	b := q.Get(1)
+	if b == nil {
+		t.Fatal("Get missed live buffer")
+	}
+	b.Ctx = []byte("original packet")
+	b.CtxIf = "a0"
+	if q.Get(2) != nil {
+		t.Fatal("Get invented a buffer")
+	}
+	var expired []*Buffer
+	q.ExpireFunc(t0.Add(2*time.Minute), func(_ int, eb *Buffer) { expired = append(expired, eb) })
+	if len(expired) != 1 || string(expired[0].Ctx) != "original packet" || expired[0].CtxIf != "a0" {
+		t.Fatalf("expired ctx lost: %+v", expired)
+	}
+	if q.Len() != 0 {
+		t.Fatal("expired buffer kept")
+	}
+}
+
+func TestExpireFuncCreationOrder(t *testing.T) {
+	q := NewQueue[int](time.Minute)
+	for _, k := range []int{7, 3, 9, 1} {
+		q.Add(k, t0, 0, true, []byte("x"))
+	}
+	var keys []int
+	n := q.ExpireFunc(t0.Add(2*time.Minute), func(k int, _ *Buffer) { keys = append(keys, k) })
+	if n != 4 {
+		t.Fatalf("expired %d, want 4", n)
+	}
+	for i, want := range []int{7, 3, 9, 1} {
+		if keys[i] != want {
+			t.Fatalf("expiry order %v, want creation order [7 3 9 1]", keys)
+		}
+	}
+}
+
+func TestExpireSkipsFresh(t *testing.T) {
+	q := NewQueue[int](time.Minute)
+	q.Add(1, t0, 0, true, []byte("old"))
+	q.Add(2, t0.Add(90*time.Second), 0, true, []byte("young"))
+	if n := q.Expire(t0.Add(2 * time.Minute)); n != 1 {
+		t.Fatalf("expired %d, want 1", n)
+	}
+	if q.Get(2) == nil {
+		t.Fatal("fresh buffer expired")
+	}
+}
+
+func TestOverlapConflictingData(t *testing.T) {
+	// RFC 5722-style attack: a later fragment rewrites bytes an earlier
+	// one already supplied, with different content. Earlier arrival
+	// must win for every overlapped byte (BSD semantics), so the
+	// attacker's bytes never reach the application.
+	b := NewBuffer(t0)
+	b.Add(0, true, []byte("GOODGOOD"))
+	b.Add(4, true, []byte("EVILEVIL")) // [4,8) conflicts, [8,12) is new
+	out, done, err := b.Add(12, false, []byte("tail"))
+	if err != nil || !done {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	if string(out) != "GOODGOODEVILtail" {
+		t.Fatalf("got %q: overlapped bytes must keep first arrival", out)
+	}
+}
+
+func TestDuplicateFinalFragments(t *testing.T) {
+	// Two finals with the same end are a benign duplicate...
+	b := NewBuffer(t0)
+	b.Add(4, false, []byte("tail"))
+	if _, _, err := b.Add(4, false, []byte("tail")); err != nil {
+		t.Fatalf("same-end duplicate final rejected: %v", err)
+	}
+	// ...but a final that moves the end is an attack and must drop the
+	// whole datagram.
+	b2 := NewBuffer(t0)
+	b2.Add(8, false, []byte("end1"))
+	if _, _, err := b2.Add(4, false, []byte("end2")); err != ErrInconsistent {
+		t.Fatalf("conflicting final accepted: %v", err)
+	}
+}

@@ -3,7 +3,6 @@ package tcp_test
 import (
 	"bytes"
 	"errors"
-	"sync"
 	"testing"
 	"time"
 
@@ -16,101 +15,95 @@ import (
 	"bsd6/internal/testnet"
 )
 
-// tnode is a testnet node plus TCP and a timer driver.
-type tnode struct {
-	*testnet.Node
-	tcp  *tcp.TCP
-	stop chan struct{}
-	wg   sync.WaitGroup
+// The suite runs entirely on simulated time: links deliver
+// synchronously, protocol timers (retransmit, persist, TIME_WAIT)
+// fire when the test advances the virtual clock, and nothing sleeps.
+// Every transfer is a single-goroutine pump that interleaves Send and
+// Recv and steps the clock only when neither side can make progress.
+
+// tsim is a simulation plus test handle; tnode is a node plus TCP.
+type tsim struct {
+	*testnet.Sim
+	t *testing.T
 }
 
-func newTNode(t *testing.T, name string) *tnode {
-	n := &tnode{Node: testnet.NewNode(name), stop: make(chan struct{})}
+type tnode struct {
+	*testnet.Node
+	tcp *tcp.TCP
+}
+
+func newSim(t *testing.T) *tsim {
+	return &tsim{Sim: testnet.NewSim(), t: t}
+}
+
+func (s *tsim) node(name string) *tnode {
+	n := &tnode{Node: s.NewNode(name)}
 	n.tcp = tcp.New(n.V4, n.V6)
 	n.tcp.InputPolicy = n.Sec.InputPolicy
 	n.tcp.AllowError = n.Sec.AllowError
 	n.tcp.Confirm = n.ICMP6.Confirm
-	// Accelerated protocol timers so retransmission tests finish fast.
-	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		slow := time.NewTicker(10 * time.Millisecond)
-		fast := time.NewTicker(5 * time.Millisecond)
-		defer slow.Stop()
-		defer fast.Stop()
-		for {
-			select {
-			case <-n.stop:
-				return
-			case <-slow.C:
-				n.tcp.SlowTimo()
-			case <-fast.C:
-				n.tcp.FastTimo()
-			}
-		}
-	}()
-	t.Cleanup(func() { close(n.stop); n.wg.Wait() })
+	s.Every(tcp.FastTickInterval, func(time.Time) { n.tcp.FastTimo() })
+	s.Every(tcp.SlowTickInterval, func(time.Time) { n.tcp.SlowTimo() })
 	return n
 }
 
-func tcpPair(t *testing.T) (*tnode, *tnode) {
+func tcpPair(t *testing.T) (*tsim, *tnode, *tnode) {
 	t.Helper()
-	hub := netif.NewHub()
-	a, b := newTNode(t, "a"), newTNode(t, "b")
+	s := newSim(t)
+	hub := s.NewHub()
+	a, b := s.node("a"), s.node("b")
 	a.Join(hub, testnet.MacA, 1500, inet.IP4{10, 0, 0, 1}, 24)
 	b.Join(hub, testnet.MacB, 1500, inet.IP4{10, 0, 0, 2}, 24)
-	return a, b
+	return s, a, b
 }
 
 // helpers
 
-func waitState(t *testing.T, c *tcp.Conn, want tcp.State) {
-	t.Helper()
-	testnet.WaitFor(t, "state "+want.String(), func() bool { return c.State() == want })
+func (s *tsim) waitState(c *tcp.Conn, want tcp.State) {
+	s.t.Helper()
+	s.WaitFor(s.t, "state "+want.String(), func() bool { return c.State() == want })
 }
 
-func acceptOne(t *testing.T, l *tcp.Conn) *tcp.Conn {
-	t.Helper()
+func (s *tsim) acceptOne(l *tcp.Conn) *tcp.Conn {
+	s.t.Helper()
 	var child *tcp.Conn
-	testnet.WaitFor(t, "accept", func() bool {
+	s.WaitFor(s.t, "accept", func() bool {
 		child = l.Accept()
 		return child != nil
 	})
 	return child
 }
 
-func sendAll(t *testing.T, c *tcp.Conn, data []byte) {
-	t.Helper()
-	deadline := time.Now().Add(20 * time.Second)
+func (s *tsim) sendAll(c *tcp.Conn, data []byte) {
+	s.t.Helper()
+	deadline := s.Clock.Now().Add(5 * time.Minute)
 	for len(data) > 0 {
 		n, err := c.Send(data)
 		if err != nil {
-			t.Fatalf("send: %v", err)
+			s.t.Fatalf("send: %v", err)
 		}
 		data = data[n:]
 		if n == 0 {
-			if time.Now().After(deadline) {
-				t.Fatal("send stalled")
+			if s.Clock.Now().After(deadline) || !s.Clock.Step() {
+				s.t.Fatal("send stalled")
 			}
-			time.Sleep(time.Millisecond)
 		}
 	}
 }
 
-func recvN(t *testing.T, c *tcp.Conn, n int) []byte {
-	t.Helper()
+func (s *tsim) recvN(c *tcp.Conn, n int) []byte {
+	s.t.Helper()
 	out := make([]byte, 0, n)
-	deadline := time.Now().Add(20 * time.Second)
+	deadline := s.Clock.Now().Add(5 * time.Minute)
 	for len(out) < n {
 		chunk, err := c.Recv(n - len(out))
 		if err != nil {
-			t.Fatalf("recv after %d/%d bytes: %v", len(out), n, err)
+			s.t.Fatalf("recv after %d/%d bytes: %v", len(out), n, err)
 		}
 		if chunk == nil {
-			if time.Now().After(deadline) {
-				t.Fatalf("recv stalled at %d/%d", len(out), n)
+			if s.Clock.Now().After(deadline) || !s.Clock.Step() {
+				s.t.Fatalf("recv stalled at %d/%d", len(out), n)
 			}
-			time.Sleep(time.Millisecond)
 			continue
 		}
 		out = append(out, chunk...)
@@ -118,12 +111,51 @@ func recvN(t *testing.T, c *tcp.Conn, n int) []byte {
 	return out
 }
 
-func recvEOF(t *testing.T, c *tcp.Conn) {
-	t.Helper()
-	testnet.WaitFor(t, "EOF", func() bool {
+func (s *tsim) recvEOF(c *tcp.Conn) {
+	s.t.Helper()
+	s.WaitFor(s.t, "EOF", func() bool {
 		b, err := c.Recv(64)
 		return err != nil && len(b) == 0
 	})
+}
+
+// transfer pumps send bytes from c while draining srv in chunk-sized
+// reads until want bytes have arrived, advancing simulated time only
+// when both directions stall (full buffers, lost segments waiting on
+// the retransmit timer, a closed window waiting on persist probes).
+func (s *tsim) transfer(c, srv *tcp.Conn, send []byte, want, chunk int) []byte {
+	s.t.Helper()
+	rest := send
+	got := make([]byte, 0, want)
+	deadline := s.Clock.Now().Add(10 * time.Minute)
+	for len(got) < want {
+		progress := false
+		for len(rest) > 0 {
+			n, err := c.Send(rest)
+			if err != nil {
+				s.t.Fatalf("send: %v", err)
+			}
+			rest = rest[n:]
+			if n == 0 {
+				break
+			}
+			progress = true
+		}
+		b, err := srv.Recv(chunk)
+		if err != nil {
+			s.t.Fatalf("recv after %d/%d bytes: %v", len(got), want, err)
+		}
+		if len(b) > 0 {
+			got = append(got, b...)
+			progress = true
+		}
+		if !progress {
+			if s.Clock.Now().After(deadline) || !s.Clock.Step() {
+				s.t.Fatalf("transfer stalled at %d/%d", len(got), want)
+			}
+		}
+	}
+	return got
 }
 
 func pattern(n int) []byte {
@@ -139,7 +171,7 @@ func pattern(n int) []byte {
 //
 
 func TestHandshakeAndEcho6(t *testing.T) {
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	l := b.tcp.Attach(inet.AFInet6, "listener")
 	if err := l.Bind(inet.IP6{}, 8080); err != nil {
 		t.Fatal(err)
@@ -151,20 +183,20 @@ func TestHandshakeAndEcho6(t *testing.T) {
 	if err := c.Connect(b.LinkLocal(0), 8080); err != nil {
 		t.Fatal(err)
 	}
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
-	waitState(t, srv, tcp.StateEstablished)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
+	s.waitState(srv, tcp.StateEstablished)
 	if !c.PCB().IsIPv6() {
 		t.Fatal("client PCB not IPv6")
 	}
 
-	sendAll(t, c, []byte("GET / telnet-ish\r\n"))
-	got := recvN(t, srv, 18)
+	s.sendAll(c, []byte("GET / telnet-ish\r\n"))
+	got := s.recvN(srv, 18)
 	if string(got) != "GET / telnet-ish\r\n" {
 		t.Fatalf("server got %q", got)
 	}
-	sendAll(t, srv, []byte("OK"))
-	if string(recvN(t, c, 2)) != "OK" {
+	s.sendAll(srv, []byte("OK"))
+	if string(s.recvN(c, 2)) != "OK" {
 		t.Fatal("client reply")
 	}
 	if a.tcp.Stats.ConnEstab.Get() == 0 || b.tcp.Stats.ConnAccepts.Get() == 0 {
@@ -173,7 +205,7 @@ func TestHandshakeAndEcho6(t *testing.T) {
 }
 
 func TestTCPOverIPv4(t *testing.T) {
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	l := b.tcp.Attach(inet.AFInet, nil)
 	l.Bind(inet.IP6{}, 8081)
 	l.Listen(1)
@@ -181,20 +213,20 @@ func TestTCPOverIPv4(t *testing.T) {
 	if err := c.Connect(inet.V4Mapped(inet.IP4{10, 0, 0, 2}), 8081); err != nil {
 		t.Fatal(err)
 	}
-	waitState(t, c, tcp.StateEstablished)
+	s.waitState(c, tcp.StateEstablished)
 	if c.PCB().IsIPv6() {
 		t.Fatal("v4 session flagged IPv6")
 	}
-	srv := acceptOne(t, l)
-	sendAll(t, c, []byte("ipv4 data"))
-	if string(recvN(t, srv, 9)) != "ipv4 data" {
+	srv := s.acceptOne(l)
+	s.sendAll(c, []byte("ipv4 data"))
+	if string(s.recvN(srv, 9)) != "ipv4 data" {
 		t.Fatal("payload")
 	}
 }
 
 func TestV4ConnectionToV6Listener(t *testing.T) {
 	// A PF_INET6 listener accepts an IPv4 connection (§5.1-§5.2).
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	l := b.tcp.Attach(inet.AFInet6, nil)
 	l.Bind(inet.IP6{}, 8082)
 	l.Listen(1)
@@ -202,35 +234,30 @@ func TestV4ConnectionToV6Listener(t *testing.T) {
 	if err := c.Connect(inet.V4Mapped(inet.IP4{10, 0, 0, 2}), 8082); err != nil {
 		t.Fatal(err)
 	}
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
 	if srv.PCB().IsIPv6() {
 		t.Fatal("child session should be IPv4")
 	}
 	if !srv.PCB().FAddr.IsV4Mapped() {
 		t.Fatal("foreign address not mapped")
 	}
-	sendAll(t, c, []byte("crossing the families"))
-	recvN(t, srv, len("crossing the families"))
+	s.sendAll(c, []byte("crossing the families"))
+	s.recvN(srv, len("crossing the families"))
 }
 
 func TestBulkTransfer(t *testing.T) {
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	l := b.tcp.Attach(inet.AFInet6, nil)
 	l.Bind(inet.IP6{}, 9000)
 	l.Listen(1)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(b.LinkLocal(0), 9000)
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
 
 	data := pattern(300_000)
-	done := make(chan []byte)
-	go func() {
-		done <- recvN(t, srv, len(data))
-	}()
-	sendAll(t, c, data)
-	got := <-done
+	got := s.transfer(c, srv, data, len(data), 32768)
 	if !bytes.Equal(got, data) {
 		t.Fatal("bulk data corrupted")
 	}
@@ -240,51 +267,51 @@ func TestBulkTransfer(t *testing.T) {
 }
 
 func TestCloseSequence(t *testing.T) {
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	l := b.tcp.Attach(inet.AFInet6, nil)
 	l.Bind(inet.IP6{}, 9001)
 	l.Listen(1)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(b.LinkLocal(0), 9001)
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
 
-	sendAll(t, c, []byte("last words"))
+	s.sendAll(c, []byte("last words"))
 	c.Close()
 	// Server sees the data then EOF.
-	if string(recvN(t, srv, 10)) != "last words" {
+	if string(s.recvN(srv, 10)) != "last words" {
 		t.Fatal("data before FIN")
 	}
-	recvEOF(t, srv)
-	waitState(t, srv, tcp.StateCloseWait)
+	s.recvEOF(srv)
+	s.waitState(srv, tcp.StateCloseWait)
 	srv.Close()
-	recvEOF(t, c)
+	s.recvEOF(c)
 	// Active closer passes through TIME_WAIT and expires to CLOSED.
-	waitState(t, c, tcp.StateClosed)
-	waitState(t, srv, tcp.StateClosed)
+	s.waitState(c, tcp.StateClosed)
+	s.waitState(srv, tcp.StateClosed)
 }
 
 func TestSimultaneousClose(t *testing.T) {
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	l := b.tcp.Attach(inet.AFInet6, nil)
 	l.Bind(inet.IP6{}, 9002)
 	l.Listen(1)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(b.LinkLocal(0), 9002)
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
 	c.Close()
 	srv.Close()
-	waitState(t, c, tcp.StateClosed)
-	waitState(t, srv, tcp.StateClosed)
+	s.waitState(c, tcp.StateClosed)
+	s.waitState(srv, tcp.StateClosed)
 }
 
 func TestConnectionRefused(t *testing.T) {
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	_ = b // no listener
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(b.LinkLocal(0), 4999)
-	testnet.WaitFor(t, "refusal", func() bool { return c.Err() != nil })
+	s.WaitFor(t, "refusal", func() bool { return c.Err() != nil })
 	if !errors.Is(c.Err(), tcp.ErrRefused) {
 		t.Fatalf("err = %v", c.Err())
 	}
@@ -294,23 +321,24 @@ func TestConnectionRefused(t *testing.T) {
 }
 
 func TestAbortSendsRST(t *testing.T) {
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	l := b.tcp.Attach(inet.AFInet6, nil)
 	l.Bind(inet.IP6{}, 9003)
 	l.Listen(1)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(b.LinkLocal(0), 9003)
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
 	c.Abort()
-	testnet.WaitFor(t, "reset at server", func() bool {
+	s.WaitFor(t, "reset at server", func() bool {
 		return errors.Is(srv.Err(), tcp.ErrReset)
 	})
 }
 
 func TestRetransmissionThroughLoss(t *testing.T) {
-	hub := netif.NewHub()
-	a, b := newTNode(t, "a"), newTNode(t, "b")
+	s := newSim(t)
+	hub := s.NewHub()
+	a, b := s.node("a"), s.node("b")
 	a.Join(hub, testnet.MacA, 1500, inet.IP4{}, 0)
 	b.Join(hub, testnet.MacB, 1500, inet.IP4{}, 0)
 
@@ -319,16 +347,14 @@ func TestRetransmissionThroughLoss(t *testing.T) {
 	l.Listen(1)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(b.LinkLocal(0), 9004)
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
 
-	// Now impair the link: 20% loss both ways.
-	hub.SetImpairments(0, 0.20, 1234)
+	// Now impair the link: 20% loss both ways, from a fixed seed.
+	hub.SetSeed(1234)
+	hub.SetFaults(netif.Faults{Loss: 0.20})
 	data := pattern(60_000)
-	done := make(chan []byte)
-	go func() { done <- recvN(t, srv, len(data)) }()
-	sendAll(t, c, data)
-	got := <-done
+	got := s.transfer(c, srv, data, len(data), 32768)
 	if !bytes.Equal(got, data) {
 		t.Fatal("data corrupted through loss")
 	}
@@ -338,52 +364,22 @@ func TestRetransmissionThroughLoss(t *testing.T) {
 }
 
 func TestFlowControlSlowReader(t *testing.T) {
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	l := b.tcp.Attach(inet.AFInet6, nil)
 	l.RcvBufMax = 2048 // children inherit the small receive buffer
 	l.Bind(inet.IP6{}, 9005)
 	l.Listen(1)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(b.LinkLocal(0), 9005)
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
 
+	// Drain in 512-byte sips against a 2KB receive buffer: the window
+	// must throttle the sender without loss or corruption.
 	data := pattern(30_000)
-	sendErr := make(chan error, 1)
-	go func() {
-		rest := data
-		for len(rest) > 0 {
-			n, err := c.Send(rest)
-			if err != nil {
-				sendErr <- err
-				return
-			}
-			rest = rest[n:]
-			if n == 0 {
-				time.Sleep(time.Millisecond)
-			}
-		}
-		sendErr <- nil
-	}()
-	// Drain slowly; flow control must prevent loss or corruption.
-	got := make([]byte, 0, len(data))
-	for len(got) < len(data) {
-		chunk, err := srv.Recv(512)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if chunk == nil {
-			time.Sleep(2 * time.Millisecond)
-			continue
-		}
-		got = append(got, chunk...)
-		time.Sleep(time.Millisecond)
-	}
+	got := s.transfer(c, srv, data, len(data), 512)
 	if !bytes.Equal(got, data) {
 		t.Fatal("slow-reader data corrupted")
-	}
-	if err := <-sendErr; err != nil {
-		t.Fatal(err)
 	}
 }
 
@@ -392,8 +388,9 @@ func TestPMTUDiscoveryShrinksMSS(t *testing.T) {
 	// option reveals it: A --1500-- R1 --576-- R2 --1500-- B.  TCP
 	// segments near 1500 first, gets Packet Too Big from R1, lowers
 	// the MSS from the host route's path MTU, and completes (§2.2).
-	hub1, hub2, hub3 := netif.NewHub(), netif.NewHub(), netif.NewHub()
-	a, r1, r2, b := newTNode(t, "a"), newTNode(t, "r1"), newTNode(t, "r2"), newTNode(t, "b")
+	s := newSim(t)
+	hub1, hub2, hub3 := s.NewHub(), s.NewHub(), s.NewHub()
+	a, r1, r2, b := s.node("a"), s.node("r1"), s.node("r2"), s.node("b")
 	aif := a.Join(hub1, testnet.MacA, 1500, inet.IP4{}, 0)
 	r1.Join(hub1, testnet.MacR, 1500, inet.IP4{}, 0)
 	r1.Join(hub2, testnet.MacS, 576, inet.IP4{}, 0)
@@ -419,17 +416,14 @@ func TestPMTUDiscoveryShrinksMSS(t *testing.T) {
 	l.Listen(1)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(testnet.IP6(t, "2001:db8:3::b"), 9006)
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
 	if c.MSS() <= 576 {
 		t.Fatalf("initial MSS already small: %d", c.MSS())
 	}
 
 	data := pattern(20_000)
-	done := make(chan []byte)
-	go func() { done <- recvN(t, srv, len(data)) }()
-	sendAll(t, c, data)
-	got := <-done
+	got := s.transfer(c, srv, data, len(data), 32768)
 	if !bytes.Equal(got, data) {
 		t.Fatal("data corrupted across narrow link")
 	}
@@ -448,7 +442,7 @@ func TestPMTUDiscoveryShrinksMSS(t *testing.T) {
 func TestSecuredTCPSession(t *testing.T) {
 	// §6.3's telnet scenario: both sides require authentication; the
 	// session works once associations exist.
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	authKey := []byte("0123456789abcdef")
 	aLL, bLL := a.LinkLocal(0), b.LinkLocal(0)
 	for _, n := range []*tnode{a, b} {
@@ -461,10 +455,10 @@ func TestSecuredTCPSession(t *testing.T) {
 	l.Listen(1)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(bLL, 23)
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
-	sendAll(t, c, []byte("login: root\r\n"))
-	recvN(t, srv, 13)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
+	s.sendAll(c, []byte("login: root\r\n"))
+	s.recvN(srv, 13)
 	if b.Sec.Stats.InAuthOK.Get() == 0 {
 		t.Fatal("segments not authenticated")
 	}
@@ -474,14 +468,14 @@ func TestUnauthenticatedConnSilentlyFails(t *testing.T) {
 	// §5.3: under require-authentication, an unauthenticated TCP open
 	// "will silently fail as if the destination system were not
 	// reachable at all" — SYNs dropped, no RST.
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	b.Sec.SetSystemPolicy(ipsec.SockOpts{Auth: ipsec.LevelRequire})
 	l := b.tcp.Attach(inet.AFInet6, nil)
 	l.Bind(inet.IP6{}, 23)
 	l.Listen(1)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(b.LinkLocal(0), 23)
-	testnet.WaitFor(t, "policy drops", func() bool { return b.tcp.Stats.PolicyDrops.Get() >= 1 })
+	s.WaitFor(t, "policy drops", func() bool { return b.tcp.Stats.PolicyDrops.Get() >= 1 })
 	if c.State() == tcp.StateEstablished {
 		t.Fatal("cleartext connection established")
 	}
@@ -496,23 +490,23 @@ func TestUnauthenticatedConnSilentlyFails(t *testing.T) {
 func TestReachabilityConfirmation(t *testing.T) {
 	// §4.3 footnote: TCP confirms neighbor reachability without extra
 	// ND traffic.
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	l := b.tcp.Attach(inet.AFInet6, nil)
 	l.Bind(inet.IP6{}, 9007)
 	l.Listen(1)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	bLL := b.LinkLocal(0)
 	c.Connect(bLL, 9007)
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
 
 	// Age the neighbor entry to stale, then push data: the ACKs should
 	// re-confirm reachability without new solicits.
-	a.ICMP6.FastTimo(time.Now().Add(time.Hour))
+	a.ICMP6.FastTimo(s.Clock.Now().Add(time.Hour))
 	nsBefore := a.ICMP6.Stats.OutNS.Get()
-	sendAll(t, c, []byte("keep fresh"))
-	recvN(t, srv, 10)
-	testnet.WaitFor(t, "reachable via TCP confirm", func() bool {
+	s.sendAll(c, []byte("keep fresh"))
+	s.recvN(srv, 10)
+	s.WaitFor(t, "reachable via TCP confirm", func() bool {
 		st, ok := a.ICMP6.NeighborState(bLL)
 		return ok && st.String() == "reachable"
 	})
@@ -522,7 +516,7 @@ func TestReachabilityConfirmation(t *testing.T) {
 }
 
 func TestListenBacklogOverflow(t *testing.T) {
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	l := b.tcp.Attach(inet.AFInet6, nil)
 	l.Bind(inet.IP6{}, 9008)
 	l.Listen(2)
@@ -534,12 +528,11 @@ func TestListenBacklogOverflow(t *testing.T) {
 	}
 	// At least the backlog's worth establish; accept drains them.
 	got := 0
-	deadline := time.Now().Add(2 * time.Second)
-	for got < 2 && time.Now().Before(deadline) {
+	for i := 0; i < 16 && got < 2; i++ {
 		if l.Accept() != nil {
 			got++
-		} else {
-			time.Sleep(time.Millisecond)
+		} else if !s.Clock.Step() {
+			break
 		}
 	}
 	if got < 2 {
@@ -549,7 +542,7 @@ func TestListenBacklogOverflow(t *testing.T) {
 }
 
 func TestBindConflicts(t *testing.T) {
-	a, _ := tcpPair(t)
+	_, a, _ := tcpPair(t)
 	l1 := a.tcp.Attach(inet.AFInet6, nil)
 	if err := l1.Bind(inet.IP6{}, 7777); err != nil {
 		t.Fatal(err)
@@ -562,7 +555,7 @@ func TestBindConflicts(t *testing.T) {
 
 func TestRouteBasedMSS(t *testing.T) {
 	// MSS derives from the route/interface MTU (§2.2's PMTU storage).
-	a, b := tcpPair(t)
+	_, a, b := tcpPair(t)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(b.LinkLocal(0), 9999)
 	if got := c.MSS(); got != 1500-40-20 {
@@ -586,65 +579,64 @@ func TestRouteBasedMSS(t *testing.T) {
 func TestHalfCloseDataFlow(t *testing.T) {
 	// After receiving the peer's FIN (CLOSE_WAIT) a side can still
 	// send; the other side in FIN_WAIT_2 still receives.
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	l := b.tcp.Attach(inet.AFInet6, nil)
 	l.Bind(inet.IP6{}, 9100)
 	l.Listen(1)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(b.LinkLocal(0), 9100)
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
 
 	c.Close() // client half-closes
-	recvEOF(t, srv)
-	waitState(t, srv, tcp.StateCloseWait)
-	waitState(t, c, tcp.StateFinWait2)
+	s.recvEOF(srv)
+	s.waitState(srv, tcp.StateCloseWait)
+	s.waitState(c, tcp.StateFinWait2)
 
 	// Server keeps talking into the half-open direction.
-	sendAll(t, srv, []byte("still talking"))
-	if string(recvN(t, c, 13)) != "still talking" {
+	s.sendAll(srv, []byte("still talking"))
+	if string(s.recvN(c, 13)) != "still talking" {
 		t.Fatal("half-close data lost")
 	}
 	srv.Close()
-	waitState(t, srv, tcp.StateClosed)
-	waitState(t, c, tcp.StateClosed)
+	s.waitState(srv, tcp.StateClosed)
+	s.waitState(c, tcp.StateClosed)
 }
 
 func TestZeroWindowPersist(t *testing.T) {
 	// A receiver that never reads closes its window; the sender's
 	// persist timer probes until space opens, and the transfer then
 	// completes without loss.
-	a, b := tcpPair(t)
+	s, a, b := tcpPair(t)
 	l := b.tcp.Attach(inet.AFInet6, nil)
 	l.RcvBufMax = 1024
 	l.Bind(inet.IP6{}, 9101)
 	l.Listen(1)
 	c := a.tcp.Attach(inet.AFInet6, nil)
 	c.Connect(b.LinkLocal(0), 9101)
-	waitState(t, c, tcp.StateEstablished)
-	srv := acceptOne(t, l)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
 
+	// Push until the send buffer jams against the closed window.
 	data := pattern(6000)
-	go func() {
-		rest := data
-		for len(rest) > 0 {
-			n, err := c.Send(rest)
-			if err != nil {
-				return
-			}
-			rest = rest[n:]
-			if n == 0 {
-				time.Sleep(time.Millisecond)
-			}
+	rest := data
+	for len(rest) > 0 {
+		n, err := c.Send(rest)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}()
-	// Let the window fill and the persist machinery engage.
-	testnet.WaitFor(t, "window stall", func() bool {
-		rcv, _ := srv.Buffered()
-		return rcv >= 1024-tcp.HeaderLen
-	})
-	time.Sleep(50 * time.Millisecond) // a few persist ticks at 10ms slowtimo
-	got := recvN(t, srv, len(data))
+		rest = rest[n:]
+		if n == 0 {
+			break
+		}
+	}
+	rcv, _ := srv.Buffered()
+	if rcv < 1024-tcp.HeaderLen {
+		t.Fatalf("window did not stall: %d buffered", rcv)
+	}
+	// Let the persist machinery probe the closed window for a while.
+	s.Run(10 * time.Second)
+	got := s.transfer(c, srv, rest, len(data), 4096)
 	if !bytes.Equal(got, data) {
 		t.Fatal("data corrupted through zero-window stalls")
 	}

@@ -6,6 +6,7 @@ package testnet
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"bsd6/internal/key"
 	"bsd6/internal/netif"
 	"bsd6/internal/route"
+	"bsd6/internal/vclock"
 )
 
 // Node is a dual-stack host: IPv4 + IPv6 + ICMP(v4/v6) + IPsec + keys.
@@ -140,15 +142,99 @@ func (n *Node) LinkLocal(i int) inet.IP6 {
 	return ll
 }
 
-// WaitFor polls cond until it holds or the test times out.
+// WaitFor waits until cond holds. Testnet links deliver synchronously
+// and simulated time only moves under explicit control, so for
+// single-goroutine tests cond is true on the first check; for tests
+// with real goroutines (core stacks, a vclock.Driver) it spin-yields
+// until the other goroutines catch up — no sleeping, no 1ms polling.
+// Tests that need simulated time to pass use Sim.WaitFor instead.
 func WaitFor(t testing.TB, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(3 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
 	for !cond() {
 		if time.Now().After(deadline) {
 			t.Fatalf("timeout waiting for %s", what)
 		}
-		time.Sleep(time.Millisecond)
+		runtime.Gosched()
+	}
+}
+
+// Sim owns the virtual clock of a simulated network: it hands out
+// hubs wired to that clock, retargets nodes' time sources at it, and
+// drives the BSD timer cadence (pr_fasttimo every 200ms, pr_slowtimo
+// every 500ms of simulated time). Tests advance time explicitly, so a
+// whole adversarial scenario runs deterministically on one goroutine.
+type Sim struct {
+	Clock *vclock.Virtual
+	hubs  []*netif.Hub
+	nodes []*Node
+}
+
+// NewSim creates a simulation starting at an arbitrary fixed epoch.
+func NewSim() *Sim {
+	return &Sim{Clock: vclock.NewVirtual(time.Unix(1_000_000, 0))}
+}
+
+// NewHub returns a hub whose delayed deliveries run on the sim clock.
+func (s *Sim) NewHub() *netif.Hub {
+	h := netif.NewHub()
+	h.SetClock(s.Clock)
+	s.hubs = append(s.hubs, h)
+	return h
+}
+
+// NewNode builds a node whose route table and key engine read the sim
+// clock, and schedules its periodic timers (ND/DAD/RA via FastTimo,
+// reassembly/ARP/SA-lifetime via SlowTimo) on it.
+func (s *Sim) NewNode(name string) *Node {
+	n := NewNode(name)
+	n.RT.Now = s.Clock.Now
+	n.Keys.Now = s.Clock.Now
+	s.nodes = append(s.nodes, n)
+	s.Every(200*time.Millisecond, func(now time.Time) { n.ICMP6.FastTimo(now) })
+	s.Every(500*time.Millisecond, func(now time.Time) {
+		n.V4.SlowTimo(now)
+		n.V6.SlowTimo(now)
+		n.Keys.SlowTimo(now)
+	})
+	return n
+}
+
+// Every runs fn(now) each interval of simulated time, starting one
+// interval from now.
+func (s *Sim) Every(interval time.Duration, fn func(now time.Time)) {
+	var rearm func()
+	rearm = func() {
+		fn(s.Clock.Now())
+		s.Clock.AfterFunc(interval, rearm)
+	}
+	s.Clock.AfterFunc(interval, rearm)
+}
+
+// Run advances simulated time by d, firing every hub delivery and
+// timer tick that falls in the window, in deadline order.
+func (s *Sim) Run(d time.Duration) { s.Clock.Advance(d) }
+
+// Quiescent reports whether no frames are in flight on any hub.
+func (s *Sim) Quiescent() bool {
+	for _, h := range s.hubs {
+		if h.Pending() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitFor advances simulated time, one timer at a time, until cond
+// holds. It fails the test if cond is still false after budget (a
+// generous 5 minutes of simulated time) with the network quiescent.
+func (s *Sim) WaitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := s.Clock.Now().Add(5 * time.Minute)
+	for !cond() {
+		if s.Clock.Now().After(deadline) || !s.Clock.Step() {
+			t.Fatalf("timeout (simulated) waiting for %s", what)
+		}
 	}
 }
 

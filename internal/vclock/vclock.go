@@ -1,0 +1,212 @@
+// Package vclock provides a pluggable clock for the stack's timers.
+//
+// Production code uses Real(), a thin wrapper over the time package.
+// Tests use Virtual, a manually-advanced clock with a deterministic
+// timer queue: timers scheduled for the same instant fire in the order
+// they were created, and Advance runs every timer in the window on the
+// caller's goroutine, so a whole simulated network settles with no
+// wall-clock waiting and no scheduling races.
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Timer is a handle to a pending callback, mirroring *time.Timer's
+// AfterFunc form.
+type Timer interface {
+	// Stop cancels the timer; it reports whether the timer was still
+	// pending (false when it already fired or was stopped).
+	Stop() bool
+}
+
+// Clock abstracts "now" and one-shot callbacks. It is the only timing
+// surface the stack needs: periodic work is re-armed from within the
+// callback, as BSD's timeout() users do.
+type Clock interface {
+	Now() time.Time
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// ---------------------------------------------------------------------
+// Real clock
+// ---------------------------------------------------------------------
+
+type realClock struct{}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+// Real returns the wall-clock implementation used in production.
+func Real() Clock { return realClock{} }
+
+// ---------------------------------------------------------------------
+// Virtual clock
+// ---------------------------------------------------------------------
+
+// Virtual is a manually-advanced clock. Time only moves when Advance,
+// AdvanceTo, or Step is called; due timers run synchronously on the
+// advancing goroutine with Now() pinned to each timer's deadline, in
+// (deadline, creation order) order. Callbacks may schedule new timers;
+// those fire too if they land inside the window being advanced.
+type Virtual struct {
+	mu   sync.Mutex
+	now  time.Time
+	seq  uint64
+	heap timerHeap
+}
+
+// NewVirtual returns a virtual clock starting at epoch. Any fixed
+// epoch works; tests compare durations, not absolute dates.
+func NewVirtual(epoch time.Time) *Virtual {
+	return &Virtual{now: epoch}
+}
+
+type vtimer struct {
+	when    time.Time
+	seq     uint64
+	fn      func()
+	clock   *Virtual
+	index   int // heap index, -1 once fired or stopped
+	stopped bool
+}
+
+func (t *vtimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.index < 0 || t.stopped {
+		return false
+	}
+	t.stopped = true
+	heap.Remove(&t.clock.heap, t.index)
+	t.index = -1
+	return true
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// AfterFunc schedules f to run when the clock is advanced past d from
+// now. Non-positive d fires at the current instant on the next
+// advance (Advance(0) runs it).
+func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := &vtimer{when: v.now.Add(d), seq: v.seq, fn: f, clock: v}
+	v.seq++
+	heap.Push(&v.heap, t)
+	return t
+}
+
+// Pending reports how many timers are scheduled.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.heap)
+}
+
+// NextAt returns the deadline of the earliest pending timer. ok is
+// false when no timer is pending.
+func (v *Virtual) NextAt() (when time.Time, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.heap) == 0 {
+		return time.Time{}, false
+	}
+	return v.heap[0].when, true
+}
+
+// Advance moves time forward by d, firing every timer whose deadline
+// falls in the window (including ones scheduled by earlier callbacks
+// within the same window). Callbacks run without the clock lock held.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.advanceToLocked(v.now.Add(d))
+}
+
+// AdvanceTo moves time forward to t (no-op if t is in the past).
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	v.advanceToLocked(t)
+}
+
+// Step fires the earliest pending timer (advancing time to its
+// deadline) and reports whether one fired.
+func (v *Virtual) Step() bool {
+	v.mu.Lock()
+	if len(v.heap) == 0 {
+		v.mu.Unlock()
+		return false
+	}
+	v.advanceToLocked(v.heap[0].when)
+	return true
+}
+
+// advanceToLocked is the advance engine. Called with mu held; returns
+// with mu released.
+func (v *Virtual) advanceToLocked(target time.Time) {
+	for len(v.heap) > 0 && !v.heap[0].when.After(target) {
+		t := heap.Pop(&v.heap).(*vtimer)
+		t.index = -1
+		if t.when.After(v.now) {
+			v.now = t.when
+		}
+		fn := t.fn
+		v.mu.Unlock()
+		fn()
+		v.mu.Lock()
+	}
+	if target.After(v.now) {
+		v.now = target
+	}
+	v.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// timer heap
+// ---------------------------------------------------------------------
+
+type timerHeap []*vtimer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	t := x.(*vtimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

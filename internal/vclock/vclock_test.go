@@ -1,0 +1,136 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestAdvanceFiresInOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	var got []int
+	v.AfterFunc(30*time.Millisecond, func() { got = append(got, 3) })
+	v.AfterFunc(10*time.Millisecond, func() { got = append(got, 1) })
+	v.AfterFunc(20*time.Millisecond, func() { got = append(got, 2) })
+	v.Advance(25 * time.Millisecond)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("fired %v, want [1 2]", got)
+	}
+	if v.Pending() != 1 {
+		t.Fatalf("pending=%d, want 1", v.Pending())
+	}
+	v.Advance(10 * time.Millisecond)
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("fired %v, want [1 2 3]", got)
+	}
+}
+
+func TestSameDeadlineFIFO(t *testing.T) {
+	v := NewVirtual(epoch)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		v.AfterFunc(time.Second, func() { got = append(got, i) })
+	}
+	v.Advance(time.Second)
+	for i, g := range got {
+		if g != i {
+			t.Fatalf("order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestNowPinnedToDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	var at time.Time
+	v.AfterFunc(time.Second, func() { at = v.Now() })
+	v.Advance(time.Minute)
+	if want := epoch.Add(time.Second); !at.Equal(want) {
+		t.Fatalf("callback saw now=%v, want %v", at, want)
+	}
+	if want := epoch.Add(time.Minute); !v.Now().Equal(want) {
+		t.Fatalf("now=%v, want %v", v.Now(), want)
+	}
+}
+
+func TestCallbackSchedulesWithinWindow(t *testing.T) {
+	// A callback that re-arms itself must keep firing within one
+	// Advance window — this is how hub delivery chains and periodic
+	// stack ticks work.
+	v := NewVirtual(epoch)
+	count := 0
+	var rearm func()
+	rearm = func() {
+		count++
+		if count < 5 {
+			v.AfterFunc(10*time.Millisecond, rearm)
+		}
+	}
+	v.AfterFunc(10*time.Millisecond, rearm)
+	v.Advance(time.Second)
+	if count != 5 {
+		t.Fatalf("count=%d, want 5", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := false
+	tm := v.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	v.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestStep(t *testing.T) {
+	v := NewVirtual(epoch)
+	var got []int
+	v.AfterFunc(time.Second, func() { got = append(got, 1) })
+	v.AfterFunc(2*time.Second, func() { got = append(got, 2) })
+	if !v.Step() {
+		t.Fatal("Step found no timer")
+	}
+	if len(got) != 1 {
+		t.Fatalf("fired %v, want [1]", got)
+	}
+	if !v.Now().Equal(epoch.Add(time.Second)) {
+		t.Fatalf("now=%v, want epoch+1s", v.Now())
+	}
+	v.Step()
+	if v.Step() {
+		t.Fatal("Step fired with empty queue")
+	}
+	if len(got) != 2 {
+		t.Fatalf("fired %v, want [1 2]", got)
+	}
+}
+
+func TestAdvanceToPast(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Advance(time.Minute)
+	v.AdvanceTo(epoch) // must not move time backwards
+	if want := epoch.Add(time.Minute); !v.Now().Equal(want) {
+		t.Fatalf("now=%v, want %v", v.Now(), want)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := Real()
+	if c.Now().IsZero() {
+		t.Fatal("real clock returned zero time")
+	}
+	done := make(chan struct{})
+	tm := c.AfterFunc(time.Millisecond, func() { close(done) })
+	<-done
+	if tm.Stop() {
+		t.Fatal("Stop returned true after firing")
+	}
+}
