@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	ipbench [-t table1|table2|table3|table4|table5|figure8|all] [-iters N] [-mb N]
+//	ipbench [-t table1|table2|table3|table4|table5|figure8|all] [-iters N] [-mb N] [-json]
+//
+// With -json, every measured cell is also written to BENCH_<date>.json
+// so before/after runs can be diffed mechanically.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +25,48 @@ var (
 	flagTable = flag.String("t", "all", "which table/figure to regenerate")
 	flagIters = flag.Int("iters", 2000, "request-response transactions per cell")
 	flagMB    = flag.Int("mb", 8, "megabytes per throughput cell")
+	flagJSON  = flag.Bool("json", false, "also write results to BENCH_<date>.json")
 )
+
+// latencyCell is one row of a request-response table (Tables 1-2,
+// Figure 8): best-of-three mean RTT per IP version, in microseconds.
+type latencyCell struct {
+	Proto string  `json:"proto,omitempty"`
+	Size  int     `json:"size"`
+	V4us  float64 `json:"v4_us"`
+	V6us  float64 `json:"v6_us"`
+}
+
+// streamCell is one row of a throughput table (Tables 3-4):
+// best-of-three receiver-side KB/s per IP version.
+type streamCell struct {
+	Size    int     `json:"size"`
+	Sockbuf int     `json:"sockbuf"`
+	V4KBps  float64 `json:"v4_kbps"`
+	V6KBps  float64 `json:"v6_kbps"`
+}
+
+// securityCell is one row of Table 5: IPv6 TCP throughput under a
+// security configuration.
+type securityCell struct {
+	Security string  `json:"security"`
+	KBps     float64 `json:"kbps"`
+}
+
+// report aggregates every measured cell for the -json output.
+type report struct {
+	Date    string         `json:"date"`
+	Iters   int            `json:"iters"`
+	MB      int            `json:"mb"`
+	Table1  []latencyCell  `json:"table1,omitempty"`
+	Table2  []latencyCell  `json:"table2,omitempty"`
+	Table3  []streamCell   `json:"table3,omitempty"`
+	Table4  []streamCell   `json:"table4,omitempty"`
+	Table5  []securityCell `json:"table5,omitempty"`
+	Figure8 []latencyCell  `json:"figure8,omitempty"`
+}
+
+var results report
 
 type testbed struct {
 	cli, srv *bsd6.Stack
@@ -124,16 +169,19 @@ func pct(v4, v6 float64) string {
 	return fmt.Sprintf("%+.0f%%", (v6-v4)/v4*100)
 }
 
-func latencyTable(title string, tcp bool) {
+func latencyTable(title string, tcp bool) []latencyCell {
 	fmt.Printf("\n%s (microseconds per request/response transaction)\n", title)
 	fmt.Printf("%10s %12s %12s %10s\n", "bytes", "IPv4 (µs)", "IPv6 (µs)", "increase")
 	tb := newTestbed()
 	defer tb.close()
+	var cells []latencyCell
 	for _, size := range []int{1, 64, 1024, 2048, 4096, 8192} {
 		v4 := tb.rr(tcp, false, size)
 		v6 := tb.rr(tcp, true, size)
 		fmt.Printf("%10d %12.1f %12.1f %10s\n", size, v4, v6, pct(v4, v6))
+		cells = append(cells, latencyCell{Size: size, V4us: v4, V6us: v6})
 	}
+	return cells
 }
 
 func table3() {
@@ -146,6 +194,7 @@ func table3() {
 			v4 := tb.stream(true, false, size, sockbuf, nil)
 			v6 := tb.stream(true, true, size, sockbuf, nil)
 			fmt.Printf("%10d %12d %12.0f %12.0f %9.2f%%\n", size, sockbuf, v4, v6, (v4-v6)/v4*100)
+			results.Table3 = append(results.Table3, streamCell{Size: size, Sockbuf: sockbuf, V4KBps: v4, V6KBps: v6})
 		}
 	}
 }
@@ -159,6 +208,7 @@ func table4() {
 		v4 := tb.stream(false, false, size, 32767, nil)
 		v6 := tb.stream(false, true, size, 32767, nil)
 		fmt.Printf("%10d %12d %12.0f %12.0f %9.2f%%\n", size, 32767, v4, v6, (v4-v6)/v4*100)
+		results.Table4 = append(results.Table4, streamCell{Size: size, Sockbuf: 32767, V4KBps: v4, V6KBps: v6})
 	}
 }
 
@@ -196,6 +246,7 @@ func table5() {
 	}
 	for i, c := range cases {
 		fmt.Printf("%-16s %12.0f\n", c.name, best[i])
+		results.Table5 = append(results.Table5, securityCell{Security: c.name, KBps: best[i]})
 	}
 }
 
@@ -212,18 +263,36 @@ func figure8() {
 			v4 := tb.rr(proto.tcp, false, size)
 			v6 := tb.rr(proto.tcp, true, size)
 			fmt.Printf("%7d %8.1f %8.1f\n", size, v4, v6)
+			results.Figure8 = append(results.Figure8, latencyCell{Proto: proto.name, Size: size, V4us: v4, V6us: v6})
 		}
 	}
+}
+
+// writeJSON dumps the collected cells to BENCH_<date>.json.
+func writeJSON() {
+	results.Date = time.Now().Format("2006-01-02")
+	results.Iters = *flagIters
+	results.MB = *flagMB
+	name := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	data, err := json.MarshalIndent(&results, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Printf("\nwrote %s\n", name)
 }
 
 func main() {
 	flag.Parse()
 	run := func(name string) bool { return *flagTable == "all" || *flagTable == name }
 	if run("table1") {
-		latencyTable("Table 1: TCP Latency", true)
+		results.Table1 = latencyTable("Table 1: TCP Latency", true)
 	}
 	if run("table2") {
-		latencyTable("Table 2: UDP Latency", false)
+		results.Table2 = latencyTable("Table 2: UDP Latency", false)
 	}
 	if run("table3") {
 		table3()
@@ -236,5 +305,8 @@ func main() {
 	}
 	if run("figure8") {
 		figure8()
+	}
+	if *flagJSON {
+		writeJSON()
 	}
 }

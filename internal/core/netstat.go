@@ -135,6 +135,9 @@ func (s *Stack) ProtoStats() string {
 	ks := &s.Keys.Stats
 	fmt.Fprintf(&b, "key: %v adds, %v deletes, %v lookups (%v misses), %v acquires, expires soft/hard %v/%v\n",
 		&ks.Adds, &ks.Deletes, &ks.Lookups, &ks.Misses, &ks.Acquires, &ks.SoftExpires, &ks.HardExpires)
+	depths := s.InqDepths()
+	fmt.Fprintf(&b, "netisr: %d workers, %v drops, queue depths %v\n",
+		len(depths), &s.InqDrops, depths)
 	return b.String()
 }
 

@@ -14,6 +14,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"bsd6/internal/pcb"
 	"bsd6/internal/proto"
 	"bsd6/internal/route"
+	"bsd6/internal/stat"
 	"bsd6/internal/tcp"
 	"bsd6/internal/udp"
 	"bsd6/internal/vclock"
@@ -49,8 +51,11 @@ type Stack struct {
 	Hosts *inet.HostTable
 	Lo    *netif.Interface
 
-	inq      chan inputItem
-	InqDrops uint64 // frames dropped because the input queue was full
+	// inqs are the netisr input queues, one per worker; a flow hash
+	// over the IP addresses steers each frame to a fixed queue so
+	// packets of one flow never reorder against each other.
+	inqs     []chan inputItem
+	InqDrops stat.Counter // frames dropped because an input queue was full
 
 	clock   vclock.Clock
 	pending atomic.Int64 // frames queued or being dispatched
@@ -72,8 +77,14 @@ type inputItem struct {
 
 // Options configures stack construction.
 type Options struct {
-	// InputQueueLen sizes the netisr queue (BSD's ifqmaxlen spirit).
+	// InputQueueLen sizes each netisr queue (BSD's ifqmaxlen spirit).
 	InputQueueLen int
+	// NetisrWorkers is the number of netisr goroutines draining the
+	// input queues in parallel. Frames are steered to workers by a
+	// flow hash over the IP addresses, preserving per-flow order.
+	// Default: GOMAXPROCS. Use 1 for the classic single software
+	// interrupt.
+	NetisrWorkers int
 	// NoTimers disables the periodic protocol timers; tests and
 	// benchmarks then drive Tick themselves.
 	NoTimers bool
@@ -88,6 +99,9 @@ func NewStack(name string, opts Options) *Stack {
 	if opts.InputQueueLen == 0 {
 		opts.InputQueueLen = 512
 	}
+	if opts.NetisrWorkers <= 0 {
+		opts.NetisrWorkers = runtime.GOMAXPROCS(0)
+	}
 	if opts.Clock == nil {
 		opts.Clock = vclock.Real()
 	}
@@ -96,9 +110,12 @@ func NewStack(name string, opts Options) *Stack {
 		Name:  name,
 		RT:    rt,
 		Hosts: inet.NewHostTable(),
-		inq:   make(chan inputItem, opts.InputQueueLen),
+		inqs:  make([]chan inputItem, opts.NetisrWorkers),
 		stop:  make(chan struct{}),
 		clock: opts.Clock,
+	}
+	for i := range s.inqs {
+		s.inqs[i] = make(chan inputItem, opts.InputQueueLen)
 	}
 	rt.Now = s.clock.Now
 	s.V4 = ipv4.NewLayer(rt)
@@ -137,9 +154,11 @@ func NewStack(name string, opts Options) *Stack {
 	s.V4.AddInterface(s.Lo)
 	s.V6.AddInterface(s.Lo)
 
-	// netisr.
-	s.wg.Add(1)
-	go s.netisr()
+	// netisr workers.
+	for _, q := range s.inqs {
+		s.wg.Add(1)
+		go s.netisr(q)
+	}
 
 	if !opts.NoTimers {
 		s.startTimers()
@@ -173,31 +192,78 @@ func (s *Stack) Close() {
 }
 
 // enqueue is the driver-side input hook: non-blocking, dropping on
-// overflow as BSD's IF_DROP does.
+// overflow as BSD's IF_DROP does. The flow hash pins every frame of a
+// flow to one worker queue so per-flow ordering survives parallelism.
 func (s *Stack) enqueue(ifp *netif.Interface, fr netif.Frame) {
+	q := s.inqs[0]
+	if len(s.inqs) > 1 {
+		q = s.inqs[flowHash(fr.EtherType, fr.Payload)%uint32(len(s.inqs))]
+	}
 	s.pending.Add(1)
 	select {
-	case s.inq <- inputItem{ifp, fr}:
+	case q <- inputItem{ifp, fr}:
 	default:
 		s.pending.Add(-1)
-		s.mu.Lock()
-		s.InqDrops++
-		s.mu.Unlock()
+		s.InqDrops.Inc()
 	}
 }
 
-// netisr drains the input queue, dispatching frames by EtherType.
-func (s *Stack) netisr() {
+// flowHash is an FNV-1a hash over the fields that identify a flow.
+// Ports are deliberately excluded so every fragment of a datagram —
+// only the first carries the transport header — steers to the same
+// worker. For IPv6 the addresses alone are hashed: the first
+// next-header byte is 44 (Fragment) on fragments but the transport
+// protocol on whole datagrams of the same flow, so mixing it in would
+// reorder a fragmented datagram against its flow-mates. The IPv4
+// protocol byte is invariant across fragments, so it stays in.
+// Non-IP frames (ARP) and runts hash to worker 0.
+func flowHash(etherType uint16, pkt *mbuf.Mbuf) uint32 {
+	const prime = 16777619
+	h := uint32(2166136261)
+	var b []byte
+	switch etherType {
+	case netif.EtherTypeIPv6:
+		if b = pkt.PullUp(40); b == nil {
+			return 0
+		}
+		b = b[8:40] // src + dst
+	case netif.EtherTypeIPv4:
+		if b = pkt.PullUp(20); b == nil {
+			return 0
+		}
+		h = (h ^ uint32(b[9])) * prime
+		b = b[12:20] // src + dst
+	default:
+		return 0
+	}
+	for _, c := range b {
+		h = (h ^ uint32(c)) * prime
+	}
+	return h
+}
+
+// netisr drains one input queue, dispatching frames by EtherType.
+func (s *Stack) netisr(q chan inputItem) {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.stop:
 			return
-		case it := <-s.inq:
+		case it := <-q:
 			s.dispatch(it.ifp, it.fr)
 			s.pending.Add(-1)
 		}
 	}
+}
+
+// InqDepths reports the instantaneous depth of each netisr worker
+// queue, for netstat.
+func (s *Stack) InqDepths() []int {
+	out := make([]int, len(s.inqs))
+	for i, q := range s.inqs {
+		out[i] = len(q)
+	}
+	return out
 }
 
 func (s *Stack) dispatch(ifp *netif.Interface, fr netif.Frame) {

@@ -52,6 +52,10 @@ type OutputOpts struct {
 	TTL uint8 // 0 means the layer default
 	TOS uint8
 	DF  bool
+	// RouteCache, when non-nil, is the caller's held route (BSD's
+	// ro->ro_rt): Output validates it with one generation compare and
+	// refills it on miss, skipping the radix walk for repeat sends.
+	RouteCache *route.Cache
 }
 
 // Layer is the IPv4 protocol instance of one stack.
@@ -195,7 +199,7 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP4, p uint8, opts OutputOp
 		return l.loop(pkt)
 	}
 
-	rt, ok := l.routes.Lookup(inet.AFInet, dst[:])
+	rt, ok := l.routes.LookupCached(inet.AFInet, dst[:], opts.RouteCache)
 	if !ok {
 		l.Stats.OutNoRoute.Inc()
 		return ErrNoRoute
@@ -297,7 +301,9 @@ func (l *Layer) fragment(ifp *netif.Interface, rt *route.Entry, h *Header, pkt *
 		fh.FragOff = off
 		fh.MF = end < len(payload)
 		fh.TotalLen = h.HdrLen() + (end - off)
-		fm := mbuf.New(payload[off:end])
+		// Alias the parent's payload rather than copying: the parent
+		// packet is discarded after this loop and reassembly copies.
+		fm := mbuf.NewNoCopy(payload[off:end])
 		fm.Hdr().Flags |= mbuf.MFrag
 		fm.Prepend(fh.Marshal(nil))
 		l.Stats.FragsCreated.Inc()

@@ -128,6 +128,10 @@ type OutputOpts struct {
 	// UnspecSource sends from the unspecified address instead of
 	// selecting a source (duplicate address detection probes).
 	UnspecSource bool
+	// RouteCache, when non-nil, is the caller's held route (BSD's
+	// ro->ro_rt): Output validates it with one generation compare
+	// before falling back to ensureHostRoute's lookup-and-clone.
+	RouteCache *route.Cache
 }
 
 // Layer is the IPv6 protocol instance of one stack.
@@ -540,11 +544,16 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP6, nh uint8, opts OutputO
 			}
 		}
 	default:
-		var ok bool
-		rt, ok = l.ensureHostRoute(dst)
-		if !ok {
-			l.Stats.OutNoRoute.Inc()
-			return ErrNoRoute
+		var hit bool
+		rt, hit = l.routes.CacheGet(opts.RouteCache, inet.AFInet6, dst[:])
+		if !hit {
+			var ok bool
+			rt, ok = l.ensureHostRoute(dst)
+			if !ok {
+				l.Stats.OutNoRoute.Inc()
+				return ErrNoRoute
+			}
+			l.routes.CacheFill(opts.RouteCache, inet.AFInet6, dst[:], rt)
 		}
 		if l.entryFlags(rt)&route.FlagReject != 0 {
 			l.Stats.OutNoRoute.Inc()
@@ -683,7 +692,9 @@ func (l *Layer) fragmentOut(ifp *netif.Interface, rt *route.Entry, hdr *Header, 
 			end = len(payload)
 		}
 		fh := FragHeader{NextHdr: fragNH, Off: off, More: end < len(payload), ID: id}
-		fm := mbuf.New(payload[off:end])
+		// Alias the parent's payload rather than copying: the parent
+		// packet is discarded after this loop and reassembly copies.
+		fm := mbuf.NewNoCopy(payload[off:end])
 		fm.Hdr().Flags |= mbuf.MFrag
 		fm.Prepend(fh.Marshal(nil))
 		if len(chain.unfrag) > 0 {

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bsd6/internal/inet"
@@ -84,7 +85,8 @@ type SA struct {
 	SoftLife time.Duration
 	HardLife time.Duration
 
-	// Usage counters.
+	// Usage counters. Updated atomically: per-packet lookups charge
+	// them under the engine's shared (read) lock.
 	UseCount  uint64
 	ByteCount uint64
 
@@ -107,9 +109,11 @@ var (
 )
 
 // Engine is the in-kernel Security Association table plus the PF_KEY
-// plumbing.
+// plumbing.  Per-packet lookups (GetBySPI, GetBySocket hits) take the
+// lock shared so concurrent secured flows do not serialize on the SA
+// table; table changes and the acquire path take it exclusive.
 type Engine struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	sas   map[saKey]*SA
 	socks []*Socket
 	acq   map[acqKey]time.Time // outstanding acquires, rate-limited
@@ -235,15 +239,15 @@ func (e *Engine) expired(sa *SA, now time.Time) bool {
 // GetBySPI is getassocbyspi (§3.4): locate the association for an
 // inbound packet from the SPI in its cleartext header.
 func (e *Engine) GetBySPI(spi uint32, dst inet.IP6, proto SecProto) (*SA, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	e.Stats.Lookups.Inc()
 	sa, ok := e.sas[saKey{spi, dst, proto}]
 	if !ok || e.expired(sa, e.Now()) {
 		e.Stats.Misses.Inc()
 		return nil, false
 	}
-	sa.UseCount++
+	atomic.AddUint64(&sa.UseCount, 1)
 	return sa, true
 }
 
@@ -256,9 +260,45 @@ func (e *Engine) GetBySPI(spi uint32, dst inet.IP6, proto SecProto) (*SA, bool) 
 // management at all, ErrNoAssoc (which surfaces to the user as
 // EIPSEC).
 func (e *Engine) GetBySocket(src, dst inet.IP6, proto SecProto, socket any, wantUnique bool) (*SA, error) {
+	// Hit path under the shared lock; the miss path (which mutates
+	// acquire state) retakes the lock exclusive.
+	e.mu.RLock()
+	e.Stats.Lookups.Inc()
+	if sa := e.scanLocked(src, dst, proto, socket, wantUnique); sa != nil {
+		atomic.AddUint64(&sa.UseCount, 1)
+		e.mu.RUnlock()
+		return sa, nil
+	}
+	e.mu.RUnlock()
+
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.Stats.Lookups.Inc()
+	if sa := e.scanLocked(src, dst, proto, socket, wantUnique); sa != nil {
+		atomic.AddUint64(&sa.UseCount, 1)
+		return sa, nil
+	}
+	e.Stats.Misses.Inc()
+	// No association: ask key management if anyone is listening.
+	if e.anyRegisteredLocked() {
+		now := e.Now()
+		k := acqKey{dst, proto}
+		if now.Sub(e.acq[k]) >= e.AcquireWindow {
+			e.acq[k] = now
+			e.Stats.Acquires.Inc()
+			e.seq++
+			e.notifyRegisteredLocked(Message{
+				Type: MsgAcquire, Seq: e.seq,
+				SA: &SA{Src: src, Dst: dst, Proto: proto, Unique: wantUnique, Socket: socket},
+			})
+		}
+		return nil, ErrAcquireDelayed
+	}
+	return nil, ErrNoAssoc
+}
+
+// scanLocked finds the best matching live association; caller holds
+// e.mu (shared or exclusive).
+func (e *Engine) scanLocked(src, dst inet.IP6, proto SecProto, socket any, wantUnique bool) *SA {
 	now := e.Now()
 	var shared, bound *SA
 	for _, sa := range e.sas {
@@ -289,33 +329,12 @@ func (e *Engine) GetBySocket(src, dst inet.IP6, proto SecProto, socket any, want
 	if pick == nil && !wantUnique {
 		pick = shared
 	}
-	if pick != nil {
-		pick.UseCount++
-		return pick, nil
-	}
-	e.Stats.Misses.Inc()
-	// No association: ask key management if anyone is listening.
-	if e.anyRegisteredLocked() {
-		k := acqKey{dst, proto}
-		if now.Sub(e.acq[k]) >= e.AcquireWindow {
-			e.acq[k] = now
-			e.Stats.Acquires.Inc()
-			e.seq++
-			e.notifyRegisteredLocked(Message{
-				Type: MsgAcquire, Seq: e.seq,
-				SA: &SA{Src: src, Dst: dst, Proto: proto, Unique: wantUnique, Socket: socket},
-			})
-		}
-		return nil, ErrAcquireDelayed
-	}
-	return nil, ErrNoAssoc
+	return pick
 }
 
 // CountBytes charges traffic against an association's lifetime.
 func (e *Engine) CountBytes(sa *SA, n int) {
-	e.mu.Lock()
-	sa.ByteCount += uint64(n)
-	e.mu.Unlock()
+	atomic.AddUint64(&sa.ByteCount, uint64(n))
 }
 
 // SlowTimo expires associations: soft expiry notifies key management

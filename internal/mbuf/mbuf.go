@@ -51,9 +51,16 @@ type PktHdr struct {
 }
 
 // segment is one buffer in the chain (an mbuf without a packet header).
+//
+// A segment backed by a pooled slab (slab != nil) keeps the invariant
+// data == slab[off : off+len(data)]: Adj, PullUp and Prepend maintain
+// off so the slab's spare front capacity can absorb prepended headers
+// in place, and Free can return the whole slab to its pool.
 type segment struct {
 	data []byte
 	next *segment
+	slab []byte // pooled backing array, nil when not pool-owned
+	off  int    // start of data within slab
 }
 
 // Mbuf is a packet: a chain of data segments plus a packet header.
@@ -115,14 +122,39 @@ func (m *Mbuf) Append(data []byte) {
 
 // Prepend adds a copy of data at the head of the chain.  This is how
 // each protocol layer contributes its header on the output path
-// (BSD's M_PREPEND).
+// (BSD's M_PREPEND).  When the first segment is a pooled slab with
+// enough spare front capacity (leading space, as M_LEADINGSPACE), the
+// header is written into it in place — no new segment, no allocation.
 func (m *Mbuf) Prepend(data []byte) {
 	if len(data) == 0 {
+		return
+	}
+	if h := m.head; h != nil && h.slab != nil && h.off >= len(data) {
+		h.off -= len(data)
+		copy(h.slab[h.off:], data)
+		h.data = h.slab[h.off : h.off+len(data)+len(h.data)]
+		m.hdr.Len += len(data)
 		return
 	}
 	seg := &segment{data: append([]byte(nil), data...), next: m.head}
 	m.head = seg
 	if m.tail == nil {
+		m.tail = seg
+	}
+	m.hdr.Len += len(data)
+}
+
+// AppendNoCopy adds data at the tail of the chain without copying,
+// taking ownership: the caller must not modify data afterwards.
+func (m *Mbuf) AppendNoCopy(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	seg := &segment{data: data}
+	if m.tail == nil {
+		m.head, m.tail = seg, seg
+	} else {
+		m.tail.next = seg
 		m.tail = seg
 	}
 	m.hdr.Len += len(data)
@@ -157,14 +189,25 @@ func (m *Mbuf) PullUp(n int) []byte {
 		return []byte{}
 	}
 	if len(m.head.data) >= n {
+		// Fast path: the first segment already holds the bytes — no
+		// copy, no new segment.
 		return m.head.data[:n]
 	}
-	// Coalesce segments until the first holds >= n bytes.
+	// Coalesce exactly n bytes into a new first segment; a partially
+	// consumed segment is trimmed in place and keeps the remainder of
+	// the chain intact (the old code copied whole segments past n).
 	buf := make([]byte, 0, n)
 	s := m.head
-	for s != nil && len(buf) < n {
-		buf = append(buf, s.data...)
-		s = s.next
+	for len(buf) < n {
+		need := n - len(buf)
+		if len(s.data) <= need {
+			buf = append(buf, s.data...)
+			s = s.next
+		} else {
+			buf = append(buf, s.data[:need]...)
+			s.data = s.data[need:]
+			s.off += need
+		}
 	}
 	first := &segment{data: buf, next: s}
 	m.head = first
@@ -198,12 +241,18 @@ func (m *Mbuf) CopyBytes() []byte {
 }
 
 // Copy returns a deep copy of the packet, including the packet header.
+// The copy is flattened into a single segment: one allocation however
+// many segments the original has.
 func (m *Mbuf) Copy() *Mbuf {
 	n := &Mbuf{hdr: m.hdr}
 	n.hdr.AuxSPI = append([]uint32(nil), m.hdr.AuxSPI...)
 	n.hdr.Len = 0
-	for s := m.head; s != nil; s = s.next {
-		n.Append(s.data)
+	if m.hdr.Len > 0 {
+		buf := make([]byte, 0, m.hdr.Len)
+		for s := m.head; s != nil; s = s.next {
+			buf = append(buf, s.data...)
+		}
+		n.AppendNoCopy(buf)
 	}
 	return n
 }
@@ -221,6 +270,7 @@ func (m *Mbuf) Adj(n int) {
 		for n > 0 {
 			if len(m.head.data) > n {
 				m.head.data = m.head.data[n:]
+				m.head.off += n
 				return
 			}
 			n -= len(m.head.data)

@@ -344,3 +344,33 @@ func TestQuickChainContents(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// BenchmarkPullUpNoop measures the m_pullup fast path: when the first
+// segment already holds the requested bytes, PullUp must return them
+// without copying or allocating — this is the case on every received
+// packet whose headers arrived contiguous, i.e. nearly all of them.
+func BenchmarkPullUpNoop(b *testing.B) {
+	m := Get(1500)
+	defer m.Free()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if m.PullUp(40) == nil {
+			b.Fatal("PullUp failed")
+		}
+	}
+}
+
+// BenchmarkPullUpCoalesce measures the slow path for contrast: the
+// requested bytes span segments, so PullUp builds a contiguous prefix.
+func BenchmarkPullUpCoalesce(b *testing.B) {
+	seg1 := make([]byte, 8)
+	seg2 := make([]byte, 1492)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New(seg1)
+		m.Append(seg2)
+		if m.PullUp(40) == nil {
+			b.Fatal("PullUp failed")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package mbuf
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The slab pool: BSD keeps mbufs and clusters on free lists so the
+// datapath never goes to the allocator per packet; this is the same
+// idea on sync.Pool, with a few size classes instead of the fixed
+// MCLBYTES geometry.  Get hands out a single-segment packet whose
+// slab has Headroom bytes of leading space, so each layer's Prepend
+// lands in place and the whole wire image — transport header, IP
+// header, payload — lives in one allocation for its entire life.
+//
+// Ownership rule (see DESIGN.md): a pooled packet is owned by exactly
+// one party at a time.  Whoever consumes a packet terminally — the
+// transport input routine after delivering its bytes into the socket
+// layer, which copies — calls Free; everyone who stores packet bytes
+// beyond the call must copy them first.  Free with poisoning enabled
+// (SetPoison) overwrites the slab so any aliasing survivor reads
+// garbage immediately instead of corrupting silently.
+
+// Headroom is the leading space reserved in pooled slabs for headers
+// prepended below the transport layer (40-byte IPv6 header plus room
+// for an authentication header).
+const Headroom = 96
+
+// slabClasses are the pooled slab sizes. 1664 covers an Ethernet MTU
+// frame plus headroom; 9216 a jumbo/reassembled datagram; 65664 the
+// largest UDP datagram before fragmentation.
+var slabClasses = [...]int{256, 1664, 9216, 65664}
+
+var slabPools [len(slabClasses)]sync.Pool
+
+var poison atomic.Bool
+
+// SetPoison toggles poison-on-free: every freed slab is overwritten
+// with 0xDB so use-after-free aliasing shows up as corrupt packets
+// (and checksum failures) instead of silent flakiness. Debug/test use.
+func SetPoison(on bool) { poison.Store(on) }
+
+// Get returns a packet of length n in a single pooled segment with
+// Headroom bytes of leading space. The contents are uninitialized —
+// callers overwrite all n bytes. Free returns the slab to its pool.
+func Get(n int) *Mbuf {
+	total := n + Headroom
+	slab := getSlab(total)
+	seg := &segment{data: slab[Headroom : Headroom+n], slab: slab, off: Headroom}
+	m := &Mbuf{head: seg, tail: seg}
+	m.hdr.Len = n
+	return m
+}
+
+func getSlab(total int) []byte {
+	for i, sz := range slabClasses {
+		if total <= sz {
+			if v := slabPools[i].Get(); v != nil {
+				return *(v.(*[]byte))
+			}
+			return make([]byte, sz)
+		}
+	}
+	// Oversize: plain allocation, never pooled (Free lets it GC).
+	return make([]byte, total)
+}
+
+// Free releases the packet's pooled slabs back to their pools and
+// empties the chain. Only the packet's owner may call it, and the
+// packet (and any slice into it) must not be used afterwards.
+// Segments that are not pool-owned are simply dropped for the GC, so
+// Free is always safe to call on any packet the caller owns.
+func (m *Mbuf) Free() {
+	if m == nil {
+		return
+	}
+	for s := m.head; s != nil; s = s.next {
+		if s.slab != nil {
+			putSlab(s.slab)
+			s.slab = nil
+			s.data = nil
+		}
+	}
+	m.head, m.tail = nil, nil
+	m.hdr.Len = 0
+}
+
+func putSlab(slab []byte) {
+	slab = slab[:cap(slab)]
+	if poison.Load() {
+		for i := range slab {
+			slab[i] = 0xDB
+		}
+	}
+	for i, sz := range slabClasses {
+		if cap(slab) == sz {
+			slabPools[i].Put(&slab)
+			return
+		}
+	}
+}

@@ -653,6 +653,18 @@ func (h *Hub) transmit(src *Interface, fr Frame) error {
 	clock := h.clock
 	h.mu.Unlock()
 
+	// First decide which deliveries survive the fault model, then hand
+	// out payloads: each receiver needs its own buffer (a real wire
+	// gives each NIC its own signal), but the *last* delivery can take
+	// ownership of the sender's buffer instead of a deep copy — on a
+	// two-node segment the common frame crosses the hub with zero
+	// payload copies.
+	type delivery struct {
+		p       *Interface
+		delay   time.Duration
+		corrupt bool
+	}
+	var dels []delivery
 	for _, p := range ports {
 		if p == src {
 			continue
@@ -707,18 +719,22 @@ func (h *Hub) transmit(src *Interface, fr Frame) error {
 			copies = 2
 		}
 		for c := 0; c < copies; c++ {
-			// Each receiver gets its own copy, as a real wire gives
-			// each NIC its own signal.
-			cp := fr
-			cp.Payload = fr.Payload.Copy()
-			if f.Corrupt > 0 && h.float() < f.Corrupt {
-				if b := cp.Payload.Bytes(); len(b) > 0 {
-					bit := h.intn(len(b) * 8)
-					b[bit/8] ^= 1 << (bit % 8)
-				}
-			}
-			h.schedule(clock, delay, p, cp)
+			corrupt := f.Corrupt > 0 && h.float() < f.Corrupt
+			dels = append(dels, delivery{p: p, delay: delay, corrupt: corrupt})
 		}
+	}
+	for i, d := range dels {
+		cp := fr
+		if i < len(dels)-1 {
+			cp.Payload = fr.Payload.Copy()
+		}
+		if d.corrupt {
+			if b := cp.Payload.Bytes(); len(b) > 0 {
+				bit := h.intn(len(b) * 8)
+				b[bit/8] ^= 1 << (bit % 8)
+			}
+		}
+		h.schedule(clock, d.delay, d.p, cp)
 	}
 	return nil
 }

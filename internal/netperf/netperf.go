@@ -8,6 +8,7 @@ package netperf
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -311,14 +312,20 @@ func RunStream(c *core.Stack, sv *Server, dst core.Sockaddr6, tcp bool, msgSize,
 		if !tcp {
 			// UDP has no flow control; the paper's ttcp was paced by
 			// a 10 Mb/s Ethernet, ours by the receiver's socket
-			// buffer. Keep the in-flight bytes within it so the
-			// measurement reflects stack throughput, not drops.
+			// buffer. Keep the in-flight bytes small enough that the
+			// receive buffer can hold all of them — in-flight plus the
+			// next message must fit, or a burst arriving at an
+			// undrained sink is dropped and the lost bytes stall the
+			// window for the rest of the run. Pace with Gosched rather
+			// than a timed sleep: a sleep's wake-up latency is OS timer
+			// granularity, which would measure the host's tick rate,
+			// not the stack.
 			deadline := time.Now().Add(ioTimeout)
-			for sent-(sv.Received()-base) >= window {
+			for sent+int64(msgSize)-(sv.Received()-base) > window {
 				if time.Now().After(deadline) {
 					return StreamResult{}, ErrStalled
 				}
-				time.Sleep(20 * time.Microsecond)
+				runtime.Gosched()
 			}
 		}
 		n, err := sock.Send(msg, ioTimeout)

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"bsd6/internal/inet"
+	"bsd6/internal/route"
 )
 
 // PCB flag bits.
@@ -54,6 +55,11 @@ type PCB struct {
 	// addition that lets the security output policy see the socket
 	// from deep in the output path (§3.3).
 	Socket any
+
+	// Route is the session's held route (BSD's inp_route): output
+	// revalidates it with one generation compare instead of walking
+	// the radix tree per packet.
+	Route route.Cache
 
 	// Owner is protocol-private state (the tcpcb for TCP sessions).
 	Owner any

@@ -25,6 +25,7 @@ package route
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bsd6/internal/inet"
@@ -86,7 +87,8 @@ type Entry struct {
 	// machine for neighbor host routes.
 	LLInfo any
 
-	// Use counts packets routed via this entry.
+	// Use counts packets routed via this entry. Updated atomically:
+	// cached-route sends (Cache) charge it without the table lock.
 	Use uint64
 }
 
@@ -165,11 +167,17 @@ type Message struct {
 }
 
 // Table is a dual-family routing table.
+//
+// Reads (Lookup, View, Walk) take the lock shared, so concurrent
+// senders do not serialize on the radix walk; structural changes —
+// Add, Delete, Change, clone-on-lookup, expiry — take it exclusive
+// and bump the generation counter that validates cached routes.
 type Table struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	v4   *radix.Tree
 	v6   *radix.Tree
 	subs []chan Message
+	gen  atomic.Uint64 // bumped on every structural change
 
 	// Now is the clock; tests may replace it.
 	Now func() time.Time
@@ -241,6 +249,7 @@ func (t *Table) Add(e *Entry) *Entry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.tree(e.Family).Insert(e.Dst, e.Plen, e)
+	t.gen.Add(1)
 	t.notify(Message{Type: MsgAdd, Entry: e})
 	return e
 }
@@ -255,6 +264,7 @@ func (t *Table) Delete(f inet.Family, dst []byte, plen int) (*Entry, bool) {
 		return nil, false
 	}
 	e := v.(*Entry)
+	t.gen.Add(1)
 	t.notify(Message{Type: MsgDelete, Entry: e})
 	return e, true
 }
@@ -262,8 +272,8 @@ func (t *Table) Delete(f inet.Family, dst []byte, plen int) (*Entry, bool) {
 // Get returns the route for exactly dst/plen.
 func (t *Table) Get(f inet.Family, dst []byte, plen int) (*Entry, bool) {
 	keyBytes(f, dst)
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	v, ok := t.tree(f).LookupExact(dst, plen)
 	if !ok {
 		return nil, false
@@ -279,6 +289,20 @@ func (t *Table) Get(f inet.Family, dst []byte, plen int) (*Entry, bool) {
 // local machine" come to exist for PMTU storage).
 func (t *Table) Lookup(f inet.Family, dst []byte) (*Entry, bool) {
 	keyBytes(f, dst)
+	// Fast path, shared lock: the common steady-state lookup finds a
+	// live non-cloning entry and only has to charge its Use counter.
+	t.mu.RLock()
+	if v, ok := t.tree(f).Lookup(dst); ok {
+		e := v.(*Entry)
+		if e.Flags&FlagCloning == 0 &&
+			(e.Expire.IsZero() || e.Flags&FlagLLInfo != 0 || !t.Now().After(e.Expire)) {
+			atomic.AddUint64(&e.Use, 1)
+			t.mu.RUnlock()
+			return e, true
+		}
+	}
+	t.mu.RUnlock()
+	// Slow path, exclusive lock: miss notification, expiry, cloning.
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.lookupLocked(f, dst)
@@ -295,6 +319,7 @@ func (t *Table) lookupLocked(f inet.Family, dst []byte) (*Entry, bool) {
 		// Expired non-neighbor dynamic route: drop and retry.
 		// (Neighbor routes expire under ND's control, not here.)
 		t.tree(f).Delete(e.Dst, e.Plen)
+		t.gen.Add(1)
 		t.notify(Message{Type: MsgDelete, Entry: e})
 		return t.lookupLocked(f, dst)
 	}
@@ -309,10 +334,11 @@ func (t *Table) lookupLocked(f inet.Family, dst []byte) (*Entry, bool) {
 			MTU:     e.MTU,
 		}
 		t.tree(f).Insert(clone.Dst, clone.Plen, clone)
+		t.gen.Add(1)
 		t.notify(Message{Type: MsgResolve, Entry: clone})
 		e = clone
 	}
-	e.Use++
+	atomic.AddUint64(&e.Use, 1)
 	return e, true
 }
 
@@ -324,6 +350,7 @@ func (t *Table) Change(e *Entry, update func(*Entry)) {
 	defer t.mu.Unlock()
 	update(e)
 	e.Flags |= FlagModified
+	t.gen.Add(1)
 	t.notify(Message{Type: MsgChange, Entry: e})
 }
 
@@ -337,18 +364,18 @@ func (t *Table) Mutate(fn func()) {
 	fn()
 }
 
-// View is Mutate's read-side alias, for consistent snapshots of entry
-// fields.
+// View is Mutate's read-side counterpart: fn sees a consistent
+// snapshot of entry fields, and concurrent Views do not serialize.
 func (t *Table) View(fn func()) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	fn()
 }
 
 // Walk visits every route of the family in key order.
 func (t *Table) Walk(f inet.Family, fn func(*Entry) bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	t.tree(f).Walk(func(_ []byte, _ int, v any) bool {
 		return fn(v.(*Entry))
 	})
@@ -356,10 +383,15 @@ func (t *Table) Walk(f inet.Family, fn func(*Entry) bool) {
 
 // Len returns the number of routes in the given family.
 func (t *Table) Len(f inet.Family) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.tree(f).Len()
 }
+
+// Gen returns the table's structural generation. It changes whenever a
+// route is added, deleted, changed, cloned, or expired, so a cached
+// (entry, gen) pair is valid exactly while Gen is unchanged.
+func (t *Table) Gen() uint64 { return t.gen.Load() }
 
 // Dump renders the table like netstat -r.
 func (t *Table) Dump(f inet.Family) string {

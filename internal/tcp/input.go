@@ -13,6 +13,10 @@ import (
 // (§5.3) — the checksum verification below is that split, building the
 // appropriate overlay (Figures 5/6) for the pseudo-header sum.
 func (t *TCP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
+	// input is the packet's terminal consumer: segInput copies retained
+	// data into rcvBuf/reassQ and respondRST builds a fresh segment, so
+	// the pooled slab goes back to its pool on return.
+	defer pkt.Free()
 	b := pkt.Bytes()
 	if meta.Family == inet.AFInet6 {
 		ovl := ipv6Ovly{src: meta.Src6, dst: meta.Dst6, nh: proto.TCP}

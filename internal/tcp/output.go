@@ -137,6 +137,13 @@ func (c *Conn) queueSegment(hdr *Header, payload []byte) {
 	var sum uint32
 	v6 := !dst.IsV4Mapped()
 	tlen := len(wire) + len(payload)
+	// One pooled buffer carries header and payload contiguously: the
+	// checksum runs in a single pass and the IP header lands in the
+	// slab's headroom on output.
+	pkt := mbuf.Get(tlen)
+	seg := pkt.Bytes()
+	copy(seg, wire)
+	copy(seg[len(wire):], payload)
 	if v6 {
 		sum = inet.PseudoHeader6(src, dst, uint32(tlen), proto.TCP)
 	} else {
@@ -144,16 +151,13 @@ func (c *Conn) queueSegment(hdr *Header, payload []byte) {
 		d4, _ := dst.MappedV4()
 		sum = inet.PseudoHeader4(s4, d4, uint16(tlen), proto.TCP)
 	}
-	sum = inet.Sum(sum, wire)
-	sum = inet.Sum(sum, payload)
+	sum = inet.Sum(sum, seg)
 	ck := inet.Fold(sum)
-	wire[16], wire[17] = byte(ck>>8), byte(ck)
-	pkt := mbuf.New(wire)
-	pkt.Append(payload)
+	seg[16], seg[17] = byte(ck>>8), byte(ck)
 	pkt.Hdr().Socket = c.pcb.Socket
 	c.t.outbox = append(c.t.outbox, outSeg{
 		v6: v6, src: src, dst: dst, pkt: pkt,
-		flow: c.pcb.FlowInfo, sock: c.pcb.Socket, conn: c,
+		flow: c.pcb.FlowInfo, sock: c.pcb.Socket, conn: c, rc: &c.pcb.Route,
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"bsd6/internal/mbuf"
 	"bsd6/internal/pcb"
 	"bsd6/internal/proto"
+	"bsd6/internal/route"
 	"bsd6/internal/stat"
 )
 
@@ -131,7 +132,8 @@ type outSeg struct {
 	pkt      *mbuf.Mbuf
 	flow     uint32
 	sock     any
-	conn     *Conn // for surfacing fatal output errors; nil for RSTs
+	conn     *Conn        // for surfacing fatal output errors; nil for RSTs
+	rc       *route.Cache // the session's held route; nil for RSTs
 }
 
 // New creates the TCP instance and registers it with both IP layers.
@@ -573,12 +575,12 @@ func (t *TCP) flush() {
 			var err error
 			if s.v6 {
 				err = t.v6.Output(s.pkt, s.src, s.dst, proto.TCP, ipv6.OutputOpts{
-					FlowInfo: s.flow, Socket: s.sock, NoFrag: true,
+					FlowInfo: s.flow, Socket: s.sock, NoFrag: true, RouteCache: s.rc,
 				})
 			} else {
 				src4, _ := s.src.MappedV4()
 				dst4, _ := s.dst.MappedV4()
-				err = t.v4.Output(s.pkt, src4, dst4, proto.TCP, ipv4.OutputOpts{DF: true})
+				err = t.v4.Output(s.pkt, src4, dst4, proto.TCP, ipv4.OutputOpts{DF: true, RouteCache: s.rc})
 			}
 			if err != nil && s.conn != nil && t.FatalOutErr != nil && t.FatalOutErr(err) {
 				t.mu.Lock()

@@ -101,6 +101,19 @@ func header(sport, dport uint16, length int, ck uint16) []byte {
 	}
 }
 
+// buildWire assembles the complete UDP datagram — header and payload
+// contiguous — in a single pooled buffer, so the IP layer's header
+// prepend lands in the slab's headroom and the common datagram costs
+// no allocations beyond the (recycled) slab itself.
+func buildWire(sport, dport uint16, data []byte) (*mbuf.Mbuf, []byte) {
+	length := HeaderLen + len(data)
+	pkt := mbuf.Get(length)
+	wire := pkt.Bytes()
+	copy(wire[:HeaderLen], header(sport, dport, length, 0))
+	copy(wire[HeaderLen:], data)
+	return pkt, wire
+}
+
 // Output is udp_output: create and send a datagram.  It "determines
 // whether to create an IPv4 or IPv6 datagram by looking at the
 // protocol control block"; faddr/fport override the connected peer for
@@ -139,21 +152,19 @@ func (u *UDP) Output(p *pcb.PCB, data []byte, faddr inet.IP6, fport uint16) erro
 			// Local destination: source = destination.
 			src4 = v4dst
 		}
-		var ck uint16
+		pkt, wire := buildWire(p.LPort, fport, data)
 		if u.SumTx {
 			sum := inet.PseudoHeader4(src4, v4dst, uint16(length), proto.UDP)
-			sum = inet.Sum(sum, header(p.LPort, fport, length, 0))
-			sum = inet.Sum(sum, data)
-			ck = inet.Fold(sum)
+			sum = inet.Sum(sum, wire)
+			ck := inet.Fold(sum)
 			if ck == 0 {
 				ck = 0xffff // transmitted 0 means "no checksum" on v4
 			}
+			wire[6], wire[7] = byte(ck>>8), byte(ck)
 		}
-		pkt := mbuf.New(header(p.LPort, fport, length, ck))
-		pkt.Append(data)
 		pkt.Hdr().Socket = p.Socket
 		u.Stats.OutDatagrams.Inc()
-		return u.v4.Output(pkt, src4, v4dst, proto.UDP, ipv4.OutputOpts{})
+		return u.v4.Output(pkt, src4, v4dst, proto.UDP, ipv4.OutputOpts{RouteCache: &p.Route})
 	}
 
 	// IPv6 path: checksum mandatory — "necessary to provide integrity
@@ -167,19 +178,19 @@ func (u *UDP) Output(p *pcb.PCB, data []byte, faddr inet.IP6, fport uint16) erro
 			src = faddr // local destination
 		}
 	}
+	pkt, wire := buildWire(p.LPort, fport, data)
 	sum := inet.PseudoHeader6(src, faddr, uint32(length), proto.UDP)
-	sum = inet.Sum(sum, header(p.LPort, fport, length, 0))
-	sum = inet.Sum(sum, data)
+	sum = inet.Sum(sum, wire)
 	ck := inet.Fold(sum)
 	if ck == 0 {
 		ck = 0xffff
 	}
-	pkt := mbuf.New(header(p.LPort, fport, length, ck))
-	pkt.Append(data)
+	wire[6], wire[7] = byte(ck>>8), byte(ck)
 	pkt.Hdr().Socket = p.Socket
 	u.Stats.OutDatagrams.Inc()
 	return u.v6.Output(pkt, src, faddr, proto.UDP, ipv6.OutputOpts{
 		FlowInfo: p.FlowInfo, HopLimit: p.HopLimit, Socket: p.Socket,
+		RouteCache: &p.Route,
 	})
 }
 
@@ -188,6 +199,11 @@ func (u *UDP) Output(p *pcb.PCB, data []byte, faddr inet.IP6, fport uint16) erro
 // udp_input()", with a local discriminator selecting version-specific
 // code paths.
 func (u *UDP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
+	// input is the packet's terminal consumer: every path below either
+	// drops it or copies its bytes onward (Deliver copies into the
+	// socket buffer, portUnreach builds a fresh packet), so the pooled
+	// slab goes back to its pool here.
+	defer pkt.Free()
 	isV4 := meta.Family == inet.AFInet // the §5.2 "local variable"
 	b := pkt.Bytes()
 	if len(b) < HeaderLen {
