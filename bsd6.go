@@ -70,6 +70,10 @@ type (
 	Options   = core.Options
 	Hub       = netif.Hub
 	Interface = netif.Interface
+
+	// Snapshot is the structured form of Netstat(): every counter,
+	// drop reason, and flight-recorder event, JSON-serializable.
+	Snapshot = core.Snapshot
 )
 
 // NewStack builds and starts a stack.

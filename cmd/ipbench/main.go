@@ -64,6 +64,11 @@ type report struct {
 	Table4  []streamCell   `json:"table4,omitempty"`
 	Table5  []securityCell `json:"table5,omitempty"`
 	Figure8 []latencyCell  `json:"figure8,omitempty"`
+	// Snapshots holds the full counter state of every stack used by
+	// the run, captured at teardown — the structured netstat that lets
+	// a reader verify a cell was measured on a clean path (no retrans,
+	// no drops) instead of trusting the throughput number alone.
+	Snapshots []core.Snapshot `json:"snapshots,omitempty"`
 }
 
 var results report
@@ -89,7 +94,13 @@ func newTestbed() *testbed {
 	return &testbed{cli: cli, srv: srv, dst4: bsd6.IP4{10, 0, 0, 2}, dst6: srvLL, cli6: cliLL, port: 20000}
 }
 
-func (tb *testbed) close() { tb.cli.Close(); tb.srv.Close() }
+func (tb *testbed) close() {
+	if *flagJSON {
+		results.Snapshots = append(results.Snapshots, tb.cli.Snapshot(), tb.srv.Snapshot())
+	}
+	tb.cli.Close()
+	tb.srv.Close()
+}
 
 func (tb *testbed) addr(v6 bool, port uint16) core.Sockaddr6 {
 	if v6 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"bsd6/internal/inet"
@@ -108,36 +109,71 @@ func (s *Stack) routes6() string {
 	return b.String()
 }
 
-// ProtoStats renders protocol and security statistics.
+// ProtoStats renders protocol and security statistics.  It is a pure
+// view over Snapshot(): the text and the JSON are always the same
+// numbers, so a benchmark log and a netstat dump never disagree.
 func (s *Stack) ProtoStats() string {
+	snap := s.Snapshot()
 	var b strings.Builder
-	v6 := &s.V6.Stats
-	fmt.Fprintf(&b, "ip6: %v in (%v delivered, %v hdr errs, %v forwarded), %v out (%v frags), %v reassembled, preparse=%v fastpath=%v\n",
-		&v6.InReceives, &v6.InDelivers, &v6.InHdrErrors, &v6.Forwarded,
-		&v6.OutRequests, &v6.OutFrags, &v6.Reassembled, &v6.PreparseRuns, &v6.FastPathHits)
-	v4 := &s.V4.Stats
-	fmt.Fprintf(&b, "ip:  %v in (%v delivered, %v hdr errs, %v forwarded), %v out, %v frags created, %v reassembled\n",
-		&v4.InReceives, &v4.InDelivers, &v4.InHdrErrors, &v4.Forwarded,
-		&v4.OutRequests, &v4.FragsCreated, &v4.Reassembled)
-	i6 := &s.ICMP6.Stats
-	fmt.Fprintf(&b, "icmp6: %v in / %v out; echo %v/%v; NS/NA %v/%v in; RS/RA %v/%v in; reports in %v; dad dup %v; pmtu updates %v\n",
-		&i6.InMsgs, &i6.OutMsgs, &i6.InEchos, &i6.InEchoReps, &i6.InNS, &i6.InNA, &i6.InRS, &i6.InRA, &i6.InReports, &i6.DadDuplicate, &i6.PmtuUpdates)
-	ts := &s.TCP.Stats
-	fmt.Fprintf(&b, "tcp: %v/%v pkts out/in, %v rexmit, %v est, %v accepts, reass v4/v6 %v/%v, policy drops %v\n",
-		&ts.SndPack, &ts.RcvPack, &ts.SndRexmit, &ts.ConnEstab, &ts.ConnAccepts, &ts.Reass4, &ts.Reass6, &ts.PolicyDrops)
-	us := &s.UDP.Stats
-	fmt.Fprintf(&b, "udp: %v out, %v in (%v v4->v6 socket), %v bad sums, %v no port, policy drops %v\n",
-		&us.OutDatagrams, &us.InDatagrams, &us.InV4ToV6, &us.BadChecksums, &us.InNoPorts, &us.InPolicyDrops)
-	sec := &s.Sec.Stats
-	fmt.Fprintf(&b, "ipsec: out ah/esp/tunnel %v/%v/%v; in auth ok/fail %v/%v, decrypt ok/fail %v/%v, no-SA %v, policy drops out/in %v/%v, tunnel src fails %v\n",
-		&sec.OutAH, &sec.OutESP, &sec.OutTunnel, &sec.InAuthOK, &sec.InAuthFail,
-		&sec.InDecryptOK, &sec.InDecryptFail, &sec.InNoSA, &sec.OutPolicyDrops, &sec.InPolicyDrops, &sec.TunnelSrcFail)
-	ks := &s.Keys.Stats
-	fmt.Fprintf(&b, "key: %v adds, %v deletes, %v lookups (%v misses), %v acquires, expires soft/hard %v/%v\n",
-		&ks.Adds, &ks.Deletes, &ks.Lookups, &ks.Misses, &ks.Acquires, &ks.SoftExpires, &ks.HardExpires)
-	depths := s.InqDepths()
-	fmt.Fprintf(&b, "netisr: %d workers, %v drops, queue depths %v\n",
-		len(depths), &s.InqDrops, depths)
+	v6 := snap.IP6
+	fmt.Fprintf(&b, "ip6: %d in (%d delivered, %d hdr errs, %d forwarded), %d out (%d frags), %d reassembled, preparse=%d fastpath=%d\n",
+		v6["InReceives"], v6["InDelivers"], v6["InHdrErrors"], v6["Forwarded"],
+		v6["OutRequests"], v6["OutFrags"], v6["Reassembled"], v6["PreparseRuns"], v6["FastPathHits"])
+	v4 := snap.IP4
+	fmt.Fprintf(&b, "ip:  %d in (%d delivered, %d hdr errs, %d forwarded), %d out, %d frags created, %d reassembled\n",
+		v4["InReceives"], v4["InDelivers"], v4["InHdrErrors"], v4["Forwarded"],
+		v4["OutRequests"], v4["FragsCreated"], v4["Reassembled"])
+	i6 := snap.ICMP6
+	fmt.Fprintf(&b, "icmp6: %d in / %d out; echo %d/%d; NS/NA %d/%d in; RS/RA %d/%d in; reports in %d; dad dup %d; pmtu updates %d; rate limited %d\n",
+		i6["InMsgs"], i6["OutMsgs"], i6["InEchos"], i6["InEchoReps"], i6["InNS"], i6["InNA"],
+		i6["InRS"], i6["InRA"], i6["InReports"], i6["DadDuplicate"], i6["PmtuUpdates"], i6["RateLimited"])
+	ts := snap.TCP
+	fmt.Fprintf(&b, "tcp: %d/%d pkts out/in, %d rexmit, %d est, %d accepts, reass v4/v6 %d/%d, policy drops %d\n",
+		ts["SndPack"], ts["RcvPack"], ts["SndRexmit"], ts["ConnEstab"], ts["ConnAccepts"],
+		ts["Reass4"], ts["Reass6"], ts["PolicyDrops"])
+	us := snap.UDP
+	fmt.Fprintf(&b, "udp: %d out, %d in (%d v4->v6 socket), %d bad sums, %d no port, policy drops %d\n",
+		us["OutDatagrams"], us["InDatagrams"], us["InV4ToV6"], us["BadChecksums"], us["InNoPorts"], us["InPolicyDrops"])
+	sec := snap.IPsec
+	fmt.Fprintf(&b, "ipsec: out ah/esp/tunnel %d/%d/%d; in auth ok/fail %d/%d, decrypt ok/fail %d/%d, no-SA %d, policy drops out/in %d/%d, tunnel src fails %d\n",
+		sec["OutAH"], sec["OutESP"], sec["OutTunnel"], sec["InAuthOK"], sec["InAuthFail"],
+		sec["InDecryptOK"], sec["InDecryptFail"], sec["InNoSA"], sec["OutPolicyDrops"], sec["InPolicyDrops"], sec["TunnelSrcFail"])
+	ks := snap.Key
+	fmt.Fprintf(&b, "key: %d adds, %d deletes, %d lookups (%d misses), %d acquires, expires soft/hard %d/%d\n",
+		ks["Adds"], ks["Deletes"], ks["Lookups"], ks["Misses"], ks["Acquires"], ks["SoftExpires"], ks["HardExpires"])
+	fmt.Fprintf(&b, "netisr: %d workers, %d drops, queue depths %v\n",
+		snap.Netisr.Workers, snap.Netisr.Drops, snap.Netisr.Depths)
+	if len(snap.Reasons) > 0 {
+		keys := make([]string, 0, len(snap.Reasons))
+		for k := range snap.Reasons {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("drops:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, snap.Reasons[k])
+		}
+		b.WriteByte('\n')
+	}
+	if n := len(snap.Trace); n > 0 {
+		const tail = 8
+		start := 0
+		if n > tail {
+			start = n - tail
+		}
+		fmt.Fprintf(&b, "trace (last %d of %d events):\n", n-start, n)
+		for _, tl := range snap.Trace[start:] {
+			line := fmt.Sprintf("  #%d %s %s", tl.Seq, tl.Time.Format("15:04:05.000000"), tl.Kind)
+			if tl.Reason != "" {
+				line += " " + tl.Reason
+			}
+			if tl.Detail != "" {
+				line += ": " + tl.Detail
+			}
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
 	return b.String()
 }
 

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"time"
+
+	"bsd6/internal/dump"
+	"bsd6/internal/stat"
+)
+
+// traceRingSize bounds the per-stack flight recorder: the last N
+// drop/control events, enough to explain a conformance-test failure
+// without logging every packet.
+const traceRingSize = 128
+
+// TraceLine is one rendered flight-recorder event: the drop (or
+// control) event with its raw packet bytes already decoded into a
+// dump one-liner, so snapshots are human-readable and JSON-safe.
+type TraceLine struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"` // "drop" or "ctl"
+	Reason string    `json:"reason,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// NetisrSnapshot captures the input-queue state.
+type NetisrSnapshot struct {
+	Workers int    `json:"workers"`
+	Drops   uint64 `json:"drops"`
+	Depths  []int  `json:"depths"`
+}
+
+// Snapshot is the structured counterpart of Netstat(): every protocol,
+// security, key-engine and netisr counter, the drop-reason map, and
+// the flight-recorder trace — JSON-serializable so benchmarks and
+// conformance tests diff counters instead of scraping text (the
+// structured upgrade of the paper's modified netstat(8), §3.4/§4.3).
+type Snapshot struct {
+	Name    string            `json:"name"`
+	Time    time.Time         `json:"time"`
+	IP6     map[string]uint64 `json:"ip6"`
+	IP4     map[string]uint64 `json:"ip4"`
+	ICMP6   map[string]uint64 `json:"icmp6"`
+	ICMP4   map[string]uint64 `json:"icmp4"`
+	TCP     map[string]uint64 `json:"tcp"`
+	UDP     map[string]uint64 `json:"udp"`
+	IPsec   map[string]uint64 `json:"ipsec"`
+	Key     map[string]uint64 `json:"key"`
+	Netisr  NetisrSnapshot    `json:"netisr"`
+	Reasons map[string]uint64 `json:"dropReasons"`
+	Trace   []TraceLine       `json:"trace,omitempty"`
+}
+
+// Snapshot reads every counter of the stack into one structure.  The
+// counters are atomics read without a global lock, so the snapshot is
+// per-counter (not cross-counter) consistent — the same guarantee
+// netstat(8) ever had.
+func (s *Stack) Snapshot() Snapshot {
+	depths := s.InqDepths()
+	snap := Snapshot{
+		Name:  s.Name,
+		Time:  s.clock.Now(),
+		IP6:   stat.SnapshotCounters(&s.V6.Stats),
+		IP4:   stat.SnapshotCounters(&s.V4.Stats),
+		ICMP6: stat.SnapshotCounters(&s.ICMP6.Stats),
+		ICMP4: stat.SnapshotCounters(&s.ICMP4.Stats),
+		TCP:   stat.SnapshotCounters(&s.TCP.Stats),
+		UDP:   stat.SnapshotCounters(&s.UDP.Stats),
+		IPsec: stat.SnapshotCounters(&s.Sec.Stats),
+		Key:   stat.SnapshotCounters(&s.Keys.Stats),
+		Netisr: NetisrSnapshot{
+			Workers: len(depths),
+			Drops:   s.InqDrops.Get(),
+			Depths:  depths,
+		},
+		Reasons: s.Drops.Reasons.Snapshot(),
+	}
+	// PolicyDrops lives outside the icmp6 Stats block (it pairs with
+	// the InputPolicy hook); fold it in by hand.
+	snap.ICMP6["PolicyDrops"] = s.ICMP6.PolicyDrops.Get()
+	for _, ev := range s.Drops.Events() {
+		snap.Trace = append(snap.Trace, TraceLine{
+			Seq:    ev.Seq,
+			Time:   ev.Time,
+			Kind:   ev.Kind,
+			Reason: ev.Reason,
+			Detail: renderTrace(ev),
+		})
+	}
+	return snap
+}
+
+// Trace returns the rendered flight-recorder events, oldest first —
+// the query surface for tests chasing a vanished packet.
+func (s *Stack) Trace() []TraceLine {
+	return s.Snapshot().Trace
+}
+
+// renderTrace turns a raw trace event into its one-line detail: the
+// site-provided note when there is one, else the dropped packet's
+// leading bytes through a dump decoder. IP-layer sites store whole
+// datagrams; transport sites store their own header onward, so the
+// decoder is chosen by the (stable) reason name.
+func renderTrace(ev stat.TraceEvent) string {
+	if ev.Note != "" {
+		return ev.Note
+	}
+	if len(ev.Pkt) == 0 {
+		return ""
+	}
+	switch {
+	case strings.HasPrefix(ev.Reason, "udp-"):
+		return dump.UDPSeg(ev.Pkt)
+	case strings.HasPrefix(ev.Reason, "tcp-"):
+		return dump.TCPSeg(ev.Pkt)
+	case strings.HasPrefix(ev.Reason, "icmp6-"),
+		strings.HasPrefix(ev.Reason, "nd-"),
+		strings.HasPrefix(ev.Reason, "mld-"):
+		return dump.ICMP6Msg(ev.Pkt)
+	case strings.HasPrefix(ev.Reason, "arp-"):
+		return dump.ARPPkt(ev.Pkt)
+	}
+	return dump.IP(ev.Pkt)
+}

@@ -51,6 +51,11 @@ type Stack struct {
 	Hosts *inet.HostTable
 	Lo    *netif.Interface
 
+	// Drops is the stack-wide drop observability state: the reason
+	// counter map plus the flight-recorder trace ring, shared by every
+	// protocol module above.
+	Drops *stat.Recorder
+
 	// inqs are the netisr input queues, one per worker; a flow hash
 	// over the IP addresses steers each frame to a fixed queue so
 	// packets of one flow never reorder against each other.
@@ -118,8 +123,12 @@ func NewStack(name string, opts Options) *Stack {
 		s.inqs[i] = make(chan inputItem, opts.InputQueueLen)
 	}
 	rt.Now = s.clock.Now
+	s.Drops = stat.NewRecorder(traceRingSize)
+	s.Drops.Now = s.clock.Now
 	s.V4 = ipv4.NewLayer(rt)
 	s.V6 = ipv6.NewLayer(rt)
+	s.V4.Drops = s.Drops
+	s.V6.Drops = s.Drops
 	s.ICMP4 = ipv4.AttachICMP(s.V4)
 	s.ICMP6 = icmp6.Attach(s.V6)
 	s.Keys = key.NewEngine()
@@ -127,6 +136,8 @@ func NewStack(name string, opts Options) *Stack {
 	s.Sec = ipsec.Attach(s.V6, s.Keys)
 	s.UDP = udp.New(s.V4, s.V6)
 	s.TCP = tcp.New(s.V4, s.V6)
+	s.UDP.Drops = s.Drops
+	s.TCP.Drops = s.Drops
 
 	// Wire the cross-module relationships the paper describes.
 	s.UDP.InputPolicy = s.Sec.InputPolicy
@@ -150,6 +161,7 @@ func NewStack(name string, opts Options) *Stack {
 
 	// Loopback.
 	s.Lo = netif.NewLoopback(name+"-lo0", 32768)
+	s.Lo.Drops = s.Drops
 	s.Lo.SetInput(s.enqueue)
 	s.V4.AddInterface(s.Lo)
 	s.V6.AddInterface(s.Lo)
@@ -205,6 +217,7 @@ func (s *Stack) enqueue(ifp *netif.Interface, fr netif.Frame) {
 	default:
 		s.pending.Add(-1)
 		s.InqDrops.Inc()
+		s.Drops.DropNote(stat.RInqFull, ifp.Name)
 	}
 }
 
@@ -364,6 +377,7 @@ func (s *Stack) newLink(hub *netif.Hub, mac inet.LinkAddr, mtu int) *netif.Inter
 	name := fmt.Sprintf("%s-sim%d", s.Name, len(s.ifps))
 	s.mu.Unlock()
 	ifp := netif.New(name, mac, mtu)
+	ifp.Drops = s.Drops
 	ifp.SetInput(s.enqueue)
 	hub.Attach(ifp)
 	s.V4.AddInterface(ifp)

@@ -41,6 +41,43 @@ func Frame(fr netif.Frame) string {
 	return fmt.Sprintf("%s > %s: %s", fr.Src, fr.Dst, body)
 }
 
+// IP renders a bare IP packet (no link layer), picking the decoder
+// from the version nibble.  The flight-recorder trace ring stores raw
+// leading bytes of dropped packets; this is how they become readable.
+func IP(b []byte) string {
+	if len(b) == 0 {
+		return "empty"
+	}
+	switch b[0] >> 4 {
+	case 4:
+		return v4(b)
+	case 6:
+		return v6(b)
+	}
+	// The link layer drops whole frame payloads, which may be ARP
+	// (hardware type 1, protocol 0x0800) rather than IP.
+	if len(b) >= 28 && b[0] == 0 && b[1] == 1 && b[2] == 0x08 && b[3] == 0x00 {
+		return arp(b)
+	}
+	return fmt.Sprintf("unknown IP version %d, %d bytes", b[0]>>4, len(b))
+}
+
+// The flight-recorder trace ring also stores transport-level bytes
+// when a drop happens above the IP layer; these exported decoders let
+// the renderer pick the right one by drop reason.
+
+// UDPSeg renders a UDP datagram starting at its header.
+func UDPSeg(b []byte) string { return udp(b) }
+
+// TCPSeg renders a TCP segment starting at its header.
+func TCPSeg(b []byte) string { return tcp(b) }
+
+// ICMP6Msg renders an ICMPv6 message starting at its type byte.
+func ICMP6Msg(b []byte) string { return icmp6(b) }
+
+// ARPPkt renders an ARP packet.
+func ARPPkt(b []byte) string { return arp(b) }
+
 // Sniff prints every frame crossing the hub to w until stop is called.
 func Sniff(hub *netif.Hub, w io.Writer) (stop func()) {
 	var mu sync.Mutex

@@ -12,6 +12,7 @@
 package icmp6
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
@@ -75,6 +76,7 @@ type Stats struct {
 	OutRS, OutRA stat.Counter
 	OutReports   stat.Counter
 	OutTerm      stat.Counter
+	RateLimited  stat.Counter
 	BadHopLimit  stat.Counter
 	DadStarted   stat.Counter
 	DadDuplicate stat.Counter
@@ -115,9 +117,23 @@ type Module struct {
 	// Router-side multicast membership cache (learned from Reports).
 	members map[groupKey]time.Time
 
-	// MinPMTU clamps Packet Too Big updates.
+	// MinPMTU clamps Packet Too Big updates.  It defaults to the IPv6
+	// minimum link MTU (RFC 1981/2460: no conforming path is smaller),
+	// so a forged PTB cannot shrink a path — and TCP's derived MSS —
+	// below 1280.
 	MinPMTU int
+
+	// ErrPPS bounds outbound error messages per second (RFC 1885
+	// §2.4(f): a node SHOULD limit the rate of error messages it
+	// originates, or a corruption storm is amplified 1:1).  Zero means
+	// DefaultErrPPS; negative disables limiting.
+	ErrPPS    int
+	errTokens float64
+	errLast   time.Time
 }
+
+// DefaultErrPPS is the default outbound error-message budget.
+const DefaultErrPPS = 100
 
 // Attach creates the module, registers it in the IPv6 protocol switch,
 // and installs the layer's error sink and ND resolver.
@@ -128,7 +144,7 @@ func Attach(l *ipv6.Layer) *Module {
 		raAt:    make(map[string]time.Time),
 		dad:     make(map[inet.IP6]*dadState),
 		routers: make(map[inet.IP6]time.Time),
-		MinPMTU: 68,
+		MinPMTU: ipv6.MinMTU,
 	}
 	l.Register(proto.ICMPv6, m.input, nil)
 	l.Error = m.LayerError
@@ -240,6 +256,14 @@ func (m *Module) SendError(typ, code uint8, param uint32, orig *mbuf.Mbuf, rcvIf
 			return
 		}
 	}
+	// Rate-limit what survives the suppression rules (RFC 1885): under
+	// a corruption or loss storm the stack must not amplify every bad
+	// packet into an outbound error.
+	if !m.errAllow() {
+		m.Stats.RateLimited.Inc()
+		m.l.Drops.DropNote(stat.RICMP6RateLimited, oh.Src.String())
+		return
+	}
 	// Body: 4-byte parameter + as much of the offender as fits in the
 	// minimum MTU.
 	room := ipv6.MinMTU - ipv6.HeaderLen - 8
@@ -256,16 +280,47 @@ func (m *Module) SendError(typ, code uint8, param uint32, orig *mbuf.Mbuf, rcvIf
 	m.send(typ, code, body, inet.IP6{}, oh.Src, 0, rcvIf)
 }
 
+// errAllow takes one token from the outbound-error bucket, refilled at
+// ErrPPS tokens per second off the stack's (virtual) clock.
+func (m *Module) errAllow() bool {
+	rate := m.ErrPPS
+	if rate < 0 {
+		return true
+	}
+	if rate == 0 {
+		rate = DefaultErrPPS
+	}
+	now := m.l.Routes().Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.errLast.IsZero() {
+		m.errTokens = float64(rate) // full bucket on first use
+	} else {
+		m.errTokens += now.Sub(m.errLast).Seconds() * float64(rate)
+		if m.errTokens > float64(rate) {
+			m.errTokens = float64(rate)
+		}
+	}
+	m.errLast = now
+	if m.errTokens < 1 {
+		return false
+	}
+	m.errTokens--
+	return true
+}
+
 // input is the protocol-switch entry for ICMPv6. The packet begins at
 // the ICMPv6 header; meta carries the addresses for the pseudo-header.
 func (m *Module) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 	b := pkt.Bytes()
 	if len(b) < 4 {
 		m.Stats.InErrors.Inc()
+		m.l.Drops.DropPkt(stat.RICMP6Short, b)
 		return
 	}
 	if inet.TransportChecksum6(meta.Src6, meta.Dst6, proto.ICMPv6, b) != 0 {
 		m.Stats.InErrors.Inc()
+		m.l.Drops.DropPkt(stat.RICMP6BadSum, b)
 		return
 	}
 	m.Stats.InMsgs.Inc()
@@ -275,6 +330,7 @@ func (m *Module) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 	case TypeEchoRequest:
 		if m.InputPolicy != nil && !m.InputPolicy(pkt, meta.Dst6, nil) {
 			m.PolicyDrops.Inc()
+			m.l.Drops.DropNote(stat.RICMP6PolicyDrop, meta.Src6.String()+">"+meta.Dst6.String())
 			return
 		}
 		m.Stats.InEchos.Inc()
@@ -305,6 +361,7 @@ func (m *Module) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 		// inject neighbor or router state.
 		if meta.Hops != 255 {
 			m.Stats.BadHopLimit.Inc()
+			m.l.Drops.DropPkt(stat.RNDBadHopLimit, b)
 			return
 		}
 		switch typ {
@@ -321,12 +378,29 @@ func (m *Module) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 			m.Stats.InRA.Inc()
 			m.raInput(body, meta)
 		}
-	case TypeGroupQuery:
-		m.Stats.InQueries.Inc()
-		m.queryInput(body, meta)
-	case TypeGroupReport, TypeGroupTerminate:
-		m.Stats.InReports.Inc()
-		m.reportInput(typ, body, meta)
+	case TypeGroupQuery, TypeGroupReport, TypeGroupTerminate:
+		// Group membership traffic is link-scope (§4.1): senders use
+		// hop limit 1 and a link-local (or, before an address is
+		// configured, unspecified) source.  Anything else has crossed a
+		// router — an off-link forgery must not mutate membership
+		// state.
+		if meta.Hops != 1 {
+			m.Stats.BadHopLimit.Inc()
+			m.l.Drops.DropPkt(stat.RMLDBadHopLimit, b)
+			return
+		}
+		if !meta.Src6.IsLinkLocal() && !meta.Src6.IsUnspecified() {
+			m.Stats.InErrors.Inc()
+			m.l.Drops.DropNote(stat.RMLDBadSource, meta.Src6.String())
+			return
+		}
+		if typ == TypeGroupQuery {
+			m.Stats.InQueries.Inc()
+			m.queryInput(body, meta)
+		} else {
+			m.Stats.InReports.Inc()
+			m.reportInput(typ, body, meta)
+		}
 	}
 }
 
@@ -336,6 +410,7 @@ func (m *Module) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 func (m *Module) ctlDispatch(typ, code uint8, body []byte, meta *proto.Meta) {
 	if len(body) < 4+ipv6.HeaderLen {
 		m.Stats.InErrors.Inc()
+		m.l.Drops.DropNote(stat.RICMP6CtlShort, meta.Src6.String()+">"+meta.Dst6.String())
 		return
 	}
 	param := uint32(body[0])<<24 | uint32(body[1])<<16 | uint32(body[2])<<8 | uint32(body[3])
@@ -343,6 +418,7 @@ func (m *Module) ctlDispatch(typ, code uint8, body []byte, meta *proto.Meta) {
 	ih, err := ipv6.Parse(inner)
 	if err != nil {
 		m.Stats.InErrors.Inc()
+		m.l.Drops.DropNote(stat.RICMP6CtlShort, meta.Src6.String()+">"+meta.Dst6.String())
 		return
 	}
 	info, _ := ipv6.Preparse(inner, false)
@@ -353,8 +429,12 @@ func (m *Module) ctlDispatch(typ, code uint8, body []byte, meta *proto.Meta) {
 		kind = proto.CtlMsgSize
 		mtu = int(param)
 		if mtu < m.MinPMTU {
+			// No conforming IPv6 path is narrower than the minimum
+			// link MTU: a smaller value is a forged (or broken) PTB.
+			m.l.Drops.DropNote(stat.RICMP6PTBClamped, ih.Dst.String())
 			mtu = m.MinPMTU
 		}
+		m.l.Drops.Ctl("ptb " + ih.Dst.String() + " mtu=" + strconv.Itoa(mtu))
 		m.updatePMTU(ih.Dst, mtu)
 	case TypeDstUnreach:
 		if code == UnreachPort {

@@ -5,6 +5,7 @@ import (
 
 	"bsd6/internal/inet"
 	"bsd6/internal/proto"
+	"bsd6/internal/stat"
 )
 
 // Group membership (§4.1): ICMPv6 absorbs IGMP.  Group Report and
@@ -55,6 +56,7 @@ func (m *Module) SendGroupQuery(ifName string, group inet.IP6, maxDelay time.Dur
 func (m *Module) queryInput(body []byte, meta *proto.Meta) {
 	if len(body) < 20 {
 		m.Stats.InErrors.Inc()
+		m.l.Drops.DropNote(stat.RICMP6Short, meta.Src6.String())
 		return
 	}
 	var group inet.IP6
@@ -84,6 +86,7 @@ const groupLifetime = 4 * time.Minute
 func (m *Module) reportInput(typ uint8, body []byte, meta *proto.Meta) {
 	if len(body) < 20 {
 		m.Stats.InErrors.Inc()
+		m.l.Drops.DropNote(stat.RICMP6Short, meta.Src6.String())
 		return
 	}
 	if !m.isRouterIf(meta.RcvIf) {

@@ -9,6 +9,7 @@ import (
 	"bsd6/internal/netif"
 	"bsd6/internal/proto"
 	"bsd6/internal/route"
+	"bsd6/internal/stat"
 )
 
 // Neighbor Discovery (§4.3): IPv6 does not use ARP; neighbors are
@@ -217,6 +218,7 @@ func parseNDOpts(b []byte) map[byte][]byte {
 func (m *Module) nsInput(body []byte, meta *proto.Meta) {
 	if len(body) < 20 {
 		m.Stats.InErrors.Inc()
+		m.l.Drops.DropNote(stat.RICMP6Short, meta.Src6.String())
 		return
 	}
 	var target inet.IP6
@@ -259,6 +261,7 @@ func (m *Module) nsInput(body []byte, meta *proto.Meta) {
 func (m *Module) naInput(body []byte, meta *proto.Meta) {
 	if len(body) < 20 {
 		m.Stats.InErrors.Inc()
+		m.l.Drops.DropNote(stat.RICMP6Short, meta.Src6.String())
 		return
 	}
 	flags := body[0]

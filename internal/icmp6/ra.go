@@ -7,6 +7,7 @@ import (
 	"bsd6/internal/netif"
 	"bsd6/internal/proto"
 	"bsd6/internal/route"
+	"bsd6/internal/stat"
 )
 
 // Router Discovery and stateless address autoconfiguration (§4.2):
@@ -176,6 +177,7 @@ func (m *Module) rsInput(body []byte, meta *proto.Meta) {
 func (m *Module) raInput(body []byte, meta *proto.Meta) {
 	if len(body) < 12 || !meta.Src6.IsLinkLocal() {
 		m.Stats.InErrors.Inc()
+		m.l.Drops.DropNote(stat.RICMP6Short, meta.Src6.String())
 		return
 	}
 	ifp := m.l.Interface(meta.RcvIf)
@@ -191,6 +193,7 @@ func (m *Module) raInput(body []byte, meta *proto.Meta) {
 	opts := parseNDOpts(body[12:])
 	if opts == nil {
 		m.Stats.InErrors.Inc()
+		m.l.Drops.DropNote(stat.RICMP6Short, meta.Src6.String())
 		return
 	}
 

@@ -185,6 +185,7 @@ func (m *Module) OutputPolicy(hdr *ipv6.Header, payload *mbuf.Mbuf, nh uint8, so
 				return nil, nil // level 1: use if available
 			}
 			m.Stats.OutPolicyDrops.Inc()
+			m.l.Drops.DropNote(stat.RSecNoSAOut, hdr.Dst.String())
 			return nil, fmt.Errorf("%w: %v", EIPSEC, err)
 		}
 		return sa, nil
@@ -253,16 +254,19 @@ func (m *Module) Input(pkt *mbuf.Mbuf, hdr *ipv6.Header, p uint8, off int) (ipv6
 	case proto.AH:
 		if off+ahFixedLen > len(b) {
 			m.Stats.InAuthFail.Inc()
+			m.l.Drops.DropPkt(stat.RSecAuthFail, b)
 			return ipv6.SecDrop, nil
 		}
 		spi := get32be(b[off+4:])
 		sa, ok := m.Key.GetBySPI(spi, hdr.Dst, key.ProtoAH)
 		if !ok {
 			m.Stats.InNoSA.Inc()
+			m.l.Drops.DropPkt(stat.RSecNoSA, b)
 			return ipv6.SecDrop, nil
 		}
 		if _, _, ok := verifyAH(sa, hdr, b, off); !ok {
 			m.Stats.InAuthFail.Inc()
+			m.l.Drops.DropPkt(stat.RSecAuthFail, b)
 			return ipv6.SecDrop, nil
 		}
 		m.Stats.InAuthOK.Inc()
@@ -273,6 +277,7 @@ func (m *Module) Input(pkt *mbuf.Mbuf, hdr *ipv6.Header, p uint8, off int) (ipv6
 	case proto.ESP:
 		if off+4 > len(b) {
 			m.Stats.InDecryptFail.Inc()
+			m.l.Drops.DropPkt(stat.RSecDecryptFail, b)
 			return ipv6.SecDrop, nil
 		}
 		spi := get32be(b[off:])
@@ -282,11 +287,13 @@ func (m *Module) Input(pkt *mbuf.Mbuf, hdr *ipv6.Header, p uint8, off int) (ipv6
 		}
 		if !ok {
 			m.Stats.InNoSA.Inc()
+			m.l.Drops.DropPkt(stat.RSecNoSA, b)
 			return ipv6.SecDrop, nil
 		}
 		inner, payloadType, err := openESP(sa, b[off:])
 		if err != nil {
 			m.Stats.InDecryptFail.Inc()
+			m.l.Drops.DropPkt(stat.RSecDecryptFail, b)
 			return ipv6.SecDrop, nil
 		}
 		m.Stats.InDecryptOK.Inc()
@@ -296,6 +303,7 @@ func (m *Module) Input(pkt *mbuf.Mbuf, hdr *ipv6.Header, p uint8, off int) (ipv6
 			ih, perr := ipv6.Parse(inner)
 			if perr != nil {
 				m.Stats.InDecryptFail.Inc()
+				m.l.Drops.DropPkt(stat.RSecDecryptFail, b)
 				return ipv6.SecDrop, nil
 			}
 			rebuilt := mbuf.NewNoCopy(inner)
@@ -307,6 +315,7 @@ func (m *Module) Input(pkt *mbuf.Mbuf, hdr *ipv6.Header, p uint8, off int) (ipv6
 			// packet must not inherit the outer packet's credentials.
 			if ih.Src != hdr.Src {
 				m.Stats.TunnelSrcFail.Inc()
+				m.l.Drops.DropNote(stat.RSecTunnelAddr, ih.Src.String()+"!="+hdr.Src.String())
 				h.Flags &^= mbuf.MAuthentic | mbuf.MDecrypted
 			}
 			return ipv6.SecReinject, rebuilt
@@ -356,11 +365,13 @@ func (m *Module) InputPolicyPort(pkt *mbuf.Mbuf, dst inet.IP6, socket any, lport
 	flags := pkt.Hdr().Flags
 	if eff.Auth >= LevelRequire && flags&mbuf.MAuthentic == 0 {
 		m.Stats.InPolicyDrops.Inc()
+		m.l.Drops.DropNote(stat.RSecPolicyDrop, dst.String())
 		return false
 	}
 	needDecrypt := eff.ESPTransport >= LevelRequire || eff.ESPTunnel >= LevelRequire
 	if needDecrypt && flags&mbuf.MDecrypted == 0 {
 		m.Stats.InPolicyDrops.Inc()
+		m.l.Drops.DropNote(stat.RSecPolicyDrop, dst.String())
 		return false
 	}
 	// Level 3: some association protecting the packet must be unique
@@ -376,6 +387,7 @@ func (m *Module) InputPolicyPort(pkt *mbuf.Mbuf, dst inet.IP6, socket any, lport
 		}
 		if !found {
 			m.Stats.InPolicyDrops.Inc()
+			m.l.Drops.DropNote(stat.RSecPolicyDrop, dst.String())
 			return false
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"bsd6/internal/mbuf"
 	"bsd6/internal/netif"
 	"bsd6/internal/route"
+	"bsd6/internal/stat"
 )
 
 // EtherTypeARP is the link-layer type of ARP frames.
@@ -116,6 +117,7 @@ func (l *Layer) ArpInput(ifp *netif.Interface, pkt *mbuf.Mbuf) {
 	b := pkt.PullUp(28)
 	if b == nil || b[0] != 0 || b[1] != 1 || b[2] != 0x08 || b[3] != 0 || b[4] != 6 || b[5] != 4 {
 		l.Stats.ArpBad.Inc()
+		l.Drops.DropPkt(stat.RArpBad, pkt.Bytes())
 		return
 	}
 	op := uint16(b[6])<<8 | uint16(b[7])

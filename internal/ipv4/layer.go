@@ -75,6 +75,10 @@ type Layer struct {
 	// DefaultTTL is used when OutputOpts.TTL is zero.
 	DefaultTTL uint8
 
+	// Drops is the stack-wide drop observability sink; nil counts
+	// nothing.
+	Drops *stat.Recorder
+
 	Stats Stats
 }
 
@@ -320,20 +324,24 @@ func (l *Layer) Input(ifp *netif.Interface, pkt *mbuf.Mbuf) {
 	b := pkt.PullUp(HeaderLen)
 	if b == nil {
 		l.Stats.InHdrErrors.Inc()
+		l.Drops.DropPkt(stat.RV4BadHeader, pkt.Bytes())
 		return
 	}
 	hl := int(b[0]&0xf) * 4
 	if full := pkt.PullUp(hl); full == nil {
 		l.Stats.InHdrErrors.Inc()
+		l.Drops.DropPkt(stat.RV4BadHeader, b)
 		return
 	}
 	h, _, err := Parse(pkt.PullUp(hl))
 	if err != nil {
 		l.Stats.InHdrErrors.Inc()
+		l.Drops.DropPkt(stat.RV4BadHeader, b)
 		return
 	}
 	if pkt.Len() < h.TotalLen {
 		l.Stats.InHdrErrors.Inc()
+		l.Drops.DropPkt(stat.RV4BadHeader, b)
 		return
 	}
 	// Trim link-layer padding.
@@ -350,6 +358,7 @@ func (l *Layer) Input(ifp *netif.Interface, pkt *mbuf.Mbuf) {
 		return
 	}
 	l.Stats.InAddrErrors.Inc()
+	l.Drops.DropPkt(stat.RV4NotForUs, pkt.Bytes())
 }
 
 // deliverLocal strips the IP header, reassembles fragments, and runs
@@ -375,6 +384,7 @@ func (l *Layer) deliverLocal(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 		l.mu.Unlock()
 		if err != nil {
 			l.Stats.ReasmFails.Inc()
+			l.Drops.DropPkt(stat.RV4ReasmFail, errCtx)
 			return
 		}
 		if !done {
@@ -397,6 +407,7 @@ func (l *Layer) deliverLocal(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 	l.mu.Unlock()
 	if in == nil {
 		l.Stats.InUnknownProt.Inc()
+		l.Drops.DropPkt(stat.RV4UnknownProt, errCtx)
 		if !h.Dst.IsMulticast() && !h.Dst.IsBroadcast() {
 			l.SendError(IcmpUnreach, CodeProtoUnreach, 0, errCtx)
 		}
@@ -412,12 +423,14 @@ func (l *Layer) deliverLocal(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 func (l *Layer) forward(h *Header, pkt *mbuf.Mbuf) {
 	errCtx := pkt.CopyRange(0, min(pkt.Len(), h.HdrLen()+8))
 	if h.TTL <= 1 {
+		l.Drops.DropPkt(stat.RV4TTLExceeded, errCtx)
 		l.SendError(IcmpTimeExceeded, 0, 0, errCtx)
 		return
 	}
 	rt, ok := l.routes.Lookup(inet.AFInet, h.Dst[:])
 	if !ok || l.entryFlags(rt)&route.FlagReject != 0 {
 		l.Stats.OutNoRoute.Inc()
+		l.Drops.DropPkt(stat.RV4NoRoute, errCtx)
 		l.SendError(IcmpUnreach, CodeHostUnreach, 0, errCtx)
 		return
 	}
@@ -426,6 +439,7 @@ func (l *Layer) forward(h *Header, pkt *mbuf.Mbuf) {
 	l.mu.Unlock()
 	if ifp == nil {
 		l.Stats.OutNoRoute.Inc()
+		l.Drops.DropPkt(stat.RV4NoRoute, errCtx)
 		return
 	}
 	h.TTL--
@@ -459,7 +473,8 @@ func (l *Layer) forward(h *Header, pkt *mbuf.Mbuf) {
 func (l *Layer) SlowTimo(now time.Time) {
 	var errs [][]byte
 	l.mu.Lock()
-	n := l.frags.ExpireFunc(now, func(_ fragKey, b *reasm.Buffer) {
+	n := l.frags.ExpireFunc(now, func(k fragKey, b *reasm.Buffer) {
+		l.Drops.DropNote(stat.RV4ReasmTimeout, k.src.String()+">"+k.dst.String())
 		if b.HasFirst() && b.Ctx != nil {
 			errs = append(errs, b.Ctx)
 		}

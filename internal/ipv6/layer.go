@@ -166,6 +166,11 @@ type Layer struct {
 	// group membership messages (§4.1).
 	OnGroupChange func(ifName string, group inet.IP6, joined bool)
 
+	// Drops is the stack-wide drop observability sink (reason counters
+	// + flight recorder), shared with the other protocol modules by
+	// the stack assembly. nil (standalone layers) counts nothing.
+	Drops *stat.Recorder
+
 	Stats Stats
 }
 
@@ -789,20 +794,24 @@ func (l *Layer) Input(ifp *netif.Interface, pkt *mbuf.Mbuf) {
 func (l *Layer) input(ifp *netif.Interface, pkt *mbuf.Mbuf, depth int) {
 	if depth > maxReinject {
 		l.Stats.InHdrErrors.Inc()
+		l.Drops.DropPkt(stat.RV6ReinjectLoop, pkt.Bytes())
 		return
 	}
 	b := pkt.PullUp(HeaderLen)
 	if b == nil {
 		l.Stats.InHdrErrors.Inc()
+		l.Drops.DropPkt(stat.RV6BadHeader, pkt.Bytes())
 		return
 	}
 	h, err := Parse(b)
 	if err != nil {
 		l.Stats.InHdrErrors.Inc()
+		l.Drops.DropPkt(stat.RV6BadHeader, b)
 		return
 	}
 	if pkt.Len() < HeaderLen+h.PayloadLen {
 		l.Stats.InTruncated.Inc()
+		l.Drops.DropPkt(stat.RV6Truncated, b)
 		return
 	}
 	if pkt.Len() > HeaderLen+h.PayloadLen {
@@ -825,6 +834,7 @@ func (l *Layer) input(ifp *netif.Interface, pkt *mbuf.Mbuf, depth int) {
 			return
 		}
 		l.Stats.InAddrErrors.Inc()
+		l.Drops.DropPkt(stat.RV6NotForUs, b)
 		return
 	}
 	l.process(ifp, h, pkt, depth)
@@ -844,6 +854,7 @@ func (l *Layer) process(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, depth i
 	if err != nil {
 		if _, isOptErr := err.(*OptionError); !isOptErr {
 			l.Stats.InHdrErrors.Inc()
+			l.Drops.DropPkt(stat.RV6BadExtChain, b)
 			if l.Error != nil && info != nil && info.Truncated {
 				l.Error(ErrParamProblem, ParamErrHeader, uint32(info.FinalOff), pkt, ifp.Name)
 			}
@@ -855,6 +866,7 @@ func (l *Layer) process(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, depth i
 		switch rec.Proto {
 		case proto.HopByHop:
 			if i != 0 {
+				l.Drops.DropPkt(stat.RV6BadExtChain, b)
 				l.paramProblem(ifp, pkt, ParamErrHeader, uint32(rec.Offset))
 				return
 			}
@@ -877,6 +889,7 @@ func (l *Layer) process(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, depth i
 		case proto.AH:
 			if l.SecIn == nil {
 				l.Stats.InUnknownProt.Inc()
+				l.Drops.DropPkt(stat.RV6UnknownProt, b)
 				l.paramProblem(ifp, pkt, ParamUnknownNH, uint32(rec.Offset))
 				return
 			}
@@ -898,6 +911,7 @@ func (l *Layer) dispatch(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, final 
 	case proto.ESP:
 		if l.SecIn == nil {
 			l.Stats.InUnknownProt.Inc()
+			l.Drops.DropPkt(stat.RV6UnknownProt, pkt.Bytes())
 			l.paramProblem(ifp, pkt, ParamUnknownNH, uint32(off))
 			return
 		}
@@ -921,6 +935,7 @@ func (l *Layer) dispatch(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, final 
 	l.mu.Unlock()
 	if in == nil {
 		l.Stats.InUnknownProt.Inc()
+		l.Drops.DropPkt(stat.RV6UnknownProt, pkt.Bytes())
 		l.paramProblem(ifp, pkt, ParamUnknownNH, uint32(off))
 		return
 	}
@@ -940,6 +955,7 @@ func (l *Layer) processOptions(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 	}
 	l.Stats.InOptErrors.Inc()
 	if oe, ok := err.(*OptionError); ok {
+		l.Drops.DropPkt(stat.RV6OptionDrop, b)
 		switch oe.Action {
 		case OptActDiscard:
 		case OptActDiscardICMP:
@@ -951,6 +967,7 @@ func (l *Layer) processOptions(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 		}
 		return false
 	}
+	l.Drops.DropPkt(stat.RV6BadExtChain, b)
 	l.paramProblem(ifp, pkt, ParamErrHeader, uint32(rec.Offset))
 	return false
 }
@@ -964,6 +981,7 @@ func (l *Layer) processRouting(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 	rh, err := ParseRouting(b[rec.Offset : rec.Offset+rec.Len])
 	if err != nil {
 		l.Stats.InHdrErrors.Inc()
+		l.Drops.DropPkt(stat.RV6RouteHdrErr, b)
 		l.paramProblem(ifp, pkt, ParamErrHeader, uint32(rec.Offset))
 		return true, false
 	}
@@ -973,6 +991,7 @@ func (l *Layer) processRouting(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 	i := len(rh.Addrs) - rh.SegLeft
 	next := rh.Addrs[i]
 	if next.IsMulticast() {
+		l.Drops.DropPkt(stat.RV6RouteHdrErr, b)
 		l.paramProblem(ifp, pkt, ParamErrHeader, uint32(rec.Offset))
 		return true, false
 	}
@@ -982,6 +1001,7 @@ func (l *Layer) processRouting(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 	copy(b[24:40], next[:])
 	b[rec.Offset+3] = byte(rh.SegLeft - 1)
 	if b[7] <= 1 {
+		l.Drops.DropPkt(stat.RV6HopLimit, b)
 		l.sendErr(ErrTimeExceeded, 0, 0, pkt, ifp.Name)
 		return true, false
 	}
@@ -989,6 +1009,7 @@ func (l *Layer) processRouting(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 	// Re-route toward the new destination.
 	rt, ok := l.ensureHostRoute(next)
 	if !ok {
+		l.Drops.DropPkt(stat.RV6NoRoute, b)
 		l.sendErr(ErrDstUnreach, 0, 0, pkt, ifp.Name)
 		return true, false
 	}
@@ -996,12 +1017,14 @@ func (l *Layer) processRouting(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 	// next hop reachable only through a gateway is the "errors with
 	// strict source routing" case of §4.1 (Unreachable, not-a-neighbor).
 	if rh.StrictBits&(1<<uint(i)) != 0 && l.entryFlags(rt)&route.FlagGateway != 0 {
+		l.Drops.DropPkt(stat.RV6RouteHdrErr, b)
 		l.sendErr(ErrDstUnreach, 2 /* not a neighbor */, 0, pkt, ifp.Name)
 		return true, false
 	}
 	oifp := l.Interface(rt.IfName)
 	if oifp == nil {
 		l.Stats.OutNoRoute.Inc()
+		l.Drops.DropPkt(stat.RV6NoRoute, b)
 		return true, false
 	}
 	if err := l.transmit(oifp, rt, next, pkt); err != nil {
@@ -1018,6 +1041,7 @@ func (l *Layer) processFragment(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf,
 	fh, err := ParseFrag(b[rec.Offset : rec.Offset+rec.Len])
 	if err != nil {
 		l.Stats.InHdrErrors.Inc()
+		l.Drops.DropPkt(stat.RV6BadHeader, b)
 		return
 	}
 	key := fragKey{src: h.Src, dst: h.Dst, id: fh.ID}
@@ -1039,6 +1063,7 @@ func (l *Layer) processFragment(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf,
 	l.mu.Unlock()
 	if err != nil {
 		l.Stats.ReasmFails.Inc()
+		l.Drops.DropPkt(stat.RV6ReasmFail, b)
 		return
 	}
 	if !done {
@@ -1076,6 +1101,7 @@ func (l *Layer) processFragment(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf,
 func (l *Layer) forward(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 	b := pkt.Bytes()
 	if h.HopLimit <= 1 {
+		l.Drops.DropPkt(stat.RV6HopLimit, b)
 		l.sendErr(ErrTimeExceeded, 0, 0, pkt, ifp.Name)
 		return
 	}
@@ -1084,6 +1110,7 @@ func (l *Layer) forward(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 		n := extHeaderLen(proto.HopByHop, b[HeaderLen:])
 		if n < 0 || HeaderLen+n > len(b) {
 			l.Stats.InHdrErrors.Inc()
+			l.Drops.DropPkt(stat.RV6BadExtChain, b)
 			return
 		}
 		if !l.processOptions(ifp, h, pkt, HeaderRec{Proto: proto.HopByHop, Offset: HeaderLen, Len: n}) {
@@ -1093,16 +1120,19 @@ func (l *Layer) forward(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 	rt, ok := l.routes.Lookup(inet.AFInet6, h.Dst[:])
 	if !ok || l.entryFlags(rt)&route.FlagReject != 0 {
 		l.Stats.OutNoRoute.Inc()
+		l.Drops.DropPkt(stat.RV6NoRoute, b)
 		l.sendErr(ErrDstUnreach, 0, 0, pkt, ifp.Name)
 		return
 	}
 	oifp := l.Interface(rt.IfName)
 	if oifp == nil {
 		l.Stats.OutNoRoute.Inc()
+		l.Drops.DropPkt(stat.RV6NoRoute, b)
 		return
 	}
 	mtu := oifp.MTU()
 	if pkt.Len() > mtu {
+		l.Drops.DropPkt(stat.RV6TooBig, b)
 		l.sendErr(ErrPacketTooBig, 0, uint32(mtu), pkt, ifp.Name)
 		return
 	}
@@ -1137,7 +1167,8 @@ func (l *Layer) SlowTimo(now time.Time) {
 	}
 	var errs []timedOut
 	l.mu.Lock()
-	n := l.frags.ExpireFunc(now, func(_ fragKey, b *reasm.Buffer) {
+	n := l.frags.ExpireFunc(now, func(k fragKey, b *reasm.Buffer) {
+		l.Drops.DropNote(stat.RV6ReasmTimeout, k.src.String()+">"+k.dst.String())
 		if b.HasFirst() && b.Ctx != nil {
 			errs = append(errs, timedOut{b.Ctx, b.CtxIf})
 		}

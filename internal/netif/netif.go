@@ -30,6 +30,7 @@ import (
 
 	"bsd6/internal/inet"
 	"bsd6/internal/mbuf"
+	"bsd6/internal/stat"
 	"bsd6/internal/vclock"
 )
 
@@ -125,6 +126,10 @@ type InputFunc func(ifp *Interface, fr Frame)
 type Interface struct {
 	Name string
 	HW   inet.LinkAddr
+
+	// Drops is the stack-wide drop observability sink; nil counts
+	// nothing.
+	Drops *stat.Recorder
 
 	mu     sync.Mutex
 	mtu    int
@@ -417,6 +422,7 @@ func (ifp *Interface) deliver(fr Frame, force bool) {
 	if !up || in == nil || !accept {
 		ifp.stats.InDrops++
 		ifp.mu.Unlock()
+		ifp.Drops.DropPkt(stat.RLinkFiltered, fr.Payload.Bytes())
 		return
 	}
 	ifp.stats.InPackets++

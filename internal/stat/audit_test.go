@@ -1,0 +1,85 @@
+package stat
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestEveryReasonHasADropSite audits the taxonomy against the code:
+// every declared Reason must be incremented by at least one non-test
+// drop site somewhere in the stack.  A reason with no call site means
+// either a discard path lost its instrumentation in a refactor or the
+// taxonomy carries a dead entry — both are bugs this test makes loud.
+func TestEveryReasonHasADropSite(t *testing.T) {
+	src, err := os.ReadFile("reason.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reasonNames map literal names every reason exactly once.
+	declRe := regexp.MustCompile(`(?m)^\t(R[A-Z][A-Za-z0-9]*):`)
+	var declared []string
+	for _, m := range declRe.FindAllStringSubmatch(string(src), -1) {
+		if m[1] != "ReasonNone" {
+			declared = append(declared, m[1])
+		}
+	}
+	if len(declared) != NumReasons() {
+		t.Fatalf("parsed %d reasons from reason.go, taxonomy has %d", len(declared), NumReasons())
+	}
+
+	used := make(map[string]int)
+	useRe := regexp.MustCompile(`\bstat\.(R[A-Z][A-Za-z0-9]*)\b`)
+	for _, root := range []string{"../../internal", "../../cmd"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "stat" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range useRe.FindAllStringSubmatch(string(b), -1) {
+				used[m[1]]++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sites := 0
+	for _, r := range declared {
+		n := used[r]
+		if n == 0 {
+			t.Errorf("reason %s is declared but no drop site increments it", r)
+		}
+		sites += n
+	}
+	for r := range used {
+		found := false
+		for _, d := range declared {
+			if d == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("code references stat.%s which is not in the taxonomy", r)
+		}
+	}
+	t.Logf("taxonomy: %d reasons, %d instrumented sites", len(declared), sites)
+}

@@ -1,0 +1,123 @@
+package stat
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestReasonTaxonomyAudit walks the whole taxonomy: every Reason must
+// carry a stable, unique, non-empty name — the property snapshot diffs
+// and the drop-reason audit depend on.
+func TestReasonTaxonomyAudit(t *testing.T) {
+	seen := make(map[string]Reason)
+	for r := ReasonNone + 1; int(r) <= NumReasons(); r++ {
+		name := r.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("reason %d has no name", r)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("reasons %d and %d share the name %q", prev, r, name)
+		}
+		seen[name] = r
+	}
+	if Reason(200).String() != "unknown" {
+		t.Fatal("out-of-range reason must render as unknown")
+	}
+}
+
+func TestReasonsCounters(t *testing.T) {
+	var rs Reasons
+	rs.Inc(RUDPBadSum)
+	rs.Inc(RUDPBadSum)
+	rs.Inc(RV6BadHeader)
+	rs.Inc(ReasonNone)          // ignored
+	rs.Inc(Reason(reasonCount)) // ignored
+	if got := rs.Get(RUDPBadSum); got != 2 {
+		t.Fatalf("RUDPBadSum = %d, want 2", got)
+	}
+	if got := rs.Total(); got != 3 {
+		t.Fatalf("Total = %d, want 3", got)
+	}
+	snap := rs.Snapshot()
+	if len(snap) != 2 || snap["udp-bad-checksum"] != 2 || snap["ip6-bad-header"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// The snapshot must round-trip through JSON for ipbench -json.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]uint64
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["udp-bad-checksum"] != 2 {
+		t.Fatalf("round-trip = %v", back)
+	}
+}
+
+func TestRecorderRingBoundsAndOrder(t *testing.T) {
+	now := time.Unix(500, 0)
+	r := NewRecorder(4)
+	r.Now = func() time.Time { return now }
+	for i := 0; i < 10; i++ {
+		r.DropPkt(RV6BadHeader, []byte{byte(i)})
+		now = now.Add(time.Second)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(7+i) {
+			t.Fatalf("event %d seq = %d, want %d (oldest first)", i, ev.Seq, 7+i)
+		}
+		if ev.Pkt[0] != byte(6+i) {
+			t.Fatalf("event %d pkt = %d", i, ev.Pkt[0])
+		}
+		if i > 0 && !evs[i-1].Time.Before(ev.Time) {
+			t.Fatal("timestamps not monotone")
+		}
+	}
+	if r.Reasons.Get(RV6BadHeader) != 10 {
+		t.Fatal("counters must survive ring eviction")
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Drop(RV6BadHeader)
+	r.DropPkt(RV6BadHeader, []byte{1})
+	r.DropNote(RV6BadHeader, "x")
+	r.Ctl("y")
+	if r.Events() != nil {
+		t.Fatal("nil recorder must return no events")
+	}
+}
+
+func TestRecorderSnapTruncation(t *testing.T) {
+	r := NewRecorder(2)
+	big := make([]byte, 4096)
+	r.DropPkt(RV6Truncated, big)
+	if got := len(r.Events()[0].Pkt); got != traceSnap {
+		t.Fatalf("retained %d bytes, want %d", got, traceSnap)
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	type fake struct {
+		A    Counter
+		B    Counter
+		Name string // non-counter fields are skipped
+	}
+	var f fake
+	f.A.Add(3)
+	m := SnapshotCounters(&f)
+	if len(m) != 2 || m["A"] != 3 || m["B"] != 0 {
+		t.Fatalf("snapshot = %v", m)
+	}
+	if SnapshotCounters(nil) != nil || SnapshotCounters(42) != nil {
+		t.Fatal("non-struct inputs must return nil")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"bsd6/internal/mbuf"
 	"bsd6/internal/pcb"
 	"bsd6/internal/proto"
+	"bsd6/internal/stat"
 )
 
 // input is tcp_input. "The beginning of the tcp_input() function has a
@@ -22,12 +23,14 @@ func (t *TCP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 		ovl := ipv6Ovly{src: meta.Src6, dst: meta.Dst6, nh: proto.TCP}
 		if inet.TransportChecksum6(ovl.src, ovl.dst, ovl.nh, b) != 0 {
 			t.Stats.RcvBadSum.Inc()
+			t.Drops.DropPkt(stat.RTCPBadSum, b)
 			return
 		}
 	} else {
 		ovl := ipOvly{src: meta.Src4, dst: meta.Dst4, proto: proto.TCP, length: uint16(len(b))}
 		if inet.TransportChecksum4(ovl.src, ovl.dst, ovl.proto, b[:ovl.length]) != 0 {
 			t.Stats.RcvBadSum.Inc()
+			t.Drops.DropPkt(stat.RTCPBadSum, b)
 			return
 		}
 	}
@@ -36,6 +39,7 @@ func (t *TCP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 	th, thlen, err := parse(b)
 	if err != nil {
 		t.Stats.RcvBadSum.Inc()
+		t.Drops.DropPkt(stat.RTCPBadHeader, b)
 		return
 	}
 	// tlen: the local variable that replaced ti->ti_len (§5.3).
@@ -47,6 +51,7 @@ func (t *TCP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 	t.mu.Lock()
 	p := t.Table.Lookup(dst, th.DPort, src, th.SPort, meta.Family == inet.AFInet)
 	if p == nil || p.Owner == nil {
+		t.Drops.DropPkt(stat.RTCPNoPCB, b)
 		if th.Flags&FlagRST == 0 {
 			t.respondRST(meta, th, tlen)
 		}
@@ -67,6 +72,7 @@ func (t *TCP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 	}
 	if !policyOK {
 		t.Stats.PolicyDrops.Inc()
+		t.Drops.DropPkt(stat.RTCPPolicyDrop, b)
 		t.mu.Unlock()
 		return
 	}

@@ -115,6 +115,10 @@ type TCP struct {
 	// false and the retransmission machinery rides them out.
 	FatalOutErr func(error) bool
 
+	// Drops is the stack-wide drop observability sink; nil counts
+	// nothing.
+	Drops *stat.Recorder
+
 	Stats Stats
 
 	iss   uint32

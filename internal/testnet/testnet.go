@@ -18,6 +18,7 @@ import (
 	"bsd6/internal/key"
 	"bsd6/internal/netif"
 	"bsd6/internal/route"
+	"bsd6/internal/stat"
 	"bsd6/internal/vclock"
 )
 
@@ -31,6 +32,7 @@ type Node struct {
 	ICMP6 *icmp6.Module
 	Sec   *ipsec.Module
 	Keys  *key.Engine
+	Drops *stat.Recorder
 	Ifps  []*netif.Interface
 }
 
@@ -43,7 +45,10 @@ func NewNode(name string) *Node {
 	ic6 := icmp6.Attach(v6)
 	ke := key.NewEngine()
 	sec := ipsec.Attach(v6, ke)
-	n := &Node{Name: name, RT: rt, V4: v4, V6: v6, ICMP4: ic4, ICMP6: ic6, Sec: sec, Keys: ke}
+	drops := stat.NewRecorder(128)
+	v4.Drops = drops
+	v6.Drops = drops
+	n := &Node{Name: name, RT: rt, V4: v4, V6: v6, ICMP4: ic4, ICMP6: ic6, Sec: sec, Keys: ke, Drops: drops}
 	lo := netif.NewLoopback(name+"-lo", 32768)
 	lo.SetInput(func(ifp *netif.Interface, fr netif.Frame) {
 		switch fr.EtherType {
@@ -190,6 +195,7 @@ func (s *Sim) NewNode(name string) *Node {
 	n := NewNode(name)
 	n.RT.Now = s.Clock.Now
 	n.Keys.Now = s.Clock.Now
+	n.Drops.Now = s.Clock.Now
 	s.nodes = append(s.nodes, n)
 	s.Every(200*time.Millisecond, func(now time.Time) { n.ICMP6.FastTimo(now) })
 	s.Every(500*time.Millisecond, func(now time.Time) {

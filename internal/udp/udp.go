@@ -78,6 +78,10 @@ type UDP struct {
 	Deliver DeliverFunc
 	Notify  NotifyFunc
 
+	// Drops is the stack-wide drop observability sink; nil counts
+	// nothing.
+	Drops *stat.Recorder
+
 	Stats Stats
 }
 
@@ -208,6 +212,7 @@ func (u *UDP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 	b := pkt.Bytes()
 	if len(b) < HeaderLen {
 		u.Stats.InErrors.Inc()
+		u.Drops.DropPkt(stat.RUDPShort, b)
 		return
 	}
 	sport := uint16(b[0])<<8 | uint16(b[1])
@@ -216,6 +221,7 @@ func (u *UDP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 	ck := uint16(b[6])<<8 | uint16(b[7])
 	if length < HeaderLen || length > len(b) {
 		u.Stats.InErrors.Inc()
+		u.Drops.DropPkt(stat.RUDPShort, b)
 		return
 	}
 	b = b[:length]
@@ -225,15 +231,18 @@ func (u *UDP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 			u.Stats.NoChecksum.Inc() // optional on v4
 		} else if inet.TransportChecksum4(meta.Src4, meta.Dst4, proto.UDP, b) != 0 {
 			u.Stats.BadChecksums.Inc()
+			u.Drops.DropPkt(stat.RUDPBadSum, b)
 			return
 		}
 	} else {
 		if ck == 0 {
 			u.Stats.MissingSum6.Inc() // forbidden on v6
+			u.Drops.DropPkt(stat.RUDPNoSum6, b)
 			return
 		}
 		if inet.TransportChecksum6(meta.Src6, meta.Dst6, proto.UDP, b) != 0 {
 			u.Stats.BadChecksums.Inc()
+			u.Drops.DropPkt(stat.RUDPBadSum, b)
 			return
 		}
 	}
@@ -243,6 +252,7 @@ func (u *UDP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 	p := u.Table.Lookup(dst, dport, src, sport, isV4)
 	if p == nil {
 		u.Stats.InNoPorts.Inc()
+		u.Drops.DropPkt(stat.RUDPNoPort, b)
 		u.portUnreach(pkt, meta, b)
 		return
 	}
@@ -253,11 +263,13 @@ func (u *UDP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 	case u.InputPolicyPort != nil:
 		if !u.InputPolicyPort(pkt, dst, p.Socket, dport) {
 			u.Stats.InPolicyDrops.Inc()
+			u.Drops.DropPkt(stat.RUDPPolicyDrop, b)
 			return
 		}
 	case u.InputPolicy != nil:
 		if !u.InputPolicy(pkt, dst, p.Socket) {
 			u.Stats.InPolicyDrops.Inc()
+			u.Drops.DropPkt(stat.RUDPPolicyDrop, b)
 			return
 		}
 	}
