@@ -143,6 +143,23 @@ func (s *Stack) ProtoStats() string {
 		ks["Adds"], ks["Deletes"], ks["Lookups"], ks["Misses"], ks["Acquires"], ks["SoftExpires"], ks["HardExpires"])
 	fmt.Fprintf(&b, "netisr: %d workers, %d drops, queue depths %v\n",
 		snap.Netisr.Workers, snap.Netisr.Drops, snap.Netisr.Depths)
+	lim := snap.Limits
+	b.WriteString("limits:")
+	for _, l := range []struct {
+		name string
+		ls   LimitSnapshot
+	}{
+		{"reasm6", lim.Reasm6}, {"reasm4", lim.Reasm4},
+		{"nd-cache", lim.NDCache}, {"syn-backlog", lim.SynBacklog},
+		{"mbuf-queue", lim.MbufQueue},
+	} {
+		max := fmt.Sprint(l.ls.Max)
+		if l.ls.Max == 0 {
+			max = "inf"
+		}
+		fmt.Fprintf(&b, " %s=%d/%s(%d)", l.name, l.ls.Cur, max, l.ls.Drops)
+	}
+	fmt.Fprintf(&b, " pool-outstanding=%dB\n", lim.PoolOutstanding)
 	if len(snap.Reasons) > 0 {
 		keys := make([]string, 0, len(snap.Reasons))
 		for k := range snap.Reasons {

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"bsd6/internal/dump"
+	"bsd6/internal/inet"
+	"bsd6/internal/mbuf"
 	"bsd6/internal/stat"
 )
 
@@ -31,6 +33,33 @@ type NetisrSnapshot struct {
 	Depths  []int  `json:"depths"`
 }
 
+// LimitSnapshot describes one governance ceiling: the configured
+// maximum (0 = unlimited), the current occupancy, how many discards
+// the limit has induced, and the taxonomy name those discards carry.
+type LimitSnapshot struct {
+	Max    int    `json:"max"`
+	Cur    int    `json:"cur"`
+	Drops  uint64 `json:"drops"`
+	Reason string `json:"reason"`
+}
+
+// LimitsSnapshot is the stack's resource-governance surface: every
+// tunable ceiling from Options with its live occupancy and induced
+// drops, so an operator (or a flood-soak test) can read "how close to
+// the edge" without groping through per-protocol counters.  MbufQueue
+// is measured in bytes; the others in entries.
+type LimitsSnapshot struct {
+	Reasm6     LimitSnapshot `json:"reasm6"`
+	Reasm4     LimitSnapshot `json:"reasm4"`
+	NDCache    LimitSnapshot `json:"ndCache"`
+	SynBacklog LimitSnapshot `json:"synBacklog"`
+	MbufQueue  LimitSnapshot `json:"mbufQueue"`
+
+	// PoolOutstanding is the process-wide mbuf slab gauge
+	// (mbuf.Outstanding): bytes handed out and not yet freed.
+	PoolOutstanding int64 `json:"poolOutstanding"`
+}
+
 // Snapshot is the structured counterpart of Netstat(): every protocol,
 // security, key-engine and netisr counter, the drop-reason map, and
 // the flight-recorder trace — JSON-serializable so benchmarks and
@@ -48,6 +77,7 @@ type Snapshot struct {
 	IPsec   map[string]uint64 `json:"ipsec"`
 	Key     map[string]uint64 `json:"key"`
 	Netisr  NetisrSnapshot    `json:"netisr"`
+	Limits  LimitsSnapshot    `json:"limits"`
 	Reasons map[string]uint64 `json:"dropReasons"`
 	Trace   []TraceLine       `json:"trace,omitempty"`
 }
@@ -74,6 +104,7 @@ func (s *Stack) Snapshot() Snapshot {
 			Drops:   s.InqDrops.Get(),
 			Depths:  depths,
 		},
+		Limits:  s.limitsSnapshot(),
 		Reasons: s.Drops.Reasons.Snapshot(),
 	}
 	// PolicyDrops lives outside the icmp6 Stats block (it pairs with
@@ -89,6 +120,48 @@ func (s *Stack) Snapshot() Snapshot {
 		})
 	}
 	return snap
+}
+
+// limitsSnapshot gathers the resource-governance gauges.  Occupancy
+// reads take the per-subsystem locks briefly; like the counters, the
+// result is per-limit consistent, not a cross-limit atomic view.
+func (s *Stack) limitsSnapshot() LimitsSnapshot {
+	max6, _ := s.V6.ReasmLimits()
+	max4, _ := s.V4.ReasmLimits()
+	return LimitsSnapshot{
+		Reasm6: LimitSnapshot{
+			Max:    max6,
+			Cur:    s.V6.FragQueueLen(),
+			Drops:  s.V6.Stats.ReasmOverflow.Get(),
+			Reason: stat.RV6ReasmOverflow.String(),
+		},
+		Reasm4: LimitSnapshot{
+			Max:    max4,
+			Cur:    s.V4.FragQueueLen(),
+			Drops:  s.V4.Stats.ReasmOverflow.Get(),
+			Reason: stat.RV4ReasmOverflow.String(),
+		},
+		NDCache: LimitSnapshot{
+			Max: s.RT.MaxNeighbors,
+			Cur: s.RT.NeighborCount(inet.AFInet6) +
+				s.RT.NeighborCount(inet.AFInet),
+			Drops:  s.RT.NbrEvictions.Get(),
+			Reason: stat.RNbrCacheEvicted.String(),
+		},
+		SynBacklog: LimitSnapshot{
+			Max:    s.TCP.SynBacklogLimit(),
+			Cur:    s.TCP.SynBacklogLen(),
+			Drops:  s.TCP.Stats.SynDrops.Get(),
+			Reason: stat.RTCPSynOverflow.String(),
+		},
+		MbufQueue: LimitSnapshot{
+			Max:    s.mbufLimit,
+			Cur:    int(s.inqBytes.Load()),
+			Drops:  s.MbufDrops.Get(),
+			Reason: stat.RMbufLimit.String(),
+		},
+		PoolOutstanding: mbuf.Outstanding(),
+	}
 }
 
 // Trace returns the rendered flight-recorder events, oldest first —

@@ -62,6 +62,13 @@ type Stack struct {
 	inqs     []chan inputItem
 	InqDrops stat.Counter // frames dropped because an input queue was full
 
+	// MbufDrops counts frames refused by the queued-byte ceiling
+	// (Options.MbufLimit) — the backpressure that keeps a flood from
+	// ballooning mbuf memory behind a slow netisr.
+	MbufDrops stat.Counter
+	mbufLimit int          // bytes of payload the input queues may hold
+	inqBytes  atomic.Int64 // payload bytes currently queued
+
 	clock   vclock.Clock
 	pending atomic.Int64 // frames queued or being dispatched
 
@@ -78,6 +85,7 @@ type Stack struct {
 type inputItem struct {
 	ifp *netif.Interface
 	fr  netif.Frame
+	n   int // payload bytes charged against the mbuf ceiling
 }
 
 // Options configures stack construction.
@@ -97,6 +105,54 @@ type Options struct {
 	// pass a vclock.Virtual to run protocol timers, socket deadlines
 	// and route/key expiry on simulated time.
 	Clock vclock.Clock
+
+	// Resource-governance ceilings.  Each follows the same convention:
+	// 0 selects the default, negative disables the limit entirely.
+	// Every induced discard carries a typed drop reason (see DESIGN.md
+	// "Limits & overload control" for the full table).
+
+	// ReasmMaxDatagrams caps in-progress reassemblies per IP layer
+	// (default ipv6.DefaultReasmMaxDatagrams); overflow evicts the
+	// oldest datagram with ip6-reasm-overflow / ip4-reasm-overflow.
+	ReasmMaxDatagrams int
+	// ReasmMaxPerSource caps in-progress reassemblies per source
+	// address (default ipv6.DefaultReasmMaxPerSource).
+	ReasmMaxPerSource int
+	// NDCacheMax caps dynamic neighbor host routes per family
+	// (default DefaultNDCacheMax); overflow evicts unreachable-first
+	// then LRU with nd-cache-evicted, never a Router Discovery router.
+	NDCacheMax int
+	// SynBacklogMax caps embryonic TCP connections per listener
+	// (default tcp.DefaultSynBacklog); overflow drops the oldest with
+	// tcp-syn-overflow.
+	SynBacklogMax int
+	// MbufLimit caps the payload bytes held in the netisr input
+	// queues (default DefaultMbufLimit); past it, input frames are
+	// refused with mbuf-limit and freed back to the pool instead of
+	// accumulating unboundedly behind a slow consumer.
+	MbufLimit int
+}
+
+// Defaults for the governance ceilings whose home is the stack
+// assembly rather than a protocol package.
+const (
+	// DefaultNDCacheMax bounds each family's dynamic neighbor cache.
+	DefaultNDCacheMax = 512
+	// DefaultMbufLimit bounds netisr-queued payload bytes (4 MiB).
+	DefaultMbufLimit = 4 << 20
+)
+
+// limitOpt resolves a governance tunable: positive is taken as-is,
+// 0 selects the default, negative disables (returns 0, which every
+// enforcement site reads as "unlimited").
+func limitOpt(v, def int) int {
+	switch {
+	case v > 0:
+		return v
+	case v < 0:
+		return 0
+	}
+	return def
 }
 
 // NewStack builds and starts a stack.
@@ -125,10 +181,15 @@ func NewStack(name string, opts Options) *Stack {
 	rt.Now = s.clock.Now
 	s.Drops = stat.NewRecorder(traceRingSize)
 	s.Drops.Now = s.clock.Now
+	rt.Drops = s.Drops
+	rt.MaxNeighbors = limitOpt(opts.NDCacheMax, DefaultNDCacheMax)
+	s.mbufLimit = limitOpt(opts.MbufLimit, DefaultMbufLimit)
 	s.V4 = ipv4.NewLayer(rt)
 	s.V6 = ipv6.NewLayer(rt)
 	s.V4.Drops = s.Drops
 	s.V6.Drops = s.Drops
+	s.V4.SetReasmLimits(opts.ReasmMaxDatagrams, opts.ReasmMaxPerSource)
+	s.V6.SetReasmLimits(opts.ReasmMaxDatagrams, opts.ReasmMaxPerSource)
 	s.ICMP4 = ipv4.AttachICMP(s.V4)
 	s.ICMP6 = icmp6.Attach(s.V6)
 	s.Keys = key.NewEngine()
@@ -138,6 +199,7 @@ func NewStack(name string, opts Options) *Stack {
 	s.TCP = tcp.New(s.V4, s.V6)
 	s.UDP.Drops = s.Drops
 	s.TCP.Drops = s.Drops
+	s.TCP.SynBacklogMax = opts.SynBacklogMax
 
 	// Wire the cross-module relationships the paper describes.
 	s.UDP.InputPolicy = s.Sec.InputPolicy
@@ -206,18 +268,33 @@ func (s *Stack) Close() {
 // enqueue is the driver-side input hook: non-blocking, dropping on
 // overflow as BSD's IF_DROP does. The flow hash pins every frame of a
 // flow to one worker queue so per-flow ordering survives parallelism.
+// Two ceilings apply: the per-queue slot count (RInqFull) and the
+// stack-wide queued-byte ceiling (RMbufLimit) that keeps a flood of
+// large frames from holding megabytes of slab memory hostage.  Either
+// way a refused frame is freed here — enqueue is its terminal
+// consumer, so overload backpressures the pool instead of leaking.
 func (s *Stack) enqueue(ifp *netif.Interface, fr netif.Frame) {
+	n := fr.Payload.Len()
+	if s.mbufLimit > 0 && s.inqBytes.Load()+int64(n) > int64(s.mbufLimit) {
+		s.MbufDrops.Inc()
+		s.Drops.DropNote(stat.RMbufLimit, ifp.Name)
+		fr.Payload.Free()
+		return
+	}
 	q := s.inqs[0]
 	if len(s.inqs) > 1 {
 		q = s.inqs[flowHash(fr.EtherType, fr.Payload)%uint32(len(s.inqs))]
 	}
 	s.pending.Add(1)
+	s.inqBytes.Add(int64(n))
 	select {
-	case q <- inputItem{ifp, fr}:
+	case q <- inputItem{ifp, fr, n}:
 	default:
 		s.pending.Add(-1)
+		s.inqBytes.Add(-int64(n))
 		s.InqDrops.Inc()
 		s.Drops.DropNote(stat.RInqFull, ifp.Name)
+		fr.Payload.Free()
 	}
 }
 
@@ -264,6 +341,7 @@ func (s *Stack) netisr(q chan inputItem) {
 			return
 		case it := <-q:
 			s.dispatch(it.ifp, it.fr)
+			s.inqBytes.Add(-int64(it.n))
 			s.pending.Add(-1)
 		}
 	}

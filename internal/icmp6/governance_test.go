@@ -1,0 +1,80 @@
+package icmp6
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/netif"
+	"bsd6/internal/route"
+	"bsd6/internal/stat"
+)
+
+// TestNeighborCacheCapSkipsRouters floods a host's neighbor cache past
+// its cap and asserts the governance contract: the count never exceeds
+// the cap, every induced eviction carries the nd-cache-evicted reason,
+// and the Router-Discovery-learned router is never the victim — losing
+// the default router to a cache spray would sever all off-link
+// traffic.
+func TestNeighborCacheCapSkipsRouters(t *testing.T) {
+	hub := netif.NewHub()
+	a, r := newNode("a"), newNode("r")
+	drops := stat.NewRecorder(64)
+	a.rt.Drops = drops
+	a.rt.MaxNeighbors = 3
+	aIf := a.join(hub, macA, 1500)
+	rIf := r.join(hub, macR, 1500)
+
+	if err := r.m.EnableRouter(rIf.Name, RouterConfig{Interval: 30 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	// The solicit is answered synchronously with an RA; a learns the
+	// router as a pinned neighbor and installs the default route.
+	a.m.SendRouterSolicit(aIf.Name)
+	rLL := r.linkLocal(0)
+	waitFor(t, "router learned as neighbor", func() bool {
+		_, ok := a.m.NeighborState(rLL)
+		return ok
+	})
+	if n := a.rt.NeighborCount(inet.AFInet6); n != 1 {
+		t.Fatalf("neighbor count after RA = %d, want 1", n)
+	}
+
+	// Cache spray: 8 distinct on-link sources announce themselves via
+	// the NS learning path. The cap must hold throughout and the
+	// router must survive every eviction round.
+	sprayAddr := func(i int) inet.IP6 { return ip6(t, fmt.Sprintf("fe80::bad:%x", i)) }
+	for i := 1; i <= 8; i++ {
+		a.m.learnNeighbor(aIf, sprayAddr(i), inet.LinkAddr{2, 0, 0, 0, 1, byte(i)}, false)
+		if n := a.rt.NeighborCount(inet.AFInet6); n > 3 {
+			t.Fatalf("spray %d: neighbor count %d exceeds cap 3", i, n)
+		}
+		if _, ok := a.m.NeighborState(rLL); !ok {
+			t.Fatalf("spray %d evicted the pinned router", i)
+		}
+	}
+	// Cap 3, one pinned router, 8 sprayed: 6 must have been evicted.
+	if got := a.rt.NbrEvictions.Get(); got != 6 {
+		t.Fatalf("NbrEvictions = %d, want 6", got)
+	}
+	if got := drops.Reasons.Snapshot()[stat.RNbrCacheEvicted.String()]; got != 6 {
+		t.Fatalf("%s drops = %d, want 6", stat.RNbrCacheEvicted, got)
+	}
+
+	// Unreachable-first policy: mark the most recently used survivor
+	// RTF_REJECT; the next admission must pick it over the LRU victim.
+	a7, a8 := sprayAddr(7), sprayAddr(8)
+	rt8, ok := a.rt.Get(inet.AFInet6, a8[:], 128)
+	if !ok {
+		t.Fatal("survivor fe80::bad:8 missing")
+	}
+	a.rt.Mutate(func() { rt8.Flags |= route.FlagReject })
+	a.m.learnNeighbor(aIf, sprayAddr(9), inet.LinkAddr{2, 0, 0, 0, 1, 9}, false)
+	if _, still := a.rt.Get(inet.AFInet6, a8[:], 128); still {
+		t.Fatal("RTF_REJECT entry survived eviction round")
+	}
+	if _, still := a.rt.Get(inet.AFInet6, a7[:], 128); !still {
+		t.Fatal("reachable LRU entry evicted despite an unreachable candidate")
+	}
+}

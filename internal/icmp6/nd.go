@@ -71,6 +71,22 @@ type ndEntry struct {
 	isRouter  bool
 }
 
+// EvictPinned implements route.NeighborPin: entries for routers
+// learned via Router Discovery are never evicted by the neighbor-cache
+// cap — losing the default router to a cache flood would cut off all
+// off-link traffic.
+func (e *ndEntry) EvictPinned() bool { return e.isRouter }
+
+// ReleaseOnEvict implements route.NeighborRelease: packets queued
+// awaiting resolution go back to the mbuf pool when the cap evicts
+// this neighbor.
+func (e *ndEntry) ReleaseOnEvict() {
+	for _, pkt := range e.queue {
+		pkt.Free()
+	}
+	e.queue = nil
+}
+
 // NeighborAddr extracts the IPv6 address of a neighbor route.
 func neighborAddr(rt *route.Entry) inet.IP6 {
 	var a inet.IP6
@@ -125,6 +141,8 @@ func (m *Module) Resolve(ifp *netif.Interface, rt *route.Entry, nextHop inet.IP6
 		}
 		if len(e.queue) < ndMaxQueue {
 			e.queue = append(e.queue, pkt)
+		} else {
+			result = 4 // queue full: drop the arriving packet
 		}
 		if now.Sub(e.lastSent) >= ndRetrans {
 			needSend = true
@@ -139,6 +157,14 @@ func (m *Module) Resolve(ifp *netif.Interface, rt *route.Entry, nextHop inet.IP6
 		m.sendNS(ifp, nextHop, nextHop, false) // unicast probe
 		return mac, true
 	case 3:
+		// Unreachable neighbor lingering with RTF_REJECT: the caller
+		// believes the packet was queued, so this path owns it.
+		m.l.Drops.DropNote(stat.RV6NoRoute, nextHop.String())
+		pkt.Free()
+		return inet.LinkAddr{}, false
+	case 4:
+		m.l.Drops.DropNote(stat.RNDQueueFull, nextHop.String())
+		pkt.Free()
 		return inet.LinkAddr{}, false
 	}
 	if needSend {
@@ -440,6 +466,9 @@ func (m *Module) ndTimer(now time.Time) {
 					if e.tries >= ndMaxMulticast {
 						rt.Flags |= route.FlagReject
 						rt.Expire = now.Add(ndRejectLinger)
+						for _, p := range e.queue {
+							p.Free() // resolution failed: pool the queued packets
+						}
 						e.queue = nil
 						e.tries = 0
 						m.Stats.NdTimeouts.Inc()

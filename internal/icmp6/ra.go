@@ -165,7 +165,7 @@ func (m *Module) rsInput(body []byte, meta *proto.Meta) {
 			var mac inet.LinkAddr
 			copy(mac[:], ll)
 			if ifp := m.l.Interface(meta.RcvIf); ifp != nil {
-				m.ensureNeighbor(ifp, meta.Src6, mac)
+				m.ensureNeighbor(ifp, meta.Src6, mac, false)
 			}
 		}
 	}
@@ -197,11 +197,11 @@ func (m *Module) raInput(body []byte, meta *proto.Meta) {
 		return
 	}
 
-	// Learn the router as a neighbor.
+	// Learn the router as a neighbor, pinned against cache eviction.
 	if ll, ok := opts[optSrcLLAddr]; ok && len(ll) >= 6 {
 		var mac inet.LinkAddr
 		copy(mac[:], ll)
-		m.ensureNeighbor(ifp, meta.Src6, mac)
+		m.ensureNeighbor(ifp, meta.Src6, mac, true)
 	}
 
 	// Default route via the advertising router.
@@ -305,8 +305,9 @@ func (m *Module) prefixInput(ifp *netif.Interface, opt []byte, now time.Time) {
 }
 
 // ensureNeighbor installs a resolved neighbor host route (used for
-// routers learned via RA/RS options).
-func (m *Module) ensureNeighbor(ifp *netif.Interface, addr inet.IP6, mac inet.LinkAddr) {
+// routers learned via RA/RS options).  isRouter marks the ND entry as
+// a router, which pins it against neighbor-cache eviction.
+func (m *Module) ensureNeighbor(ifp *netif.Interface, addr inet.IP6, mac inet.LinkAddr, isRouter bool) {
 	rt, ok := m.l.Routes().Lookup(inet.AFInet6, addr[:])
 	host := false
 	if ok {
@@ -319,6 +320,13 @@ func (m *Module) ensureNeighbor(ifp *netif.Interface, addr inet.IP6, mac inet.Li
 		})
 	}
 	m.updateEntry(ifp, rt, mac, false)
+	if isRouter {
+		m.l.Routes().Mutate(func() {
+			if e, _ := rt.LLInfo.(*ndEntry); e != nil {
+				e.isRouter = true
+			}
+		})
+	}
 }
 
 // raTick emits scheduled unsolicited advertisements.

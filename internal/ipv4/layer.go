@@ -21,6 +21,7 @@ type Stats struct {
 	InAddrErrors  stat.Counter
 	InUnknownProt stat.Counter
 	InDelivers    stat.Counter
+	ReasmOverflow stat.Counter // datagrams evicted by a reassembly quota
 	Forwarded     stat.Counter
 	OutRequests   stat.Counter
 	OutNoRoute    stat.Counter
@@ -82,9 +83,16 @@ type Layer struct {
 	Stats Stats
 }
 
+// Reassembly quota defaults, mirroring the IPv6 layer's: a global
+// datagram ceiling and a per-source share of it.
+const (
+	DefaultReasmMaxDatagrams = 256
+	DefaultReasmMaxPerSource = 16
+)
+
 // NewLayer creates an IPv4 layer over the given routing table.
 func NewLayer(rt *route.Table) *Layer {
-	return &Layer{
+	l := &Layer{
 		routes:     rt,
 		ifaces:     make(map[string]*netif.Interface),
 		protos:     make(map[uint8]proto.TransportInput),
@@ -92,6 +100,42 @@ func NewLayer(rt *route.Table) *Layer {
 		frags:      reasm.NewQueue[fragKey](30 * time.Second),
 		DefaultTTL: 64,
 	}
+	l.frags.MaxDatagrams = DefaultReasmMaxDatagrams
+	l.frags.MaxPerSource = DefaultReasmMaxPerSource
+	l.frags.SourceOf = func(k fragKey) any { return k.src }
+	l.frags.OnEvict = func(k fragKey, _ *reasm.Buffer) {
+		l.Stats.ReasmOverflow.Inc()
+		l.Stats.ReasmFails.Inc()
+		l.Drops.DropNote(stat.RV4ReasmOverflow, k.src.String()+">"+k.dst.String())
+	}
+	return l
+}
+
+// SetReasmLimits tunes the reassembly quotas (0 leaves a value
+// unchanged; negative disables that quota).
+func (l *Layer) SetReasmLimits(maxDatagrams, maxPerSource int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if maxDatagrams != 0 {
+		l.frags.MaxDatagrams = max(maxDatagrams, 0)
+	}
+	if maxPerSource != 0 {
+		l.frags.MaxPerSource = max(maxPerSource, 0)
+	}
+}
+
+// ReasmLimits reports the effective reassembly quotas.
+func (l *Layer) ReasmLimits() (maxDatagrams, maxPerSource int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.frags.MaxDatagrams, l.frags.MaxPerSource
+}
+
+// FragQueueLen returns the number of in-progress reassemblies.
+func (l *Layer) FragQueueLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.frags.Len()
 }
 
 // AddInterface registers an interface with the layer. The first
@@ -385,13 +429,18 @@ func (l *Layer) deliverLocal(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 		if err != nil {
 			l.Stats.ReasmFails.Inc()
 			l.Drops.DropPkt(stat.RV4ReasmFail, errCtx)
+			pkt.Free()
 			return
 		}
 		if !done {
+			// CopyBytes put the fragment into the reassembly buffer;
+			// this path is the packet's terminal consumer.
+			pkt.Free()
 			return
 		}
 		l.Stats.Reassembled.Inc()
 		flags := pkt.Hdr().Flags
+		pkt.Free() // rebuilt datagram owns fresh bytes
 		pkt = mbuf.NewNoCopy(data)
 		pkt.Hdr().Flags = flags &^ mbuf.MFrag
 		pkt.Hdr().RcvIf = ifp.Name

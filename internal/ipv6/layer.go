@@ -23,6 +23,7 @@ type Stats struct {
 	InUnknownProt stat.Counter
 	InTruncated   stat.Counter
 	InDelivers    stat.Counter
+	ReasmOverflow stat.Counter // datagrams evicted by a reassembly quota
 	InOptErrors   stat.Counter
 	Forwarded     stat.Counter
 	OutRequests   stat.Counter
@@ -174,9 +175,17 @@ type Layer struct {
 	Stats Stats
 }
 
+// Reassembly quota defaults: a datagram ceiling (BSD's
+// ip_maxfragpackets descendant) and a per-source share of it, so one
+// spoofed source cannot own the whole queue.
+const (
+	DefaultReasmMaxDatagrams = 256
+	DefaultReasmMaxPerSource = 16
+)
+
 // NewLayer creates an IPv6 layer over the routing table.
 func NewLayer(rt *route.Table) *Layer {
-	return &Layer{
+	l := &Layer{
 		routes:          rt,
 		ifaces:          make(map[string]*netif.Interface),
 		protos:          make(map[uint8]proto.TransportInput),
@@ -185,6 +194,43 @@ func NewLayer(rt *route.Table) *Layer {
 		groups:          make(map[string]map[inet.IP6]int),
 		DefaultHopLimit: 64,
 	}
+	l.frags.MaxDatagrams = DefaultReasmMaxDatagrams
+	l.frags.MaxPerSource = DefaultReasmMaxPerSource
+	l.frags.SourceOf = func(k fragKey) any { return k.src }
+	l.frags.OnEvict = func(k fragKey, _ *reasm.Buffer) {
+		l.Stats.ReasmOverflow.Inc()
+		l.Stats.ReasmFails.Inc()
+		l.Drops.DropNote(stat.RV6ReasmOverflow, k.src.String()+">"+k.dst.String())
+	}
+	return l
+}
+
+// SetReasmLimits tunes the reassembly quotas (0 leaves a value
+// unchanged; negative disables that quota).
+func (l *Layer) SetReasmLimits(maxDatagrams, maxPerSource int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if maxDatagrams != 0 {
+		l.frags.MaxDatagrams = max(maxDatagrams, 0)
+	}
+	if maxPerSource != 0 {
+		l.frags.MaxPerSource = max(maxPerSource, 0)
+	}
+}
+
+// ReasmLimits reports the effective reassembly quotas.
+func (l *Layer) ReasmLimits() (maxDatagrams, maxPerSource int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.frags.MaxDatagrams, l.frags.MaxPerSource
+}
+
+// FragQueueLen returns the number of in-progress reassemblies — the
+// occupancy half of the reasm limit surface.
+func (l *Layer) FragQueueLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.frags.Len()
 }
 
 // AddInterface registers an interface. The first loopback becomes the
@@ -1042,6 +1088,7 @@ func (l *Layer) processFragment(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf,
 	if err != nil {
 		l.Stats.InHdrErrors.Inc()
 		l.Drops.DropPkt(stat.RV6BadHeader, b)
+		pkt.Free()
 		return
 	}
 	key := fragKey{src: h.Src, dst: h.Dst, id: fh.ID}
@@ -1064,9 +1111,13 @@ func (l *Layer) processFragment(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf,
 	if err != nil {
 		l.Stats.ReasmFails.Inc()
 		l.Drops.DropPkt(stat.RV6ReasmFail, b)
+		pkt.Free()
 		return
 	}
 	if !done {
+		// The fragment's bytes were copied into the reassembly buffer;
+		// this path is the packet's terminal consumer.
+		pkt.Free()
 		return
 	}
 	l.Stats.Reassembled.Inc()
@@ -1091,6 +1142,7 @@ func (l *Layer) processFragment(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf,
 	whole := mbuf.NewNoCopy(append(prefix, data...))
 	whole.Hdr().Flags = pkt.Hdr().Flags &^ mbuf.MFrag
 	whole.Hdr().RcvIf = ifp.Name
+	pkt.Free() // rebuilt datagram owns fresh bytes
 	l.input(ifp, whole, depth+1)
 }
 

@@ -33,6 +33,28 @@ var slabClasses = [...]int{256, 1664, 9216, 65664}
 
 var slabPools [len(slabClasses)]sync.Pool
 
+// Pool accounting: every slab handed out by getSlab is counted until
+// putSlab sees it again, so a datapath that loses packets without
+// freeing them shows up as monotonically growing Outstanding() — the
+// leak detector the flood-soak tests assert on.
+var (
+	slabGets  atomic.Uint64
+	slabFrees atomic.Uint64
+	outBytes  atomic.Int64
+)
+
+// Outstanding returns the bytes of slab memory currently handed out
+// and not yet freed, the live-mbuf gauge (BSD's mbstat m_mbufs in
+// spirit).  Steady traffic holds it near zero between packets; growth
+// proportional to traffic volume means a drop path lost a Free.
+func Outstanding() int64 { return outBytes.Load() }
+
+// PoolStats returns the monotonic slab get/free counters alongside the
+// Outstanding gauge, for snapshots and leak audits.
+func PoolStats() (gets, frees uint64, outstanding int64) {
+	return slabGets.Load(), slabFrees.Load(), outBytes.Load()
+}
+
 var poison atomic.Bool
 
 // SetPoison toggles poison-on-free: every freed slab is overwritten
@@ -55,6 +77,8 @@ func Get(n int) *Mbuf {
 func getSlab(total int) []byte {
 	for i, sz := range slabClasses {
 		if total <= sz {
+			slabGets.Add(1)
+			outBytes.Add(int64(sz))
 			if v := slabPools[i].Get(); v != nil {
 				return *(v.(*[]byte))
 			}
@@ -62,6 +86,8 @@ func getSlab(total int) []byte {
 		}
 	}
 	// Oversize: plain allocation, never pooled (Free lets it GC).
+	slabGets.Add(1)
+	outBytes.Add(int64(total))
 	return make([]byte, total)
 }
 
@@ -86,6 +112,8 @@ func (m *Mbuf) Free() {
 }
 
 func putSlab(slab []byte) {
+	slabFrees.Add(1)
+	outBytes.Add(-int64(cap(slab)))
 	slab = slab[:cap(slab)]
 	if poison.Load() {
 		for i := range slab {

@@ -423,6 +423,7 @@ func (ifp *Interface) deliver(fr Frame, force bool) {
 		ifp.stats.InDrops++
 		ifp.mu.Unlock()
 		ifp.Drops.DropPkt(stat.RLinkFiltered, fr.Payload.Bytes())
+		fr.Payload.Free() // DropPkt copied what it keeps
 		return
 	}
 	ifp.stats.InPackets++
@@ -728,6 +729,12 @@ func (h *Hub) transmit(src *Interface, fr Frame) error {
 			corrupt := f.Corrupt > 0 && h.float() < f.Corrupt
 			dels = append(dels, delivery{p: p, delay: delay, corrupt: corrupt})
 		}
+	}
+	if len(dels) == 0 {
+		// Every receiver was severed or faulted away: the sender's
+		// buffer has no taker, so the hub is its terminal consumer.
+		fr.Payload.Free()
+		return nil
 	}
 	for i, d := range dels {
 		cp := fr

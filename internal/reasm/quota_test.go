@@ -1,0 +1,94 @@
+package reasm
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuotaEvictsOldestPerSource drives the per-source quota: when one
+// source holds MaxPerSource in-progress datagrams, its *oldest* buffer
+// is the victim, arrival order is preserved among survivors, and other
+// sources are untouched.
+func TestQuotaEvictsOldestPerSource(t *testing.T) {
+	q := NewQueue[string](time.Minute)
+	q.MaxPerSource = 2
+	q.SourceOf = func(k string) any { return strings.SplitN(k, "/", 2)[0] }
+	var evicted []string
+	q.OnEvict = func(k string, b *Buffer) {
+		if b == nil {
+			t.Fatalf("OnEvict(%s) got nil buffer", k)
+		}
+		evicted = append(evicted, k)
+	}
+
+	now := time.Unix(0, 0)
+	frag := func(key string) {
+		// Incomplete: offset 0 with more-fragments set never completes.
+		if _, done, err := q.Add(key, now, 0, true, []byte{1, 2, 3, 4, 5, 6, 7, 8}); done || err != nil {
+			t.Fatalf("Add(%s): done=%v err=%v", key, done, err)
+		}
+		now = now.Add(time.Millisecond)
+	}
+
+	frag("attacker/dgram1")
+	frag("victim/dgramA")
+	frag("attacker/dgram2")
+	if len(evicted) != 0 {
+		t.Fatalf("evictions before quota reached: %v", evicted)
+	}
+
+	// Third attacker datagram: quota says evict the attacker's oldest.
+	frag("attacker/dgram3")
+	if len(evicted) != 1 || evicted[0] != "attacker/dgram1" {
+		t.Fatalf("want [attacker/dgram1] evicted, got %v", evicted)
+	}
+	if q.Get("attacker/dgram1") != nil {
+		t.Fatal("evicted buffer still present")
+	}
+	if q.Get("victim/dgramA") == nil {
+		t.Fatal("unrelated source's buffer was evicted")
+	}
+
+	// And again: dgram2 is now the attacker's oldest.
+	frag("attacker/dgram4")
+	if len(evicted) != 2 || evicted[1] != "attacker/dgram2" {
+		t.Fatalf("want attacker/dgram2 evicted second, got %v", evicted)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len=%d, want 3", q.Len())
+	}
+}
+
+// TestQuotaEvictsGlobalOldest drives the global quota: the victim is
+// the oldest in-progress datagram regardless of source, and OnEvict is
+// not invoked for normal completion.
+func TestQuotaEvictsGlobalOldest(t *testing.T) {
+	q := NewQueue[string](time.Minute)
+	q.MaxDatagrams = 3
+	var evicted []string
+	q.OnEvict = func(k string, _ *Buffer) { evicted = append(evicted, k) }
+
+	now := time.Unix(0, 0)
+	for _, k := range []string{"a", "b", "c"} {
+		q.Add(k, now, 0, true, []byte{0xaa})
+		now = now.Add(time.Millisecond)
+	}
+	q.Add("d", now, 0, true, []byte{0xaa})
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("want [a] evicted, got %v", evicted)
+	}
+
+	// Completing "b" must not call OnEvict (it is a delivery, not a
+	// discard) and frees a slot: the next newcomer evicts nobody.
+	if _, done, err := q.Add("b", now, 1, false, []byte{0xbb}); !done || err != nil {
+		t.Fatalf("completion: done=%v err=%v", done, err)
+	}
+	q.Add("e", now, 0, true, []byte{0xaa})
+	if len(evicted) != 1 {
+		t.Fatalf("unexpected evictions: %v", evicted)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len=%d, want 3", q.Len())
+	}
+}

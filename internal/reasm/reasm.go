@@ -155,11 +155,34 @@ func (b *Buffer) contiguous() bool {
 // Queue maps datagram keys to in-progress buffers and expires them.
 // Buffers are tracked in creation order so expiry (and the ICMP errors
 // it triggers) is deterministic.
+//
+// A Queue optionally enforces overload quotas: MaxDatagrams caps the
+// total number of in-progress datagrams and MaxPerSource caps how many
+// a single source may hold (hostile fragment streams exhaust state by
+// opening buffers they never complete — arXiv:2309.03525).  When a new
+// datagram would exceed a quota the oldest in-progress buffer (of the
+// offending source for the per-source quota, globally otherwise) is
+// evicted and reported through OnEvict, so the victim of the quota is
+// always the stalest state, never the arriving fragment.
 type Queue[K comparable] struct {
 	bufs  map[K]*Buffer
 	order []K // creation order of live buffers
 	// Timeout is how long an incomplete datagram may linger.
 	Timeout time.Duration
+	// MaxDatagrams bounds the total number of in-progress datagrams;
+	// 0 means unlimited.
+	MaxDatagrams int
+	// MaxPerSource bounds in-progress datagrams per source, as grouped
+	// by SourceOf; 0 (or a nil SourceOf) disables the per-source quota.
+	MaxPerSource int
+	// SourceOf extracts the source identity from a datagram key (the
+	// IP layers return the source address); it must be comparable.
+	SourceOf func(K) any
+	// OnEvict, when non-nil, observes each buffer discarded by quota
+	// eviction — the hook the IP layers use to emit a typed drop
+	// reason.  It is not called for completion, error, or timeout
+	// removals (ExpireFunc covers timeouts).
+	OnEvict func(K, *Buffer)
 }
 
 // NewQueue creates a reassembly queue with the given timeout.
@@ -168,10 +191,13 @@ func NewQueue[K comparable](timeout time.Duration) *Queue[K] {
 }
 
 // Add routes a fragment to its datagram's buffer, creating one if
-// needed. On completion or error the buffer is removed.
+// needed. On completion or error the buffer is removed.  Creating a
+// buffer may evict the oldest in-progress datagram if a quota is
+// exceeded (see Queue doc).
 func (q *Queue[K]) Add(key K, now time.Time, off int, more bool, data []byte) ([]byte, bool, error) {
 	b := q.bufs[key]
 	if b == nil {
+		q.makeRoom(key)
 		b = NewBuffer(now)
 		q.bufs[key] = b
 		q.order = append(q.order, key)
@@ -181,6 +207,41 @@ func (q *Queue[K]) Add(key K, now time.Time, off int, more bool, data []byte) ([
 		q.remove(key)
 	}
 	return out, done, err
+}
+
+// makeRoom enforces the quotas before a buffer for key is created:
+// first the per-source cap (evicting that source's oldest datagram),
+// then the global cap (evicting the globally oldest).
+func (q *Queue[K]) makeRoom(key K) {
+	if q.MaxPerSource > 0 && q.SourceOf != nil {
+		src := q.SourceOf(key)
+		n := 0
+		oldest, found := -1, false
+		for i, k := range q.order {
+			if q.SourceOf(k) == src {
+				n++
+				if !found {
+					oldest, found = i, true
+				}
+			}
+		}
+		if n >= q.MaxPerSource && found {
+			q.evict(q.order[oldest])
+		}
+	}
+	if q.MaxDatagrams > 0 && len(q.order) >= q.MaxDatagrams {
+		q.evict(q.order[0])
+	}
+}
+
+// evict removes one in-progress buffer on behalf of a quota and
+// reports it through OnEvict.
+func (q *Queue[K]) evict(key K) {
+	b := q.bufs[key]
+	q.remove(key)
+	if q.OnEvict != nil && b != nil {
+		q.OnEvict(key, b)
+	}
 }
 
 // Get returns the in-progress buffer for key, or nil. Callers use it

@@ -61,6 +61,7 @@ func (c *Cache) get(t *Table, f inet.Family, dst []byte) (*Entry, bool) {
 		return nil, false
 	}
 	atomic.AddUint64(&cr.e.Use, 1)
+	t.touch(cr.e) // keep LRU recency honest for cache-hit traffic
 	return cr.e, true
 }
 

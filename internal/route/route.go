@@ -30,6 +30,7 @@ import (
 
 	"bsd6/internal/inet"
 	"bsd6/internal/radix"
+	"bsd6/internal/stat"
 )
 
 // Route flags, following 4.4 BSD's RTF_* values in spirit.
@@ -84,12 +85,37 @@ type Entry struct {
 	Expire time.Time
 
 	// LLInfo carries protocol-private state: the ND reachability
-	// machine for neighbor host routes.
+	// machine for neighbor host routes.  When the neighbor-cache cap
+	// evicts an entry, its LLInfo is consulted through the NeighborPin
+	// and NeighborRelease interfaces.
 	LLInfo any
 
 	// Use counts packets routed via this entry. Updated atomically:
 	// cached-route sends (Cache) charge it without the table lock.
 	Use uint64
+
+	// lastUse is the LRU recency stamp (a table use-tick, not a
+	// time), written atomically on every lookup or cache hit so the
+	// neighbor-cache eviction can pick the least recently used entry
+	// without touching the clock on the fast path.
+	lastUse uint64
+}
+
+// NeighborPin is implemented by Entry.LLInfo values that can veto
+// neighbor-cache eviction.  ND pins entries for routers learned via
+// Router Discovery (§4.3), so a neighbor-cache flood can never evict
+// the default router out from under the host.
+type NeighborPin interface {
+	// EvictPinned reports whether the entry must never be evicted.
+	EvictPinned() bool
+}
+
+// NeighborRelease is implemented by Entry.LLInfo values holding
+// resources — ND queues packets awaiting resolution — that must be
+// freed when the neighbor-cache cap evicts the entry.
+type NeighborRelease interface {
+	// ReleaseOnEvict frees the LLInfo's held resources.
+	ReleaseOnEvict()
 }
 
 // Host reports whether e is a host (full-prefix) route.
@@ -181,6 +207,111 @@ type Table struct {
 
 	// Now is the clock; tests may replace it.
 	Now func() time.Time
+
+	// MaxNeighbors bounds the dynamic neighbor (link-layer) host
+	// routes kept per address family — BSD's ARP/ND cache, which a
+	// remote peer can grow one entry per spoofed on-link source.
+	// 0 means unlimited.  When a new neighbor entry would exceed the
+	// cap, an existing one is evicted: unreachable (RTF_REJECT)
+	// entries first, then the least recently used; entries whose
+	// LLInfo is pinned (NeighborPin — default routers) are never
+	// evicted, so the cap can be exceeded by the number of routers
+	// but by nothing else.
+	MaxNeighbors int
+
+	// Drops receives a typed nd-cache-evicted event for each entry
+	// the cap evicts; nil disables recording.
+	Drops *stat.Recorder
+
+	// NbrEvictions counts cap-induced neighbor evictions.
+	NbrEvictions stat.Counter
+
+	nbr4, nbr6 int           // neighbor-entry counts, under mu
+	useTick    atomic.Uint64 // LRU recency source for Entry.lastUse
+}
+
+// isNeighbor reports whether e is a dynamic neighbor (ND/ARP) host
+// route — the entry class the neighbor-cache cap governs.  Static
+// entries are operator state and never count against the cap.
+func isNeighbor(e *Entry) bool {
+	const nbr = FlagHost | FlagLLInfo | FlagDynamic
+	return e.Flags&nbr == nbr && e.Flags&FlagStatic == 0
+}
+
+// nbrCount returns a pointer to the family's neighbor count; callers
+// hold t.mu.
+func (t *Table) nbrCount(f inet.Family) *int {
+	if f == inet.AFInet {
+		return &t.nbr4
+	}
+	return &t.nbr6
+}
+
+// NeighborCount returns the number of dynamic neighbor host routes in
+// the family — the occupancy half of the nd-cache limit surface.
+func (t *Table) NeighborCount(f inet.Family) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return *t.nbrCount(f)
+}
+
+// touch stamps e's LRU recency; called on every lookup and cache hit.
+func (t *Table) touch(e *Entry) {
+	atomic.StoreUint64(&e.lastUse, t.useTick.Add(1))
+}
+
+// evictNeighborLocked makes room for one new neighbor entry in family
+// f when the cap is reached: it removes the best victim — an
+// unreachable (RTF_REJECT) entry if any exists, else the least
+// recently used — skipping pinned entries.  Called with t.mu held
+// exclusively.  Returns false when every entry is pinned (the new
+// entry is admitted over-cap rather than refusing to talk to a new
+// neighbor).
+func (t *Table) evictNeighborLocked(f inet.Family) bool {
+	var victim *Entry
+	victimReject := false
+	t.tree(f).Walk(func(_ []byte, _ int, v any) bool {
+		e := v.(*Entry)
+		if !isNeighbor(e) {
+			return true
+		}
+		if pin, ok := e.LLInfo.(NeighborPin); ok && pin.EvictPinned() {
+			return true
+		}
+		rej := e.Flags&FlagReject != 0
+		switch {
+		case victim == nil,
+			rej && !victimReject,
+			rej == victimReject && atomic.LoadUint64(&e.lastUse) < atomic.LoadUint64(&victim.lastUse):
+			victim, victimReject = e, rej
+		}
+		return true
+	})
+	if victim == nil {
+		return false
+	}
+	t.tree(f).Delete(victim.Dst, victim.Plen)
+	*t.nbrCount(f)--
+	t.gen.Add(1)
+	if rel, ok := victim.LLInfo.(NeighborRelease); ok {
+		rel.ReleaseOnEvict()
+	}
+	t.NbrEvictions.Inc()
+	t.Drops.DropNote(stat.RNbrCacheEvicted, victim.dstString())
+	t.notify(Message{Type: MsgDelete, Entry: victim})
+	return true
+}
+
+// admitNeighborLocked applies the cap ahead of inserting a new
+// neighbor entry and charges the family count.  t.mu held.
+func (t *Table) admitNeighborLocked(f inet.Family) {
+	n := t.nbrCount(f)
+	for t.MaxNeighbors > 0 && *n >= t.MaxNeighbors {
+		if !t.evictNeighborLocked(f) {
+			break // all pinned: admit over-cap
+		}
+	}
+	*n++
 }
 
 // NewTable returns an empty routing table.
@@ -248,6 +379,13 @@ func (t *Table) Add(e *Entry) *Entry {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if old, ok := t.tree(e.Family).LookupExact(e.Dst, e.Plen); ok && isNeighbor(old.(*Entry)) {
+		*t.nbrCount(e.Family)-- // replaced below
+	}
+	if isNeighbor(e) {
+		t.admitNeighborLocked(e.Family)
+	}
+	t.touch(e)
 	t.tree(e.Family).Insert(e.Dst, e.Plen, e)
 	t.gen.Add(1)
 	t.notify(Message{Type: MsgAdd, Entry: e})
@@ -264,6 +402,9 @@ func (t *Table) Delete(f inet.Family, dst []byte, plen int) (*Entry, bool) {
 		return nil, false
 	}
 	e := v.(*Entry)
+	if isNeighbor(e) {
+		*t.nbrCount(f)--
+	}
 	t.gen.Add(1)
 	t.notify(Message{Type: MsgDelete, Entry: e})
 	return e, true
@@ -297,6 +438,7 @@ func (t *Table) Lookup(f inet.Family, dst []byte) (*Entry, bool) {
 		if e.Flags&FlagCloning == 0 &&
 			(e.Expire.IsZero() || e.Flags&FlagLLInfo != 0 || !t.Now().After(e.Expire)) {
 			atomic.AddUint64(&e.Use, 1)
+			t.touch(e)
 			t.mu.RUnlock()
 			return e, true
 		}
@@ -333,12 +475,16 @@ func (t *Table) lookupLocked(f inet.Family, dst []byte) (*Entry, bool) {
 			IfName:  e.IfName,
 			MTU:     e.MTU,
 		}
+		if isNeighbor(clone) {
+			t.admitNeighborLocked(f)
+		}
 		t.tree(f).Insert(clone.Dst, clone.Plen, clone)
 		t.gen.Add(1)
 		t.notify(Message{Type: MsgResolve, Entry: clone})
 		e = clone
 	}
 	atomic.AddUint64(&e.Use, 1)
+	t.touch(e)
 	return e, true
 }
 

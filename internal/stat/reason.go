@@ -30,29 +30,29 @@ const (
 	RInqFull      // netisr input queue overflowed (BSD's IF_DROP)
 
 	// IPv6 input (ipv6_input / preparse, §2.2).
-	RV6BadHeader   // unparseable or short base header
-	RV6Truncated   // payload shorter than the payload-length field
-	RV6NotForUs    // not our address and not forwarding
-	RV6BadExtChain // malformed or misordered extension chain
-	RV6OptionDrop  // option with a discard action (§2.1 option types)
-	RV6RouteHdrErr // malformed or unsatisfiable routing header
-	RV6UnknownProt // no transport registered for the final header
-	RV6ReasmFail   // fragment rejected by the reassembly buffer
-	RV6ReasmTimeout
+	RV6BadHeader    // unparseable or short base header
+	RV6Truncated    // payload shorter than the payload-length field
+	RV6NotForUs     // not our address and not forwarding
+	RV6BadExtChain  // malformed or misordered extension chain
+	RV6OptionDrop   // option with a discard action (§2.1 option types)
+	RV6RouteHdrErr  // malformed or unsatisfiable routing header
+	RV6UnknownProt  // no transport registered for the final header
+	RV6ReasmFail    // fragment rejected by the reassembly buffer
+	RV6ReasmTimeout // reassembly abandoned: 60s elapsed without completion
 	RV6HopLimit     // hop limit exhausted while forwarding
 	RV6NoRoute      // no route while forwarding
 	RV6TooBig       // forwarding would exceed the link MTU (PTB sent)
 	RV6ReinjectLoop // decryption/reassembly reinjection depth exceeded
 
 	// IPv4 input.
-	RV4BadHeader
-	RV4NotForUs
-	RV4UnknownProt
-	RV4ReasmFail
-	RV4ReasmTimeout
-	RV4TTLExceeded
-	RV4NoRoute
-	RArpBad
+	RV4BadHeader    // unparseable header, bad checksum, or short packet
+	RV4NotForUs     // not our address and not forwarding
+	RV4UnknownProt  // no transport registered for the protocol field
+	RV4ReasmFail    // fragment rejected by the reassembly buffer
+	RV4ReasmTimeout // reassembly abandoned: lifetime elapsed incomplete
+	RV4TTLExceeded  // TTL exhausted while forwarding
+	RV4NoRoute      // no route while forwarding
+	RArpBad         // malformed or self-addressed ARP packet
 
 	// ICMPv6 (§4).
 	RICMP6Short       // message shorter than the fixed header or body
@@ -66,25 +66,33 @@ const (
 	RICMP6PTBClamped  // Packet Too Big below the IPv6 minimum MTU (forged PTB)
 
 	// TCP input (§5.3).
-	RTCPBadSum
-	RTCPBadHeader
-	RTCPNoPCB // no matching connection (RST answered, segment dropped)
-	RTCPPolicyDrop
+	RTCPBadSum     // pseudo-header checksum failure
+	RTCPBadHeader  // segment shorter than its own data offset
+	RTCPNoPCB      // no matching connection (RST answered, segment dropped)
+	RTCPPolicyDrop // segment suppressed by the input security policy
 
 	// UDP input (§5.2).
-	RUDPShort
-	RUDPBadSum
-	RUDPNoSum6 // IPv6 datagram illegally lacking a checksum
-	RUDPNoPort
-	RUDPPolicyDrop
+	RUDPShort      // datagram shorter than its own length field
+	RUDPBadSum     // pseudo-header checksum failure
+	RUDPNoSum6     // IPv6 datagram illegally lacking a checksum
+	RUDPNoPort     // no socket bound to the destination port
+	RUDPPolicyDrop // datagram suppressed by the input security policy
 
 	// IP security input/output (§3.3, §3.4).
-	RSecAuthFail
-	RSecNoSA
-	RSecDecryptFail
-	RSecPolicyDrop
-	RSecTunnelAddr // inner/outer source mismatch on a tunneled datagram
-	RSecNoSAOut    // required association unavailable on output (EIPSEC)
+	RSecAuthFail    // AH/ESP authenticator mismatch
+	RSecNoSA        // no security association for the arriving SPI
+	RSecDecryptFail // ESP payload would not decrypt or unpad
+	RSecPolicyDrop  // cleartext packet a policy says must be protected
+	RSecTunnelAddr  // inner/outer source mismatch on a tunneled datagram
+	RSecNoSAOut     // required association unavailable on output (EIPSEC)
+
+	// Resource governance: induced discards when a ceiling is hit.
+	RV6ReasmOverflow // reassembly quota evicted an in-progress v6 datagram
+	RV4ReasmOverflow // reassembly quota evicted an in-progress v4 datagram
+	RNbrCacheEvicted // neighbor-cache cap evicted a dynamic host route
+	RNDQueueFull     // per-neighbor pending-packet queue overflowed
+	RTCPSynOverflow  // listener SYN backlog dropped an embryonic connection
+	RMbufLimit       // netisr queued-byte ceiling refused an input frame
 
 	reasonCount // sentinel: number of reasons, keep last
 )
@@ -139,6 +147,12 @@ var reasonNames = [reasonCount]string{
 	RSecPolicyDrop:    "ipsec-policy-drop",
 	RSecTunnelAddr:    "ipsec-tunnel-src",
 	RSecNoSAOut:       "ipsec-no-sa-out",
+	RV6ReasmOverflow:  "ip6-reasm-overflow",
+	RV4ReasmOverflow:  "ip4-reasm-overflow",
+	RNbrCacheEvicted:  "nd-cache-evicted",
+	RNDQueueFull:      "nd-queue-overflow",
+	RTCPSynOverflow:   "tcp-syn-overflow",
+	RMbufLimit:        "mbuf-limit",
 }
 
 // String returns the reason's stable snapshot key.

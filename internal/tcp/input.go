@@ -1,6 +1,8 @@
 package tcp
 
 import (
+	"fmt"
+
 	"bsd6/internal/inet"
 	"bsd6/internal/mbuf"
 	"bsd6/internal/pcb"
@@ -161,6 +163,7 @@ func (c *Conn) segInput(th *Header, data []byte, meta *proto.Meta, src, dst inet
 			c.rexmtShift = 0
 			c.sndUna = ack
 			c.sndWnd = int(th.Wnd)
+			c.unlinkSynLocked()
 			if c.parent != nil {
 				if len(c.parent.acceptQ) < c.parent.backlog {
 					c.parent.acceptQ = append(c.parent.acceptQ, c)
@@ -341,6 +344,15 @@ func (c *Conn) listenInput(th *Header, meta *proto.Meta, src, dst inet.IP6) {
 	if th.Flags&FlagSYN == 0 {
 		return
 	}
+	// SYN backlog cap: recycle the oldest embryonic connection rather
+	// than growing half-open state without bound under a SYN flood.
+	if max := t.synBacklogMax(); max > 0 && len(c.synQ) >= max {
+		old := c.synQ[0]
+		t.Stats.SynDrops.Inc()
+		t.Drops.DropNote(stat.RTCPSynOverflow,
+			fmt.Sprintf("%s.%d > %s.%d", old.pcb.FAddr, old.pcb.FPort, old.pcb.LAddr, old.pcb.LPort))
+		old.closeLocked(ErrTimeout) // unlinks old from c.synQ
+	}
 	// Create the child connection ("sonewconn").
 	child := &Conn{
 		t: t, pf: meta.Family, state: StateSynRcvd,
@@ -371,6 +383,7 @@ func (c *Conn) listenInput(th *Header, meta *proto.Meta, src, dst inet.IP6) {
 	child.ssthresh = 1 << 20
 	child.sndWnd = int(th.Wnd)
 	child.tConn = connTicks
+	c.synQ = append(c.synQ, child)
 	t.Stats.ConnAccepts.Inc()
 	child.output()
 }

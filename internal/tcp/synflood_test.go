@@ -1,0 +1,90 @@
+package tcp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/ipv6"
+	"bsd6/internal/mbuf"
+	"bsd6/internal/proto"
+	"bsd6/internal/stat"
+	"bsd6/internal/tcp"
+	"bsd6/internal/testnet"
+)
+
+// injectSYN crafts a raw SYN from src — a nonexistent on-link host, so
+// the SYN/ACK can never be answered and the embryonic child stays in
+// SYN_RCVD — and feeds it straight into the server's IPv6 input, the
+// way a spoofed-source SYN flood arrives.
+func injectSYN(b *tnode, src inet.IP6, sport, dport uint16) {
+	dst := b.LinkLocal(0)
+	h := &tcp.Header{SPort: sport, DPort: dport, Seq: 1000, Flags: tcp.FlagSYN, Wnd: 65535}
+	seg := h.Marshal()
+	ck := inet.TransportChecksum6(src, dst, proto.TCP, seg)
+	seg[16], seg[17] = byte(ck>>8), byte(ck)
+	ip := &ipv6.Header{NextHdr: proto.TCP, HopLimit: 64, PayloadLen: len(seg), Src: src, Dst: dst}
+	pkt := mbuf.New(ip.Marshal(nil))
+	pkt.Append(seg)
+	b.V6.Input(b.Ifps[0], pkt)
+}
+
+// TestSynBacklogOverflowTypedDrop drives the SYN backlog cap: the
+// oldest embryonic connection is the victim, each eviction emits
+// exactly one tcp-syn-overflow reason, and a legitimate connection
+// still completes through an ongoing flood.
+func TestSynBacklogOverflowTypedDrop(t *testing.T) {
+	s := newSim(t)
+	hub := s.NewHub()
+	a, b := s.node("a"), s.node("b")
+	a.Join(hub, testnet.MacA, 1500, inet.IP4{}, 0)
+	b.Join(hub, testnet.MacB, 1500, inet.IP4{}, 0)
+	b.tcp.Drops = b.Drops
+	b.tcp.SynBacklogMax = 2
+
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9100)
+	l.Listen(4)
+
+	src := func(i int) inet.IP6 { return testnet.IP6(t, fmt.Sprintf("fe80::dead:%x", i)) }
+	for i := 1; i <= 2; i++ {
+		injectSYN(b, src(i), uint16(40000+i), 9100)
+	}
+	if n := b.tcp.SynBacklogLen(); n != 2 {
+		t.Fatalf("backlog = %d after 2 SYNs, want 2", n)
+	}
+	if d := b.tcp.Stats.SynDrops.Get(); d != 0 {
+		t.Fatalf("SynDrops = %d before overflow", d)
+	}
+
+	// Third spoofed SYN: the cap evicts the oldest embryonic child and
+	// charges exactly one typed reason for it.
+	injectSYN(b, src(3), 40003, 9100)
+	if n := b.tcp.SynBacklogLen(); n != 2 {
+		t.Fatalf("backlog = %d after overflow, want 2", n)
+	}
+	if d := b.tcp.Stats.SynDrops.Get(); d != 1 {
+		t.Fatalf("SynDrops = %d, want 1", d)
+	}
+	if got := b.Drops.Reasons.Snapshot()[stat.RTCPSynOverflow.String()]; got != 1 {
+		t.Fatalf("%s = %d, want 1", stat.RTCPSynOverflow, got)
+	}
+	for _, c := range b.tcp.Conns() {
+		if c.State() == tcp.StateSynRcvd && c.PCB().FAddr == src(1) {
+			t.Fatal("oldest embryonic connection survived the overflow")
+		}
+	}
+
+	// A legitimate handshake pushes out another flood child and
+	// completes: the flood costs the attacker state, not the victim.
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.Connect(b.LinkLocal(0), 9100)
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
+	if srv == nil {
+		t.Fatal("no accepted connection")
+	}
+	if d := b.tcp.Stats.SynDrops.Get(); d != 2 {
+		t.Fatalf("SynDrops = %d after legit connect, want 2", d)
+	}
+}

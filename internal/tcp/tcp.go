@@ -86,7 +86,13 @@ type Stats struct {
 	PolicyDrops   stat.Counter
 	PersistProbe  stat.Counter
 	FastRexmit    stat.Counter
+	SynDrops      stat.Counter // embryonic connections evicted by the SYN backlog cap
 }
+
+// DefaultSynBacklog is the default cap on embryonic (SYN_RCVD)
+// connections per listener — BSD's somaxconn-style bound, applied to
+// the half-open stage a SYN flood inflates.
+const DefaultSynBacklog = 128
 
 // TCP is the TCP protocol instance of one stack.
 type TCP struct {
@@ -118,6 +124,13 @@ type TCP struct {
 	// Drops is the stack-wide drop observability sink; nil counts
 	// nothing.
 	Drops *stat.Recorder
+
+	// SynBacklogMax caps embryonic (SYN_RCVD) connections per
+	// listener: when a new SYN would exceed it, the oldest embryonic
+	// connection is dropped (with the tcp-syn-overflow reason) to make
+	// room, so a SYN flood recycles half-open state instead of growing
+	// it.  0 selects DefaultSynBacklog; negative disables the cap.
+	SynBacklogMax int
 
 	Stats Stats
 
@@ -203,7 +216,8 @@ type Conn struct {
 	listening bool
 	backlog   int
 	acceptQ   []*Conn
-	parent    *Conn // listener this connection was spawned from
+	synQ      []*Conn // embryonic children in SYN arrival order
+	parent    *Conn   // listener this connection was spawned from
 
 	// Wakeup is invoked (outside the stack lock) whenever readable,
 	// writable, state or error conditions may have changed.
@@ -484,9 +498,57 @@ func (c *Conn) closeLocked(err error) {
 	}
 	c.state = StateClosed
 	c.tRexmt, c.tPersist, c.t2msl, c.tConn = 0, 0, 0, 0
+	c.unlinkSynLocked()
 	c.t.Table.Detach(c.pcb)
 	delete(c.t.conns, c)
 	c.wakeupLocked()
+}
+
+// unlinkSynLocked removes an embryonic child from its listener's SYN
+// backlog; a no-op once the handshake completed (or for connections
+// with no listener). Caller holds t.mu.
+func (c *Conn) unlinkSynLocked() {
+	p := c.parent
+	if p == nil {
+		return
+	}
+	for i, x := range p.synQ {
+		if x == c {
+			p.synQ = append(p.synQ[:i], p.synQ[i+1:]...)
+			break
+		}
+	}
+}
+
+// synBacklogMax resolves the effective SYN backlog cap: 0 selects the
+// default, negative disables.
+func (t *TCP) synBacklogMax() int {
+	switch {
+	case t.SynBacklogMax > 0:
+		return t.SynBacklogMax
+	case t.SynBacklogMax < 0:
+		return 0
+	}
+	return DefaultSynBacklog
+}
+
+// SynBacklogLimit reports the effective SYN backlog cap (0 when
+// disabled), for the stack's limits snapshot.
+func (t *TCP) SynBacklogLimit() int { return t.synBacklogMax() }
+
+// SynBacklogLen returns the number of embryonic (SYN_RCVD)
+// listener-spawned connections — the occupancy half of the
+// syn-backlog limit surface.
+func (t *TCP) SynBacklogLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for c := range t.conns {
+		if c.state == StateSynRcvd && c.parent != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // drop is tcp_drop: close with an error and notify.

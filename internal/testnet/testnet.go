@@ -48,6 +48,7 @@ func NewNode(name string) *Node {
 	drops := stat.NewRecorder(128)
 	v4.Drops = drops
 	v6.Drops = drops
+	rt.Drops = drops
 	n := &Node{Name: name, RT: rt, V4: v4, V6: v6, ICMP4: ic4, ICMP6: ic6, Sec: sec, Keys: ke, Drops: drops}
 	lo := netif.NewLoopback(name+"-lo", 32768)
 	lo.SetInput(func(ifp *netif.Interface, fr netif.Frame) {
