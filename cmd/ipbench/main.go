@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	ipbench [-t table1|table2|table3|table4|table5|figure8|all] [-iters N] [-mb N] [-json]
+//	ipbench [-t table1|table2|table3|table4|table5|figure8|micro|all] [-iters N] [-mb N] [-json] [-tag NAME] [-baseline]
 //
 // With -json, every measured cell is also written to BENCH_<date>.json
-// so before/after runs can be diffed mechanically.
+// so before/after runs can be diffed mechanically.  -tag inserts a
+// suffix into the filename (several runs can then coexist on one
+// date), and -baseline appends "-baseline" — the convention for the
+// pre-change run of a before/after pair.
 package main
 
 import (
@@ -18,14 +21,17 @@ import (
 
 	"bsd6"
 	"bsd6/internal/core"
+	"bsd6/internal/inet"
 	"bsd6/internal/netperf"
 )
 
 var (
-	flagTable = flag.String("t", "all", "which table/figure to regenerate")
-	flagIters = flag.Int("iters", 2000, "request-response transactions per cell")
-	flagMB    = flag.Int("mb", 8, "megabytes per throughput cell")
-	flagJSON  = flag.Bool("json", false, "also write results to BENCH_<date>.json")
+	flagTable    = flag.String("t", "all", "which table/figure to regenerate")
+	flagIters    = flag.Int("iters", 2000, "request-response transactions per cell")
+	flagMB       = flag.Int("mb", 8, "megabytes per throughput cell")
+	flagJSON     = flag.Bool("json", false, "also write results to BENCH_<date>.json")
+	flagTag      = flag.String("tag", "", "suffix for the BENCH_<date> filename")
+	flagBaseline = flag.Bool("baseline", false, "mark this run as the baseline of a before/after pair")
 )
 
 // latencyCell is one row of a request-response table (Tables 1-2,
@@ -53,6 +59,15 @@ type securityCell struct {
 	KBps     float64 `json:"kbps"`
 }
 
+// microCell is one in-process micro-benchmark: per-call latency and
+// the implied processing rate for a primitive the per-packet path
+// leans on (today: the internet checksum at representative sizes).
+type microCell struct {
+	Name string  `json:"name"`
+	NsOp float64 `json:"ns_op"`
+	MBps float64 `json:"mb_s"`
+}
+
 // report aggregates every measured cell for the -json output.
 type report struct {
 	Date    string         `json:"date"`
@@ -64,6 +79,7 @@ type report struct {
 	Table4  []streamCell   `json:"table4,omitempty"`
 	Table5  []securityCell `json:"table5,omitempty"`
 	Figure8 []latencyCell  `json:"figure8,omitempty"`
+	Micro   []microCell    `json:"micro,omitempty"`
 	// Snapshots holds the full counter state of every stack used by
 	// the run, captured at teardown — the structured netstat that lets
 	// a reader verify a cell was measured on a clean path (no retrans,
@@ -279,12 +295,60 @@ func figure8() {
 	}
 }
 
-// writeJSON dumps the collected cells to BENCH_<date>.json.
+// checksumSink keeps the micro-benchmark loop observable so the
+// checksum calls cannot be optimized away.
+var checksumSink uint16
+
+// micro times the internet checksum at the sizes the datapath
+// actually sees: a TCP/IP header's worth, a small RR message, and a
+// full Ethernet payload.  This is the cost every in/out packet pays
+// twice (generate + verify), so it is recorded next to the tables it
+// explains.
+func micro() {
+	fmt.Println("\nMicro: internet checksum (inet.Checksum)")
+	fmt.Printf("%10s %12s %12s\n", "bytes", "ns/op", "MB/s")
+	for _, size := range []int{20, 40, 576, 1500} {
+		buf := make([]byte, size)
+		for i := range buf {
+			buf[i] = byte(i * 7)
+		}
+		// Calibrate the iteration count until the timed region is long
+		// enough to swamp timer granularity.
+		iters := 1 << 12
+		var elapsed time.Duration
+		for {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				checksumSink = inet.Checksum(buf)
+			}
+			elapsed = time.Since(start)
+			if elapsed >= 100*time.Millisecond {
+				break
+			}
+			iters *= 2
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(iters)
+		mbs := float64(size) / ns * 1e3 // bytes/ns -> MB/s (1e6 B/s units are close enough at this scale)
+		fmt.Printf("%10d %12.2f %12.0f\n", size, ns, mbs)
+		results.Micro = append(results.Micro, microCell{
+			Name: fmt.Sprintf("checksum-%d", size), NsOp: ns, MBps: mbs,
+		})
+	}
+}
+
+// writeJSON dumps the collected cells to BENCH_<date>[-tag][-baseline].json.
 func writeJSON() {
 	results.Date = time.Now().Format("2006-01-02")
 	results.Iters = *flagIters
 	results.MB = *flagMB
-	name := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	suffix := ""
+	if *flagTag != "" {
+		suffix += "-" + *flagTag
+	}
+	if *flagBaseline {
+		suffix += "-baseline"
+	}
+	name := fmt.Sprintf("BENCH_%s%s.json", time.Now().Format("2006-01-02"), suffix)
 	data, err := json.MarshalIndent(&results, "", "  ")
 	if err != nil {
 		die(err)
@@ -316,6 +380,9 @@ func main() {
 	}
 	if run("figure8") {
 		figure8()
+	}
+	if run("micro") {
+		micro()
 	}
 	if *flagJSON {
 		writeJSON()

@@ -168,6 +168,24 @@ func marshal(typ, code uint8, body []byte, src, dst inet.IP6) []byte {
 	return b
 }
 
+// buildMsg is marshal into a pooled wire buffer with the checksum
+// fused into the body copy (inet.SumCopy): the message body is
+// traversed once, and the IPv6 header will land in the slab's
+// headroom on output.  Byte-for-byte identical to mbuf.New(marshal(…))
+// — the differential tests hold it to that.
+func buildMsg(typ, code uint8, body []byte, src, dst inet.IP6) *mbuf.Mbuf {
+	tlen := 4 + len(body)
+	pkt := mbuf.Get(tlen)
+	b := pkt.Bytes()
+	b[0], b[1], b[2], b[3] = typ, code, 0, 0
+	sum := inet.PseudoHeader6(src, dst, uint32(tlen), proto.ICMPv6)
+	sum = inet.Sum(sum, b[:4])
+	sum = inet.SumCopy(sum, b[4:], body)
+	ck := inet.Fold(sum)
+	b[2], b[3] = byte(ck>>8), byte(ck)
+	return pkt
+}
+
 // send emits an ICMPv6 message. hops 0 means the layer default; ND
 // messages pass 255.
 func (m *Module) send(typ, code uint8, body []byte, src, dst inet.IP6, hops uint8, ifName string) error {
@@ -196,7 +214,7 @@ func (m *Module) sendOpt(typ, code uint8, body []byte, src, dst inet.IP6, hops u
 		}
 	}
 	m.Stats.OutMsgs.Inc()
-	pkt := mbuf.New(marshal(typ, code, body, src, dst))
+	pkt := buildMsg(typ, code, body, src, dst)
 	return m.l.Output(pkt, src, dst, proto.ICMPv6, ipv6.OutputOpts{HopLimit: hops, IfName: ifName, NoSecurity: noSec})
 }
 

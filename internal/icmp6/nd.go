@@ -198,7 +198,7 @@ func (m *Module) sendDadNS(ifp *netif.Interface, target inet.IP6) error {
 	body := make([]byte, 4+16)
 	copy(body[4:], target[:])
 	m.Stats.OutNS.Inc()
-	pkt := mbuf.New(marshal(TypeNeighborSolicit, 0, body, inet.IP6{}, inet.SolicitedNode(target)))
+	pkt := buildMsg(TypeNeighborSolicit, 0, body, inet.IP6{}, inet.SolicitedNode(target))
 	return m.l.Output(pkt, inet.IP6{}, inet.SolicitedNode(target), proto.ICMPv6, ipv6.OutputOpts{HopLimit: 255, IfName: ifp.Name, NoSecurity: true, UnspecSource: true})
 }
 

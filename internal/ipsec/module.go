@@ -192,6 +192,7 @@ func (m *Module) OutputPolicy(hdr *ipv6.Header, payload *mbuf.Mbuf, nh uint8, so
 	}
 
 	data := payload.Bytes()
+	applied := false
 
 	if sa, err := get(key.ProtoESPTransport, eff.ESPTransport); err != nil {
 		return nil, 0, err
@@ -204,6 +205,7 @@ func (m *Module) OutputPolicy(hdr *ipv6.Header, payload *mbuf.Mbuf, nh uint8, so
 		m.Stats.OutESP.Inc()
 		m.Key.CountBytes(sa, len(data))
 		data, nh = wrapped, proto.ESP
+		applied = true
 	}
 
 	if sa, err := get(key.ProtoESPTunnel, eff.ESPTunnel); err != nil {
@@ -222,6 +224,7 @@ func (m *Module) OutputPolicy(hdr *ipv6.Header, payload *mbuf.Mbuf, nh uint8, so
 		m.Stats.OutTunnel.Inc()
 		m.Key.CountBytes(sa, len(data))
 		data, nh = wrapped, proto.ESP
+		applied = true
 		if sa.Dst != hdr.Dst {
 			hdr.Dst = sa.Dst // the layer re-routes toward the gateway
 		}
@@ -238,10 +241,22 @@ func (m *Module) OutputPolicy(hdr *ipv6.Header, payload *mbuf.Mbuf, nh uint8, so
 		m.Stats.OutAH.Inc()
 		m.Key.CountBytes(sa, len(data))
 		data, nh = wrapped, proto.AH
+		applied = true
 	}
 
+	// No association applied (every level was none/use-without-SA):
+	// pass the original chain through untouched.  Building a NewNoCopy
+	// replacement here would silently strand the transport layer's
+	// pooled slab — the replacement aliases the bytes but not the pool
+	// bookkeeping, so the slab would never return to its pool.
+	if !applied {
+		return payload, nh, nil
+	}
 	out := mbuf.NewNoCopy(data)
 	out.Hdr().Socket = payload.Hdr().Socket
+	// Every wrap above copied the bytes into a fresh buffer; the
+	// original pooled chain is dead — recycle it.
+	payload.Free()
 	return out, nh, nil
 }
 

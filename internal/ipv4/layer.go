@@ -492,14 +492,14 @@ func (l *Layer) forward(h *Header, pkt *mbuf.Mbuf) {
 		return
 	}
 	h.TTL--
-	pkt.Adj(h.HdrLen())
 	l.Stats.Forwarded.Inc()
 
 	mtu := ifp.MTU()
 	if rtMTU := l.entryMTU(rt); rtMTU != 0 && rtMTU < mtu {
 		mtu = rtMTU
 	}
-	if h.HdrLen()+pkt.Len() > mtu {
+	if pkt.Len() > mtu { // pkt still carries the IP header here
+		pkt.Adj(h.HdrLen())
 		if h.DF {
 			l.SendError(IcmpUnreach, CodeFragNeeded, mtu, errCtx)
 			return
@@ -509,7 +509,16 @@ func (l *Layer) forward(h *Header, pkt *mbuf.Mbuf) {
 		}
 		return
 	}
-	pkt.Prepend(h.Marshal(nil))
+	// Common (non-fragmenting) case: only the TTL changed, so rewrite
+	// it in the received header bytes and update the checksum
+	// incrementally (RFC 1624) instead of stripping and re-marshalling
+	// the header — the input path already verified the old sum.
+	hb := pkt.PullUp(h.HdrLen())
+	oldWord := uint16(hb[8])<<8 | uint16(hb[9]) // TTL, protocol share a column
+	hb[8] = h.TTL
+	ck := uint16(hb[10])<<8 | uint16(hb[11])
+	ck = inet.UpdateChecksum16(ck, oldWord, uint16(hb[8])<<8|uint16(hb[9]))
+	hb[10], hb[11] = byte(ck>>8), byte(ck)
 	if err := l.transmit(ifp, rt, h.Dst, pkt); err != nil {
 		l.Stats.OutDrops.Inc()
 	}

@@ -1,0 +1,76 @@
+package mbuf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"bsd6/internal/inet"
+)
+
+// CopySum must agree with flatten-then-checksum for any segmentation of
+// the same bytes — in particular across odd-length segments, where the
+// running sum continues at an odd stream offset and each segment's
+// partial sum has to be byte-swapped into place (RFC 1071 §2(B)).
+
+func TestCopySumAcrossSegments(t *testing.T) {
+	cases := [][]int{
+		{4},
+		{1, 1, 1},
+		{3, 5},
+		{5, 3},
+		{1, 8, 1, 8},
+		{7, 7, 7, 7},
+		{20, 1, 1500, 3},
+		{0x20, 1, 0x20},
+	}
+	for _, lens := range cases {
+		var parts [][]byte
+		var flat []byte
+		x := byte(1)
+		for _, n := range lens {
+			p := make([]byte, n)
+			for i := range p {
+				p[i] = x
+				x = x*31 + 7
+			}
+			parts = append(parts, p)
+			flat = append(flat, p...)
+		}
+		m := chainOf(parts...)
+		if len(lens) > 1 && m.Segments() < 2 {
+			t.Fatalf("%v: chain not segmented", lens)
+		}
+		dst := make([]byte, len(flat))
+		got := inet.Fold(m.CopySum(0x2bad, dst))
+		want := inet.Fold(inet.Sum(0x2bad, flat))
+		if got != want {
+			t.Fatalf("%v: CopySum %#x, flat %#x", lens, got, want)
+		}
+		if !bytes.Equal(dst, flat) {
+			t.Fatalf("%v: copy mismatch", lens)
+		}
+	}
+}
+
+func TestQuickCopySumAnySplit(t *testing.T) {
+	f := func(data []byte, seed uint32) bool {
+		m := New(nil)
+		r := seed
+		for off := 0; off < len(data); {
+			r = r*1664525 + 1013904223
+			n := 1 + int(r%9)
+			if off+n > len(data) {
+				n = len(data) - off
+			}
+			m.Append(data[off : off+n])
+			off += n
+		}
+		dst := make([]byte, len(data))
+		return inet.Fold(m.CopySum(0, dst)) == inet.Checksum(data) &&
+			bytes.Equal(dst, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,6 +23,8 @@ package mbuf
 import (
 	"bytes"
 	"fmt"
+
+	"bsd6/internal/inet"
 )
 
 // Packet flags carried in the packet header. MAuthentic and MDecrypted
@@ -228,6 +230,35 @@ func (m *Mbuf) Bytes() []byte {
 		return m.head.data
 	}
 	return m.PullUp(m.hdr.Len)
+}
+
+// CopySum copies the whole chain into dst while accumulating the
+// ones-complement checksum of the copied bytes — the split-buffer
+// form of BSD's in_cksum-with-copy fusion, so gathering a chain into
+// a wire buffer and checksumming it costs one traversal instead of
+// two.  dst must hold Len() bytes; the chain is not altered.  The
+// returned accumulator (initial included) is unfolded, ready for
+// inet.Fold.  Odd-length segments are handled by byte-swapping the
+// partial sum at each odd stream offset (RFC 1071 §2(B)), so the
+// result is identical to summing the linearized packet.
+func (m *Mbuf) CopySum(initial uint32, dst []byte) uint32 {
+	sum := uint64(initial)
+	odd := false
+	for s := m.head; s != nil; s = s.next {
+		f := uint32(inet.FoldRaw(inet.SumCopy(0, dst, s.data)))
+		if odd {
+			f = f>>8 | f&0xff<<8
+		}
+		sum += uint64(f)
+		if len(s.data)&1 == 1 {
+			odd = !odd
+		}
+		dst = dst[len(s.data):]
+	}
+	// Deferred carries back to the unfolded 32-bit form.
+	sum = sum>>32 + sum&0xffffffff
+	sum = sum>>32 + sum&0xffffffff
+	return uint32(sum)
 }
 
 // CopyBytes returns a copy of the packet contents without altering the

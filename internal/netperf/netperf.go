@@ -238,7 +238,12 @@ func RunRR(c *core.Stack, dst core.Sockaddr6, tcp bool, msgSize, iters, sockbuf 
 				got += len(data)
 			}
 		} else {
-			if err := sock.SendTo(msg, dst); err != nil {
+			// The socket is connected, so send on the PCB's cached peer
+			// and route. Going through SendTo here re-took the socket
+			// lock and re-stored the flow label, then re-derived the
+			// destination inside udp_output on every transaction —
+			// harness setup billed to the stack in Tables 1/2.
+			if _, err := sock.Send(msg, ioTimeout); err != nil {
 				return RRResult{}, err
 			}
 			// One datagram out, one back; a lost reply would hang, so

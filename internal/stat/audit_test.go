@@ -83,3 +83,69 @@ func TestEveryReasonHasADropSite(t *testing.T) {
 	}
 	t.Logf("taxonomy: %d reasons, %d instrumented sites", len(declared), sites)
 }
+
+// TestEveryTCPCounterHasASource applies the same audit to the TCP
+// Stats block: every stat.Counter field declared there must be bumped
+// by at least one non-test call site in the tcp package.  This is the
+// guard that keeps fast-path refactors honest — the header-prediction
+// shortcut in particular must keep PredAck/PredDat/DelAcks wired, or
+// netstat silently reports a dead fast path as "never taken".
+func TestEveryTCPCounterHasASource(t *testing.T) {
+	src, err := os.ReadFile("../tcp/tcp.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := regexp.MustCompile(`(?s)type Stats struct \{.*?\n\}`).Find(src)
+	if block == nil {
+		t.Fatal("no Stats struct found in ../tcp/tcp.go")
+	}
+	fieldRe := regexp.MustCompile(`(?m)^\t([A-Z][A-Za-z0-9]*)\s+stat\.Counter`)
+	var fields []string
+	for _, m := range fieldRe.FindAllStringSubmatch(string(block), -1) {
+		fields = append(fields, m[1])
+	}
+	if len(fields) < 10 {
+		t.Fatalf("parsed only %d counter fields; struct regex out of date", len(fields))
+	}
+	for _, must := range []string{"PredAck", "PredDat", "DelAcks"} {
+		found := false
+		for _, f := range fields {
+			if f == must {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fast-path counter %s missing from the TCP Stats struct", must)
+		}
+	}
+
+	used := make(map[string]int)
+	useRe := regexp.MustCompile(`\bStats\.([A-Z][A-Za-z0-9]*)\.(Inc|Add)\(`)
+	ents, err := os.ReadDir("../tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join("../tcp", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range useRe.FindAllStringSubmatch(string(b), -1) {
+			used[m[1]]++
+		}
+	}
+
+	sites := 0
+	for _, f := range fields {
+		n := used[f]
+		if n == 0 {
+			t.Errorf("counter Stats.%s is declared but never incremented", f)
+		}
+		sites += n
+	}
+	t.Logf("tcp stats: %d counters, %d instrumented sites", len(fields), sites)
+}

@@ -101,6 +101,54 @@ func (c *Conn) segInput(th *Header, data []byte, meta *proto.Meta, src, dst inet
 
 	tlen := len(data)
 
+	// Header prediction (Van Jacobson): in ESTABLISHED, with nothing
+	// unusual in the segment — no SYN/FIN/RST/URG, the next sequence
+	// number expected, an unchanged window, nothing retransmitted —
+	// two cases cover the bulk-transfer common path and skip the
+	// trim/ACK machinery below. Each short-circuit is an exact
+	// restatement of what the general path does for the same segment
+	// (including congestion-window growth, which the historic BSD fast
+	// path froze), so disabling t.Predict changes only which counters
+	// fire — the equivalence tests diff the wire both ways.
+	if t.Predict && c.state == StateEstablished &&
+		th.Flags&(FlagSYN|FlagFIN|FlagRST|FlagURG) == 0 && th.Flags&FlagACK != 0 &&
+		th.Seq == c.rcvNxt && th.Wnd != 0 && int(th.Wnd) == c.sndWnd &&
+		c.sndNxt == c.sndMax {
+		if tlen == 0 {
+			// Pure ACK advancing sndUna with the congestion window
+			// open: take the shared new-data-acknowledged path and
+			// give output a chance at the freed window.
+			if seqGT(th.Ack, c.sndUna) && seqLEQ(th.Ack, c.sndMax) &&
+				c.cwnd >= c.sndWnd {
+				t.Stats.PredAck.Inc()
+				if c.ackNew(th.Ack) {
+					return
+				}
+				if c.needAck {
+					c.output()
+				} else if len(c.sndBuf) > int(c.sndMax-c.sndUna) {
+					c.output()
+				}
+				return
+			}
+		} else if th.Ack == c.sndUna && len(c.reassQ) == 0 && tlen <= c.rcvSpace() {
+			// Pure in-order data with an empty reassembly queue:
+			// deliver directly and schedule a delayed ACK — every
+			// other full segment forces one out (RFC 1122 §4.2.3.2).
+			t.Stats.PredDat.Inc()
+			c.rcvNxt += uint32(tlen)
+			c.rcvBuf = append(c.rcvBuf, data...)
+			if c.delack {
+				c.needAck = true
+			} else {
+				c.delack = true
+			}
+			c.wakeupLocked()
+			c.output()
+			return
+		}
+	}
+
 	// RST processing.
 	if th.Flags&FlagRST != 0 {
 		switch c.state {
@@ -219,62 +267,8 @@ func (c *Conn) segInput(th *Header, data []byte, meta *proto.Meta, src, dst inet
 		}
 	default:
 		// New data acknowledged.
-		acked := int(ack - c.sndUna)
-		c.dupAcks = 0
-		if c.rttTicks >= 0 && seqGEQ(ack, c.rttSeq) {
-			c.updateRTT(c.ticks - c.rttTicks)
-			c.rttTicks = -1
-		}
-		// Congestion window growth: slow start then additive.
-		if c.cwnd < c.ssthresh {
-			c.cwnd += c.mss
-		} else {
-			c.cwnd += c.mss * c.mss / c.cwnd
-		}
-		if c.cwnd > 1<<20 {
-			c.cwnd = 1 << 20
-		}
-		bufAcked := acked
-		finAcked := false
-		if c.finQueued && seqGT(ack, c.finSeq) {
-			bufAcked--
-			finAcked = true
-		}
-		if bufAcked > len(c.sndBuf) {
-			bufAcked = len(c.sndBuf)
-		}
-		if bufAcked > 0 {
-			c.sndBuf = c.sndBuf[bufAcked:]
-		}
-		c.sndUna = ack
-		if seqLT(c.sndNxt, ack) {
-			c.sndNxt = ack
-		}
-		if ack == c.sndMax {
-			c.tRexmt = 0
-			c.rexmtShift = 0
-			c.tPersist = 0
-		} else if c.tPersist == 0 {
-			c.tRexmt = c.rto
-		}
-		// Forward progress confirms neighbor reachability without
-		// extra ND traffic (§4.3).
-		if t.Confirm != nil && !c.pcb.FAddr.IsV4Mapped() {
-			t.Confirm(c.pcb.FAddr)
-		}
-		c.wakeupLocked() // send buffer space freed
-
-		if finAcked {
-			switch c.state {
-			case StateFinWait1:
-				c.state = StateFinWait2
-			case StateClosing:
-				c.state = StateTimeWait
-				c.t2msl = 2 * msl
-			case StateLastAck:
-				c.closeLocked(nil)
-				return
-			}
+		if c.ackNew(ack) {
+			return
 		}
 	}
 
@@ -331,6 +325,75 @@ func (c *Conn) segInput(th *Header, data []byte, meta *proto.Meta, src, dst inet
 	}
 }
 
+// ackNew processes an ACK acknowledging new data (sndUna < ack <=
+// sndMax): RTT sampling, congestion-window growth, send-buffer trim,
+// retransmit-timer management and reachability confirmation. It is
+// shared verbatim between the general ACK switch and the
+// header-prediction fast path so the two stay behaviorally identical.
+// Returns true if the connection was closed (LAST_ACK's FIN
+// acknowledged). Caller holds t.mu.
+func (c *Conn) ackNew(ack uint32) bool {
+	t := c.t
+	acked := int(ack - c.sndUna)
+	c.dupAcks = 0
+	if c.rttTicks >= 0 && seqGEQ(ack, c.rttSeq) {
+		c.updateRTT(c.ticks - c.rttTicks)
+		c.rttTicks = -1
+	}
+	// Congestion window growth: slow start then additive.
+	if c.cwnd < c.ssthresh {
+		c.cwnd += c.mss
+	} else {
+		c.cwnd += c.mss * c.mss / c.cwnd
+	}
+	if c.cwnd > 1<<20 {
+		c.cwnd = 1 << 20
+	}
+	bufAcked := acked
+	finAcked := false
+	if c.finQueued && seqGT(ack, c.finSeq) {
+		bufAcked--
+		finAcked = true
+	}
+	if bufAcked > len(c.sndBuf) {
+		bufAcked = len(c.sndBuf)
+	}
+	if bufAcked > 0 {
+		c.sndBuf = c.sndBuf[bufAcked:]
+	}
+	c.sndUna = ack
+	if seqLT(c.sndNxt, ack) {
+		c.sndNxt = ack
+	}
+	if ack == c.sndMax {
+		c.tRexmt = 0
+		c.rexmtShift = 0
+		c.tPersist = 0
+	} else if c.tPersist == 0 {
+		c.tRexmt = c.rto
+	}
+	// Forward progress confirms neighbor reachability without
+	// extra ND traffic (§4.3).
+	if t.Confirm != nil && !c.pcb.FAddr.IsV4Mapped() {
+		t.Confirm(c.pcb.FAddr)
+	}
+	c.wakeupLocked() // send buffer space freed
+
+	if finAcked {
+		switch c.state {
+		case StateFinWait1:
+			c.state = StateFinWait2
+		case StateClosing:
+			c.state = StateTimeWait
+			c.t2msl = 2 * msl
+		case StateLastAck:
+			c.closeLocked(nil)
+			return true
+		}
+	}
+	return false
+}
+
 // listenInput handles a segment arriving at a listening socket.
 func (c *Conn) listenInput(th *Header, meta *proto.Meta, src, dst inet.IP6) {
 	t := c.t
@@ -379,7 +442,7 @@ func (c *Conn) listenInput(th *Header, meta *proto.Meta, src, dst inet.IP6) {
 	child.rcvNxt = th.Seq + 1
 	child.iss = t.nextISS()
 	child.sndUna, child.sndNxt, child.sndMax = child.iss, child.iss, child.iss
-	child.cwnd = child.mss
+	child.cwnd = initialCwnd(child.mss)
 	child.ssthresh = 1 << 20
 	child.sndWnd = int(th.Wnd)
 	child.tConn = connTicks
@@ -410,7 +473,7 @@ func (c *Conn) synSentInput(th *Header) {
 		c.mss = th.MSS
 	}
 	c.sndWnd = int(th.Wnd)
-	c.cwnd = c.mss
+	c.cwnd = initialCwnd(c.mss)
 	if th.Flags&FlagACK != 0 {
 		c.sndUna = th.Ack
 		c.state = StateEstablished

@@ -131,29 +131,62 @@ func (c *Conn) output() {
 // queueSegment finalizes a segment (checksum over the right
 // pseudo-header for the session's protocol family — the §5.3 code
 // split) and places it in the outbox. Caller holds t.mu.
+//
+// Two per-packet shortcuts live here. A pure ACK — no payload, no
+// options, no flag beyond ACK — differs from the previous one only in
+// sequence, acknowledgment and window, so its wire image is rebuilt
+// from the cached template with those fields patched and the checksum
+// repaired incrementally (RFC 1624); the ports, addresses and length
+// feeding the pseudo-header never change within a connection. Data
+// segments fuse the payload copy with its checksum pass (SumCopy) so
+// the bytes are touched once, not twice.
 func (c *Conn) queueSegment(hdr *Header, payload []byte) {
-	wire := hdr.Marshal()
 	src, dst := c.pcb.LAddr, c.pcb.FAddr
-	var sum uint32
 	v6 := !dst.IsV4Mapped()
-	tlen := len(wire) + len(payload)
-	// One pooled buffer carries header and payload contiguously: the
-	// checksum runs in a single pass and the IP header lands in the
-	// slab's headroom on output.
-	pkt := mbuf.Get(tlen)
-	seg := pkt.Bytes()
-	copy(seg, wire)
-	copy(seg[len(wire):], payload)
-	if v6 {
-		sum = inet.PseudoHeader6(src, dst, uint32(tlen), proto.TCP)
+	pureACK := len(payload) == 0 && hdr.Flags == FlagACK && hdr.MSS == 0 && hdr.Urp == 0
+	var pkt *mbuf.Mbuf
+	if pureACK && c.ackTmplOK {
+		pkt = mbuf.Get(HeaderLen)
+		seg := pkt.Bytes()
+		copy(seg, c.ackTmpl[:])
+		ck := uint16(seg[16])<<8 | uint16(seg[17])
+		oldSeq := uint32(seg[4])<<24 | uint32(seg[5])<<16 | uint32(seg[6])<<8 | uint32(seg[7])
+		seg[4], seg[5], seg[6], seg[7] = byte(hdr.Seq>>24), byte(hdr.Seq>>16), byte(hdr.Seq>>8), byte(hdr.Seq)
+		ck = inet.UpdateChecksum32(ck, oldSeq, hdr.Seq)
+		oldAck := uint32(seg[8])<<24 | uint32(seg[9])<<16 | uint32(seg[10])<<8 | uint32(seg[11])
+		seg[8], seg[9], seg[10], seg[11] = byte(hdr.Ack>>24), byte(hdr.Ack>>16), byte(hdr.Ack>>8), byte(hdr.Ack)
+		ck = inet.UpdateChecksum32(ck, oldAck, hdr.Ack)
+		oldWnd := uint16(seg[14])<<8 | uint16(seg[15])
+		seg[14], seg[15] = byte(hdr.Wnd>>8), byte(hdr.Wnd)
+		ck = inet.UpdateChecksum16(ck, oldWnd, hdr.Wnd)
+		seg[16], seg[17] = byte(ck>>8), byte(ck)
+		copy(c.ackTmpl[:], seg)
 	} else {
-		s4, _ := src.MappedV4()
-		d4, _ := dst.MappedV4()
-		sum = inet.PseudoHeader4(s4, d4, uint16(tlen), proto.TCP)
+		wire := hdr.Marshal()
+		var sum uint32
+		tlen := len(wire) + len(payload)
+		// One pooled buffer carries header and payload contiguously:
+		// the checksum runs in a single pass and the IP header lands
+		// in the slab's headroom on output.
+		pkt = mbuf.Get(tlen)
+		seg := pkt.Bytes()
+		copy(seg, wire)
+		if v6 {
+			sum = inet.PseudoHeader6(src, dst, uint32(tlen), proto.TCP)
+		} else {
+			s4, _ := src.MappedV4()
+			d4, _ := dst.MappedV4()
+			sum = inet.PseudoHeader4(s4, d4, uint16(tlen), proto.TCP)
+		}
+		sum = inet.Sum(sum, seg[:len(wire)])
+		sum = inet.SumCopy(sum, seg[len(wire):], payload)
+		ck := inet.Fold(sum)
+		seg[16], seg[17] = byte(ck>>8), byte(ck)
+		if pureACK {
+			copy(c.ackTmpl[:], seg)
+			c.ackTmplOK = true
+		}
 	}
-	sum = inet.Sum(sum, seg)
-	ck := inet.Fold(sum)
-	seg[16], seg[17] = byte(ck>>8), byte(ck)
 	pkt.Hdr().Socket = c.pcb.Socket
 	c.t.outbox = append(c.t.outbox, outSeg{
 		v6: v6, src: src, dst: dst, pkt: pkt,

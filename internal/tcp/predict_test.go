@@ -1,0 +1,174 @@
+package tcp_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/netif"
+	"bsd6/internal/tcp"
+	"bsd6/internal/testnet"
+)
+
+// bigWindowPair is tcpPair with both receive buffers large enough that
+// the advertised window pins at the 65535 clamp: a constant window is
+// the precondition for header prediction, so these connections keep
+// the fast path hot during bulk transfer.
+func bigWindowPair(t *testing.T, port uint16) (*tsim, *tnode, *tnode, *tcp.Conn, *tcp.Conn) {
+	t.Helper()
+	s, a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.RcvBufMax = 1 << 20
+	if err := l.Bind(inet.IP6{}, port); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Listen(1); err != nil {
+		t.Fatal(err)
+	}
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.RcvBufMax = 1 << 20
+	c.SndBufMax = 1 << 18
+	if err := c.Connect(b.LinkLocal(0), port); err != nil {
+		t.Fatal(err)
+	}
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
+	return s, a, b, c, srv
+}
+
+func TestHeaderPredictionBulk(t *testing.T) {
+	s, a, b, c, srv := bigWindowPair(t, 9200)
+	data := pattern(600_000)
+	got := s.transfer(c, srv, data, len(data), 1<<20)
+	if !bytes.Equal(got, data) {
+		t.Fatal("bulk data corrupted")
+	}
+	// The receiver's in-order segments ride the data fast path; the
+	// sender's incoming pure ACKs ride the ACK fast path once the
+	// congestion window opens past the advertised window.
+	if n := b.tcp.Stats.PredDat.Get(); n == 0 {
+		t.Fatal("no segments took the data fast path")
+	}
+	if n := a.tcp.Stats.PredAck.Get(); n == 0 {
+		t.Fatal("no ACKs took the pure-ACK fast path")
+	}
+	if b.tcp.Stats.RcvOutOfOrder.Get() != 0 {
+		t.Fatal("lossless link produced out-of-order segments")
+	}
+}
+
+func TestAckEveryOtherSegment(t *testing.T) {
+	s, _, b, c, srv := bigWindowPair(t, 9201)
+	data := pattern(300_000)
+	got := s.transfer(c, srv, data, len(data), 1<<20)
+	if !bytes.Equal(got, data) {
+		t.Fatal("bulk data corrupted")
+	}
+	// Delayed ACK must roughly halve the receiver's packet count: one
+	// ACK per two data segments, plus handshake and timer flushes.
+	rcvd := b.tcp.Stats.RcvPack.Get()
+	sent := b.tcp.Stats.SndPack.Get()
+	if 3*sent > 2*rcvd {
+		t.Fatalf("receiver sent %d packets for %d received; delayed ACK not thinning the stream", sent, rcvd)
+	}
+}
+
+func TestDelayedAckTimerFlush(t *testing.T) {
+	s, _, b, c, srv := bigWindowPair(t, 9202)
+	// A lone segment schedules a delayed ACK; with no second segment
+	// to force it out, only the 200ms fast timer can flush it.
+	s.sendAll(c, []byte("x"))
+	if string(s.recvN(srv, 1)) != "x" {
+		t.Fatal("payload")
+	}
+	s.Run(time.Second)
+	if b.tcp.Stats.DelAcks.Get() == 0 {
+		t.Fatal("delayed ACK never flushed by the fast timer")
+	}
+}
+
+// predictTrace runs a fixed workload — forward bulk through a pinned
+// window (fast path hot), reverse trickle into a small window (window
+// updates bypass the fast path), then an orderly close — and returns
+// every frame that crossed the hub. The simulation is deterministic,
+// so any byte difference between runs is attributable to the variable
+// under test: t.Predict.
+func predictTrace(t *testing.T, predict bool) []string {
+	t.Helper()
+	s := newSim(t)
+	hub := s.NewHub()
+	a, b := s.node("a"), s.node("b")
+	a.tcp.Predict = predict
+	b.tcp.Predict = predict
+	a.Join(hub, testnet.MacA, 1500, inet.IP4{}, 0)
+	b.Join(hub, testnet.MacB, 1500, inet.IP4{}, 0)
+
+	var trace []string
+	hub.Capture = func(fr netif.Frame) {
+		trace = append(trace, fmt.Sprintf("%x>%x %04x %x",
+			fr.Src, fr.Dst, fr.EtherType, fr.Payload.Bytes()))
+	}
+
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.RcvBufMax = 1 << 20
+	if err := l.Bind(inet.IP6{}, 9300); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Listen(1); err != nil {
+		t.Fatal(err)
+	}
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	c.RcvBufMax = 4096
+	if err := c.Connect(b.LinkLocal(0), 9300); err != nil {
+		t.Fatal(err)
+	}
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
+
+	data := pattern(150_000)
+	if !bytes.Equal(s.transfer(c, srv, data, len(data), 1<<20), data) {
+		t.Fatal("forward bulk corrupted")
+	}
+	back := pattern(20_000)
+	if !bytes.Equal(s.transfer(srv, c, back, len(back), 512), back) {
+		t.Fatal("reverse trickle corrupted")
+	}
+	c.Close()
+	srv.Close()
+	s.waitState(c, tcp.StateClosed)
+	s.waitState(srv, tcp.StateClosed)
+	s.Run(time.Second)
+
+	// The workload must actually exercise what it claims to.
+	if predict && (b.tcp.Stats.PredDat.Get() == 0 || a.tcp.Stats.PredAck.Get() == 0) {
+		t.Fatalf("fast paths idle: preddat=%d predack=%d",
+			b.tcp.Stats.PredDat.Get(), a.tcp.Stats.PredAck.Get())
+	}
+	if !predict && (b.tcp.Stats.PredDat.Get() != 0 || a.tcp.Stats.PredAck.Get() != 0) {
+		t.Fatal("prediction counters fired with Predict off")
+	}
+	return trace
+}
+
+// TestWireEquivalencePredictOnOff is the tentpole's safety proof at
+// system level: with header prediction forced on and off, the same
+// deterministic workload must put the exact same bytes on the wire in
+// the exact same order — the fast path may only skip work, never
+// change behavior.
+func TestWireEquivalencePredictOnOff(t *testing.T) {
+	on := predictTrace(t, true)
+	off := predictTrace(t, false)
+	if len(on) != len(off) {
+		t.Fatalf("frame counts differ: predict on %d, off %d", len(on), len(off))
+	}
+	for i := range on {
+		if on[i] != off[i] {
+			t.Fatalf("wire diverges at frame %d:\n  on:  %.200s\n  off: %.200s", i, on[i], off[i])
+		}
+	}
+	if len(on) == 0 {
+		t.Fatal("empty trace")
+	}
+}

@@ -81,6 +81,8 @@ type Stats struct {
 	RcvAfterWin   stat.Counter
 	Reass4        stat.Counter // segments through tcp_reass
 	Reass6        stat.Counter // segments through tcpv6_reass
+	PredAck       stat.Counter // pure ACKs taken by the header-prediction fast path
+	PredDat       stat.Counter // in-order data segments taken by the fast path
 	DelAcks       stat.Counter
 	RstOut        stat.Counter
 	PolicyDrops   stat.Counter
@@ -132,6 +134,14 @@ type TCP struct {
 	// it.  0 selects DefaultSynBacklog; negative disables the cap.
 	SynBacklogMax int
 
+	// Predict enables the Van Jacobson header-prediction fast path in
+	// segment input (on by default). The fast path is an exact
+	// restatement of the general path for its two covered cases, so
+	// turning it off changes only which counters fire — the wire
+	// equivalence tests rely on that to diff the two paths
+	// byte-for-byte.
+	Predict bool
+
 	Stats Stats
 
 	iss   uint32
@@ -139,8 +149,15 @@ type TCP struct {
 
 	// outbox collects segments to transmit after the lock drops, so a
 	// synchronously delivered reply cannot deadlock on re-entry.
-	outbox  []outSeg
-	wakeups []func()
+	// flushing marks an active drainer: re-entrant flush calls (a
+	// delivered segment's ACK processing queues new data and flushes
+	// on the way out) return immediately and leave their segments for
+	// the outer drainer, which sends them only after finishing the
+	// batch already in flight — otherwise a reply queued mid-batch
+	// would overtake the rest of the batch and reorder the wire.
+	outbox   []outSeg
+	wakeups  []func()
+	flushing bool
 }
 
 type outSeg struct {
@@ -155,7 +172,7 @@ type outSeg struct {
 
 // New creates the TCP instance and registers it with both IP layers.
 func New(v4l *ipv4.Layer, v6l *ipv6.Layer) *TCP {
-	t := &TCP{Table: pcb.NewTable(), v4: v4l, v6: v6l, conns: make(map[*Conn]struct{})}
+	t := &TCP{Table: pcb.NewTable(), v4: v4l, v6: v6l, conns: make(map[*Conn]struct{}), Predict: true}
 	if v4l != nil {
 		v4l.Register(proto.TCP, t.input, t.ctlInput)
 	}
@@ -211,6 +228,14 @@ type Conn struct {
 	delack  bool
 	needAck bool
 	err     error
+
+	// ACK template: the wire image of the last pure ACK sent. The next
+	// pure ACK differs only in sequence, acknowledgment and window, so
+	// output patches those fields and repairs the checksum
+	// incrementally (RFC 1624) instead of marshalling and summing a
+	// fresh header.
+	ackTmpl   [HeaderLen]byte
+	ackTmplOK bool
 
 	// Listener state.
 	listening bool
@@ -357,7 +382,7 @@ func (c *Conn) Connect(faddr inet.IP6, fport uint16) error {
 	c.mss = t.pathMSS(c.pcb)
 	c.iss = t.nextISS()
 	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
-	c.cwnd = c.mss
+	c.cwnd = initialCwnd(c.mss)
 	c.ssthresh = 65535
 	c.state = StateSynSent
 	c.tConn = connTicks
@@ -575,6 +600,26 @@ func (c *Conn) rcvSpace() int {
 	return n
 }
 
+// initialCwnd returns the RFC 3390 initial congestion window:
+// min(4*MSS, max(2*MSS, 4380)).  A one-segment initial window
+// interlocks fatally with the peer's delayed ACK — the lone first
+// segment is an "odd" arrival the receiver holds for the full 200ms
+// fast-timer tick, so every connection's slow start opens with a dead
+// fifth of a second.  Two or more segments make the second arrival
+// force an immediate ACK (RFC 1122's ack-every-other rule) and keep
+// the feedback loop running from the first flight.  Loss recovery
+// still restarts from one segment (RFC 5681's loss window).
+func initialCwnd(mss int) int {
+	iw := 4380
+	if 2*mss > iw {
+		iw = 2 * mss
+	}
+	if 4*mss < iw {
+		iw = 4 * mss
+	}
+	return iw
+}
+
 // pathMSS derives the starting MSS from the route's path MTU ("Our
 // implementation stores Path MTU information in host routes ...
 // making this data available to TCP", §2.2).
@@ -627,16 +672,32 @@ func (t *TCP) ifMTU(v6 bool, name string) int {
 // flush transmits queued segments and runs queued wakeups. Must be
 // called WITHOUT t.mu held.
 func (t *TCP) flush() {
+	t.mu.Lock()
+	if t.flushing {
+		// An outer flush (possibly further up this very call stack)
+		// is draining; it will pick up anything queued here on its
+		// next pass, in order.
+		t.mu.Unlock()
+		return
+	}
+	t.flushing = true
+	t.mu.Unlock()
 	for {
 		t.mu.Lock()
 		segs := t.outbox
 		wake := t.wakeups
 		t.outbox = nil
 		t.wakeups = nil
-		t.mu.Unlock()
 		if len(segs) == 0 && len(wake) == 0 {
+			// Clearing the flag and observing the empty queue happen
+			// under one lock hold, so a concurrent enqueuer either
+			// queued in time for this check or sees flushing==false
+			// and drains its own segment.
+			t.flushing = false
+			t.mu.Unlock()
 			return
 		}
+		t.mu.Unlock()
 		for _, s := range segs {
 			var err error
 			if s.v6 {

@@ -118,6 +118,26 @@ func buildWire(sport, dport uint16, data []byte) (*mbuf.Mbuf, []byte) {
 	return pkt, wire
 }
 
+// buildWireSum is buildWire with the checksum fused into the payload
+// copy (inet.SumCopy): the datagram body is traversed once to both
+// land in the wire buffer and enter the sum, instead of a copy pass
+// followed by a checksum pass.  psum is the unfolded pseudo-header
+// sum for the chosen IP version.
+func buildWireSum(sport, dport uint16, data []byte, psum uint32) *mbuf.Mbuf {
+	length := HeaderLen + len(data)
+	pkt := mbuf.Get(length)
+	wire := pkt.Bytes()
+	copy(wire[:HeaderLen], header(sport, dport, length, 0))
+	sum := inet.Sum(psum, wire[:HeaderLen])
+	sum = inet.SumCopy(sum, wire[HeaderLen:], data)
+	ck := inet.Fold(sum)
+	if ck == 0 {
+		ck = 0xffff // transmitted 0 means "no checksum"
+	}
+	wire[6], wire[7] = byte(ck>>8), byte(ck)
+	return pkt
+}
+
 // Output is udp_output: create and send a datagram.  It "determines
 // whether to create an IPv4 or IPv6 datagram by looking at the
 // protocol control block"; faddr/fport override the connected peer for
@@ -156,15 +176,12 @@ func (u *UDP) Output(p *pcb.PCB, data []byte, faddr inet.IP6, fport uint16) erro
 			// Local destination: source = destination.
 			src4 = v4dst
 		}
-		pkt, wire := buildWire(p.LPort, fport, data)
+		var pkt *mbuf.Mbuf
 		if u.SumTx {
-			sum := inet.PseudoHeader4(src4, v4dst, uint16(length), proto.UDP)
-			sum = inet.Sum(sum, wire)
-			ck := inet.Fold(sum)
-			if ck == 0 {
-				ck = 0xffff // transmitted 0 means "no checksum" on v4
-			}
-			wire[6], wire[7] = byte(ck>>8), byte(ck)
+			pkt = buildWireSum(p.LPort, fport, data,
+				inet.PseudoHeader4(src4, v4dst, uint16(length), proto.UDP))
+		} else {
+			pkt, _ = buildWire(p.LPort, fport, data)
 		}
 		pkt.Hdr().Socket = p.Socket
 		u.Stats.OutDatagrams.Inc()
@@ -182,14 +199,8 @@ func (u *UDP) Output(p *pcb.PCB, data []byte, faddr inet.IP6, fport uint16) erro
 			src = faddr // local destination
 		}
 	}
-	pkt, wire := buildWire(p.LPort, fport, data)
-	sum := inet.PseudoHeader6(src, faddr, uint32(length), proto.UDP)
-	sum = inet.Sum(sum, wire)
-	ck := inet.Fold(sum)
-	if ck == 0 {
-		ck = 0xffff
-	}
-	wire[6], wire[7] = byte(ck>>8), byte(ck)
+	pkt := buildWireSum(p.LPort, fport, data,
+		inet.PseudoHeader6(src, faddr, uint32(length), proto.UDP))
 	pkt.Hdr().Socket = p.Socket
 	u.Stats.OutDatagrams.Inc()
 	return u.v6.Output(pkt, src, faddr, proto.UDP, ipv6.OutputOpts{
