@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ipbench [-t table1|table2|table3|table4|table5|figure8|micro|all] [-iters N] [-mb N] [-json] [-tag NAME] [-baseline]
+//	ipbench [-t table1|table2|table3|table4|table5|figure8|micro|conns|all] [-iters N] [-mb N] [-json] [-tag NAME] [-baseline]
 //
 // With -json, every measured cell is also written to BENCH_<date>.json
 // so before/after runs can be diffed mechanically.  -tag inserts a
@@ -23,6 +23,7 @@ import (
 	"bsd6/internal/core"
 	"bsd6/internal/inet"
 	"bsd6/internal/netperf"
+	"bsd6/internal/pcb"
 )
 
 var (
@@ -68,6 +69,15 @@ type microCell struct {
 	MBps float64 `json:"mb_s"`
 }
 
+// connCell is one row of the connection-scaling table: established
+// demux latency and one full connection lifetime (attach, adopt tuple,
+// demux, detach) against a PCB table of the given size.
+type connCell struct {
+	Conns    int     `json:"conns"`
+	LookupNs float64 `json:"lookup_ns"`
+	ChurnNs  float64 `json:"churn_ns"`
+}
+
 // report aggregates every measured cell for the -json output.
 type report struct {
 	Date    string         `json:"date"`
@@ -80,6 +90,7 @@ type report struct {
 	Table5  []securityCell `json:"table5,omitempty"`
 	Figure8 []latencyCell  `json:"figure8,omitempty"`
 	Micro   []microCell    `json:"micro,omitempty"`
+	Conns   []connCell     `json:"conns,omitempty"`
 	// Snapshots holds the full counter state of every stack used by
 	// the run, captured at teardown — the structured netstat that lets
 	// a reader verify a cell was measured on a clean path (no retrans,
@@ -336,6 +347,68 @@ func micro() {
 	}
 }
 
+// lookupSink keeps the demux loop observable.
+var lookupSink *pcb.PCB
+
+// conns regenerates the connection-scaling table: the sharded demux's
+// established-connection lookup and per-connection churn cost must stay
+// flat as the PCB table grows from 10k to a million entries — the row
+// pattern a linear-scan table turns into milliseconds.
+func conns() {
+	fmt.Println("\nConns: demux scaling (sharded PCB hash)")
+	fmt.Printf("%10s %14s %14s\n", "conns", "lookup ns/op", "churn ns/op")
+	local, err := inet.ParseIP6("2001:db8::1")
+	if err != nil {
+		die(err)
+	}
+	faddr := func(i int) inet.IP6 {
+		a, _ := inet.ParseIP6("2001:db8:feed::")
+		a[12], a[13], a[14], a[15] = byte(i>>24), byte(i>>16), byte(i>>8), byte(i)
+		return a
+	}
+	// timeOp calibrates the iteration count like micro() does.
+	timeOp := func(op func(i int)) float64 {
+		iters := 1 << 10
+		var elapsed time.Duration
+		for {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				op(i)
+			}
+			elapsed = time.Since(start)
+			if elapsed >= 100*time.Millisecond {
+				break
+			}
+			iters *= 2
+		}
+		return float64(elapsed.Nanoseconds()) / float64(iters)
+	}
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		tb := pcb.NewTable()
+		for i := 0; i < 4; i++ {
+			l := tb.Attach(inet.AFInet6, nil)
+			tb.SetTuple(l, inet.IP6{}, uint16(8000+i), inet.IP6{}, 0)
+		}
+		for i := 0; i < n; i++ {
+			p := tb.Attach(inet.AFInet6, nil)
+			tb.SetTuple(p, local, 8000, faddr(i), uint16(1024+i%60000))
+		}
+		lookup := timeOp(func(i int) {
+			j := i % n
+			lookupSink = tb.Lookup(local, 8000, faddr(j), uint16(1024+j%60000), false)
+		})
+		peer, _ := inet.ParseIP6("2001:db8:cafe::2")
+		churn := timeOp(func(i int) {
+			p := tb.Attach(inet.AFInet6, nil)
+			tb.SetTuple(p, local, 9000, peer, uint16(1024+i%60000))
+			lookupSink = tb.Lookup(local, 9000, peer, uint16(1024+i%60000), false)
+			tb.Detach(p)
+		})
+		fmt.Printf("%10d %14.1f %14.1f\n", n, lookup, churn)
+		results.Conns = append(results.Conns, connCell{Conns: n, LookupNs: lookup, ChurnNs: churn})
+	}
+}
+
 // writeJSON dumps the collected cells to BENCH_<date>[-tag][-baseline].json.
 func writeJSON() {
 	results.Date = time.Now().Format("2006-01-02")
@@ -383,6 +456,9 @@ func main() {
 	}
 	if run("micro") {
 		micro()
+	}
+	if run("conns") {
+		conns()
 	}
 	if *flagJSON {
 		writeJSON()

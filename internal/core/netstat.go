@@ -45,6 +45,15 @@ func (s *Stack) Connections() string {
 			fmt.Sprintf("[%s]:%d", p.LAddr, p.LPort),
 			fmt.Sprintf("[%s]:%d", p.FAddr, p.FPort), st)
 	}
+	for _, tw := range s.TCP.TimeWaits() {
+		name := "tcp6"
+		if !tw.V6 {
+			name = "tcp4"
+		}
+		fmt.Fprintf(&b, "%-5s %-28s %-28s %s\n", name,
+			fmt.Sprintf("[%s]:%d", tw.LAddr, tw.LPort),
+			fmt.Sprintf("[%s]:%d", tw.FAddr, tw.FPort), "TIME_WAIT")
+	}
 	for _, p := range s.UDP.Table.All() {
 		name := "udp6"
 		if p.Family == inet.AFInet {
@@ -151,7 +160,7 @@ func (s *Stack) ProtoStats() string {
 	}{
 		{"reasm6", lim.Reasm6}, {"reasm4", lim.Reasm4},
 		{"nd-cache", lim.NDCache}, {"syn-backlog", lim.SynBacklog},
-		{"mbuf-queue", lim.MbufQueue},
+		{"time-wait", lim.TimeWait}, {"mbuf-queue", lim.MbufQueue},
 	} {
 		max := fmt.Sprint(l.ls.Max)
 		if l.ls.Max == 0 {

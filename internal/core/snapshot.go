@@ -53,6 +53,7 @@ type LimitsSnapshot struct {
 	Reasm4     LimitSnapshot `json:"reasm4"`
 	NDCache    LimitSnapshot `json:"ndCache"`
 	SynBacklog LimitSnapshot `json:"synBacklog"`
+	TimeWait   LimitSnapshot `json:"timeWait"`
 	MbufQueue  LimitSnapshot `json:"mbufQueue"`
 
 	// PoolOutstanding is the process-wide mbuf slab gauge
@@ -110,6 +111,9 @@ func (s *Stack) Snapshot() Snapshot {
 	// PolicyDrops lives outside the icmp6 Stats block (it pairs with
 	// the InputPolicy hook); fold it in by hand.
 	snap.ICMP6["PolicyDrops"] = s.ICMP6.PolicyDrops.Get()
+	// TimeWaitCount is a gauge over the 2MSL table, not a counter in
+	// the Stats block; fold it in the same way.
+	snap.TCP["TimeWaitCount"] = uint64(s.TCP.TimeWaitCount())
 	for _, ev := range s.Drops.Events() {
 		snap.Trace = append(snap.Trace, TraceLine{
 			Seq:    ev.Seq,
@@ -153,6 +157,12 @@ func (s *Stack) limitsSnapshot() LimitsSnapshot {
 			Cur:    s.TCP.SynBacklogLen(),
 			Drops:  s.TCP.Stats.SynDrops.Get(),
 			Reason: stat.RTCPSynOverflow.String(),
+		},
+		TimeWait: LimitSnapshot{
+			Max:    s.TCP.TimeWaitLimit(),
+			Cur:    s.TCP.TimeWaitCount(),
+			Drops:  s.TCP.Stats.TimeWaitOverflow.Get(),
+			Reason: stat.RTCPTimeWaitOverflow.String(),
 		},
 		MbufQueue: LimitSnapshot{
 			Max:    s.mbufLimit,

@@ -126,6 +126,18 @@ type Options struct {
 	// (default tcp.DefaultSynBacklog); overflow drops the oldest with
 	// tcp-syn-overflow.
 	SynBacklogMax int
+	// SynCookies makes listeners go stateless once the SYN backlog is
+	// full: SYNs beyond the cap are answered with a cookie SYN-ACK
+	// (the ISN encodes the hashed tuple, coarse time and MSS class)
+	// and the connection is rebuilt from the completing ACK.
+	SynCookies bool
+	// TimeWaitMax caps the compressed TIME_WAIT table (default
+	// tcp.DefaultTimeWaitMax); overflow evicts the record closest to
+	// expiry with tcp-time-wait-overflow.
+	TimeWaitMax int
+	// PCBShards sets the TCP/UDP demux shard count (default
+	// pcb.DefaultShards, rounded up to a power of two).
+	PCBShards int
 	// MbufLimit caps the payload bytes held in the netisr input
 	// queues (default DefaultMbufLimit); past it, input frames are
 	// refused with mbuf-limit and freed back to the pool instead of
@@ -200,6 +212,12 @@ func NewStack(name string, opts Options) *Stack {
 	s.UDP.Drops = s.Drops
 	s.TCP.Drops = s.Drops
 	s.TCP.SynBacklogMax = opts.SynBacklogMax
+	s.TCP.SynCookies = opts.SynCookies
+	s.TCP.TimeWaitMax = opts.TimeWaitMax
+	if opts.PCBShards > 0 {
+		s.TCP.Table.SetShards(opts.PCBShards)
+		s.UDP.Table.SetShards(opts.PCBShards)
+	}
 
 	// Wire the cross-module relationships the paper describes.
 	s.UDP.InputPolicy = s.Sec.InputPolicy

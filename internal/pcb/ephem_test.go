@@ -1,0 +1,69 @@
+package pcb
+
+import (
+	"testing"
+
+	"bsd6/internal/inet"
+)
+
+// TestEphemeralFullRangeUnderLoad regresses the allocator rewrite: with
+// thousands of connected PCBs already occupying scattered ports, the
+// allocator must still hand out every remaining port in the 1024..5000
+// range exactly once (the port index answers occupancy in O(1); the old
+// code rescanned every PCB per candidate port) and then fail with
+// ErrNoPorts, not a wrong port or a stall.
+func TestEphemeralFullRangeUnderLoad(t *testing.T) {
+	tb := NewTable()
+	local := mustIP6("2001:db8::1")
+	peer := mustIP6("2001:db8::2")
+
+	// Preload connected sessions on every 3rd ephemeral port: connected
+	// PCBs still occupy their port for allocation purposes.
+	occupied := make(map[uint16]bool)
+	for port := uint16(ephemFirst); port <= ephemLast; port += 3 {
+		p := tb.Attach(inet.AFInet6, nil)
+		tb.SetTuple(p, local, port, peer, 9999)
+		occupied[port] = true
+	}
+
+	want := ephemLast - ephemFirst + 1 - len(occupied)
+	seen := make(map[uint16]bool)
+	for i := 0; i < want; i++ {
+		p := tb.Attach(inet.AFInet6, nil)
+		if err := tb.Bind(p, inet.IP6{}, 0); err != nil {
+			t.Fatalf("bind %d/%d: %v", i, want, err)
+		}
+		if p.LPort < ephemFirst || p.LPort > ephemLast {
+			t.Fatalf("port %d outside ephemeral range", p.LPort)
+		}
+		if occupied[p.LPort] {
+			t.Fatalf("allocator handed out occupied port %d", p.LPort)
+		}
+		if seen[p.LPort] {
+			t.Fatalf("port %d allocated twice", p.LPort)
+		}
+		seen[p.LPort] = true
+	}
+	// The range is now exhausted.
+	p := tb.Attach(inet.AFInet6, nil)
+	if err := tb.Bind(p, inet.IP6{}, 0); err != ErrNoPorts {
+		t.Fatalf("exhausted range: %v", err)
+	}
+	// Freeing one port makes exactly that port allocatable again.
+	var victim *PCB
+	for q := range tb.pcbs {
+		if seen[q.LPort] && !q.idx.connected() {
+			victim = q
+			break
+		}
+	}
+	freed := victim.LPort
+	tb.Detach(victim)
+	r := tb.Attach(inet.AFInet6, nil)
+	if err := tb.Bind(r, inet.IP6{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r.LPort != freed {
+		t.Fatalf("reallocated %d, want freed port %d", r.LPort, freed)
+	}
+}

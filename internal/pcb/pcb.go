@@ -11,6 +11,22 @@
 // addresses" makes one PCB serve both protocols.  A flag bit records
 // whether the session is sending IPv6 datagrams; if it is not set,
 // IPv4 is in use.
+//
+// Demultiplexing no longer walks BSD's linear tcb/udb list.  The table
+// keeps three structures, all consistent under the table mutex:
+//
+//   - a sharded exact-match hash (FNV-1a over the 4-tuple into
+//     power-of-two shards, per-shard RWMutex) holding every PCB with a
+//     fixed foreign endpoint, so the established-connection lookup that
+//     runs once per received segment is a single bucket probe;
+//   - a sharded port index whose per-port entry carries the wildcard
+//     (listener) chain plus local-address occupancy counts, making the
+//     Bind conflict scan and the ephemeral-port allocator O(1) per
+//     candidate instead of O(pcbs);
+//   - the flat registry of all PCBs, retained for Notify/All and as the
+//     substrate of lookupRef, the original linear-scan in_pcblookup
+//     kept as the oracle the differential and fuzz tests replay
+//     against.
 package pcb
 
 import (
@@ -40,6 +56,8 @@ type PCB struct {
 
 	// LAddr/FAddr are the local and foreign addresses in the unified
 	// representation (v4-mapped for IPv4). Unspecified means wildcard.
+	// They are owned by the table: mutate them only through
+	// Bind/Connect/Disconnect/SetTuple so the demux indexes follow.
 	LAddr, FAddr inet.IP6
 	LPort, FPort uint16
 
@@ -65,6 +83,11 @@ type PCB struct {
 	Owner any
 
 	table *Table
+	// idx snapshots the tuple under which this PCB is currently filed
+	// in the demux, so a mutation can unhook the old chains without
+	// trusting the already-rewritten public fields.
+	idx     tuple
+	indexed bool
 }
 
 // IsIPv6 reports whether the session sends IPv6 datagrams.
@@ -78,11 +101,90 @@ var (
 	ErrFamilyMismatch = errors.New("pcb: address family mismatch for socket")
 )
 
+// tuple is the demux key: the full 4-tuple in unified (v4-mapped)
+// address form.
+type tuple struct {
+	laddr, faddr inet.IP6
+	lport, fport uint16
+}
+
+// connected reports whether the tuple names a fixed foreign endpoint,
+// the class filed in the exact-match hash.  A PCB with both foreign
+// fields wildcard is a listener and lives on its port's wildcard chain
+// instead.
+func (k tuple) connected() bool { return !k.faddr.IsUnspecified() || k.fport != 0 }
+
+// FNV-1a, the tuple hash of the shard selector.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnvBytes(h uint32, b []byte) uint32 {
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= fnvPrime32
+	}
+	return h
+}
+
+func (k tuple) hash() uint32 {
+	h := fnvBytes(uint32(fnvOffset32), k.laddr[:])
+	h = fnvBytes(h, k.faddr[:])
+	var pb [4]byte
+	pb[0], pb[1] = byte(k.lport>>8), byte(k.lport)
+	pb[2], pb[3] = byte(k.fport>>8), byte(k.fport)
+	return fnvBytes(h, pb[:])
+}
+
+func portHash(lport uint16) uint32 {
+	var pb [2]byte
+	pb[0], pb[1] = byte(lport>>8), byte(lport)
+	return fnvBytes(uint32(fnvOffset32), pb[:])
+}
+
+// connShard is one exact-match shard: full tuple → chain.  A chain
+// holds more than one PCB only when distinct sockets share an entire
+// 4-tuple across address families (legal: Bind lets connected sockets
+// share a local port).
+type connShard struct {
+	mu sync.RWMutex
+	m  map[tuple][]*PCB
+}
+
+// portEntry is the per-local-port demux record.
+type portEntry struct {
+	// wild chains the listeners: PCBs with both foreign fields
+	// wildcard, the only class the slow scoring scan must visit.
+	wild []*PCB
+	// connNoF chains the degenerate connected class (foreign port set,
+	// foreign address wildcard); it matches like a connected PCB but
+	// still occupies the port for Bind-conflict purposes.
+	connNoF []*PCB
+	// byLAddr counts every PCB on the port by local address, the O(1)
+	// occupancy probe behind the ephemeral allocator.
+	byLAddr map[inet.IP6]int
+	total   int
+}
+
+type portShard struct {
+	mu sync.RWMutex
+	m  map[uint16]*portEntry
+}
+
+// DefaultShards is the demux shard count when the stack does not
+// override it (Options.PCBShards).
+const DefaultShards = 32
+
 // Table is a per-protocol PCB table (BSD's udb / tcb).
 type Table struct {
 	mu        sync.Mutex
 	pcbs      map[*PCB]struct{}
 	nextEphem uint16
+
+	mask  uint32
+	conns []connShard
+	ports []portShard
 }
 
 // Ephemeral port range (BSD's traditional 1024..5000).
@@ -93,7 +195,123 @@ const (
 
 // NewTable creates an empty PCB table.
 func NewTable() *Table {
-	return &Table{pcbs: make(map[*PCB]struct{}), nextEphem: ephemFirst}
+	t := &Table{pcbs: make(map[*PCB]struct{}), nextEphem: ephemFirst}
+	t.setShardsLocked(DefaultShards)
+	return t
+}
+
+// SetShards resizes the demux to n shards (rounded up to a power of
+// two) and refiles every PCB.
+func (t *Table) SetShards(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.setShardsLocked(n)
+}
+
+// Shards reports the current shard count.
+func (t *Table) Shards() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int(t.mask) + 1
+}
+
+func (t *Table) setShardsLocked(n int) {
+	if n < 1 {
+		n = 1
+	}
+	sz := 1
+	for sz < n && sz < 1<<16 {
+		sz <<= 1
+	}
+	t.mask = uint32(sz - 1)
+	t.conns = make([]connShard, sz)
+	t.ports = make([]portShard, sz)
+	for i := range t.conns {
+		t.conns[i].m = make(map[tuple][]*PCB)
+	}
+	for i := range t.ports {
+		t.ports[i].m = make(map[uint16]*portEntry)
+	}
+	for p := range t.pcbs {
+		p.indexed = false
+		t.indexLocked(p)
+	}
+}
+
+func removePCB(s []*PCB, p *PCB) []*PCB {
+	for i, q := range s {
+		if q == p {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// indexLocked files the PCB under its current tuple. Caller holds t.mu.
+func (t *Table) indexLocked(p *PCB) {
+	if p.indexed {
+		return
+	}
+	k := tuple{laddr: p.LAddr, faddr: p.FAddr, lport: p.LPort, fport: p.FPort}
+	p.idx, p.indexed = k, true
+	if k.connected() {
+		cs := &t.conns[k.hash()&t.mask]
+		cs.mu.Lock()
+		cs.m[k] = append(cs.m[k], p)
+		cs.mu.Unlock()
+	}
+	ps := &t.ports[portHash(k.lport)&t.mask]
+	ps.mu.Lock()
+	e := ps.m[k.lport]
+	if e == nil {
+		e = &portEntry{byLAddr: make(map[inet.IP6]int)}
+		ps.m[k.lport] = e
+	}
+	if !k.connected() {
+		e.wild = append(e.wild, p)
+	} else if k.faddr.IsUnspecified() {
+		e.connNoF = append(e.connNoF, p)
+	}
+	e.byLAddr[k.laddr]++
+	e.total++
+	ps.mu.Unlock()
+}
+
+// unindexLocked unhooks the PCB from the chains its idx snapshot names.
+// Caller holds t.mu.
+func (t *Table) unindexLocked(p *PCB) {
+	if !p.indexed {
+		return
+	}
+	k := p.idx
+	p.indexed = false
+	if k.connected() {
+		cs := &t.conns[k.hash()&t.mask]
+		cs.mu.Lock()
+		if rest := removePCB(cs.m[k], p); len(rest) == 0 {
+			delete(cs.m, k)
+		} else {
+			cs.m[k] = rest
+		}
+		cs.mu.Unlock()
+	}
+	ps := &t.ports[portHash(k.lport)&t.mask]
+	ps.mu.Lock()
+	if e := ps.m[k.lport]; e != nil {
+		if !k.connected() {
+			e.wild = removePCB(e.wild, p)
+		} else if k.faddr.IsUnspecified() {
+			e.connNoF = removePCB(e.connNoF, p)
+		}
+		if e.byLAddr[k.laddr]--; e.byLAddr[k.laddr] == 0 {
+			delete(e.byLAddr, k.laddr)
+		}
+		if e.total--; e.total == 0 {
+			delete(ps.m, k.lport)
+		}
+	}
+	ps.mu.Unlock()
 }
 
 // Attach allocates a PCB in the table (in_pcballoc).
@@ -101,6 +319,7 @@ func (t *Table) Attach(family inet.Family, socket any) *PCB {
 	p := &PCB{Family: family, Socket: socket, table: t}
 	t.mu.Lock()
 	t.pcbs[p] = struct{}{}
+	t.indexLocked(p)
 	t.mu.Unlock()
 	return p
 }
@@ -108,6 +327,7 @@ func (t *Table) Attach(family inet.Family, socket any) *PCB {
 // Detach removes the PCB (in_pcbdetach).
 func (t *Table) Detach(p *PCB) {
 	t.mu.Lock()
+	t.unindexLocked(p)
 	delete(t.pcbs, p)
 	t.mu.Unlock()
 }
@@ -143,26 +363,44 @@ func (t *Table) Bind(p *PCB, laddr inet.IP6, lport uint16) error {
 		if err != nil {
 			return err
 		}
-	} else {
-		for q := range t.pcbs {
-			if q == p || q.LPort != lport {
-				continue
-			}
-			// Conflict if either side is wildcard or addresses match,
-			// and the two sockets could see the same traffic.
-			if q.LAddr.IsUnspecified() || laddr.IsUnspecified() || q.LAddr == laddr {
-				// Distinct connected sockets may share a local port.
-				if q.FAddr.IsUnspecified() {
-					return ErrAddrInUse
-				}
-			}
-		}
+	} else if t.bindConflictLocked(p, laddr, lport) {
+		return ErrAddrInUse
 	}
+	t.unindexLocked(p)
 	p.LAddr = laddr
 	p.LPort = lport
+	t.indexLocked(p)
 	return nil
 }
 
+// bindConflictLocked checks an explicit bind against the port's
+// wildcard-foreign chains: a conflict needs an existing socket that
+// could see the same traffic (address overlap) and has no fixed peer —
+// distinct connected sockets may share a local port.
+func (t *Table) bindConflictLocked(p *PCB, laddr inet.IP6, lport uint16) bool {
+	ps := &t.ports[portHash(lport)&t.mask]
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	e := ps.m[lport]
+	if e == nil {
+		return false
+	}
+	for _, chain := range [2][]*PCB{e.wild, e.connNoF} {
+		for _, q := range chain {
+			if q == p {
+				continue
+			}
+			if q.LAddr.IsUnspecified() || laddr.IsUnspecified() || q.LAddr == laddr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ephemeralLocked allocates an ephemeral port: the cursor walks the
+// range and the port index answers each candidate's occupancy in O(1),
+// replacing the historical rescan of every PCB per candidate.
 func (t *Table) ephemeralLocked(laddr inet.IP6) (uint16, error) {
 	for i := 0; i <= ephemLast-ephemFirst; i++ {
 		port := t.nextEphem
@@ -170,24 +408,34 @@ func (t *Table) ephemeralLocked(laddr inet.IP6) (uint16, error) {
 		if t.nextEphem > ephemLast {
 			t.nextEphem = ephemFirst
 		}
-		free := true
-		for q := range t.pcbs {
-			if q.LPort == port && (q.LAddr.IsUnspecified() || laddr.IsUnspecified() || q.LAddr == laddr) {
-				free = false
-				break
-			}
-		}
-		if free {
+		if t.portFree(port, laddr) {
 			return port, nil
 		}
 	}
 	return 0, ErrNoPorts
 }
 
+// portFree reports whether (laddr, port) collides with no existing
+// binding: any occupant blocks a wildcard request, and a specific
+// request is blocked by wildcard-bound or same-address occupants.
+func (t *Table) portFree(port uint16, laddr inet.IP6) bool {
+	ps := &t.ports[portHash(port)&t.mask]
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	e := ps.m[port]
+	if e == nil {
+		return true
+	}
+	if laddr.IsUnspecified() {
+		return e.total == 0
+	}
+	return e.byLAddr[inet.IP6{}] == 0 && e.byLAddr[laddr] == 0
+}
+
 // Connect is in6_pcbconnect: fix the foreign address/port and set the
 // IPv6-in-use flag from the address form (§5.1). The local port is
 // bound if needed; the local address is left for the caller/IP layer
-// to fill from source selection.
+// to fill from source selection (SetTuple refiles it then).
 func (t *Table) Connect(p *PCB, faddr inet.IP6, fport uint16) error {
 	faddr, err := normalize(p.Family, faddr)
 	if err != nil {
@@ -201,6 +449,8 @@ func (t *Table) Connect(p *PCB, faddr inet.IP6, fport uint16) error {
 			return err
 		}
 	}
+	t.mu.Lock()
+	t.unindexLocked(p)
 	p.FAddr = faddr
 	p.FPort = fport
 	if faddr.IsV4Mapped() {
@@ -208,13 +458,55 @@ func (t *Table) Connect(p *PCB, faddr inet.IP6, fport uint16) error {
 	} else {
 		p.Flags |= FlagIPv6
 	}
+	t.indexLocked(p)
+	t.mu.Unlock()
 	return nil
 }
 
 // Disconnect clears the foreign association.
 func (t *Table) Disconnect(p *PCB) {
+	t.mu.Lock()
+	t.unindexLocked(p)
 	p.FAddr = inet.IP6{}
 	p.FPort = 0
+	t.indexLocked(p)
+	t.mu.Unlock()
+}
+
+// SetTuple rewrites the PCB's whole 4-tuple and refiles it — the
+// in_pcbconnect moment when a passive open fixes the child's addresses,
+// or an active open fills the chosen source address. The caller owns
+// family/flag consistency of the new tuple.
+func (t *Table) SetTuple(p *PCB, laddr inet.IP6, lport uint16, faddr inet.IP6, fport uint16) {
+	t.mu.Lock()
+	t.unindexLocked(p)
+	p.LAddr, p.LPort = laddr, lport
+	p.FAddr, p.FPort = faddr, fport
+	t.indexLocked(p)
+	t.mu.Unlock()
+}
+
+// compatible applies the §5.2 family filter: v4 traffic is invisible to
+// V6Only sockets, v6 traffic to PF_INET sockets.
+func compatible(p *PCB, v4 bool) bool {
+	if v4 {
+		return p.Family != inet.AFInet6 || p.Flags&FlagV6Only == 0
+	}
+	return p.Family != inet.AFInet
+}
+
+// probeConnected is the exact-match bucket probe: one shard, one map
+// access, a chain that is almost always a single PCB.
+func (t *Table) probeConnected(k tuple, v4 bool) *PCB {
+	cs := &t.conns[k.hash()&t.mask]
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	for _, p := range cs.m[k] {
+		if compatible(p, v4) {
+			return p
+		}
+	}
+	return nil
 }
 
 // Lookup finds the PCB for a received packet (in_pcblookup with
@@ -223,10 +515,59 @@ func (t *Table) Disconnect(p *PCB) {
 // a PF_INET6 socket matches v4 traffic through its mapped form unless
 // FlagV6Only is set (§5.2: "allows an application to receive both IPv4
 // and IPv6 datagrams using an IPv6 socket").
+//
+// The scan became three ordered probes whose classes cannot outscore
+// each other: the full-tuple bucket (score 3 in the old scoring), the
+// wildcard-local-address bucket (score 2 — a connected socket that
+// never fixed its source), and only then the port's listener chain
+// (score ≤ 1), so an established connection never pays for the
+// listeners sharing its port.
 func (t *Table) Lookup(laddr inet.IP6, lport uint16, faddr inet.IP6, fport uint16, v4 bool) *PCB {
+	if p := t.probeConnected(tuple{laddr: laddr, faddr: faddr, lport: lport, fport: fport}, v4); p != nil {
+		return p
+	}
+	if !laddr.IsUnspecified() {
+		if p := t.probeConnected(tuple{faddr: faddr, lport: lport, fport: fport}, v4); p != nil {
+			return p
+		}
+	}
+	ps := &t.ports[portHash(lport)&t.mask]
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	e := ps.m[lport]
+	if e == nil {
+		return nil
+	}
+	var best *PCB
+	bestScore := -1
+	for _, p := range e.wild {
+		if !compatible(p, v4) {
+			continue
+		}
+		score := 0
+		if !p.LAddr.IsUnspecified() {
+			if p.LAddr != laddr {
+				continue
+			}
+			score = 1
+		}
+		if score > bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best
+}
+
+// lookupRef is the original linear-scan in_pcblookup, retained verbatim
+// as the reference model for the hash demux. It returns every
+// maximum-score candidate: the old map-iteration code picked an
+// arbitrary one, so the production Lookup is correct iff its winner is
+// a member of this set (nil result ↔ empty set). The differential and
+// fuzz tests replay random operation sequences through both paths.
+func (t *Table) lookupRef(laddr inet.IP6, lport uint16, faddr inet.IP6, fport uint16, v4 bool) []*PCB {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var best *PCB
+	var best []*PCB
 	bestScore := -1
 	for p := range t.pcbs {
 		if p.LPort != lport {
@@ -255,8 +596,11 @@ func (t *Table) Lookup(laddr inet.IP6, lport uint16, faddr inet.IP6, fport uint1
 			}
 			score++
 		}
-		if score > bestScore {
-			best, bestScore = p, score
+		switch {
+		case score > bestScore:
+			best, bestScore = append(best[:0], p), score
+		case score == bestScore:
+			best = append(best, p)
 		}
 	}
 	return best

@@ -106,16 +106,15 @@ func TestLookupPreference(t *testing.T) {
 	local := ip6(t, "2001:db8::1")
 	peer := ip6(t, "2001:db8::2")
 
-	// Install PCBs directly: wildcard + specific on one port would
+	// Install PCBs via SetTuple: wildcard + specific on one port would
 	// need SO_REUSEADDR to coexist via Bind, but Lookup must still
 	// rank them correctly when they do.
 	wild := tb.Attach(inet.AFInet6, "wild")
-	wild.LPort = 53
+	tb.SetTuple(wild, inet.IP6{}, 53, inet.IP6{}, 0)
 	bound := tb.Attach(inet.AFInet6, "bound")
-	bound.LAddr, bound.LPort = local, 53
+	tb.SetTuple(bound, local, 53, inet.IP6{}, 0)
 	connected := tb.Attach(inet.AFInet6, "conn")
-	connected.LAddr, connected.LPort = local, 53
-	connected.FAddr, connected.FPort = peer, 4242
+	tb.SetTuple(connected, local, 53, peer, 4242)
 
 	// Fully matching traffic hits the connected PCB.
 	got := tb.Lookup(local, 53, peer, 4242, false)

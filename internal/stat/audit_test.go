@@ -107,7 +107,14 @@ func TestEveryTCPCounterHasASource(t *testing.T) {
 	if len(fields) < 10 {
 		t.Fatalf("parsed only %d counter fields; struct regex out of date", len(fields))
 	}
-	for _, must := range []string{"PredAck", "PredDat", "DelAcks"} {
+	// The must-list pins the counters whose loss a refactor would most
+	// plausibly hide: the header-prediction shortcut and the stateless
+	// connection-demux machinery (SYN cookies, compressed TIME_WAIT).
+	for _, must := range []string{
+		"PredAck", "PredDat", "DelAcks",
+		"SynCookiesSent", "SynCookiesValidated", "SynCookiesFailed",
+		"TimeWaitRecycled", "TimeWaitOverflow",
+	} {
 		found := false
 		for _, f := range fields {
 			if f == must {

@@ -94,6 +94,10 @@ const (
 	RTCPSynOverflow  // listener SYN backlog dropped an embryonic connection
 	RMbufLimit       // netisr queued-byte ceiling refused an input frame
 
+	// Connection-demux governance (SYN cookies and the TIME_WAIT table).
+	RTCPSynCookieFailed  // listener ACK failed SYN-cookie validation (forged or stale)
+	RTCPTimeWaitOverflow // TIME_WAIT table cap evicted the oldest 2MSL record
+
 	reasonCount // sentinel: number of reasons, keep last
 )
 
@@ -153,6 +157,9 @@ var reasonNames = [reasonCount]string{
 	RNDQueueFull:      "nd-queue-overflow",
 	RTCPSynOverflow:   "tcp-syn-overflow",
 	RMbufLimit:        "mbuf-limit",
+
+	RTCPSynCookieFailed:  "tcp-syn-cookie-failed",
+	RTCPTimeWaitOverflow: "tcp-time-wait-overflow",
 }
 
 // String returns the reason's stable snapshot key.

@@ -1,0 +1,82 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSynCookie proves the cookie algebra over arbitrary tuples, client
+// ISNs and clock positions: a minted cookie round-trips to its exact
+// MSS class within the two-unit validity window and dies after it, and
+// a forged or cross-tuple cookie is accepted only if it literally
+// equals one of the ≤8 values that are valid for that tuple right now
+// (the enumerable set, not a probabilistic pass).
+func FuzzSynCookie(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint16(0), uint16(0), uint32(0), uint8(0), uint32(0), uint32(0))
+	f.Add(uint64(0x20010db800000001), uint64(0x20010db800000002), uint16(80), uint16(43521),
+		uint32(0xdeadbeef), uint8(3), uint32(12345), uint32(1000))
+	f.Add(uint64(0xffffffffffffffff), uint64(1), uint16(65535), uint16(1),
+		uint32(0xffffffff), uint8(2), uint32(0xffffffff), uint32(0xffffffc0))
+	f.Fuzz(func(t *testing.T, la, fa uint64, lport, fport uint16, clientISN uint32, mssClass uint8, forged, tick uint32) {
+		tc := &TCP{cookieSeed: newCookieSeed(), cookieTick: tick}
+		var k twTuple
+		binary.BigEndian.PutUint64(k.laddr[8:], la)
+		binary.BigEndian.PutUint64(k.faddr[8:], fa)
+		k.lport, k.fport = lport, fport
+
+		idx := int(mssClass) % len(cookieMSS)
+		cookie := tc.cookieISN(k, clientISN, idx)
+
+		// Round trip at mint time and one coarse unit later.
+		for step := 0; step < 2; step++ {
+			got, ok := tc.cookieCheck(k, clientISN, cookie)
+			if !ok {
+				t.Fatalf("fresh cookie rejected at step %d", step)
+			}
+			if got != idx {
+				t.Fatalf("MSS class %d decoded as %d", idx, got)
+			}
+			tc.cookieTick += 1 << cookieTickShift
+		}
+		// Two units past mint: stale.
+		if _, ok := tc.cookieCheck(k, clientISN, cookie); ok {
+			t.Fatal("stale cookie accepted")
+		}
+		tc.cookieTick = tick
+
+		// validSet enumerates every cookie value cookieCheck may
+		// legitimately accept for (tuple, isn) right now: 4 MSS classes
+		// × the current and previous time unit.
+		validSet := func(k twTuple, isn uint32) map[uint32]bool {
+			set := make(map[uint32]bool, 8)
+			h1 := cookieHash(tc.cookieSeed[0], k, 0)
+			for d := uint32(0); d <= 1; d++ {
+				count := (tc.cookieCount() - d) & 0xff
+				h2 := cookieHash(tc.cookieSeed[1], k, count)
+				for i := uint32(0); i < uint32(len(cookieMSS)); i++ {
+					set[h1+isn+count<<24+((h2+i)&0xffffff)] = true
+				}
+			}
+			return set
+		}
+
+		// A forged value passes iff it collides with the valid set.
+		if _, ok := tc.cookieCheck(k, clientISN, forged); ok != validSet(k, clientISN)[forged] {
+			t.Fatalf("forged cookie %#x: check=%v, membership=%v", forged, ok, !ok)
+		}
+		// The genuine cookie replayed against a perturbed tuple, or with
+		// a perturbed client ISN, must fail unless it coincides with the
+		// perturbed identity's own valid set.
+		for _, k2 := range []twTuple{
+			{laddr: k.laddr, faddr: k.faddr, lport: k.lport, fport: k.fport ^ 1},
+			{laddr: k.laddr, faddr: k.faddr, lport: k.lport ^ 0x8000, fport: k.fport},
+		} {
+			if _, ok := tc.cookieCheck(k2, clientISN, cookie); ok != validSet(k2, clientISN)[cookie] {
+				t.Fatalf("cross-tuple cookie: check=%v, membership=%v", ok, !ok)
+			}
+		}
+		if _, ok := tc.cookieCheck(k, clientISN+1, cookie); ok != validSet(k, clientISN+1)[cookie] {
+			t.Fatalf("wrong-ISN cookie: check=%v, membership=%v", ok, !ok)
+		}
+	})
+}

@@ -52,6 +52,19 @@ func (t *TCP) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
 
 	t.mu.Lock()
 	p := t.Table.Lookup(dst, th.DPort, src, th.SPort, meta.Family == inet.AFInet)
+	// TIME_WAIT demux: when no established connection claims the tuple
+	// (the lookup missed or resolved to a listener), a compressed 2MSL
+	// record may still own it. A recycling SYN falls through to the
+	// listener; everything else is answered from the record.
+	if p == nil || ownerListening(p) {
+		if e := t.tw.get(twTuple{laddr: dst, faddr: src, lport: th.DPort, fport: th.SPort}); e != nil {
+			if t.twInput(e, th) {
+				t.mu.Unlock()
+				t.flush()
+				return
+			}
+		}
+	}
 	if p == nil || p.Owner == nil {
 		t.Drops.DropPkt(stat.RTCPNoPCB, b)
 		if th.Flags&FlagRST == 0 {
@@ -92,7 +105,7 @@ func (c *Conn) segInput(th *Header, data []byte, meta *proto.Meta, src, dst inet
 	case StateClosed:
 		return
 	case StateListen:
-		c.listenInput(th, meta, src, dst)
+		c.listenInput(th, data, meta, src, dst)
 		return
 	case StateSynSent:
 		c.synSentInput(th)
@@ -151,12 +164,9 @@ func (c *Conn) segInput(th *Header, data []byte, meta *proto.Meta, src, dst inet
 
 	// RST processing.
 	if th.Flags&FlagRST != 0 {
-		switch c.state {
-		case StateSynRcvd:
+		if c.state == StateSynRcvd {
 			c.drop(ErrRefused)
-		case StateTimeWait:
-			c.closeLocked(nil)
-		default:
+		} else {
 			c.drop(ErrReset)
 		}
 		return
@@ -384,8 +394,7 @@ func (c *Conn) ackNew(ack uint32) bool {
 		case StateFinWait1:
 			c.state = StateFinWait2
 		case StateClosing:
-			c.state = StateTimeWait
-			c.t2msl = 2 * msl
+			c.enterTimeWait()
 		case StateLastAck:
 			c.closeLocked(nil)
 			return true
@@ -394,22 +403,45 @@ func (c *Conn) ackNew(ack uint32) bool {
 	return false
 }
 
+// ownerListening reports whether the PCB belongs to a listening
+// connection — the demux class a TIME_WAIT record may shadow.
+func ownerListening(p *pcb.PCB) bool {
+	c, ok := p.Owner.(*Conn)
+	return ok && c.listening
+}
+
 // listenInput handles a segment arriving at a listening socket.
-func (c *Conn) listenInput(th *Header, meta *proto.Meta, src, dst inet.IP6) {
+func (c *Conn) listenInput(th *Header, data []byte, meta *proto.Meta, src, dst inet.IP6) {
 	t := c.t
 	if th.Flags&FlagRST != 0 {
 		return
 	}
 	if th.Flags&FlagACK != 0 {
+		// With cookies enabled this may be the third leg of a stateless
+		// handshake; anything that fails validation is a typed drop and
+		// answered with RST.
+		if t.SynCookies && th.Flags&FlagSYN == 0 {
+			if c.cookieAccept(th, data, meta, src, dst) {
+				return
+			}
+			t.Stats.SynCookiesFailed.Inc()
+			t.Drops.DropNote(stat.RTCPSynCookieFailed,
+				fmt.Sprintf("%s.%d > %s.%d", src, th.SPort, dst, th.DPort))
+		}
 		t.respondRST(meta, th, 0)
 		return
 	}
 	if th.Flags&FlagSYN == 0 {
 		return
 	}
-	// SYN backlog cap: recycle the oldest embryonic connection rather
-	// than growing half-open state without bound under a SYN flood.
+	// SYN backlog cap: go stateless when cookies are enabled, otherwise
+	// recycle the oldest embryonic connection rather than growing
+	// half-open state without bound under a SYN flood.
 	if max := t.synBacklogMax(); max > 0 && len(c.synQ) >= max {
+		if t.SynCookies {
+			c.sendSynCookie(th, meta, src, dst)
+			return
+		}
 		old := c.synQ[0]
 		t.Stats.SynDrops.Inc()
 		t.Drops.DropNote(stat.RTCPSynOverflow,
@@ -425,8 +457,7 @@ func (c *Conn) listenInput(th *Header, meta *proto.Meta, src, dst inet.IP6) {
 	}
 	child.pcb = t.Table.Attach(c.pcb.Family, c.pcb.Socket)
 	child.pcb.Owner = child
-	child.pcb.LAddr, child.pcb.LPort = dst, c.pcb.LPort
-	child.pcb.FAddr, child.pcb.FPort = src, th.SPort
+	t.Table.SetTuple(child.pcb, dst, c.pcb.LPort, src, th.SPort)
 	if src.IsV4Mapped() {
 		child.pcb.Flags &^= pcb.FlagIPv6
 	} else {
@@ -508,10 +539,7 @@ func (c *Conn) processFIN() {
 		// Our FIN not yet acknowledged: both closing at once.
 		c.state = StateClosing
 	case StateFinWait2:
-		c.state = StateTimeWait
-		c.t2msl = 2 * msl
-	case StateTimeWait:
-		c.t2msl = 2 * msl // restart
+		c.enterTimeWait()
 	}
 	c.wakeupLocked() // EOF is readable
 }

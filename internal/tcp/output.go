@@ -281,13 +281,10 @@ func (t *TCP) SlowTimo() {
 				c.persistProbe()
 			}
 		}
-		if c.t2msl > 0 {
-			if c.t2msl--; c.t2msl == 0 {
-				c.closeLocked(nil)
-				continue
-			}
-		}
 	}
+	// The 2MSL wheel and the SYN-cookie clock ride the same cadence.
+	t.twTick()
+	t.cookieTick++
 	t.mu.Unlock()
 	t.flush()
 }

@@ -89,6 +89,12 @@ type Stats struct {
 	PersistProbe  stat.Counter
 	FastRexmit    stat.Counter
 	SynDrops      stat.Counter // embryonic connections evicted by the SYN backlog cap
+
+	SynCookiesSent      stat.Counter // stateless SYN-ACKs sent while the backlog was full
+	SynCookiesValidated stat.Counter // connections rebuilt from a valid cookie ACK
+	SynCookiesFailed    stat.Counter // listener ACKs that failed cookie validation
+	TimeWaitRecycled    stat.Counter // 2MSL records released early by a fresh SYN or connect
+	TimeWaitOverflow    stat.Counter // 2MSL records evicted by the TimeWaitMax cap
 }
 
 // DefaultSynBacklog is the default cap on embryonic (SYN_RCVD)
@@ -134,6 +140,18 @@ type TCP struct {
 	// it.  0 selects DefaultSynBacklog; negative disables the cap.
 	SynBacklogMax int
 
+	// SynCookies switches a listener whose backlog is full to
+	// stateless SYN cookies: the SYN-ACK's ISN encodes a keyed hash of
+	// the 4-tuple, a coarse time counter and the peer's MSS class, and
+	// the child connection is rebuilt from the completing ACK alone —
+	// the flood costs per-reply work, never per-SYN state.
+	SynCookies bool
+
+	// TimeWaitMax caps the compressed TIME_WAIT table; overflow evicts
+	// the record closest to expiry (tcp-time-wait-overflow). 0 selects
+	// DefaultTimeWaitMax; negative removes the cap.
+	TimeWaitMax int
+
 	// Predict enables the Van Jacobson header-prediction fast path in
 	// segment input (on by default). The fast path is an exact
 	// restatement of the general path for its two covered cases, so
@@ -146,6 +164,14 @@ type TCP struct {
 
 	iss   uint32
 	conns map[*Conn]struct{}
+
+	// SYN-cookie secrets and coarse time (advanced by SlowTimo).
+	cookieSeed [2]uint32
+	cookieTick uint32
+	// tw is the compressed TIME_WAIT engine (2MSL wheel on the slow
+	// timer); its records own their tuples in the demux after the full
+	// connection state is torn down.
+	tw timeWait
 
 	// outbox collects segments to transmit after the lock drops, so a
 	// synchronously delivered reply cannot deadlock on re-entry.
@@ -173,6 +199,7 @@ type outSeg struct {
 // New creates the TCP instance and registers it with both IP layers.
 func New(v4l *ipv4.Layer, v6l *ipv6.Layer) *TCP {
 	t := &TCP{Table: pcb.NewTable(), v4: v4l, v6: v6l, conns: make(map[*Conn]struct{}), Predict: true}
+	t.cookieSeed = newCookieSeed()
 	if v4l != nil {
 		v4l.Register(proto.TCP, t.input, t.ctlInput)
 	}
@@ -220,9 +247,10 @@ type Conn struct {
 	rttTicks     int // -1 when no measurement in flight
 	ticks        int // connection tick counter
 
-	// Timers, in remaining slow ticks; 0 means stopped.
-	tRexmt, tPersist, t2msl, tConn int
-	rexmtShift                     int
+	// Timers, in remaining slow ticks; 0 means stopped. (The 2MSL
+	// timer lives in the TIME_WAIT engine's wheel, not here.)
+	tRexmt, tPersist, tConn int
+	rexmtShift              int
 
 	mss     int
 	delack  bool
@@ -243,6 +271,11 @@ type Conn struct {
 	acceptQ   []*Conn
 	synQ      []*Conn // embryonic children in SYN arrival order
 	parent    *Conn   // listener this connection was spawned from
+
+	// twe is the compressed 2MSL record this handle collapsed into on
+	// entering TIME_WAIT; once the engine expires it, the handle
+	// reports CLOSED.
+	twe *twEntry
 
 	// Wakeup is invoked (outside the stack lock) whenever readable,
 	// writable, state or error conditions may have changed.
@@ -292,10 +325,14 @@ func (t *TCP) Attach(family inet.Family, socket any) *Conn {
 // PCB exposes the connection's protocol control block.
 func (c *Conn) PCB() *pcb.PCB { return c.pcb }
 
-// State returns the connection state.
+// State returns the connection state. A handle that collapsed into a
+// compressed TIME_WAIT record reports CLOSED once the record expires.
 func (c *Conn) State() State {
 	c.t.mu.Lock()
 	defer c.t.mu.Unlock()
+	if c.state == StateTimeWait && (c.twe == nil || c.twe.dead) {
+		return StateClosed
+	}
 	return c.state
 }
 
@@ -365,18 +402,27 @@ func (c *Conn) Connect(faddr inet.IP6, fport uint16) error {
 		t.mu.Unlock()
 		return err
 	}
-	// Fix the local address now (in_pcbconnect): the checksum needs it.
+	// Fix the local address now (in_pcbconnect): the checksum needs it,
+	// and the demux must refile the PCB under its final tuple.
 	if c.pcb.LAddr.IsUnspecified() {
+		laddr := faddr // local destination
 		if v4, ok := faddr.MappedV4(); ok {
+			laddr = inet.V4Mapped(v4)
 			if s, found := t.v4.SourceFor(v4); found {
-				c.pcb.LAddr = inet.V4Mapped(s)
-			} else {
-				c.pcb.LAddr = inet.V4Mapped(v4) // local destination
+				laddr = inet.V4Mapped(s)
 			}
 		} else if s, found := t.v6.SourceFor(faddr, nil); found {
-			c.pcb.LAddr = s
-		} else {
-			c.pcb.LAddr = faddr // local destination
+			laddr = s
+		}
+		t.Table.SetTuple(c.pcb, laddr, c.pcb.LPort, c.pcb.FAddr, c.pcb.FPort)
+	}
+	// Recycle a 2MSL record from a previous incarnation of this exact
+	// tuple, pushing the ISS beyond its old sequence space (RFC 6191).
+	if e := t.tw.get(twTuple{laddr: c.pcb.LAddr, faddr: c.pcb.FAddr, lport: c.pcb.LPort, fport: c.pcb.FPort}); e != nil {
+		t.tw.removeEntry(e)
+		t.Stats.TimeWaitRecycled.Inc()
+		if !seqGT(t.iss+64000, e.sndNxt) {
+			t.iss = e.sndNxt
 		}
 	}
 	c.mss = t.pathMSS(c.pcb)
@@ -505,7 +551,10 @@ func (c *Conn) Close() error {
 func (c *Conn) Abort() {
 	t := c.t
 	t.mu.Lock()
-	if c.state != StateClosed && c.state != StateListen && c.state != StateSynSent {
+	if c.state == StateTimeWait {
+		// The handle compressed into a 2MSL record: release it quietly.
+		t.tw.removeEntry(c.twe)
+	} else if c.state != StateClosed && c.state != StateListen && c.state != StateSynSent {
 		c.sendRST()
 	}
 	c.closeLocked(ErrClosed)
@@ -522,7 +571,7 @@ func (c *Conn) closeLocked(err error) {
 		c.err = err
 	}
 	c.state = StateClosed
-	c.tRexmt, c.tPersist, c.t2msl, c.tConn = 0, 0, 0, 0
+	c.tRexmt, c.tPersist, c.tConn = 0, 0, 0
 	c.unlinkSynLocked()
 	c.t.Table.Detach(c.pcb)
 	delete(c.t.conns, c)

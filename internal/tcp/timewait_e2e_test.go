@@ -1,0 +1,137 @@
+package tcp_test
+
+// End-to-end TIME_WAIT behavior over the simulated network: the active
+// closer's handle passes through the compressed 2MSL record and reports
+// CLOSED after expiry; a new incarnation of the same port pair recycles
+// the record immediately; and a churn soak drives thousands of short
+// connections through ONE port pair with the TIME_WAIT table bounded
+// and no mbuf leaked (poison-on-free armed).
+
+import (
+	"testing"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/mbuf"
+	"bsd6/internal/tcp"
+)
+
+// shortConn runs one full connection through (cport, sport): connect,
+// active close from the client, and returns once the client handle has
+// left ESTABLISHED teardown (TIME_WAIT or CLOSED).
+func (s *tsim) shortConn(a, b *tnode, l *tcp.Conn, cport, sport uint16) {
+	s.t.Helper()
+	c := a.tcp.Attach(inet.AFInet6, nil)
+	if err := c.Bind(inet.IP6{}, cport); err != nil {
+		s.t.Fatalf("client bind %d: %v", cport, err)
+	}
+	if err := c.Connect(b.LinkLocal(0), sport); err != nil {
+		s.t.Fatalf("connect: %v", err)
+	}
+	s.waitState(c, tcp.StateEstablished)
+	srv := s.acceptOne(l)
+	c.Close()
+	s.recvEOF(srv)
+	srv.Close()
+	s.recvEOF(c)
+	s.WaitFor(s.t, "client teardown", func() bool {
+		st := c.State()
+		return st == tcp.StateTimeWait || st == tcp.StateClosed
+	})
+	s.waitState(srv, tcp.StateClosed)
+}
+
+func TestTimeWaitLifecycleE2E(t *testing.T) {
+	s, a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9200)
+	l.Listen(4)
+
+	s.shortConn(a, b, l, 41000, 9200)
+	if n := a.tcp.TimeWaitCount(); n != 1 {
+		t.Fatalf("TimeWaitCount = %d after active close, want 1", n)
+	}
+	// The full Conn left the connection set; only the record remains.
+	for _, c := range a.tcp.Conns() {
+		if c.State() == tcp.StateTimeWait {
+			t.Fatal("TIME_WAIT connection still in the live set")
+		}
+	}
+	// Well within the quiet period: still TIME_WAIT.
+	s.Run(1 * time.Second)
+	if n := a.tcp.TimeWaitCount(); n != 1 {
+		t.Fatalf("TimeWaitCount = %d inside 2MSL", n)
+	}
+	// Past 2MSL (msl=4 slow ticks → 4s): expired, handle reports CLOSED.
+	s.Run(5 * time.Second)
+	if n := a.tcp.TimeWaitCount(); n != 0 {
+		t.Fatalf("TimeWaitCount = %d after 2MSL", n)
+	}
+}
+
+func TestTimeWaitRecycledByNewIncarnation(t *testing.T) {
+	s, a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9201)
+	l.Listen(4)
+
+	s.shortConn(a, b, l, 41001, 9201)
+	if n := a.tcp.TimeWaitCount(); n != 1 {
+		t.Fatalf("TimeWaitCount = %d", n)
+	}
+	// Same port pair again, immediately: Connect recycles the local
+	// record instead of waiting out the 2MSL, and the new incarnation
+	// establishes.
+	s.shortConn(a, b, l, 41001, 9201)
+	if got := a.tcp.Stats.TimeWaitRecycled.Get(); got != 1 {
+		t.Fatalf("TimeWaitRecycled = %d, want 1", got)
+	}
+	if n := a.tcp.TimeWaitCount(); n != 1 {
+		t.Fatalf("TimeWaitCount = %d after recycle, want 1", n)
+	}
+}
+
+func TestTimeWaitChurnSoak(t *testing.T) {
+	iters := 10_000
+	if testing.Short() {
+		iters = 1000
+	}
+	mbuf.SetPoison(true)
+	defer mbuf.SetPoison(false)
+
+	s, a, b := tcpPair(t)
+	l := b.tcp.Attach(inet.AFInet6, nil)
+	l.Bind(inet.IP6{}, 9202)
+	l.Listen(4)
+
+	// First incarnation outside the measured window: initial neighbor
+	// resolution retains one buffer that never returns to the pool.
+	s.shortConn(a, b, l, 41002, 9202)
+	baseline := mbuf.Outstanding()
+
+	for i := 0; i < iters; i++ {
+		s.shortConn(a, b, l, 41002, 9202)
+		// One port pair ⇒ at most one live 2MSL record, ever.
+		if n := a.tcp.TimeWaitCount(); n > 1 {
+			t.Fatalf("iteration %d: TimeWaitCount = %d", i, n)
+		}
+	}
+	// Every incarnation after the first had to recycle its predecessor.
+	if got := a.tcp.Stats.TimeWaitRecycled.Get(); got < uint64(iters) {
+		t.Fatalf("TimeWaitRecycled = %d over %d incarnations", got, iters+1)
+	}
+	if got := a.tcp.Stats.ConnEstab.Get(); got != uint64(iters)+1 {
+		t.Fatalf("ConnEstab = %d, want %d", got, iters+1)
+	}
+	// No stack state accumulated: PCBs gone, listener aside, and every
+	// mbuf returned to the pool (poison would have caught a re-read).
+	if n := a.tcp.Table.Len(); n != 0 {
+		t.Fatalf("client PCB table has %d entries after churn", n)
+	}
+	if n := b.tcp.Table.Len(); n != 1 {
+		t.Fatalf("server PCB table has %d entries, want the listener", n)
+	}
+	if out := mbuf.Outstanding(); out > baseline {
+		t.Fatalf("mbuf leak: outstanding %d > baseline %d", out, baseline)
+	}
+}
