@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ipbench [-t table1|table2|table3|table4|table5|figure8|micro|conns|all] [-iters N] [-mb N] [-json] [-tag NAME] [-baseline]
+//	ipbench [-t table1|table2|table3|table4|table5|figure8|micro|conns|stream|all] [-iters N] [-mb N] [-json] [-tag NAME] [-baseline]
 //
 // With -json, every measured cell is also written to BENCH_<date>.json
 // so before/after runs can be diffed mechanically.  -tag inserts a
@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"bsd6"
@@ -33,6 +34,8 @@ var (
 	flagJSON     = flag.Bool("json", false, "also write results to BENCH_<date>.json")
 	flagTag      = flag.String("tag", "", "suffix for the BENCH_<date> filename")
 	flagBaseline = flag.Bool("baseline", false, "mark this run as the baseline of a before/after pair")
+	flagProfile  = flag.String("cpuprofile", "", "write a CPU profile of the measured region to this file")
+	flagNoBatch  = flag.Bool("nobatch", false, "disable datapath batching (burst dequeue, GRO, GSO) in the measured stacks")
 )
 
 // latencyCell is one row of a request-response table (Tables 1-2,
@@ -69,6 +72,16 @@ type microCell struct {
 	MBps float64 `json:"mb_s"`
 }
 
+// batchCell is one row of the batching table: bulk IPv6 TCP
+// throughput with the datapath batching stages toggled individually,
+// across netisr worker counts.
+type batchCell struct {
+	GRO     bool    `json:"gro"`
+	GSO     bool    `json:"gso"`
+	Workers int     `json:"workers"`
+	KBps    float64 `json:"kbps"`
+}
+
 // connCell is one row of the connection-scaling table: established
 // demux latency and one full connection lifetime (attach, adopt tuple,
 // demux, detach) against a PCB table of the given size.
@@ -91,6 +104,7 @@ type report struct {
 	Figure8 []latencyCell  `json:"figure8,omitempty"`
 	Micro   []microCell    `json:"micro,omitempty"`
 	Conns   []connCell     `json:"conns,omitempty"`
+	Stream  []batchCell    `json:"stream,omitempty"`
 	// Snapshots holds the full counter state of every stack used by
 	// the run, captured at teardown — the structured netstat that lets
 	// a reader verify a cell was measured on a clean path (no retrans,
@@ -109,9 +123,16 @@ type testbed struct {
 }
 
 func newTestbed() *testbed {
+	if *flagNoBatch {
+		return newTestbedOpts(bsd6.Options{BurstSize: -1, GRO: -1, GSO: -1})
+	}
+	return newTestbedOpts(bsd6.Options{})
+}
+
+func newTestbedOpts(opts bsd6.Options) *testbed {
 	hub := bsd6.NewHub()
-	cli := bsd6.NewStack("cli", bsd6.Options{})
-	srv := bsd6.NewStack("srv", bsd6.Options{})
+	cli := bsd6.NewStack("cli", opts)
+	srv := bsd6.NewStack("srv", opts)
 	cIf := cli.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 1}, 1500)
 	sIf := srv.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 2}, 1500)
 	cli.ConfigureV4(cIf, bsd6.IP4{10, 0, 0, 1}, 24)
@@ -409,6 +430,44 @@ func conns() {
 	}
 }
 
+// streamTable regenerates the batching table: bulk IPv6 TCP streaming
+// with GRO (receive coalescing) and GSO (send super-segments) toggled
+// one at a time, across netisr worker counts.  This is the table that
+// justifies the batched datapath — the "both" row should pull away
+// from the "neither" row at every worker count, and add workers
+// without collapsing (sharded stats keep the counters off the shared
+// cache lines the workers would otherwise fight over).
+func streamTable() {
+	fmt.Println("\nStream: batched-datapath TCP throughput, IPv6 (KB/s)")
+	fmt.Printf("%6s %6s %9s %12s\n", "gro", "gso", "workers", "KB/s")
+	onoff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
+	for _, cfg := range []struct{ gro, gso bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	} {
+		for _, workers := range []int{1, 4, 8} {
+			opts := bsd6.Options{NetisrWorkers: workers}
+			if !cfg.gro {
+				opts.GRO = -1
+			}
+			if !cfg.gso {
+				opts.GSO = -1
+			}
+			tb := newTestbedOpts(opts)
+			kbps := tb.stream(true, true, 1<<16, 1<<20, nil)
+			tb.close()
+			fmt.Printf("%6s %6s %9d %12.0f\n", onoff(cfg.gro), onoff(cfg.gso), workers, kbps)
+			results.Stream = append(results.Stream, batchCell{
+				GRO: cfg.gro, GSO: cfg.gso, Workers: workers, KBps: kbps,
+			})
+		}
+	}
+}
+
 // writeJSON dumps the collected cells to BENCH_<date>[-tag][-baseline].json.
 func writeJSON() {
 	results.Date = time.Now().Format("2006-01-02")
@@ -435,6 +494,16 @@ func writeJSON() {
 
 func main() {
 	flag.Parse()
+	if *flagProfile != "" {
+		f, err := os.Create(*flagProfile)
+		if err != nil {
+			die(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			die(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	run := func(name string) bool { return *flagTable == "all" || *flagTable == name }
 	if run("table1") {
 		results.Table1 = latencyTable("Table 1: TCP Latency", true)
@@ -459,6 +528,9 @@ func main() {
 	}
 	if run("conns") {
 		conns()
+	}
+	if run("stream") {
+		streamTable()
 	}
 	if *flagJSON {
 		writeJSON()

@@ -140,6 +140,8 @@ func (s *Stack) ProtoStats() string {
 	fmt.Fprintf(&b, "tcp: %d/%d pkts out/in, %d rexmit, %d est, %d accepts, reass v4/v6 %d/%d, policy drops %d, predack %d, preddat %d, delacks %d\n",
 		ts["SndPack"], ts["RcvPack"], ts["SndRexmit"], ts["ConnEstab"], ts["ConnAccepts"],
 		ts["Reass4"], ts["Reass6"], ts["PolicyDrops"], ts["PredAck"], ts["PredDat"], ts["DelAcks"])
+	fmt.Fprintf(&b, "tcp-batch: gro %d coalesced into %d flushes, gso %d supers split to %d frames\n",
+		ts["GROCoalesced"], ts["GROFlushes"], ts["GSOSegs"], ts["GSOSplits"])
 	us := snap.UDP
 	fmt.Fprintf(&b, "udp: %d out, %d in (%d v4->v6 socket), %d bad sums, %d no port, policy drops %d\n",
 		us["OutDatagrams"], us["InDatagrams"], us["InV4ToV6"], us["BadChecksums"], us["InNoPorts"], us["InPolicyDrops"])
@@ -150,8 +152,8 @@ func (s *Stack) ProtoStats() string {
 	ks := snap.Key
 	fmt.Fprintf(&b, "key: %d adds, %d deletes, %d lookups (%d misses), %d acquires, expires soft/hard %d/%d\n",
 		ks["Adds"], ks["Deletes"], ks["Lookups"], ks["Misses"], ks["Acquires"], ks["SoftExpires"], ks["HardExpires"])
-	fmt.Fprintf(&b, "netisr: %d workers, %d drops, queue depths %v\n",
-		snap.Netisr.Workers, snap.Netisr.Drops, snap.Netisr.Depths)
+	fmt.Fprintf(&b, "netisr: %d workers, burst %d, %d drops, queue depths %v\n",
+		snap.Netisr.Workers, snap.Netisr.Burst, snap.Netisr.Drops, snap.Netisr.Depths)
 	lim := snap.Limits
 	b.WriteString("limits:")
 	for _, l := range []struct {

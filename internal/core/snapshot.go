@@ -29,6 +29,7 @@ type TraceLine struct {
 // NetisrSnapshot captures the input-queue state.
 type NetisrSnapshot struct {
 	Workers int    `json:"workers"`
+	Burst   int    `json:"burst"` // frames drained per worker wakeup
 	Drops   uint64 `json:"drops"`
 	Depths  []int  `json:"depths"`
 }
@@ -102,6 +103,7 @@ func (s *Stack) Snapshot() Snapshot {
 		Key:   stat.SnapshotCounters(&s.Keys.Stats),
 		Netisr: NetisrSnapshot{
 			Workers: len(depths),
+			Burst:   s.burst,
 			Drops:   s.InqDrops.Get(),
 			Depths:  depths,
 		},

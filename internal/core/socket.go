@@ -152,6 +152,7 @@ func (sock *Socket) SetSecurity(opt SecurityOption, level ipsec.Level) error {
 	default:
 		return fmt.Errorf("socket: unknown security option %d", opt)
 	}
+	sock.stack.secActive.Store(true)
 	return nil
 }
 
@@ -167,6 +168,7 @@ func (sock *Socket) SetSecurityBypass(euid int) error {
 	sock.mu.Lock()
 	sock.sec.Bypass = true
 	sock.mu.Unlock()
+	sock.stack.secActive.Store(true)
 	return nil
 }
 
@@ -489,6 +491,39 @@ func (sock *Socket) recvStream(max int, deadline time.Time) ([]byte, error) {
 		sock.mu.Unlock()
 		if !ok {
 			return nil, ErrTimeoutSock
+		}
+	}
+}
+
+// ReadInto is read(2): it copies stream data into p, blocking until
+// data, EOF or timeout, and returns the byte count.  Unlike Recv it
+// allocates nothing, so a bulk receiver can reuse one buffer for the
+// life of the connection.
+func (sock *Socket) ReadInto(p []byte, timeout time.Duration) (int, error) {
+	if sock.typ != SockStream {
+		data, _, err := sock.RecvFrom(len(p), timeout)
+		return copy(p, data), err
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = sock.clock().Now().Add(timeout)
+	}
+	for {
+		n, err := sock.conn.ReadInto(p)
+		if err != nil {
+			if errors.Is(err, tcp.ErrClosed) {
+				return 0, ErrClosedSock // EOF
+			}
+			return 0, err
+		}
+		if n > 0 {
+			return n, nil
+		}
+		sock.mu.Lock()
+		ok := sock.waitLocked(deadline)
+		sock.mu.Unlock()
+		if !ok {
+			return 0, ErrTimeoutSock
 		}
 	}
 }

@@ -69,6 +69,18 @@ type Stack struct {
 	mbufLimit int          // bytes of payload the input queues may hold
 	inqBytes  atomic.Int64 // payload bytes currently queued
 
+	// Batched datapath state: burst is the per-wakeup dequeue cap;
+	// gros holds one receive-coalescing engine per netisr worker (nil
+	// when GRO is disabled) and groIfp the interface of each engine's
+	// pending super-segment.  Only worker w touches gros[w]/groIfp[w].
+	burst  int
+	gros   []*tcp.GRO
+	groIfp []*netif.Interface
+
+	// secActive flips once any socket sets a security level; see the
+	// SocketOpts hook.
+	secActive atomic.Bool
+
 	clock   vclock.Clock
 	pending atomic.Int64 // frames queued or being dispatched
 
@@ -143,6 +155,25 @@ type Options struct {
 	// refused with mbuf-limit and freed back to the pool instead of
 	// accumulating unboundedly behind a slow consumer.
 	MbufLimit int
+
+	// Datapath batching knobs.  Same convention as the ceilings above:
+	// 0 selects the default, negative disables the mechanism.  All
+	// three are wire-transparent — captures with batching on and off
+	// are byte-identical; only throughput and counters differ.
+
+	// BurstSize caps the frames a netisr worker drains per wakeup,
+	// dispatching them as one batch and settling the queue accounting
+	// once (default DefaultBurstSize; negative reverts to the classic
+	// one-frame-per-wakeup software interrupt).
+	BurstSize int
+	// GRO bounds the payload bytes receive coalescing may merge into
+	// one TCP super-segment ahead of IP input (default
+	// tcp.DefaultGROMax; negative disables coalescing).
+	GRO int
+	// GSO bounds the super-segment TCP builds for the netif boundary
+	// to split into MSS-sized wire frames (default tcp.DefaultGSOMax;
+	// negative disables, every segment leaves at MSS size).
+	GSO int
 }
 
 // Defaults for the governance ceilings whose home is the stack
@@ -152,6 +183,8 @@ const (
 	DefaultNDCacheMax = 512
 	// DefaultMbufLimit bounds netisr-queued payload bytes (4 MiB).
 	DefaultMbufLimit = 4 << 20
+	// DefaultBurstSize is the frames a netisr worker drains per wakeup.
+	DefaultBurstSize = 32
 )
 
 // limitOpt resolves a governance tunable: positive is taken as-is,
@@ -200,6 +233,10 @@ func NewStack(name string, opts Options) *Stack {
 	s.V6 = ipv6.NewLayer(rt)
 	s.V4.Drops = s.Drops
 	s.V6.Drops = s.Drops
+	// Extension-header-free packets (the common case) skip the
+	// pre-parse walk; TestFastPathEquivalence pins the bypass to the
+	// slow path byte-for-byte.
+	s.V6.FastPath = true
 	s.V4.SetReasmLimits(opts.ReasmMaxDatagrams, opts.ReasmMaxPerSource)
 	s.V6.SetReasmLimits(opts.ReasmMaxDatagrams, opts.ReasmMaxPerSource)
 	s.ICMP4 = ipv4.AttachICMP(s.V4)
@@ -231,6 +268,11 @@ func NewStack(name string, opts Options) *Stack {
 	s.ICMP6.InputPolicy = s.Sec.InputPolicy
 	s.TCP.FatalOutErr = func(err error) bool { return errors.Is(err, ipsec.EIPSEC) }
 	s.Sec.SocketOpts = func(so any) ipsec.SockOpts {
+		// Until some socket on this stack sets a security level, the
+		// per-packet policy read skips the socket lock entirely.
+		if !s.secActive.Load() {
+			return ipsec.SockOpts{}
+		}
 		if sock, ok := so.(*Socket); ok {
 			return sock.SecurityOpts()
 		}
@@ -238,6 +280,20 @@ func NewStack(name string, opts Options) *Stack {
 	}
 	s.UDP.Deliver = deliverDatagram
 	s.UDP.Notify = notifyDatagramErr
+
+	// Batched datapath: burst dequeue, send-side GSO, receive-side GRO.
+	s.burst = limitOpt(opts.BurstSize, DefaultBurstSize)
+	if s.burst < 1 {
+		s.burst = 1
+	}
+	s.TCP.GSOMax = limitOpt(opts.GSO, tcp.DefaultGSOMax)
+	if gmax := limitOpt(opts.GRO, tcp.DefaultGROMax); gmax > 0 {
+		s.gros = make([]*tcp.GRO, opts.NetisrWorkers)
+		s.groIfp = make([]*netif.Interface, opts.NetisrWorkers)
+		for i := range s.gros {
+			s.gros[i] = s.TCP.NewGRO(gmax, i)
+		}
+	}
 
 	// Loopback.
 	s.Lo = netif.NewLoopback(name+"-lo0", 32768)
@@ -247,9 +303,9 @@ func NewStack(name string, opts Options) *Stack {
 	s.V6.AddInterface(s.Lo)
 
 	// netisr workers.
-	for _, q := range s.inqs {
+	for i, q := range s.inqs {
 		s.wg.Add(1)
-		go s.netisr(q)
+		go s.netisr(i, q)
 	}
 
 	if !opts.NoTimers {
@@ -301,7 +357,7 @@ func (s *Stack) enqueue(ifp *netif.Interface, fr netif.Frame) {
 	}
 	q := s.inqs[0]
 	if len(s.inqs) > 1 {
-		q = s.inqs[flowHash(fr.EtherType, fr.Payload)%uint32(len(s.inqs))]
+		q = s.inqs[flowHash(fr)%uint32(len(s.inqs))]
 	}
 	s.pending.Add(1)
 	s.inqBytes.Add(int64(n))
@@ -324,25 +380,27 @@ func (s *Stack) enqueue(ifp *netif.Interface, fr netif.Frame) {
 // protocol on whole datagrams of the same flow, so mixing it in would
 // reorder a fragmented datagram against its flow-mates. The IPv4
 // protocol byte is invariant across fragments, so it stays in.
-// Non-IP frames (ARP) and runts hash to worker 0.
-func flowHash(etherType uint16, pkt *mbuf.Mbuf) uint32 {
+// Non-IP frames (ARP) and runts hash by source MAC: pinning them all
+// to worker 0 skewed that queue under mixed load, while the source
+// address still keeps one sender's ARP traffic ordered.
+func flowHash(fr netif.Frame) uint32 {
 	const prime = 16777619
 	h := uint32(2166136261)
 	var b []byte
-	switch etherType {
+	switch fr.EtherType {
 	case netif.EtherTypeIPv6:
-		if b = pkt.PullUp(40); b == nil {
-			return 0
+		if b = fr.Payload.PullUp(40); b == nil {
+			return macHash(fr.Src)
 		}
 		b = b[8:40] // src + dst
 	case netif.EtherTypeIPv4:
-		if b = pkt.PullUp(20); b == nil {
-			return 0
+		if b = fr.Payload.PullUp(20); b == nil {
+			return macHash(fr.Src)
 		}
 		h = (h ^ uint32(b[9])) * prime
 		b = b[12:20] // src + dst
 	default:
-		return 0
+		return macHash(fr.Src)
 	}
 	for _, c := range b {
 		h = (h ^ uint32(c)) * prime
@@ -350,18 +408,124 @@ func flowHash(etherType uint16, pkt *mbuf.Mbuf) uint32 {
 	return h
 }
 
-// netisr drains one input queue, dispatching frames by EtherType.
-func (s *Stack) netisr(q chan inputItem) {
+// macHash steers frames without a usable IP tuple by source link
+// address.
+func macHash(mac inet.LinkAddr) uint32 {
+	const prime = 16777619
+	h := uint32(2166136261)
+	for _, c := range mac {
+		h = (h ^ uint32(c)) * prime
+	}
+	return h
+}
+
+// netisr drains one input queue.  Each wakeup drains up to burst
+// queued frames and dispatches them as one batch — amortizing the
+// channel receive, the queue accounting (one inqBytes/pending settle
+// per batch instead of per frame) and feeding the worker's GRO engine
+// runs of consecutive same-flow frames to coalesce.  pending stays
+// raised until the whole batch is dispatched, so quiescence probes
+// never observe a half-processed burst.
+func (s *Stack) netisr(w int, q chan inputItem) {
 	defer s.wg.Done()
+	burst := make([]inputItem, 0, s.burst)
 	for {
 		select {
 		case <-s.stop:
 			return
 		case it := <-q:
-			s.dispatch(it.ifp, it.fr)
-			s.inqBytes.Add(-int64(it.n))
-			s.pending.Add(-1)
+			burst = append(burst[:0], it)
+		fill:
+			for len(burst) < s.burst {
+				select {
+				case it := <-q:
+					burst = append(burst, it)
+				default:
+					break fill
+				}
+			}
+			s.dispatchBurst(w, burst)
+			var bytes int64
+			for i := range burst {
+				bytes += int64(burst[i].n)
+			}
+			s.inqBytes.Add(-bytes)
+			s.pending.Add(-int64(len(burst)))
 		}
+	}
+}
+
+// dispatchBurst feeds one drained batch through the worker's GRO
+// engine (when enabled) and on to the protocol input routines.  Order
+// is preserved: a frame the engine declines first forces out whatever
+// super-segment was pending, and the batch ends with a flush, so
+// coalescing state never outlives the burst.
+func (s *Stack) dispatchBurst(w int, burst []inputItem) {
+	if s.gros == nil || len(burst) == 1 {
+		for i := range burst {
+			burst[i].fr.Payload.Hdr().Worker = w
+			s.dispatch(burst[i].ifp, burst[i].fr)
+		}
+		return
+	}
+	gro := s.gros[w]
+	for i := range burst {
+		it := &burst[i]
+		pkt := it.fr.Payload
+		pkt.Hdr().Worker = w
+		var v4 bool
+		switch it.fr.EtherType {
+		case netif.EtherTypeIPv4:
+			v4 = true
+		case netif.EtherTypeIPv6:
+		default:
+			// Non-IP (ARP): flush ahead of it to preserve order.
+			s.groFlush(w)
+			s.dispatch(it.ifp, it.fr)
+			continue
+		}
+		if s.groIfp[w] != nil && s.groIfp[w] != it.ifp {
+			// The pending super-segment belongs to another interface;
+			// deliver it there before this frame can be considered.
+			s.groFlush(w)
+		}
+		flushed, pass := gro.Push(pkt, v4)
+		if flushed != nil {
+			s.deliverIP(s.groIfp[w], flushed)
+			s.groIfp[w] = nil
+		}
+		if pass != nil {
+			s.dispatch(it.ifp, it.fr)
+		} else {
+			s.groIfp[w] = it.ifp
+		}
+	}
+	s.groFlush(w)
+}
+
+// groFlush forces out worker w's pending super-segment, if any.
+func (s *Stack) groFlush(w int) {
+	if s.gros == nil {
+		return
+	}
+	if pkt := s.gros[w].Flush(); pkt != nil {
+		s.deliverIP(s.groIfp[w], pkt)
+	}
+	s.groIfp[w] = nil
+}
+
+// deliverIP hands a (possibly coalesced) IP packet to the right IP
+// input by version nibble.
+func (s *Stack) deliverIP(ifp *netif.Interface, pkt *mbuf.Mbuf) {
+	b := pkt.PullUp(1)
+	if b == nil {
+		pkt.Free()
+		return
+	}
+	if b[0]>>4 == 4 {
+		s.V4.Input(ifp, pkt)
+	} else {
+		s.V6.Input(ifp, pkt)
 	}
 }
 

@@ -101,6 +101,21 @@ func (m *Module) Resolve(ifp *netif.Interface, rt *route.Entry, nextHop inet.IP6
 	}
 	now := m.l.Routes().Now()
 	var mac inet.LinkAddr
+	// Fast path: a reachable, unexpired neighbor needs no state
+	// transition, so the per-packet cost is one read lock.  Every
+	// other case falls through to the write path below.
+	fresh := false
+	m.l.Routes().View(func() {
+		e, _ := rt.LLInfo.(*ndEntry)
+		if mv, ok := rt.Gateway.(inet.LinkAddr); ok && e != nil &&
+			rt.Flags&route.FlagReject == 0 &&
+			e.state == NDReachable && now.Sub(e.confirmed) <= ndReachable {
+			mac, fresh = mv, true
+		}
+	})
+	if fresh {
+		return mac, true
+	}
 	result := 0 // 0: unresolved, 1: resolved, 2: resolved + probe
 	needSend := false
 	m.l.Routes().Mutate(func() {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"bsd6/internal/inet"
 	"bsd6/internal/ipv6"
@@ -97,6 +98,10 @@ type Module struct {
 	mu     sync.Mutex
 	system SockOpts
 	ports  []portPolicy
+	// hot flips once the administrator installs any system or port
+	// policy; until then the per-packet policy reads skip the lock
+	// entirely — the common stack pays nothing for the feature.
+	hot atomic.Bool
 
 	// SocketOpts reads the security options of a socket (set by the
 	// sockets layer); nil sockets get zero levels.
@@ -119,6 +124,7 @@ func (m *Module) SetSystemPolicy(p SockOpts) {
 	m.mu.Lock()
 	m.system = p
 	m.mu.Unlock()
+	m.hot.Store(true)
 }
 
 // SystemPolicy returns the system-wide levels.
@@ -129,9 +135,12 @@ func (m *Module) SystemPolicy() SockOpts {
 }
 
 func (m *Module) effective(socket any) SockOpts {
-	m.mu.Lock()
-	sys := m.system
-	m.mu.Unlock()
+	var sys SockOpts
+	if m.hot.Load() {
+		m.mu.Lock()
+		sys = m.system
+		m.mu.Unlock()
+	}
 	if socket == nil || m.SocketOpts == nil {
 		return sys
 	}
@@ -149,10 +158,14 @@ func (m *Module) AddPortPolicy(lo, hi uint16, req SockOpts) {
 	m.mu.Lock()
 	m.ports = append(m.ports, portPolicy{lo: lo, hi: hi, req: req})
 	m.mu.Unlock()
+	m.hot.Store(true)
 }
 
 // portRequirements merges the policies covering the local port.
 func (m *Module) portRequirements(port uint16) SockOpts {
+	if !m.hot.Load() {
+		return SockOpts{}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var req SockOpts

@@ -3,6 +3,7 @@ package ipv4
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bsd6/internal/inet"
@@ -61,13 +62,14 @@ type OutputOpts struct {
 
 // Layer is the IPv4 protocol instance of one stack.
 type Layer struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	routes *route.Table
 	ifaces map[string]*netif.Interface
 	lo     *netif.Interface
 	protos map[uint8]proto.TransportInput
 	ctls   map[uint8]proto.CtlInput
 	frags  *reasm.Queue[fragKey]
+	local  atomic.Pointer[localSet4] // cached unicast-destination set
 	ident  uint16
 	icmp   *ICMP
 
@@ -142,17 +144,18 @@ func (l *Layer) FragQueueLen() int {
 // loopback registered becomes the local-delivery path.
 func (l *Layer) AddInterface(ifp *netif.Interface) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.ifaces[ifp.Name] = ifp
 	if ifp.Loopback() && l.lo == nil {
 		l.lo = ifp
 	}
+	l.mu.Unlock()
+	netif.BumpAddrGen()
 }
 
 // Interface returns a registered interface by name.
 func (l *Layer) Interface(name string) *netif.Interface {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.ifaces[name]
 }
 
@@ -199,14 +202,35 @@ func (l *Layer) isLocal(dst inet.IP4) bool {
 	if dst.IsLoopback() {
 		return true
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	gen := netif.AddrGen()
+	c := l.local.Load()
+	if c == nil || c.gen != gen {
+		c = l.rebuildLocal(gen)
+	}
+	_, ok := c.set[dst]
+	return ok
+}
+
+// localSet4 mirrors the IPv6 layer's generation-stamped address set:
+// one atomic load and a map probe per packet instead of walking every
+// interface's address list under its lock.
+type localSet4 struct {
+	gen uint64
+	set map[inet.IP4]struct{}
+}
+
+func (l *Layer) rebuildLocal(gen uint64) *localSet4 {
+	set := make(map[inet.IP4]struct{})
+	l.mu.RLock()
 	for _, ifp := range l.ifaces {
-		if ifp.HasAddr4(dst) {
-			return true
+		for _, a := range ifp.Addrs4() {
+			set[a.Addr] = struct{}{}
 		}
 	}
-	return false
+	l.mu.RUnlock()
+	c := &localSet4{gen: gen, set: set}
+	l.local.Store(c)
+	return c
 }
 
 // SourceFor picks the source address the stack would use toward dst.
@@ -451,9 +475,9 @@ func (l *Layer) deliverLocal(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 		Src4:   h.Src, Dst4: h.Dst,
 		Proto: h.Proto, Hops: h.TTL, RcvIf: ifp.Name,
 	}
-	l.mu.Lock()
+	l.mu.RLock()
 	in := l.protos[h.Proto]
-	l.mu.Unlock()
+	l.mu.RUnlock()
 	if in == nil {
 		l.Stats.InUnknownProt.Inc()
 		l.Drops.DropPkt(stat.RV4UnknownProt, errCtx)

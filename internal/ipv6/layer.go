@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bsd6/internal/inet"
@@ -137,7 +138,7 @@ type OutputOpts struct {
 
 // Layer is the IPv6 protocol instance of one stack.
 type Layer struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	routes *route.Table
 	ifaces map[string]*netif.Interface
 	lo     *netif.Interface
@@ -146,6 +147,7 @@ type Layer struct {
 	frags  *reasm.Queue[fragKey]
 	fragID uint32
 	groups map[string]map[inet.IP6]int // multicast memberships per iface
+	local  atomic.Pointer[localSet]    // cached unicast-destination set
 
 	// FastPath enables the bypass around pre-parsing for packets with
 	// no optional headers — the optimization §2.2 and §7 say is
@@ -244,6 +246,7 @@ func (l *Layer) AddInterface(ifp *netif.Interface) {
 		l.lo = ifp
 	}
 	l.mu.Unlock()
+	netif.BumpAddrGen()
 	if !ifp.Loopback() {
 		ifp.JoinGroup(inet.EthernetMulticast(inet.AllNodes))
 	}
@@ -251,8 +254,8 @@ func (l *Layer) AddInterface(ifp *netif.Interface) {
 
 // Interface returns a registered interface by name.
 func (l *Layer) Interface(name string) *netif.Interface {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.ifaces[name]
 }
 
@@ -350,8 +353,8 @@ func (l *Layer) InGroup(ifName string, group inet.IP6) bool {
 	if group == inet.AllNodes {
 		return true
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if g := l.groups[ifName]; g != nil {
 		return g[group] > 0
 	}
@@ -374,14 +377,39 @@ func (l *Layer) isLocal(dst inet.IP6) bool {
 	if dst.IsLoopback() {
 		return true
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	gen := netif.AddrGen()
+	c := l.local.Load()
+	if c == nil || c.gen != gen {
+		c = l.rebuildLocal(gen)
+	}
+	_, ok := c.set[dst]
+	return ok
+}
+
+// localSet is a generation-stamped flat view of every configured
+// (non-duplicated) unicast address, so the per-packet destination
+// check is one atomic load and a map probe instead of an interface
+// walk under locks.  Address or membership changes bump
+// netif.AddrGen and the next packet rebuilds.
+type localSet struct {
+	gen uint64
+	set map[inet.IP6]struct{}
+}
+
+func (l *Layer) rebuildLocal(gen uint64) *localSet {
+	set := make(map[inet.IP6]struct{})
+	l.mu.RLock()
 	for _, ifp := range l.ifaces {
-		if ifp.HasAddr6(dst) {
-			return true
+		for _, a := range ifp.Addrs6() {
+			if !a.Duplicated {
+				set[a.Addr] = struct{}{}
+			}
 		}
 	}
-	return false
+	l.mu.RUnlock()
+	c := &localSet{gen: gen, set: set}
+	l.local.Store(c)
+	return c
 }
 
 // SourceFor selects a source address for reaching dst, implementing
@@ -701,7 +729,22 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP6, nh uint8, opts OutputO
 		// nothing larger is expressible (even reassembled).
 		return ErrMsgSize
 	}
-	if total <= mtu {
+	// A GSO super-segment sails past the MTU gate whole: the netif
+	// boundary splits it into MSS-sized wire frames.  Extension
+	// headers or a security wrap would sit between the fixed headers
+	// the splitter replicates and the payload it chops, so either one
+	// demotes the packet to the ordinary paths below.
+	gso := pkt.Hdr().GSO != nil && !secWrapped && len(chain.unfrag) == 0
+	if secWrapped {
+		pkt.Hdr().GSO = nil
+	}
+	if gso {
+		// Record the resolved path MTU (route-clamped, so PMTU
+		// discovery steers the split size even when the super-segment
+		// fits the first hop).
+		pkt.Hdr().GSO.PathMTU = mtu
+	}
+	if total <= mtu || gso {
 		hdr.PayloadLen = len(chain.unfrag) + pkt.Len()
 		if len(chain.unfrag) > 0 {
 			pkt.Prepend(chain.unfrag)
@@ -770,9 +813,9 @@ func (l *Layer) fragmentOut(ifp *netif.Interface, rt *route.Entry, hdr *Header, 
 
 // loop delivers a packet to ourselves through loopback.
 func (l *Layer) loop(pkt *mbuf.Mbuf) error {
-	l.mu.Lock()
+	l.mu.RLock()
 	lo := l.lo
-	l.mu.Unlock()
+	l.mu.RUnlock()
 	if lo == nil {
 		return ErrNoRoute
 	}
@@ -889,12 +932,12 @@ func (l *Layer) input(ifp *netif.Interface, pkt *mbuf.Mbuf, depth int) {
 // process runs the pre-parse and the header walk for a locally
 // destined packet.
 func (l *Layer) process(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, depth int) {
-	b := pkt.Bytes()
 	if l.FastPath && !IsExt(h.NextHdr) {
 		l.Stats.FastPathHits.Inc()
 		l.dispatch(ifp, h, pkt, h.NextHdr, HeaderLen, depth)
 		return
 	}
+	b := pkt.Bytes()
 	l.Stats.PreparseRuns.Inc()
 	info, err := Preparse(b, false)
 	if err != nil {
@@ -976,9 +1019,9 @@ func (l *Layer) dispatch(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, final 
 		Src6:   h.Src, Dst6: h.Dst,
 		Proto: final, Hops: h.HopLimit, FlowInfo: h.FlowInfo, RcvIf: ifp.Name,
 	}
-	l.mu.Lock()
+	l.mu.RLock()
 	in := l.protos[final]
-	l.mu.Unlock()
+	l.mu.RUnlock()
 	if in == nil {
 		l.Stats.InUnknownProt.Inc()
 		l.Drops.DropPkt(stat.RV6UnknownProt, pkt.Bytes())

@@ -36,7 +36,31 @@ const (
 	MDecrypted             // packet passed ESP decryption processing
 	MLoop                  // looped back (sent and received on loopback)
 	MFrag                  // packet is a fragment of a larger datagram
+	MSumOK                 // transport checksum already verified (GRO)
 )
+
+// GSO is the segmentation-offload descriptor a transport attaches to
+// a super-segment: the link boundary splits the packet into SegSize
+// payload chunks behind a copy of the leading HdrLen header bytes,
+// patching sequence numbers and checksums per frame (the software
+// analog of NIC TSO).  Sums caches the folded (16-bit, not yet
+// complemented) ones-complement sum of each payload chunk, computed
+// for free while the transport built the packet, so the splitter
+// folds pseudo-header + header + chunk without re-reading the
+// payload.  The 16-bit partials add into a 32-bit accumulator without
+// overflow however many chunks a frame combines.
+type GSO struct {
+	SegSize int      // payload bytes per wire frame (the connection MSS)
+	HdrLen  int      // leading bytes replicated onto every frame
+	Sums    []uint32 // per-chunk folded payload sums, in order
+	// PathMTU is the route MTU the IP output path resolved — the
+	// split threshold.  The interface MTU alone is not enough: a
+	// super-segment smaller than the first hop can still exceed a
+	// narrower link downstream, which the unbatched sender respects
+	// through its PMTU-derived MSS.  0 means not resolved (the link
+	// boundary falls back to the interface MTU).
+	PathMTU int
+}
 
 // PktHdr is the per-packet header present on the first mbuf of a chain
 // (BSD's m_pkthdr).
@@ -50,6 +74,21 @@ type PktHdr struct {
 	// to this packet on input, so the transport-layer policy check can
 	// tell *which* associations protected the data.
 	AuxSPI []uint32
+
+	// Worker is the netisr worker index that is carrying this packet
+	// up the stack, so hot transport counters can bump their own
+	// shard (stat.Sharded) instead of a contended global atomic.
+	Worker int
+
+	// GSO, when non-nil, marks a transport-built super-segment to be
+	// split into SegSize frames at the link boundary.
+	GSO *GSO
+
+	// GRO, when non-nil, carries receive-coalescing metadata: the
+	// transport-defined record of the original segment boundaries
+	// merged into this super-segment, so transport input can replay
+	// per-segment effects (ACK cadence, window history) exactly.
+	GRO any
 }
 
 // segment is one buffer in the chain (an mbuf without a packet header).
@@ -71,6 +110,20 @@ type Mbuf struct {
 	hdr  PktHdr
 	head *segment
 	tail *segment
+	// seg0 is the inline first segment: single-segment packets (the
+	// overwhelming majority) cost one allocation instead of two.  It
+	// is claimed only while virgin, by whichever constructor or first
+	// Append touches the packet.
+	seg0 segment
+}
+
+// firstSeg returns the inline segment if it has never been used,
+// otherwise a fresh allocation.
+func (m *Mbuf) firstSeg() *segment {
+	if m.seg0.data == nil && m.seg0.slab == nil && m.seg0.next == nil {
+		return &m.seg0
+	}
+	return &segment{}
 }
 
 // New builds a packet holding a copy of data.
@@ -85,7 +138,8 @@ func New(data []byte) *Mbuf {
 func NewNoCopy(data []byte) *Mbuf {
 	m := &Mbuf{}
 	if len(data) > 0 {
-		seg := &segment{data: data}
+		seg := &m.seg0
+		seg.data = data
 		m.head, m.tail = seg, seg
 		m.hdr.Len = len(data)
 	}
@@ -112,13 +166,16 @@ func (m *Mbuf) Append(data []byte) {
 	if len(data) == 0 {
 		return
 	}
-	seg := &segment{data: append([]byte(nil), data...)}
+	var seg *segment
 	if m.tail == nil {
+		seg = m.firstSeg()
 		m.head, m.tail = seg, seg
 	} else {
+		seg = &segment{}
 		m.tail.next = seg
 		m.tail = seg
 	}
+	seg.data = append([]byte(nil), data...)
 	m.hdr.Len += len(data)
 }
 
@@ -152,13 +209,16 @@ func (m *Mbuf) AppendNoCopy(data []byte) {
 	if len(data) == 0 {
 		return
 	}
-	seg := &segment{data: data}
+	var seg *segment
 	if m.tail == nil {
+		seg = m.firstSeg()
 		m.head, m.tail = seg, seg
 	} else {
+		seg = &segment{}
 		m.tail.next = seg
 		m.tail = seg
 	}
+	seg.data = data
 	m.hdr.Len += len(data)
 }
 
@@ -230,6 +290,21 @@ func (m *Mbuf) Bytes() []byte {
 		return m.head.data
 	}
 	return m.PullUp(m.hdr.Len)
+}
+
+// SegmentViews returns a view of each non-empty chain segment's bytes,
+// in stream order, without copying or restructuring the chain.  The
+// views alias the packet and die with it.  Chain-aware consumers (the
+// GRO delivery path) use this to walk a coalesced train segment by
+// segment instead of linearizing it.
+func (m *Mbuf) SegmentViews() [][]byte {
+	var out [][]byte
+	for s := m.head; s != nil; s = s.next {
+		if len(s.data) > 0 {
+			out = append(out, s.data)
+		}
+	}
+	return out
 }
 
 // CopySum copies the whole chain into dst while accumulating the

@@ -68,8 +68,12 @@ func SetPoison(on bool) { poison.Store(on) }
 func Get(n int) *Mbuf {
 	total := n + Headroom
 	slab := getSlab(total)
-	seg := &segment{data: slab[Headroom : Headroom+n], slab: slab, off: Headroom}
-	m := &Mbuf{head: seg, tail: seg}
+	m := &Mbuf{}
+	seg := &m.seg0
+	seg.data = slab[Headroom : Headroom+n]
+	seg.slab = slab
+	seg.off = Headroom
+	m.head, m.tail = seg, seg
 	m.hdr.Len = n
 	return m
 }
@@ -100,12 +104,14 @@ func (m *Mbuf) Free() {
 	if m == nil {
 		return
 	}
-	for s := m.head; s != nil; s = s.next {
+	for s := m.head; s != nil; {
+		next := s.next
 		if s.slab != nil {
 			putSlab(s.slab)
 			s.slab = nil
-			s.data = nil
 		}
+		s.data, s.next = nil, nil
+		s = next
 	}
 	m.head, m.tail = nil, nil
 	m.hdr.Len = 0

@@ -1,0 +1,95 @@
+package netif
+
+import (
+	"bsd6/internal/inet"
+	"bsd6/internal/mbuf"
+)
+
+// GSO splitting (a software-TSO analog).  TCP builds one super-segment
+// up to 64KB and attaches an mbuf.GSO descriptor; when it reaches a
+// link whose MTU it exceeds, this splitter chops it into MSS-sized
+// wire frames, replicating the IPv6+TCP headers and patching per
+// frame: payload length, sequence number, flags (FIN/PSH ride only
+// the last frame) and the TCP checksum — finalized from the
+// descriptor's cached per-chunk sums (RFC 1624 spirit: combine
+// partial sums, never re-read the payload).  The frames are
+// byte-identical to what the unbatched sender emits, so a capture
+// cannot tell GSO on from off.
+//
+// IPv6 only: an IPv4 splitter would have to mint the per-frame IP IDs
+// the unbatched sender draws from a shared counter, which cannot be
+// replicated after the fact.  The transport enforces this; the Output
+// gate also requires the IPv6 ethertype.
+
+// TCP wire offsets within an IPv6 packet (fixed 40-byte IP header, no
+// extension headers — the transport only attaches GSO descriptors to
+// such packets).
+const (
+	gsoV6HdrLen  = 40
+	gsoSeqOff    = gsoV6HdrLen + 4  // TCP sequence number
+	gsoFlagsOff  = gsoV6HdrLen + 13 // TCP flags byte
+	gsoCksumOff  = gsoV6HdrLen + 16 // TCP checksum
+	gsoTCPHdrEnd = gsoV6HdrLen + 20
+	gsoFinPsh    = 0x09 // FIN|PSH: deferred to the last frame
+	gsoProtoTCP  = 6
+)
+
+// gsoSplit fans a super-segment out as MSS-sized frames through
+// ifp.Output (each recursion takes the normal ≤MTU path, so per-frame
+// stats and the down-interface check apply as if the transport had
+// sent them individually).  The super-segment is consumed.
+func (ifp *Interface) gsoSplit(dst inet.LinkAddr, etherType uint16, pkt *mbuf.Mbuf) error {
+	gso := pkt.Hdr().GSO
+	b := pkt.Bytes()
+	hdrs := gsoV6HdrLen + gso.HdrLen
+	payload := b[hdrs:]
+	var src6, dst6 inet.IP6
+	copy(src6[:], b[8:24])
+	copy(dst6[:], b[24:40])
+	seq0 := uint32(b[gsoSeqOff])<<24 | uint32(b[gsoSeqOff+1])<<16 |
+		uint32(b[gsoSeqOff+2])<<8 | uint32(b[gsoSeqOff+3])
+	flags := b[gsoFlagsOff]
+
+	var firstErr error
+	for i, off := 0, 0; off < len(payload); i++ {
+		clen := gso.SegSize
+		if off+clen > len(payload) {
+			clen = len(payload) - off
+		}
+		last := off+clen == len(payload)
+
+		fm := mbuf.Get(hdrs + clen)
+		fb := fm.Bytes()
+		copy(fb, b[:hdrs])
+		plen := gso.HdrLen + clen
+		fb[4], fb[5] = byte(plen>>8), byte(plen)
+		seq := seq0 + uint32(off)
+		fb[gsoSeqOff], fb[gsoSeqOff+1] = byte(seq>>24), byte(seq>>16)
+		fb[gsoSeqOff+2], fb[gsoSeqOff+3] = byte(seq>>8), byte(seq)
+		fb[gsoFlagsOff] = flags
+		if !last {
+			fb[gsoFlagsOff] &^= gsoFinPsh
+		}
+		fb[gsoCksumOff], fb[gsoCksumOff+1] = 0, 0
+		copy(fb[gsoTCPHdrEnd:], payload[off:off+clen])
+
+		// Per-frame checksum from cached partials: pseudo-header for
+		// this frame's length + the patched TCP header + the chunk's
+		// folded payload sum.  All 16-bit partials, no overflow.
+		acc := uint32(inet.FoldRaw(inet.PseudoHeader6(src6, dst6, uint32(plen), gsoProtoTCP)))
+		acc += uint32(inet.FoldRaw(inet.Sum(0, fb[gsoV6HdrLen:gsoTCPHdrEnd])))
+		acc += gso.Sums[i]
+		ck := inet.Fold(acc)
+		fb[gsoCksumOff], fb[gsoCksumOff+1] = byte(ck>>8), byte(ck)
+
+		if err := ifp.Output(dst, etherType, fm); err != nil {
+			fm.Free()
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		off += clen
+	}
+	pkt.Free()
+	return firstErr
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bsd6/internal/inet"
@@ -120,6 +121,20 @@ type Stats struct {
 // on the sender's goroutine (or the hub's delay goroutine); stacks
 // should enqueue to their input queue rather than process inline.
 type InputFunc func(ifp *Interface, fr Frame)
+
+// addrGen versions the union of every interface's address lists.
+// Any address add/remove/update bumps it, as does attaching an
+// interface to an IP layer.  Per-packet consumers ("is this address
+// one of ours?") cache a flat set keyed by this generation instead of
+// walking the lists under each interface's lock.
+var addrGen atomic.Uint64
+
+// AddrGen returns the current address-list generation.
+func AddrGen() uint64 { return addrGen.Load() }
+
+// BumpAddrGen invalidates cached address-set views; IP layers call it
+// when their interface membership changes.
+func BumpAddrGen() { addrGen.Add(1) }
 
 // Interface is a network interface (BSD's struct ifnet plus its
 // address list).
@@ -239,6 +254,7 @@ func (ifp *Interface) AddAddr6(a Addr6) error {
 		}
 	}
 	ifp.v6 = append(ifp.v6, a)
+	addrGen.Add(1)
 	return nil
 }
 
@@ -249,6 +265,7 @@ func (ifp *Interface) RemoveAddr6(addr inet.IP6) bool {
 	for i, a := range ifp.v6 {
 		if a.Addr == addr {
 			ifp.v6 = append(ifp.v6[:i], ifp.v6[i+1:]...)
+			addrGen.Add(1)
 			return true
 		}
 	}
@@ -264,6 +281,7 @@ func (ifp *Interface) UpdateAddr6(addr inet.IP6, fn func(*Addr6)) bool {
 	for i := range ifp.v6 {
 		if ifp.v6[i].Addr == addr {
 			fn(&ifp.v6[i])
+			addrGen.Add(1)
 			return true
 		}
 	}
@@ -324,6 +342,7 @@ func (ifp *Interface) AddAddr4(a Addr4) {
 	ifp.mu.Lock()
 	ifp.v4 = append(ifp.v4, a)
 	ifp.mu.Unlock()
+	addrGen.Add(1)
 }
 
 // Addrs4 returns a snapshot of the IPv4 address list.
@@ -398,6 +417,15 @@ func (ifp *Interface) Output(dst inet.LinkAddr, etherType uint16, pkt *mbuf.Mbuf
 		ifp.stats.OutErrors++
 		ifp.mu.Unlock()
 		return ErrIfDown
+	}
+	if gso := pkt.Hdr().GSO; gso != nil && etherType == EtherTypeIPv6 {
+		limit := mtu
+		if gso.PathMTU > 0 && gso.PathMTU < limit {
+			limit = gso.PathMTU
+		}
+		if pkt.Len() > limit {
+			return ifp.gsoSplit(dst, etherType, pkt)
+		}
 	}
 	if pkt.Len() > mtu {
 		ifp.mu.Lock()

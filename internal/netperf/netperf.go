@@ -158,12 +158,13 @@ func NewSinkServer(s *core.Stack, tcp bool, port uint16, sockbuf int, tune Socke
 				}
 				go func() {
 					defer conn.Close()
+					buf := make([]byte, 64<<10)
 					for {
-						data, err := conn.Recv(64<<10, ioTimeout)
+						n, err := conn.ReadInto(buf, ioTimeout)
 						if err != nil {
 							return
 						}
-						sv.received.Add(int64(len(data)))
+						sv.received.Add(int64(n))
 					}
 				}()
 			}

@@ -99,7 +99,9 @@ func TestEveryTCPCounterHasASource(t *testing.T) {
 	if block == nil {
 		t.Fatal("no Stats struct found in ../tcp/tcp.go")
 	}
-	fieldRe := regexp.MustCompile(`(?m)^\t([A-Z][A-Za-z0-9]*)\s+stat\.Counter`)
+	// Sharded counters are Counters that traded a single atomic for
+	// per-worker slots; the audit treats them identically.
+	fieldRe := regexp.MustCompile(`(?m)^\t([A-Z][A-Za-z0-9]*)\s+stat\.(?:Counter|Sharded)`)
 	var fields []string
 	for _, m := range fieldRe.FindAllStringSubmatch(string(block), -1) {
 		fields = append(fields, m[1])
@@ -108,12 +110,15 @@ func TestEveryTCPCounterHasASource(t *testing.T) {
 		t.Fatalf("parsed only %d counter fields; struct regex out of date", len(fields))
 	}
 	// The must-list pins the counters whose loss a refactor would most
-	// plausibly hide: the header-prediction shortcut and the stateless
-	// connection-demux machinery (SYN cookies, compressed TIME_WAIT).
+	// plausibly hide: the header-prediction shortcut, the stateless
+	// connection-demux machinery (SYN cookies, compressed TIME_WAIT)
+	// and the batched-datapath engines (GRO/GSO), whose silent death
+	// would read as "batching never engaged".
 	for _, must := range []string{
 		"PredAck", "PredDat", "DelAcks",
 		"SynCookiesSent", "SynCookiesValidated", "SynCookiesFailed",
 		"TimeWaitRecycled", "TimeWaitOverflow",
+		"GROCoalesced", "GROFlushes", "GSOSegs", "GSOSplits",
 	} {
 		found := false
 		for _, f := range fields {

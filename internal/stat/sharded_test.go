@@ -1,0 +1,90 @@
+package stat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardedFoldsExactly hammers a Sharded counter from concurrent
+// workers — each bumping its own slot, plus a rogue one using an
+// out-of-range index to exercise the mask — and checks the fold
+// equals the exact number of bumps.  Sharding trades read cost for
+// write scalability; it must never trade away a single count.
+func TestShardedFoldsExactly(t *testing.T) {
+	var c Sharded
+	const workers, per = 23, 10_000 // > NumShards so slots are shared
+	var wg sync.WaitGroup
+	var want atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if i%3 == 0 {
+					c.Add(w, 5)
+					want.Add(5)
+				} else {
+					c.Inc(w)
+					want.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Get(); got != want.Load() {
+		t.Fatalf("folded %d, want %d", got, want.Load())
+	}
+}
+
+// TestSnapshotCountersSeesSharded checks the reflective snapshot walk
+// folds Sharded fields alongside plain Counters — the wiring that
+// keeps netstat/Snapshot() totals exact after a hot counter is
+// sharded.
+func TestSnapshotCountersSeesSharded(t *testing.T) {
+	var s struct {
+		Plain Counter
+		Hot   Sharded
+	}
+	s.Plain.Add(7)
+	for w := 0; w < 5; w++ {
+		s.Hot.Add(w, 100)
+	}
+	m := SnapshotCounters(&s)
+	if m["Plain"] != 7 {
+		t.Errorf("Plain = %d, want 7", m["Plain"])
+	}
+	if m["Hot"] != 500 {
+		t.Errorf("Hot = %d, want 500 (fold across shards)", m["Hot"])
+	}
+}
+
+// BenchmarkCounterParallel measures the contended single-atomic
+// baseline: every goroutine bumps the same cache line.
+func BenchmarkCounterParallel(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	_ = c.Get()
+}
+
+// BenchmarkShardedParallel measures the sharded counter with each
+// goroutine on its own slot — the netisr-worker access pattern.  The
+// per-op cost should hold flat as GOMAXPROCS grows, where the plain
+// Counter's climbs with cross-core traffic.
+func BenchmarkShardedParallel(b *testing.B) {
+	var c Sharded
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(next.Add(1)) - 1
+		for pb.Next() {
+			c.Inc(w)
+		}
+	})
+	_ = c.Get()
+	_ = runtime.GOMAXPROCS(0)
+}

@@ -17,13 +17,19 @@ func SnapshotCounters(stats any) map[string]uint64 {
 		return nil
 	}
 	ctype := reflect.TypeOf(Counter{})
+	stype := reflect.TypeOf(Sharded{})
 	out := make(map[string]uint64, v.NumField())
 	for i := 0; i < v.NumField(); i++ {
 		f := v.Field(i)
-		if f.Type() != ctype || !f.CanAddr() {
+		if !f.CanAddr() {
 			continue
 		}
-		out[v.Type().Field(i).Name] = f.Addr().Interface().(*Counter).Get()
+		switch f.Type() {
+		case ctype:
+			out[v.Type().Field(i).Name] = f.Addr().Interface().(*Counter).Get()
+		case stype:
+			out[v.Type().Field(i).Name] = f.Addr().Interface().(*Sharded).Get()
+		}
 	}
 	return out
 }

@@ -64,7 +64,11 @@ var (
 	ErrHostDown = errors.New("tcp: no route to host")
 )
 
-// Stats counts TCP events (netstat's tcpstat).
+// Stats counts TCP events (netstat's tcpstat).  The receive-side hot
+// counters — bumped once per segment on every netisr worker — are
+// stat.Sharded so parallel workers increment their own cache line;
+// Snapshot folds them on read.  Counters bumped from socket callers
+// or timers (no worker identity, or cold paths) stay plain Counters.
 type Stats struct {
 	ConnAttempt   stat.Counter
 	ConnAccepts   stat.Counter
@@ -73,16 +77,16 @@ type Stats struct {
 	SndPack       stat.Counter
 	SndByte       stat.Counter
 	SndRexmit     stat.Counter
-	RcvPack       stat.Counter
-	RcvByte       stat.Counter
+	RcvPack       stat.Sharded
+	RcvByte       stat.Sharded
 	RcvBadSum     stat.Counter
 	RcvDupPack    stat.Counter
 	RcvOutOfOrder stat.Counter
 	RcvAfterWin   stat.Counter
 	Reass4        stat.Counter // segments through tcp_reass
 	Reass6        stat.Counter // segments through tcpv6_reass
-	PredAck       stat.Counter // pure ACKs taken by the header-prediction fast path
-	PredDat       stat.Counter // in-order data segments taken by the fast path
+	PredAck       stat.Sharded // pure ACKs taken by the header-prediction fast path
+	PredDat       stat.Sharded // in-order data segments taken by the fast path
 	DelAcks       stat.Counter
 	RstOut        stat.Counter
 	PolicyDrops   stat.Counter
@@ -95,12 +99,30 @@ type Stats struct {
 	SynCookiesFailed    stat.Counter // listener ACKs that failed cookie validation
 	TimeWaitRecycled    stat.Counter // 2MSL records released early by a fresh SYN or connect
 	TimeWaitOverflow    stat.Counter // 2MSL records evicted by the TimeWaitMax cap
+
+	GROCoalesced stat.Sharded // received segments absorbed into a super-segment
+	GROFlushes   stat.Sharded // coalesced super-segments handed to tcp_input
+	GSOSegs      stat.Counter // super-segments built by tcp_output
+	GSOSplits    stat.Counter // wire frames those super-segments cut into
 }
 
 // DefaultSynBacklog is the default cap on embryonic (SYN_RCVD)
 // connections per listener — BSD's somaxconn-style bound, applied to
 // the half-open stage a SYN flood inflates.
 const DefaultSynBacklog = 128
+
+// Batched-datapath defaults.  Both are payload-byte ceilings chosen
+// so the super-segment plus its 20-byte TCP header (and for GRO the
+// worst-case 20-byte IPv4 header too) stays inside the 65535-byte IP
+// payload field — and, with the IP header and pool headroom, inside
+// the largest mbuf slab class.
+const (
+	// DefaultGSOMax caps the payload of a transmit super-segment.
+	DefaultGSOMax = 65515
+	// DefaultGROMax caps the coalesced payload of a receive
+	// super-segment.
+	DefaultGROMax = 65495
+)
 
 // TCP is the TCP protocol instance of one stack.
 type TCP struct {
@@ -160,6 +182,19 @@ type TCP struct {
 	// byte-for-byte.
 	Predict bool
 
+	// GSOMax, when larger than a connection's MSS, lets tcp_output
+	// build one super-segment of up to GSOMax payload bytes per send
+	// opportunity instead of MSS-sized segments; the link boundary
+	// (netif) splits it back into MSS wire frames with incremental
+	// header patching, so header construction, route validation and
+	// outbox handling run once per burst.  The effective cap is
+	// rounded down to a multiple of the MSS, which keeps the split
+	// frame sequence byte-identical to the unbatched one.  Applied to
+	// IPv6 sessions without security wrapping (the splitter cannot
+	// cut an encrypted payload, and IPv4 would need per-frame IP-ID
+	// allocation).  0 disables; New sets DefaultGSOMax.
+	GSOMax int
+
 	Stats Stats
 
 	iss   uint32
@@ -198,7 +233,8 @@ type outSeg struct {
 
 // New creates the TCP instance and registers it with both IP layers.
 func New(v4l *ipv4.Layer, v6l *ipv6.Layer) *TCP {
-	t := &TCP{Table: pcb.NewTable(), v4: v4l, v6: v6l, conns: make(map[*Conn]struct{}), Predict: true}
+	t := &TCP{Table: pcb.NewTable(), v4: v4l, v6: v6l, conns: make(map[*Conn]struct{}),
+		Predict: true, GSOMax: DefaultGSOMax}
 	t.cookieSeed = newCookieSeed()
 	if v4l != nil {
 		v4l.Register(proto.TCP, t.input, t.ctlInput)
@@ -226,6 +262,7 @@ type Conn struct {
 	cwnd, ssthresh         int
 	dupAcks                int
 	sndBuf                 []byte // bytes from sndUna upward
+	sndArr                 []byte // sndBuf's reusable backing array
 	SndBufMax              int
 	sndClosed              bool // FIN queued behind the buffered data
 	finSeq                 uint32
@@ -236,6 +273,7 @@ type Conn struct {
 	rcvNxt    uint32
 	rcvAdv    uint32
 	rcvBuf    []byte
+	rcvArr    []byte // rcvBuf's reusable backing array
 	RcvBufMax int
 	reassQ    []rseg
 	rcvClosed bool
@@ -246,6 +284,7 @@ type Conn struct {
 	rttSeq       uint32
 	rttTicks     int // -1 when no measurement in flight
 	ticks        int // connection tick counter
+	confirmTick  int // ticks+1 at the last ND reachability confirm
 
 	// Timers, in remaining slow ticks; 0 means stopped. (The 2MSL
 	// timer lives in the TIME_WAIT engine's wheel, not here.)
@@ -441,6 +480,38 @@ func (c *Conn) Connect(faddr inet.IP6, fport uint16) error {
 
 // Send appends data to the send buffer, returning how many bytes were
 // accepted (0 when the buffer is full; wait for Wakeup).
+// sbappend appends to a socket-buffer slice whose front the consumer
+// trims by reslicing (sndBuf on ACK, rcvBuf on Recv).  A plain append
+// would reallocate on every refill — the trim discards front capacity,
+// so a buffer held near its cap copies its whole backlog each time and
+// the dead arrays feed the collector.  Instead the live bytes are
+// compacted back to the head of a long-lived backing array, sized to
+// twice the buffer cap so at least max bytes flow between compactions:
+// steady-state streaming costs O(1) copies per byte and no allocation.
+// buf need not alias *arr (handoff from a bare slice is a copy in).
+//
+// Callers must not retain aliases into buf across calls — compaction
+// reuses the trimmed region.  Recv copies out for exactly this reason.
+func sbappend(arr *[]byte, buf, data []byte, max int) []byte {
+	if len(data) <= cap(buf)-len(buf) {
+		return append(buf, data...)
+	}
+	want := len(buf) + len(data)
+	a := *arr
+	if cap(a) < want {
+		// First use, or the app raised the buffer cap mid-stream.
+		size := 2 * max
+		if size < want {
+			size = want
+		}
+		a = make([]byte, size)
+		*arr = a
+	}
+	a = a[:cap(a)]
+	n := copy(a, buf)
+	return append(a[:n], data...)
+}
+
 func (c *Conn) Send(data []byte) (int, error) {
 	t := c.t
 	t.mu.Lock()
@@ -470,7 +541,7 @@ func (c *Conn) Send(data []byte) (int, error) {
 	if n > space {
 		n = space
 	}
-	c.sndBuf = append(c.sndBuf, data[:n]...)
+	c.sndBuf = sbappend(&c.sndArr, c.sndBuf, data[:n], c.SndBufMax)
 	if c.state == StateEstablished || c.state == StateCloseWait {
 		c.output()
 	}
@@ -501,7 +572,9 @@ func (c *Conn) Recv(n int) ([]byte, error) {
 	if n > len(c.rcvBuf) {
 		n = len(c.rcvBuf)
 	}
-	out := c.rcvBuf[:n:n]
+	// Copy out rather than alias: the buffer compacts in place under
+	// sbappend, which would scribble over a zero-copy view.
+	out := append(make([]byte, 0, n), c.rcvBuf[:n]...)
 	c.rcvBuf = c.rcvBuf[n:]
 	// The freed buffer space may open the advertised window enough to
 	// deserve a window update.
@@ -512,6 +585,38 @@ func (c *Conn) Recv(n int) ([]byte, error) {
 	t.mu.Unlock()
 	t.flush()
 	return out, nil
+}
+
+// ReadInto is the read(2) form of Recv: it copies up to len(p)
+// buffered bytes into p and returns the count, performing no
+// allocation.  (0, nil) means no data yet; (0, ErrClosed) is end of
+// stream.  A receiver draining at line rate reuses one buffer for
+// the life of the connection instead of allocating per call.
+func (c *Conn) ReadInto(p []byte) (int, error) {
+	t := c.t
+	t.mu.Lock()
+	if len(c.rcvBuf) == 0 {
+		if c.err != nil {
+			err := c.err
+			t.mu.Unlock()
+			return 0, err
+		}
+		if c.rcvClosed || c.state == StateClosed {
+			t.mu.Unlock()
+			return 0, ErrClosed
+		}
+		t.mu.Unlock()
+		return 0, nil
+	}
+	n := copy(p, c.rcvBuf)
+	c.rcvBuf = c.rcvBuf[n:]
+	if c.state == StateEstablished && int(c.rcvAdv-c.rcvNxt) < c.rcvSpace()/2 {
+		c.needAck = true
+		c.output()
+	}
+	t.mu.Unlock()
+	t.flush()
+	return n, nil
 }
 
 // Buffered returns the bytes queued in each direction, for pollers.
