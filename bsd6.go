@@ -37,6 +37,7 @@ import (
 	"bsd6/internal/key"
 	"bsd6/internal/netif"
 	"bsd6/internal/route"
+	"bsd6/internal/tunnel"
 )
 
 // Address types and families.
@@ -129,6 +130,20 @@ const (
 	ProtoAH           = key.ProtoAH
 	ProtoESPTransport = key.ProtoESPTransport
 	ProtoESPTunnel    = key.ProtoESPTunnel
+)
+
+// Configured tunnels & transition devices (RFC 4213 / RFC 2473
+// analogs) — see package tunnel.
+type (
+	Tunnel       = tunnel.Tunnel
+	TunnelConfig = tunnel.Config
+	TunnelMode   = tunnel.Mode
+)
+
+const (
+	Tunnel6in4 = tunnel.Mode6in4
+	Tunnel4in6 = tunnel.Mode4in6
+	Tunnel6in6 = tunnel.Mode6in6
 )
 
 // Router discovery / autoconfiguration (§4.2).

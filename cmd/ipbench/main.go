@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ipbench [-t table1|table2|table3|table4|table5|figure8|micro|conns|stream|all] [-iters N] [-mb N] [-json] [-tag NAME] [-baseline]
+//	ipbench [-t table1|table2|table3|table4|table5|figure8|micro|conns|stream|tunnel|all] [-iters N] [-mb N] [-json] [-tag NAME] [-baseline]
 //
 // With -json, every measured cell is also written to BENCH_<date>.json
 // so before/after runs can be diffed mechanically.  -tag inserts a
@@ -82,6 +82,14 @@ type batchCell struct {
 	KBps    float64 `json:"kbps"`
 }
 
+// tunnelCell is one row of the transition-path table: bulk TCP
+// throughput across a configured tunnel, next to the native baselines
+// so the encapsulation tax is legible.
+type tunnelCell struct {
+	Path string  `json:"path"`
+	KBps float64 `json:"kbps"`
+}
+
 // connCell is one row of the connection-scaling table: established
 // demux latency and one full connection lifetime (attach, adopt tuple,
 // demux, detach) against a PCB table of the given size.
@@ -105,6 +113,7 @@ type report struct {
 	Micro   []microCell    `json:"micro,omitempty"`
 	Conns   []connCell     `json:"conns,omitempty"`
 	Stream  []batchCell    `json:"stream,omitempty"`
+	Tunnel  []tunnelCell   `json:"tunnel,omitempty"`
 	// Snapshots holds the full counter state of every stack used by
 	// the run, captured at teardown — the structured netstat that lets
 	// a reader verify a cell was measured on a clean path (no retrans,
@@ -468,6 +477,128 @@ func streamTable() {
 	}
 }
 
+// tunnelStream builds a two-stack world whose hub carries only the
+// outer protocol, joins the stacks with configured tunnels of the
+// given mode, and measures bulk TCP throughput across the tunnel
+// (best of three).  With secure set, gateway-style ESP tunnel-mode
+// associations cover the outer endpoints and a system-wide "use"
+// policy wraps the encapsulated traffic — the full §3 composition.
+func tunnelStream(mode bsd6.TunnelMode, secure bool) float64 {
+	var opts bsd6.Options
+	if *flagNoBatch {
+		opts = bsd6.Options{BurstSize: -1, GRO: -1, GSO: -1}
+	}
+	hub := bsd6.NewHub()
+	cli := bsd6.NewStack("cli", opts)
+	srv := bsd6.NewStack("srv", opts)
+	defer func() {
+		if *flagJSON {
+			results.Snapshots = append(results.Snapshots, cli.Snapshot(), srv.Snapshot())
+		}
+		cli.Close()
+		srv.Close()
+	}()
+	cIf := cli.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 1}, 1500)
+	sIf := srv.AttachLink(hub, bsd6.LinkAddr{2, 0, 0, 0, 0, 2}, 1500)
+
+	cfgC := bsd6.TunnelConfig{Name: "tun0", Mode: mode}
+	cfgS := bsd6.TunnelConfig{Name: "tun0", Mode: mode}
+	var core6C, core6S bsd6.IP6
+	if mode == bsd6.Tunnel6in4 {
+		v4C, v4S := bsd6.IP4{10, 0, 0, 1}, bsd6.IP4{10, 0, 0, 2}
+		cli.ConfigureV4(cIf, v4C, 24)
+		srv.ConfigureV4(sIf, v4S, 24)
+		cfgC.Local4, cfgC.Remote4 = v4C, v4S
+		cfgS.Local4, cfgS.Remote4 = v4S, v4C
+	} else {
+		core6C = mustIP6("2001:db8:c0::1")
+		core6S = mustIP6("2001:db8:c0::2")
+		cli.ConfigureV6(cIf, core6C, 64)
+		srv.ConfigureV6(sIf, core6S, 64)
+		cfgC.Local6, cfgC.Remote6 = core6C, core6S
+		cfgS.Local6, cfgS.Remote6 = core6S, core6C
+	}
+	tunC, err := cli.AddTunnel(cfgC)
+	if err != nil {
+		die(err)
+	}
+	tunS, err := srv.AddTunnel(cfgS)
+	if err != nil {
+		die(err)
+	}
+
+	var dial func(port uint16) core.Sockaddr6
+	if mode == bsd6.Tunnel4in6 {
+		in4C, in4S := bsd6.IP4{192, 168, 7, 1}, bsd6.IP4{192, 168, 7, 2}
+		cli.ConfigureV4(tunC.Ifp, in4C, 24)
+		srv.ConfigureV4(tunS.Ifp, in4S, 24)
+		dial = func(port uint16) core.Sockaddr6 { return bsd6.Addr4(in4S, port) }
+	} else {
+		in6C, in6S := mustIP6("fd00::1"), mustIP6("fd00::2")
+		cli.ConfigureV6(tunC.Ifp, in6C, 64)
+		srv.ConfigureV6(tunS.Ifp, in6S, 64)
+		dial = func(port uint16) core.Sockaddr6 { return bsd6.Addr6(in6S, port) }
+	}
+
+	if secure {
+		encKey := []byte("DESCBC!!")
+		for _, s := range []*bsd6.Stack{cli, srv} {
+			s.Keys.Add(&bsd6.SA{SPI: 0x61, Src: core6C, Dst: core6S, Proto: bsd6.ProtoESPTunnel,
+				EncAlg: "des-cbc", EncKey: encKey, SelDst: core6S, SelPlen: 128})
+			s.Keys.Add(&bsd6.SA{SPI: 0x62, Src: core6S, Dst: core6C, Proto: bsd6.ProtoESPTunnel,
+				EncAlg: "des-cbc", EncKey: encKey, SelDst: core6C, SelPlen: 128})
+			s.Sec.SetSystemPolicy(bsd6.SockOpts{ESPTunnel: bsd6.LevelUse})
+		}
+	}
+
+	port := uint16(21000)
+	sv, err := netperf.NewSinkServer(srv, true, port, 57344, nil)
+	if err != nil {
+		die(err)
+	}
+	defer sv.Close()
+	total := int64(*flagMB) << 20
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		res, err := netperf.RunStream(cli, sv, dial(port), true, 8192, 57344, total, nil)
+		if err != nil {
+			die(err)
+		}
+		if res.KBps > best {
+			best = res.KBps
+		}
+	}
+	return best
+}
+
+func mustIP6(s string) bsd6.IP6 {
+	a, err := inet.ParseIP6(s)
+	if err != nil {
+		die(err)
+	}
+	return a
+}
+
+// tunnelTable prints the transition-path throughput rows: native
+// baselines first, then each tunnel mode, then ESP-secured 6in6 — the
+// encapsulation tax at each level of the transition stack.
+func tunnelTable() {
+	fmt.Println("\nTunnel: transition-path TCP throughput (KB/s)")
+	fmt.Printf("%-22s %12s\n", "Path", "Throughput")
+	row := func(name string, kbps float64) {
+		fmt.Printf("%-22s %12.0f\n", name, kbps)
+		results.Tunnel = append(results.Tunnel, tunnelCell{Path: name, KBps: kbps})
+	}
+	tb := newTestbed()
+	row("native IPv4", tb.stream(true, false, 8192, 57344, nil))
+	row("native IPv6", tb.stream(true, true, 8192, 57344, nil))
+	tb.close()
+	row("IPv6 over 6in4", tunnelStream(bsd6.Tunnel6in4, false))
+	row("IPv4 over 4in6", tunnelStream(bsd6.Tunnel4in6, false))
+	row("IPv6 over 6in6", tunnelStream(bsd6.Tunnel6in6, false))
+	row("6in6 + ESP tunnel", tunnelStream(bsd6.Tunnel6in6, true))
+}
+
 // writeJSON dumps the collected cells to BENCH_<date>[-tag][-baseline].json.
 func writeJSON() {
 	results.Date = time.Now().Format("2006-01-02")
@@ -531,6 +662,9 @@ func main() {
 	}
 	if run("stream") {
 		streamTable()
+	}
+	if run("tunnel") {
+		tunnelTable()
 	}
 	if *flagJSON {
 		writeJSON()

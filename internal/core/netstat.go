@@ -154,6 +154,11 @@ func (s *Stack) ProtoStats() string {
 		ks["Adds"], ks["Deletes"], ks["Lookups"], ks["Misses"], ks["Acquires"], ks["SoftExpires"], ks["HardExpires"])
 	fmt.Fprintf(&b, "netisr: %d workers, burst %d, %d drops, queue depths %v\n",
 		snap.Netisr.Workers, snap.Netisr.Burst, snap.Netisr.Drops, snap.Netisr.Depths)
+	for _, t := range snap.Tunnels {
+		fmt.Fprintf(&b, "tunnel %s (%s): %s -> %s, mtu %d (+%d encap), %d encapped, %d decapped, %d in errs, %d pmtu updates\n",
+			t.Name, t.Mode, t.Local, t.Remote, t.MTU, t.Overhead,
+			t.Encapped, t.Decapped, t.InErrors, t.PMTUUpdates)
+	}
 	lim := snap.Limits
 	b.WriteString("limits:")
 	for _, l := range []struct {

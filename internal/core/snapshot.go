@@ -8,6 +8,7 @@ import (
 	"bsd6/internal/inet"
 	"bsd6/internal/mbuf"
 	"bsd6/internal/stat"
+	"bsd6/internal/tunnel"
 )
 
 // traceRingSize bounds the per-stack flight recorder: the last N
@@ -62,6 +63,22 @@ type LimitsSnapshot struct {
 	PoolOutstanding int64 `json:"poolOutstanding"`
 }
 
+// TunnelSnap is one configured tunnel's row: its configuration, the
+// live inner-budget MTU (narrowed by nested PMTU discovery), and the
+// encap/decap counters.
+type TunnelSnap struct {
+	Name        string `json:"name"`
+	Mode        string `json:"mode"` // 6in4, 4in6, 6in6
+	Local       string `json:"local"`
+	Remote      string `json:"remote"`
+	MTU         int    `json:"mtu"`      // inner budget, shrinks on outer PTB
+	Overhead    int    `json:"overhead"` // outer header bytes per packet
+	Encapped    uint64 `json:"encapped"`
+	Decapped    uint64 `json:"decapped"`
+	InErrors    uint64 `json:"inErrors"`
+	PMTUUpdates uint64 `json:"pmtuUpdates"`
+}
+
 // Snapshot is the structured counterpart of Netstat(): every protocol,
 // security, key-engine and netisr counter, the drop-reason map, and
 // the flight-recorder trace — JSON-serializable so benchmarks and
@@ -80,6 +97,7 @@ type Snapshot struct {
 	Key     map[string]uint64 `json:"key"`
 	Netisr  NetisrSnapshot    `json:"netisr"`
 	Limits  LimitsSnapshot    `json:"limits"`
+	Tunnels []TunnelSnap      `json:"tunnels,omitempty"`
 	Reasons map[string]uint64 `json:"dropReasons"`
 	Trace   []TraceLine       `json:"trace,omitempty"`
 }
@@ -116,6 +134,25 @@ func (s *Stack) Snapshot() Snapshot {
 	// TimeWaitCount is a gauge over the 2MSL table, not a counter in
 	// the Stats block; fold it in the same way.
 	snap.TCP["TimeWaitCount"] = uint64(s.TCP.TimeWaitCount())
+	for _, t := range s.Tun.Tunnels() {
+		cfg, st := t.Config(), t.Stats()
+		row := TunnelSnap{
+			Name:        t.Name,
+			Mode:        t.Mode.String(),
+			MTU:         t.Ifp.MTU(),
+			Overhead:    t.Ifp.EncapOverhead(),
+			Encapped:    st.Encapped,
+			Decapped:    st.Decapped,
+			InErrors:    st.InErrors,
+			PMTUUpdates: st.PMTUUpdates,
+		}
+		if t.Mode == tunnel.Mode6in4 {
+			row.Local, row.Remote = cfg.Local4.String(), cfg.Remote4.String()
+		} else {
+			row.Local, row.Remote = cfg.Local6.String(), cfg.Remote6.String()
+		}
+		snap.Tunnels = append(snap.Tunnels, row)
+	}
 	for _, ev := range s.Drops.Events() {
 		snap.Trace = append(snap.Trace, TraceLine{
 			Seq:    ev.Seq,

@@ -32,6 +32,7 @@ import (
 	"bsd6/internal/route"
 	"bsd6/internal/stat"
 	"bsd6/internal/tcp"
+	"bsd6/internal/tunnel"
 	"bsd6/internal/udp"
 	"bsd6/internal/vclock"
 )
@@ -46,6 +47,7 @@ type Stack struct {
 	ICMP6 *icmp6.Module
 	Sec   *ipsec.Module
 	Keys  *key.Engine
+	Tun   *tunnel.Module
 	UDP   *udp.UDP
 	TCP   *tcp.TCP
 	Hosts *inet.HostTable
@@ -174,6 +176,13 @@ type Options struct {
 	// to split into MSS-sized wire frames (default tcp.DefaultGSOMax;
 	// negative disables, every segment leaves at MSS size).
 	GSO int
+
+	// TunNestLimit bounds tunnel nesting — how many encapsulations
+	// (and decapsulations) one packet may traverse on this node
+	// (default tunnel.DefaultNestLimit; negative selects the hard
+	// recursion ceiling rather than "off", since unlimited nesting
+	// could recurse the output path to exhaustion).
+	TunNestLimit int
 }
 
 // Defaults for the governance ceilings whose home is the stack
@@ -244,6 +253,11 @@ func NewStack(name string, opts Options) *Stack {
 	s.Keys = key.NewEngine()
 	s.Keys.Now = s.clock.Now
 	s.Sec = ipsec.Attach(s.V6, s.Keys)
+	s.Tun = tunnel.Attach(s.V4, s.V6, s.ICMP6)
+	s.Tun.Drops = s.Drops
+	if opts.TunNestLimit != 0 {
+		s.Tun.SetNestLimit(opts.TunNestLimit)
+	}
 	s.UDP = udp.New(s.V4, s.V6)
 	s.TCP = tcp.New(s.V4, s.V6)
 	s.UDP.Drops = s.Drops
@@ -708,6 +722,24 @@ func (s *Stack) DefaultRoute4(gw inet.IP4, ifName string) {
 		Family: inet.AFInet, Dst: zero[:], Plen: 0,
 		Flags: route.FlagUp | route.FlagGateway | route.FlagStatic, Gateway: gw, IfName: ifName,
 	})
+}
+
+// AddTunnel configures an encapsulation tunnel (6in4 / 4in6 / 6in6)
+// and wires its device into the stack: decapsulated packets re-enter
+// through the netisr input queues, where the flow hash steers them by
+// their *inner* tuple — decap re-steering for the per-worker GRO
+// engines.  Routes pointed at the returned tunnel's interface name
+// send traffic through it.
+func (s *Stack) AddTunnel(cfg tunnel.Config) (*tunnel.Tunnel, error) {
+	t, err := s.Tun.Add(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.Ifp.SetInput(s.enqueue)
+	s.mu.Lock()
+	s.ifps = append(s.ifps, t.Ifp)
+	s.mu.Unlock()
+	return t, nil
 }
 
 // EnableRouter6 turns the stack into an advertising IPv6 router on the

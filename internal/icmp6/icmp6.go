@@ -252,6 +252,17 @@ func (m *Module) LayerError(kind int, code uint8, param uint32, orig *mbuf.Mbuf,
 	m.SendError(typ, code, param, orig, rcvIf)
 }
 
+// SendPTB emits a Packet Too Big about orig advertising the given
+// MTU, clamped at the module's minimum (MinPMTU) so no sender — the
+// tunnel nested-PMTU translator included — can advertise a path below
+// what every IPv6 link guarantees.
+func (m *Module) SendPTB(mtu int, orig *mbuf.Mbuf, rcvIf string) {
+	if mtu < m.MinPMTU {
+		mtu = m.MinPMTU
+	}
+	m.SendError(TypePacketTooBig, 0, uint32(mtu), orig, rcvIf)
+}
+
 // SendError emits an ICMPv6 error about the received packet orig,
 // applying the suppression rules: never about an ICMPv6 error, a
 // multicast-sourced or unspecified-sourced packet, or (except Packet

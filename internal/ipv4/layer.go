@@ -43,6 +43,15 @@ var (
 	ErrReject  = errors.New("ipv4: host is unreachable (rejected)")
 )
 
+// icmpQuote is how much of an offending packet, beyond its IP header,
+// an ICMP error quotes.  RFC 792's 8 bytes are enough to identify a
+// transport flow but not to translate errors about encapsulated
+// packets: a tunnel head turning an outer frag-needed into an inner
+// Packet Too Big needs the full inner IP header (and ideally its
+// transport ports) from the quote.  RFC 1812 §4.3.2.3 allows quoting
+// as much as fits in 576 bytes; 128 covers outer + inner + transport.
+const icmpQuote = 128
+
 type fragKey struct {
 	src, dst inet.IP4
 	id       uint16
@@ -324,6 +333,12 @@ func (l *Layer) loop(pkt *mbuf.Mbuf) error {
 // transmit resolves the link-layer next hop and hands the frame to the
 // interface. pkt already carries its IP header.
 func (l *Layer) transmit(ifp *netif.Interface, rt *route.Entry, dst inet.IP4, pkt *mbuf.Mbuf) error {
+	if ifp.Flags()&netif.FlagTunnel != 0 {
+		// Point-to-point encapsulating device: no ARP — the device's
+		// output closure wraps the packet and re-enters the outer IP
+		// layer.
+		return ifp.Output(inet.LinkAddr{}, netif.EtherTypeIPv4, pkt)
+	}
 	switch {
 	case dst.IsMulticast():
 		return ifp.Output(inet.EthernetMulticast4(dst), netif.EtherTypeIPv4, pkt)
@@ -433,7 +448,7 @@ func (l *Layer) Input(ifp *netif.Interface, pkt *mbuf.Mbuf) {
 // the protocol switch.
 func (l *Layer) deliverLocal(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 	// Keep the leading bytes for ICMP errors before consuming.
-	errCtx := pkt.CopyRange(0, min(pkt.Len(), h.HdrLen()+8))
+	errCtx := pkt.CopyRange(0, min(pkt.Len(), h.HdrLen()+icmpQuote))
 	pkt.Adj(h.HdrLen())
 
 	if h.MF || h.FragOff != 0 {
@@ -494,7 +509,7 @@ func (l *Layer) deliverLocal(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 // fragmentation if needed (IPv4 routers fragment; §2.1 counts this
 // among the work IPv6 routers shed).
 func (l *Layer) forward(h *Header, pkt *mbuf.Mbuf) {
-	errCtx := pkt.CopyRange(0, min(pkt.Len(), h.HdrLen()+8))
+	errCtx := pkt.CopyRange(0, min(pkt.Len(), h.HdrLen()+icmpQuote))
 	if h.TTL <= 1 {
 		l.Drops.DropPkt(stat.RV4TTLExceeded, errCtx)
 		l.SendError(IcmpTimeExceeded, 0, 0, errCtx)

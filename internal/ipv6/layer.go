@@ -825,6 +825,12 @@ func (l *Layer) loop(pkt *mbuf.Mbuf) error {
 // transmit resolves the link-layer destination and hands the packet to
 // the interface.
 func (l *Layer) transmit(ifp *netif.Interface, rt *route.Entry, dst inet.IP6, pkt *mbuf.Mbuf) error {
+	if ifp.Flags()&netif.FlagTunnel != 0 {
+		// Point-to-point encapsulating device: no link addressing, no
+		// neighbor discovery — the device's output closure wraps the
+		// packet and re-enters the outer IP layer.
+		return ifp.Output(inet.LinkAddr{}, netif.EtherTypeIPv6, pkt)
+	}
 	if dst.IsMulticast() {
 		return ifp.Output(inet.EthernetMulticast(dst), netif.EtherTypeIPv6, pkt)
 	}

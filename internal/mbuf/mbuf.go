@@ -80,6 +80,13 @@ type PktHdr struct {
 	// shard (stat.Sharded) instead of a contended global atomic.
 	Worker int
 
+	// Encap counts tunnel encapsulations this packet has traversed on
+	// this node — incremented on every tunnel encap and decap, checked
+	// against the configured nesting limit (RFC 2473 "Tunnel
+	// Encapsulation Limit" in spirit) so a tunnel routed into itself
+	// terminates deterministically instead of recursing.
+	Encap uint8
+
 	// GSO, when non-nil, marks a transport-built super-segment to be
 	// split into SegSize frames at the link boundary.
 	GSO *GSO
@@ -194,6 +201,13 @@ func (m *Mbuf) Prepend(data []byte) {
 		h.data = h.slab[h.off : h.off+len(data)+len(h.data)]
 		m.hdr.Len += len(data)
 		return
+	}
+	if m.head != nil && m.head.slab != nil {
+		// A pooled packet ran out of leading space: the header goes
+		// into a fresh segment, i.e. Headroom was sized too small for
+		// this encap stack.  Counted so tests can prove it never
+		// happens on the supported paths.
+		prependSpills.Add(1)
 	}
 	seg := &segment{data: append([]byte(nil), data...), next: m.head}
 	m.head = seg

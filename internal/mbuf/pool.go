@@ -22,14 +22,26 @@ import (
 // garbage immediately instead of corrupting silently.
 
 // Headroom is the leading space reserved in pooled slabs for headers
-// prepended below the transport layer (40-byte IPv6 header plus room
-// for an authentication header).
-const Headroom = 96
+// prepended below the transport layer.  It is sized for the full
+// encapsulation stack a packet can accrete on one node, so Prepend
+// never spills into a new segment even under nested tunnels + IPsec
+// (the classic lightweight-tunnel trap: headroom sized one layer deep
+// costs a reallocation per nested encap).  The budget:
+//
+//	inner IPv6 header                40
+//	ESP tunnel mode (hdr+IV+pad+ICV) 62
+//	AH                               24
+//	tunnel outer #1 (v6)             40
+//	tunnel outer #2 (v6)             40
+//	                                ---
+//	                                206  → rounded up to 256
+const Headroom = 256
 
-// slabClasses are the pooled slab sizes. 1664 covers an Ethernet MTU
-// frame plus headroom; 9216 a jumbo/reassembled datagram; 65664 the
-// largest UDP datagram before fragmentation.
-var slabClasses = [...]int{256, 1664, 9216, 65664}
+// slabClasses are the pooled slab sizes. 512 covers bare ACKs and
+// control packets plus headroom; 1792 an Ethernet MTU frame plus
+// headroom; 9216 a jumbo/reassembled datagram; 65664 the largest UDP
+// datagram before fragmentation.
+var slabClasses = [...]int{512, 1792, 9216, 65664}
 
 var slabPools [len(slabClasses)]sync.Pool
 
@@ -42,6 +54,16 @@ var (
 	slabFrees atomic.Uint64
 	outBytes  atomic.Int64
 )
+
+// prependSpills counts Prepend calls on pooled packets that found too
+// little leading space and fell back to allocating a new segment —
+// each one is a headroom budget miss.  The encap no-realloc tests
+// assert this stays zero through two levels of tunnel encapsulation.
+var prependSpills atomic.Uint64
+
+// PrependSpills returns the cumulative count of pooled-packet Prepend
+// operations that could not land in the slab's leading space.
+func PrependSpills() uint64 { return prependSpills.Load() }
 
 // Outstanding returns the bytes of slab memory currently handed out
 // and not yet freed, the live-mbuf gauge (BSD's mbstat m_mbufs in

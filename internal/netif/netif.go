@@ -60,6 +60,7 @@ const (
 	FlagPromisc
 	FlagAllMulti // accept all multicast frames (router/MLD mode)
 	FlagRouter   // interface belongs to a router (advertises, forwards)
+	FlagTunnel   // point-to-point encapsulating device (6in4/4in6/6in6)
 )
 
 // Addr6 is an IPv6 interface address with the lifetime fields the NRL
@@ -155,6 +156,13 @@ type Interface struct {
 	input  InputFunc
 	output func(Frame) error
 	stats  Stats
+
+	// encapOverhead is the bytes this device's output path prepends to
+	// every packet (tunnel outer header).  The device MTU already has
+	// it subtracted — inner-path MTU math needs no special casing — so
+	// this field only feeds diagnostics and PMTU translation
+	// arithmetic.
+	encapOverhead int
 }
 
 // New creates an interface with the given name, MAC and MTU.
@@ -228,6 +236,40 @@ func (ifp *Interface) SetInput(fn InputFunc) {
 	ifp.mu.Unlock()
 }
 
+// SetOutput installs the frame transmit function.  Hub.Attach does
+// this for wire-like interfaces; virtual devices (tunnels) install
+// their encapsulation closure here instead of attaching to a hub.
+func (ifp *Interface) SetOutput(fn func(Frame) error) {
+	ifp.mu.Lock()
+	ifp.output = fn
+	ifp.mu.Unlock()
+}
+
+// SetEncapOverhead records the per-packet encapsulation overhead of a
+// virtual device (see the encapOverhead field).
+func (ifp *Interface) SetEncapOverhead(n int) {
+	ifp.mu.Lock()
+	ifp.encapOverhead = n
+	ifp.mu.Unlock()
+}
+
+// EncapOverhead returns the device's per-packet encapsulation
+// overhead; zero for ordinary interfaces.
+func (ifp *Interface) EncapOverhead() int {
+	ifp.mu.Lock()
+	defer ifp.mu.Unlock()
+	return ifp.encapOverhead
+}
+
+// Deliver injects a received packet into the interface's input path as
+// if it had arrived from the wire, bypassing the MAC filter (virtual
+// devices have no MAC addressing).  Tunnel decapsulation re-enters the
+// stack through here, so the owning stack's steering sees the packet
+// arrive on the tunnel device and hashes the now-inner headers.
+func (ifp *Interface) Deliver(fr Frame) {
+	ifp.deliver(fr, true)
+}
+
 // Stats returns a copy of the interface counters.
 func (ifp *Interface) Stats() Stats {
 	ifp.mu.Lock()
@@ -245,7 +287,7 @@ func (ifp *Interface) Stats() Stats {
 func (ifp *Interface) AddAddr6(a Addr6) error {
 	ifp.mu.Lock()
 	defer ifp.mu.Unlock()
-	if len(ifp.v6) == 0 && !a.Addr.IsLinkLocal() && ifp.flags&FlagLoopback == 0 {
+	if len(ifp.v6) == 0 && !a.Addr.IsLinkLocal() && ifp.flags&(FlagLoopback|FlagTunnel) == 0 {
 		return errors.New("netif: first IPv6 address on an interface must be link-local")
 	}
 	for _, old := range ifp.v6 {
@@ -425,6 +467,15 @@ func (ifp *Interface) Output(dst inet.LinkAddr, etherType uint16, pkt *mbuf.Mbuf
 		}
 		if pkt.Len() > limit {
 			return ifp.gsoSplit(dst, etherType, pkt)
+		}
+		if ifp.Flags()&FlagTunnel != 0 {
+			// GSO flushes at tunnel devices: a super that fits whole
+			// under the tunnel MTU must not carry its descriptor into
+			// encapsulation — the outer IP layer would re-stamp
+			// PathMTU from the *outer* path, and if that later
+			// narrows, the physical link would split the encapsulated
+			// bytes at inner-header offsets, corrupting the stream.
+			pkt.Hdr().GSO = nil
 		}
 	}
 	if pkt.Len() > mtu {

@@ -98,6 +98,13 @@ const (
 	RTCPSynCookieFailed  // listener ACK failed SYN-cookie validation (forged or stale)
 	RTCPTimeWaitOverflow // TIME_WAIT table cap evicted the oldest 2MSL record
 
+	// Configured tunnels (6in4 / 4in6 / 6in6 decap, RFC 2473 rules).
+	RTunNoEndpoint // encapsulated packet from no configured tunnel endpoint
+	RTunBadHeader  // inner packet unparseable or wrong version for the mode
+	RTunNestLimit  // RFC 2473 tunnel-nesting limit exceeded (encap loop)
+	RTunMartian    // inner source is loopback/multicast/unspecified
+	RTunAFMismatch // outer address family does not match the tunnel mode
+
 	reasonCount // sentinel: number of reasons, keep last
 )
 
@@ -160,6 +167,12 @@ var reasonNames = [reasonCount]string{
 
 	RTCPSynCookieFailed:  "tcp-syn-cookie-failed",
 	RTCPTimeWaitOverflow: "tcp-time-wait-overflow",
+
+	RTunNoEndpoint: "tunnel-no-endpoint",
+	RTunBadHeader:  "tunnel-bad-inner",
+	RTunNestLimit:  "tunnel-nest-limit",
+	RTunMartian:    "tunnel-martian",
+	RTunAFMismatch: "tunnel-af-mismatch",
 }
 
 // String returns the reason's stable snapshot key.

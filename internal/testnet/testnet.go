@@ -19,6 +19,7 @@ import (
 	"bsd6/internal/netif"
 	"bsd6/internal/route"
 	"bsd6/internal/stat"
+	"bsd6/internal/tunnel"
 	"bsd6/internal/vclock"
 )
 
@@ -32,6 +33,7 @@ type Node struct {
 	ICMP6 *icmp6.Module
 	Sec   *ipsec.Module
 	Keys  *key.Engine
+	Tun   *tunnel.Module
 	Drops *stat.Recorder
 	Ifps  []*netif.Interface
 }
@@ -49,7 +51,9 @@ func NewNode(name string) *Node {
 	v4.Drops = drops
 	v6.Drops = drops
 	rt.Drops = drops
-	n := &Node{Name: name, RT: rt, V4: v4, V6: v6, ICMP4: ic4, ICMP6: ic6, Sec: sec, Keys: ke, Drops: drops}
+	tun := tunnel.Attach(v4, v6, ic6)
+	tun.Drops = drops
+	n := &Node{Name: name, RT: rt, V4: v4, V6: v6, ICMP4: ic4, ICMP6: ic6, Sec: sec, Keys: ke, Tun: tun, Drops: drops}
 	lo := netif.NewLoopback(name+"-lo", 32768)
 	lo.SetInput(func(ifp *netif.Interface, fr netif.Frame) {
 		switch fr.EtherType {
@@ -107,6 +111,28 @@ func (n *Node) Join(hub *netif.Hub, mac inet.LinkAddr, mtu int, v4addr inet.IP4,
 	}
 	n.Ifps = append(n.Ifps, ifp)
 	return ifp
+}
+
+// AddTunnel configures an encapsulation tunnel on the node, wiring
+// decapsulated packets straight into the IP input paths (testnet nodes
+// have no netisr; delivery is synchronous like every other testnet
+// link).
+func (n *Node) AddTunnel(t testing.TB, cfg tunnel.Config) *tunnel.Tunnel {
+	t.Helper()
+	tun, err := n.Tun.Add(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tun.Ifp.SetInput(func(ifp *netif.Interface, fr netif.Frame) {
+		switch fr.EtherType {
+		case netif.EtherTypeIPv4:
+			n.V4.Input(ifp, fr.Payload)
+		case netif.EtherTypeIPv6:
+			n.V6.Input(ifp, fr.Payload)
+		}
+	})
+	n.Ifps = append(n.Ifps, tun.Ifp)
+	return tun
 }
 
 // AddGlobal6 configures a global IPv6 address with its on-link prefix.
