@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ipbench [-t table1|table2|table3|table4|table5|figure8|micro|conns|stream|tunnel|all] [-iters N] [-mb N] [-json] [-tag NAME] [-baseline]
+//	ipbench [-t table1|table2|table3|table4|table5|figure8|micro|conns|stream|tunnel|topo|all] [-iters N] [-mb N] [-json] [-tag NAME] [-baseline]
 //
 // With -json, every measured cell is also written to BENCH_<date>.json
 // so before/after runs can be diffed mechanically.  -tag inserts a
@@ -25,6 +25,7 @@ import (
 	"bsd6/internal/inet"
 	"bsd6/internal/netperf"
 	"bsd6/internal/pcb"
+	"bsd6/internal/topo"
 )
 
 var (
@@ -90,6 +91,18 @@ type tunnelCell struct {
 	KBps float64 `json:"kbps"`
 }
 
+// topoCell is one row of the multi-hop forwarding table: end-to-end
+// IPv6 throughput and packet rate through a chain of transit routers,
+// every hop paying the full forwarding path (route lookup or held
+// route, hop-limit decrement, re-transmit).
+type topoCell struct {
+	Routers int     `json:"routers"`
+	Hops    int     `json:"hops"` // links traversed end to end
+	TCPKBps float64 `json:"tcp_kbps"`
+	UDPKBps float64 `json:"udp_kbps"`
+	UDPpps  float64 `json:"udp_pps"`
+}
+
 // connCell is one row of the connection-scaling table: established
 // demux latency and one full connection lifetime (attach, adopt tuple,
 // demux, detach) against a PCB table of the given size.
@@ -114,6 +127,7 @@ type report struct {
 	Conns   []connCell     `json:"conns,omitempty"`
 	Stream  []batchCell    `json:"stream,omitempty"`
 	Tunnel  []tunnelCell   `json:"tunnel,omitempty"`
+	Topo    []topoCell     `json:"topo,omitempty"`
 	// Snapshots holds the full counter state of every stack used by
 	// the run, captured at teardown — the structured netstat that lets
 	// a reader verify a cell was measured on a clean path (no retrans,
@@ -599,6 +613,64 @@ func tunnelTable() {
 	row("6in6 + ESP tunnel", tunnelStream(bsd6.Tunnel6in6, true))
 }
 
+// topoTable measures end-to-end IPv6 throughput and UDP packet rate
+// through line topologies with 1, 2 and 4 transit routers, on the real
+// clock.  The single-router row should sit near the two-stack native
+// numbers; each added hop then prices one more full forwarding pass —
+// the table that keeps the multi-hop fast path honest.
+func topoTable() {
+	fmt.Println("\nTopo: multi-hop forwarding, IPv6 through router chains")
+	fmt.Printf("%8s %6s %12s %12s %12s\n", "routers", "hops", "tcp KB/s", "udp KB/s", "udp pps")
+	const udpMsg = 1024
+	for _, routers := range []int{1, 2, 4} {
+		n := routers + 2
+		var opts core.Options
+		if *flagNoBatch {
+			opts = core.Options{BurstSize: -1, GRO: -1, GSO: -1}
+		}
+		nw, err := topo.Build(topo.Spec{Kind: topo.Line, N: n, Seed: 1, Stack: opts})
+		if err != nil {
+			die(err)
+		}
+		src := nw.Nodes[0].S
+		dstNode := nw.Nodes[n-1]
+		dst, _ := dstNode.Addr()
+		total := int64(*flagMB) << 20
+
+		bestStream := func(tcp bool, port uint16, msg, sockbuf int) float64 {
+			sv, err := netperf.NewSinkServer(dstNode.S, tcp, port, sockbuf, nil)
+			if err != nil {
+				die(err)
+			}
+			defer sv.Close()
+			best := 0.0
+			for trial := 0; trial < 3; trial++ {
+				res, err := netperf.RunStream(src, sv, bsd6.Addr6(dst, port), tcp, msg, sockbuf, total, nil)
+				if err != nil {
+					die(err)
+				}
+				if res.KBps > best {
+					best = res.KBps
+				}
+			}
+			return best
+		}
+		tcp := bestStream(true, 23000, 8192, 57344)
+		udp := bestStream(false, 23001, udpMsg, 32767)
+		pps := udp * 1024 / udpMsg
+		if *flagJSON {
+			for _, node := range nw.Nodes {
+				results.Snapshots = append(results.Snapshots, node.S.Snapshot())
+			}
+		}
+		nw.Close()
+		fmt.Printf("%8d %6d %12.0f %12.0f %12.0f\n", routers, n-1, tcp, udp, pps)
+		results.Topo = append(results.Topo, topoCell{
+			Routers: routers, Hops: n - 1, TCPKBps: tcp, UDPKBps: udp, UDPpps: pps,
+		})
+	}
+}
+
 // writeJSON dumps the collected cells to BENCH_<date>[-tag][-baseline].json.
 func writeJSON() {
 	results.Date = time.Now().Format("2006-01-02")
@@ -665,6 +737,9 @@ func main() {
 	}
 	if run("tunnel") {
 		tunnelTable()
+	}
+	if run("topo") {
+		topoTable()
 	}
 	if *flagJSON {
 		writeJSON()

@@ -4,29 +4,49 @@
 // (two hosts and a router), generates mixed cleartext and secured
 // traffic, then prints each node's state.
 //
+// With -crawl it instead boots a generated multi-node topology, runs
+// traffic (including across severed links, so the drop taxonomy has
+// something to show), crawls the fleet's admin plane from n0, and
+// prints the aggregated fleet report — the operator's eye view of a
+// whole simulated internet.
+//
 // Usage:
 //
 //	netstat [-r] [-s] [-i]   (default: all sections)
+//	netstat -crawl [-nodes N] [-seed S] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"bsd6"
+	"bsd6/internal/admin"
 	"bsd6/internal/core"
 	"bsd6/internal/icmp6"
+	"bsd6/internal/topo"
+	"bsd6/internal/vclock"
 )
 
 var (
 	flagRoutes = flag.Bool("r", false, "routing tables only")
 	flagStats  = flag.Bool("s", false, "protocol statistics only")
 	flagIfs    = flag.Bool("i", false, "interfaces only")
+	flagCrawl  = flag.Bool("crawl", false, "boot a generated topology and print its crawled fleet report")
+	flagNodes  = flag.Int("nodes", 24, "node count for -crawl")
+	flagSeed   = flag.Int64("seed", 7, "topology seed for -crawl")
+	flagJSON   = flag.Bool("json", false, "with -crawl, print the fleet report as JSON instead of text")
 )
 
 func main() {
 	flag.Parse()
+	if *flagCrawl {
+		crawl()
+		return
+	}
 
 	// Topology: host A and router R on link 1; router R and host B on
 	// link 2. R advertises a prefix on link 1 so A autoconfigures.
@@ -101,6 +121,67 @@ func main() {
 		if *flagRoutes {
 			fmt.Println(s.Netstat())
 		}
+	}
+}
+
+// crawl boots a Waxman topology on the virtual clock, pushes pings
+// across it (healthy and through a severed link), then walks the
+// admin plane from n0 and renders the fleet report.
+func crawl() {
+	nw, err := topo.Build(topo.Spec{
+		Kind: topo.Waxman, N: *flagNodes, Seed: *flagSeed,
+		Clock: vclock.NewVirtual(time.Unix(0, 0)),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netstat:", err)
+		os.Exit(1)
+	}
+	defer nw.Close()
+	nw.Start()
+
+	// Healthy transit: ping from n0 to every fourth node so routers
+	// have forwarding counters worth reporting.
+	for i := 1; i < len(nw.Nodes); i += 4 {
+		if dst, ok := nw.Nodes[i].Addr(); ok {
+			nw.Nodes[0].S.Ping6(dst, uint16(i), 1, []byte("fleet"))
+		}
+	}
+	quiesce(nw)
+	// Sever one link and ping across it: the report's drop taxonomy
+	// should show typed link/no-route casualties, not silence.
+	nw.SeverLink(0)
+	for seq := uint16(1); seq <= 3; seq++ {
+		far := nw.Links[0].B
+		if dst, ok := nw.Nodes[far].Addr(); ok {
+			nw.Nodes[nw.Links[0].A].S.Ping6(dst, 999, seq, []byte("into the void"))
+		}
+	}
+	quiesce(nw)
+	nw.HealAll()
+
+	crawler := &admin.Crawler{Net: nw.Admin()}
+	report, err := crawler.Crawl(nw.Nodes[0].Name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netstat:", err)
+		os.Exit(1)
+	}
+	if *flagJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(report)
+		return
+	}
+	fmt.Printf("topology: %s, %d nodes, %d links, seed %d\n",
+		nw.Spec.Kind, len(nw.Nodes), len(nw.Links), *flagSeed)
+	fmt.Print(report.Render())
+}
+
+// quiesce waits for every in-flight packet and timer to drain (the
+// virtual clock free-runs while we watch).
+func quiesce(nw *topo.Network) {
+	deadline := time.Now().Add(10 * time.Second)
+	for nw.Pending() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -1,0 +1,299 @@
+// Package admin is the per-stack operator endpoint and the fleet
+// crawler built on it: each node serves its Snapshot() truth plus
+// topology/neighbor information over a newline-delimited JSON
+// request/response protocol (modeled on yggdrasil-go's admin socket),
+// and a Crawler walks the network from any seed node, aggregating
+// per-node limits, drops and leak gauges into one FleetReport.
+//
+// The transport is an in-memory listener (net.Pipe), so the admin
+// plane is a management network alongside the simulated data plane:
+// the crawler reaches every registered node even while data-plane
+// links are partitioned — exactly what an operator's out-of-band
+// console would see.
+//
+// The protocol contract lives in docs/ADMIN.md; an audit test keeps
+// that document and RequestNames in lockstep.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+
+	"bsd6/internal/core"
+	"bsd6/internal/inet"
+	"bsd6/internal/route"
+)
+
+// Request is the wire envelope a client sends: one JSON object per
+// line, naming the request and carrying optional request-specific
+// arguments.
+type Request struct {
+	Request   string          `json:"request"`
+	Arguments json.RawMessage `json:"arguments,omitempty"`
+}
+
+// Response is the wire envelope a server answers with: status
+// "success" carries the request-specific response object, status
+// "error" carries the error string instead.
+type Response struct {
+	Status   string          `json:"status"` // "success" or "error"
+	Request  string          `json:"request,omitempty"`
+	Response json.RawMessage `json:"response,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// Peer describes one neighbor on one link, as served by getPeers.
+// Name is the neighbor's admin name (dialable on the same Network);
+// Addr is its global address on the shared link, empty for an
+// unnumbered autoconf host.
+type Peer struct {
+	Name string `json:"name"`
+	Link int    `json:"link"`
+	Addr string `json:"addr,omitempty"`
+	MTU  int    `json:"mtu"`
+}
+
+// NodeInfo is the topology identity a Server serves alongside the
+// stack state: the node's admin name, whether it forwards, and its
+// static neighbor list.
+type NodeInfo struct {
+	Name   string
+	Router bool
+	Peers  []Peer
+}
+
+// Self is the getSelf response: the node's identity card plus its
+// forwarding counters.
+type Self struct {
+	Name         string `json:"name"`
+	Router       bool   `json:"router"`
+	Peers        int    `json:"peers"`
+	Forwarded    uint64 `json:"forwarded"`    // IPv6 + IPv4 transit packets
+	FwdCacheHits uint64 `json:"fwdCacheHits"` // transit routed via the held-route shards
+}
+
+// Peers is the getPeers response.
+type Peers struct {
+	Peers []Peer `json:"peers"`
+}
+
+// Limits is the getLimits response: the stack's resource-governance
+// surface (see core.LimitsSnapshot).
+type Limits struct {
+	Limits core.LimitsSnapshot `json:"limits"`
+}
+
+// DropReasons is the getDropReasons response: the typed drop-reason
+// map — every induced discard in the stack, by taxonomy name.
+type DropReasons struct {
+	Drops map[string]uint64 `json:"drops"`
+}
+
+// RouteRow is one route in the getRoutes response.
+type RouteRow struct {
+	Dst     string `json:"dst"` // prefix/plen
+	Gateway string `json:"gateway,omitempty"`
+	Flags   string `json:"flags"` // netstat letters: U up, G gateway, H host, C cloning, L llinfo, S static, D dynamic, R reject
+	IfName  string `json:"ifname"`
+	MTU     int    `json:"mtu,omitempty"`
+	Use     uint64 `json:"use"`
+}
+
+// Routes is the getRoutes response.
+type Routes struct {
+	Family string     `json:"family"`
+	Count  int        `json:"count"`
+	Routes []RouteRow `json:"routes"`
+}
+
+// RequestList is the list response: every request this server
+// implements, sorted.
+type RequestList struct {
+	Requests []string `json:"requests"`
+}
+
+// requestNames is the protocol surface, sorted.  docs/ADMIN.md must
+// document exactly this set (TestAdminDocCoverage enforces it).
+var requestNames = []string{
+	"getDropReasons",
+	"getLimits",
+	"getPeers",
+	"getRoutes",
+	"getSelf",
+	"getSnapshot",
+	"list",
+}
+
+// RequestNames returns every request the protocol implements, sorted.
+func RequestNames() []string {
+	return append([]string(nil), requestNames...)
+}
+
+// Server is one node's admin endpoint: it answers the protocol's
+// requests from the stack's live state.  Safe for concurrent
+// connections — every answer reads atomics or takes the stack's own
+// locks.
+type Server struct {
+	stack *core.Stack
+	info  NodeInfo
+}
+
+// NewServer builds the admin endpoint for stack with its topology
+// identity.
+func NewServer(stack *core.Stack, info NodeInfo) *Server {
+	return &Server{stack: stack, info: info}
+}
+
+// Name returns the server's admin name.
+func (s *Server) Name() string { return s.info.Name }
+
+// Serve answers requests on conn until EOF or a protocol error.  One
+// line in, one line out, in order.
+func (s *Server) Serve(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF {
+				enc.Encode(Response{Status: "error", Error: "malformed request: " + err.Error()})
+			}
+			return
+		}
+		if err := enc.Encode(s.handle(req)); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request to its implementation.
+func (s *Server) handle(req Request) Response {
+	var (
+		body any
+		err  error
+	)
+	switch req.Request {
+	case "list":
+		body = RequestList{Requests: RequestNames()}
+	case "getSelf":
+		body = s.self()
+	case "getPeers":
+		body = Peers{Peers: append([]Peer{}, s.info.Peers...)}
+	case "getSnapshot":
+		body = s.stack.Snapshot()
+	case "getLimits":
+		body = Limits{Limits: s.stack.Snapshot().Limits}
+	case "getDropReasons":
+		body = DropReasons{Drops: s.stack.Drops.Reasons.Snapshot()}
+	case "getRoutes":
+		body, err = s.routes(req.Arguments)
+	case "":
+		err = fmt.Errorf("missing request field")
+	default:
+		err = fmt.Errorf("unknown request %q", req.Request)
+	}
+	if err != nil {
+		return Response{Status: "error", Request: req.Request, Error: err.Error()}
+	}
+	raw, merr := json.Marshal(body)
+	if merr != nil {
+		return Response{Status: "error", Request: req.Request, Error: "encode: " + merr.Error()}
+	}
+	return Response{Status: "success", Request: req.Request, Response: raw}
+}
+
+func (s *Server) self() Self {
+	return Self{
+		Name:   s.info.Name,
+		Router: s.info.Router,
+		Peers:  len(s.info.Peers),
+		Forwarded: s.stack.V6.Stats.Forwarded.Get() +
+			s.stack.V4.Stats.Forwarded.Get(),
+		FwdCacheHits: s.stack.V6.Stats.FwdCacheHits.Get() +
+			s.stack.V4.Stats.FwdCacheHits.Get(),
+	}
+}
+
+// routesArgs are getRoutes' arguments.
+type routesArgs struct {
+	Family string `json:"family"`
+}
+
+func (s *Server) routes(raw json.RawMessage) (Routes, error) {
+	args := routesArgs{Family: "inet6"}
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &args); err != nil {
+			return Routes{}, fmt.Errorf("bad arguments: %v", err)
+		}
+	}
+	var fam inet.Family
+	switch args.Family {
+	case "inet6":
+		fam = inet.AFInet6
+	case "inet":
+		fam = inet.AFInet
+	default:
+		return Routes{}, fmt.Errorf("bad arguments: family must be \"inet\" or \"inet6\", got %q", args.Family)
+	}
+	out := Routes{Family: args.Family}
+	s.stack.RT.Walk(fam, func(e *route.Entry) bool {
+		row := RouteRow{
+			Dst:    fmt.Sprintf("%s/%d", addrString(fam, e.Dst), e.Plen),
+			Flags:  flagLetters(e.Flags),
+			IfName: e.IfName,
+			MTU:    e.MTU,
+			Use:    atomic.LoadUint64(&e.Use), // cached sends add without the table lock
+		}
+		switch gw := e.Gateway.(type) {
+		case inet.IP6:
+			row.Gateway = gw.String()
+		case inet.IP4:
+			row.Gateway = gw.String()
+		case inet.LinkAddr:
+			row.Gateway = gw.String()
+		}
+		out.Routes = append(out.Routes, row)
+		return true
+	})
+	out.Count = len(out.Routes)
+	return out, nil
+}
+
+func addrString(f inet.Family, b []byte) string {
+	if f == inet.AFInet6 {
+		var a inet.IP6
+		copy(a[:], b)
+		return a.String()
+	}
+	var a inet.IP4
+	copy(a[:], b)
+	return a.String()
+}
+
+// flagLetters renders route flags with netstat's letters.
+func flagLetters(f int) string {
+	var b strings.Builder
+	for _, fl := range []struct {
+		bit int
+		ch  byte
+	}{
+		{route.FlagUp, 'U'},
+		{route.FlagGateway, 'G'},
+		{route.FlagHost, 'H'},
+		{route.FlagCloning, 'C'},
+		{route.FlagLLInfo, 'L'},
+		{route.FlagStatic, 'S'},
+		{route.FlagDynamic, 'D'},
+		{route.FlagReject, 'R'},
+	} {
+		if f&fl.bit != 0 {
+			b.WriteByte(fl.ch)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,204 @@
+package admin
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bsd6/internal/core"
+)
+
+// Crawler walks the admin plane from a seed node, following getPeers
+// adjacency breadth-first and interrogating every node it reaches.
+type Crawler struct {
+	Net *Network
+}
+
+// NodeReport is one crawled node's row in the fleet report.
+type NodeReport struct {
+	Name         string              `json:"name"`
+	Router       bool                `json:"router"`
+	Peers        []string            `json:"peers"`
+	Forwarded    uint64              `json:"forwarded"`
+	FwdCacheHits uint64              `json:"fwdCacheHits"`
+	Drops        map[string]uint64   `json:"drops,omitempty"`
+	Limits       core.LimitsSnapshot `json:"limits"`
+}
+
+// FleetReport aggregates one crawl: every node's limits, drops and
+// forwarding counters, with fleet-wide totals.  The crawl follows the
+// *configured* adjacency (the management plane), so severed data
+// links do not hide nodes — a node is Unreachable only if its admin
+// endpoint itself cannot be dialed or answers garbage.
+type FleetReport struct {
+	Seed        string       `json:"seed"`
+	Crawled     int          `json:"crawled"`
+	Unreachable []string     `json:"unreachable,omitempty"`
+	Nodes       []NodeReport `json:"nodes"`
+
+	TotalForwarded    uint64            `json:"totalForwarded"`
+	TotalFwdCacheHits uint64            `json:"totalFwdCacheHits"`
+	// TotalDrops sums every node's typed drop-reason map.
+	TotalDrops map[string]uint64 `json:"totalDrops"`
+	// LimitDrops sums the discards induced by each governance
+	// ceiling across the fleet, keyed by the limit's drop reason.
+	LimitDrops map[string]uint64 `json:"limitDrops"`
+	// PoolOutstanding is the process-wide mbuf leak gauge (bytes out
+	// of the pool and not yet returned).  Every node reports the
+	// same shared-pool value, so it appears once, not summed.
+	PoolOutstanding int64 `json:"poolOutstanding"`
+}
+
+// Crawl walks the fleet from seed and aggregates what it finds.  It
+// fails only when nothing at all could be crawled; partial fleets
+// come back as a report with Unreachable entries.
+func (c *Crawler) Crawl(seed string) (*FleetReport, error) {
+	r := &FleetReport{
+		Seed:       seed,
+		TotalDrops: make(map[string]uint64),
+		LimitDrops: make(map[string]uint64),
+	}
+	visited := map[string]bool{seed: true}
+	queue := []string{seed}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		node, peers, err := c.interrogate(name)
+		if err != nil {
+			r.Unreachable = append(r.Unreachable, name)
+			continue
+		}
+		r.Nodes = append(r.Nodes, node)
+		r.TotalForwarded += node.Forwarded
+		r.TotalFwdCacheHits += node.FwdCacheHits
+		for reason, n := range node.Drops {
+			r.TotalDrops[reason] += n
+		}
+		for _, l := range limitList(node.Limits) {
+			if l.Drops > 0 {
+				r.LimitDrops[l.Reason] += l.Drops
+			}
+		}
+		r.PoolOutstanding = node.Limits.PoolOutstanding
+		for _, p := range peers {
+			if !visited[p] {
+				visited[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	r.Crawled = len(r.Nodes)
+	if r.Crawled == 0 {
+		return r, fmt.Errorf("admin: crawl from %q reached nothing", seed)
+	}
+	return r, nil
+}
+
+// interrogate queries one node: getSelf, getPeers, getSnapshot.
+func (c *Crawler) interrogate(name string) (NodeReport, []string, error) {
+	cl, err := Connect(c.Net, name)
+	if err != nil {
+		return NodeReport{}, nil, err
+	}
+	defer cl.Close()
+	var self Self
+	if err := cl.Do("getSelf", nil, &self); err != nil {
+		return NodeReport{}, nil, err
+	}
+	var peers Peers
+	if err := cl.Do("getPeers", nil, &peers); err != nil {
+		return NodeReport{}, nil, err
+	}
+	var snap core.Snapshot
+	if err := cl.Do("getSnapshot", nil, &snap); err != nil {
+		return NodeReport{}, nil, err
+	}
+	node := NodeReport{
+		Name: self.Name, Router: self.Router,
+		Forwarded: self.Forwarded, FwdCacheHits: self.FwdCacheHits,
+		Drops: snap.Reasons, Limits: snap.Limits,
+	}
+	names := make([]string, 0, len(peers.Peers))
+	for _, p := range peers.Peers {
+		node.Peers = append(node.Peers, p.Name)
+		names = append(names, p.Name)
+	}
+	return node, names, nil
+}
+
+// limitList flattens a LimitsSnapshot for aggregation.
+func limitList(l core.LimitsSnapshot) []core.LimitSnapshot {
+	return []core.LimitSnapshot{
+		l.Reasm6, l.Reasm4, l.NDCache, l.SynBacklog, l.TimeWait, l.MbufQueue,
+	}
+}
+
+// Render formats the report as the operator-facing fleet summary: a
+// totals header, the fleet-wide drop taxonomy, and one row per node.
+func (r *FleetReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d nodes crawled from %s", r.Crawled, r.Seed)
+	if len(r.Unreachable) > 0 {
+		fmt.Fprintf(&b, " (%d unreachable: %s)", len(r.Unreachable), strings.Join(r.Unreachable, " "))
+	}
+	fmt.Fprintf(&b, "\nforwarded: %d transit packets (%d via held routes), pool-outstanding %dB\n",
+		r.TotalForwarded, r.TotalFwdCacheHits, r.PoolOutstanding)
+	b.WriteString("drops: " + renderCounts(r.TotalDrops) + "\n")
+	if len(r.LimitDrops) > 0 {
+		b.WriteString("limit-induced: " + renderCounts(r.LimitDrops) + "\n")
+	}
+	fmt.Fprintf(&b, "%-8s %-6s %5s %10s %10s  %s\n", "node", "role", "peers", "fwd", "drops", "hot-limit")
+	for _, n := range r.Nodes {
+		role := "host"
+		if n.Router {
+			role = "router"
+		}
+		var drops uint64
+		for _, v := range n.Drops {
+			drops += v
+		}
+		fmt.Fprintf(&b, "%-8s %-6s %5d %10d %10d  %s\n",
+			n.Name, role, len(n.Peers), n.Forwarded, drops, hotLimit(n.Limits))
+	}
+	return b.String()
+}
+
+// hotLimit names the node's most loaded governance ceiling as
+// "name cur/max(drops)", or "-" when everything is idle.
+func hotLimit(l core.LimitsSnapshot) string {
+	names := []string{"reasm6", "reasm4", "nd-cache", "syn-backlog", "time-wait", "mbuf-queue"}
+	best, bestLoad := "", 0.0
+	for i, s := range limitList(l) {
+		if s.Max <= 0 || (s.Cur == 0 && s.Drops == 0) {
+			continue
+		}
+		load := float64(s.Cur) / float64(s.Max)
+		if s.Drops > 0 {
+			load += 1 // a dropping limit always outranks a quiet one
+		}
+		if load > bestLoad {
+			bestLoad = load
+			best = fmt.Sprintf("%s %d/%d(%d)", names[i], s.Cur, s.Max, s.Drops)
+		}
+	}
+	if best == "" {
+		return "-"
+	}
+	return best
+}
+
+func renderCounts(m map[string]uint64) string {
+	if len(m) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,48 @@
+package admin
+
+import (
+	"bufio"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAdminDocCoverage keeps docs/ADMIN.md and the implemented
+// protocol in lockstep: every request the server answers must have a
+// "### <name>" reference section, and every "### <camelCase>" heading
+// in the requests part of the document must name an implemented
+// request.  Adding a request without documenting it (or documenting
+// vapor) fails here.
+func TestAdminDocCoverage(t *testing.T) {
+	f, err := os.Open("../../docs/ADMIN.md")
+	if err != nil {
+		t.Fatalf("protocol reference missing: %v", err)
+	}
+	defer f.Close()
+
+	var documented []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, ok := strings.CutPrefix(sc.Text(), "### ")
+		if !ok {
+			continue
+		}
+		name = strings.TrimSpace(name)
+		// Request sections are single camelCase words; prose headings
+		// ("Request envelope", "Error cases", …) contain spaces.
+		if name == "" || strings.ContainsAny(name, " \t") {
+			continue
+		}
+		documented = append(documented, name)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(documented)
+	if !reflect.DeepEqual(documented, RequestNames()) {
+		t.Fatalf("docs/ADMIN.md documents %v\nserver implements   %v",
+			documented, RequestNames())
+	}
+}

@@ -1,0 +1,117 @@
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Network is the in-memory admin plane: a name → Server registry
+// whose Dial hands out connected net.Pipe endpoints, each served by
+// its own goroutine.  It stands in for the per-node Unix/TCP admin
+// listener a deployed fleet would run, and stays reachable while
+// data-plane links are partitioned.  Safe for concurrent use.
+type Network struct {
+	mu      sync.Mutex
+	servers map[string]*Server
+}
+
+// NewNetwork creates an empty admin plane.
+func NewNetwork() *Network {
+	return &Network{servers: make(map[string]*Server)}
+}
+
+// Register adds a server under its node name; duplicate names error.
+func (n *Network) Register(s *Server) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.servers[s.Name()]; dup {
+		return fmt.Errorf("admin: duplicate node name %q", s.Name())
+	}
+	n.servers[s.Name()] = s
+	return nil
+}
+
+// Names lists every registered node, sorted.
+func (n *Network) Names() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	names := make([]string, 0, len(n.servers))
+	for name := range n.servers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dial opens a connection to the named node's admin endpoint.  The
+// returned conn speaks the line protocol; close it to release the
+// serving goroutine.
+func (n *Network) Dial(name string) (net.Conn, error) {
+	n.mu.Lock()
+	s := n.servers[name]
+	n.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("admin: no node %q", name)
+	}
+	client, server := net.Pipe()
+	go s.Serve(server)
+	return client, nil
+}
+
+// Client wraps a protocol connection with typed request/response
+// calls.  Not safe for concurrent use; open one per goroutine.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// NewClient speaks the protocol over an existing connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
+}
+
+// Connect dials name on the network and returns a ready client.
+func Connect(n *Network, name string) (*Client, error) {
+	conn, err := n.Dial(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// Do sends one request and decodes the success response into out
+// (which may be nil to discard it).  A status:"error" answer comes
+// back as a Go error.
+func (c *Client) Do(request string, args any, out any) error {
+	req := Request{Request: request}
+	if args != nil {
+		raw, err := json.Marshal(args)
+		if err != nil {
+			return fmt.Errorf("admin: encode arguments: %w", err)
+		}
+		req.Arguments = raw
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return fmt.Errorf("admin: send %s: %w", request, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return fmt.Errorf("admin: read %s response: %w", request, err)
+	}
+	if resp.Status != "success" {
+		return fmt.Errorf("admin: %s: %s", request, resp.Error)
+	}
+	if out != nil {
+		if err := json.Unmarshal(resp.Response, out); err != nil {
+			return fmt.Errorf("admin: decode %s response: %w", request, err)
+		}
+	}
+	return nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -74,9 +74,11 @@ func NewNet() *Net {
 
 	n.B.V6.Register(proto.UDP, func(pkt *mbuf.Mbuf, _ *proto.Meta) {
 		n.Delivered6 = append(n.Delivered6, pkt.CopyBytes())
+		pkt.Free()
 	}, nil)
 	n.B.V4.Register(proto.UDP, func(pkt *mbuf.Mbuf, _ *proto.Meta) {
 		n.Delivered4 = append(n.Delivered4, pkt.CopyBytes())
+		pkt.Free()
 	}, nil)
 	n.A.ICMP6.OnErrorMsg = func(typ, code uint8, _ inet.IP6, _ []byte) {
 		n.Errors6 = append(n.Errors6, IcmpErr{typ, code})

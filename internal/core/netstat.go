@@ -125,12 +125,12 @@ func (s *Stack) ProtoStats() string {
 	snap := s.Snapshot()
 	var b strings.Builder
 	v6 := snap.IP6
-	fmt.Fprintf(&b, "ip6: %d in (%d delivered, %d hdr errs, %d forwarded), %d out (%d frags), %d reassembled, preparse=%d fastpath=%d\n",
-		v6["InReceives"], v6["InDelivers"], v6["InHdrErrors"], v6["Forwarded"],
+	fmt.Fprintf(&b, "ip6: %d in (%d delivered, %d hdr errs, %d forwarded [%d cached]), %d out (%d frags), %d reassembled, preparse=%d fastpath=%d\n",
+		v6["InReceives"], v6["InDelivers"], v6["InHdrErrors"], v6["Forwarded"], v6["FwdCacheHits"],
 		v6["OutRequests"], v6["OutFrags"], v6["Reassembled"], v6["PreparseRuns"], v6["FastPathHits"])
 	v4 := snap.IP4
-	fmt.Fprintf(&b, "ip:  %d in (%d delivered, %d hdr errs, %d forwarded), %d out, %d frags created, %d reassembled\n",
-		v4["InReceives"], v4["InDelivers"], v4["InHdrErrors"], v4["Forwarded"],
+	fmt.Fprintf(&b, "ip:  %d in (%d delivered, %d hdr errs, %d forwarded [%d cached]), %d out, %d frags created, %d reassembled\n",
+		v4["InReceives"], v4["InDelivers"], v4["InHdrErrors"], v4["Forwarded"], v4["FwdCacheHits"],
 		v4["OutRequests"], v4["FragsCreated"], v4["Reassembled"])
 	i6 := snap.ICMP6
 	fmt.Fprintf(&b, "icmp6: %d in / %d out; echo %d/%d; NS/NA %d/%d in; RS/RA %d/%d in; reports in %d; dad dup %d; pmtu updates %d; rate limited %d\n",

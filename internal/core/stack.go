@@ -561,6 +561,8 @@ func (s *Stack) dispatch(ifp *netif.Interface, fr netif.Frame) {
 		s.V4.Input(ifp, fr.Payload)
 	case netif.EtherTypeIPv6:
 		s.V6.Input(ifp, fr.Payload)
+	default:
+		fr.Payload.Free() // unknown ethertype: nobody downstream to own it
 	}
 }
 

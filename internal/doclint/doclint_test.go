@@ -26,6 +26,11 @@ var lintedPackages = []string{
 	"../reasm",
 	"../mbuf",
 	"../testnet",
+	"../pcb",
+	"../tunnel",
+	"../inet",
+	"../topo",
+	"../admin",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

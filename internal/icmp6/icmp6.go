@@ -340,7 +340,11 @@ func (m *Module) errAllow() bool {
 
 // input is the protocol-switch entry for ICMPv6. The packet begins at
 // the ICMPv6 header; meta carries the addresses for the pseudo-header.
+// It is the packet's terminal consumer: every branch below that keeps
+// data (echo callbacks, ND handlers, ctl dispatch) copies what it
+// needs before returning, so the buffer goes back to the pool here.
 func (m *Module) input(pkt *mbuf.Mbuf, meta *proto.Meta) {
+	defer pkt.Free()
 	b := pkt.Bytes()
 	if len(b) < 4 {
 		m.Stats.InErrors.Inc()

@@ -334,14 +334,32 @@ func (m *Module) naInput(body []byte, meta *proto.Meta) {
 // link-layer option (creates the host route if a cloning on-link
 // prefix exists for it).
 func (m *Module) learnNeighbor(ifp *netif.Interface, addr inet.IP6, mac inet.LinkAddr, confirm bool) {
-	rt, ok := m.l.Routes().Lookup(inet.AFInet6, addr[:])
+	rts := m.l.Routes()
+	rt, ok := rts.Lookup(inet.AFInet6, addr[:])
 	if !ok {
 		return
 	}
-	eligible := false
-	m.l.Routes().View(func() {
-		eligible = rt.Host() && rt.Flags&route.FlagLLInfo != 0 && rt.IfName == ifp.Name
+	eligible, rePin := false, false
+	rts.View(func() {
+		host := rt.Host() && rt.Flags&route.FlagLLInfo != 0
+		eligible = host && rt.IfName == ifp.Name
+		// A link-local neighbor cloned onto the wrong link: the
+		// shared radix holds one fe80::/64 per stack, so on a
+		// multi-interface node the clone inherits whichever
+		// interface added that prefix route last.  ND just heard
+		// the neighbor on ifp — that observation, not the radix, is
+		// authoritative for link-local scope.
+		rePin = host && !eligible && addr.IsLinkLocal() &&
+			rt.Flags&route.FlagDynamic != 0
 	})
+	if rePin {
+		rt = rts.Add(&route.Entry{
+			Family: inet.AFInet6, Dst: append([]byte(nil), addr[:]...), Plen: 128,
+			Flags:  route.FlagUp | route.FlagHost | route.FlagLLInfo | route.FlagDynamic,
+			IfName: ifp.Name,
+		})
+		eligible = true
+	}
 	if !eligible {
 		return
 	}

@@ -23,12 +23,14 @@ import (
 // Address families, mirroring BSD's AF_* constants.
 type Family int
 
+// The supported address families.
 const (
 	AFUnspec Family = 0
 	AFInet   Family = 2  // IPv4
 	AFInet6  Family = 26 // IPv6 (4.4 BSD value differed; the number is arbitrary)
 )
 
+// String names the family as netstat prints it ("inet", "inet6").
 func (f Family) String() string {
 	switch f {
 	case AFInet:
@@ -56,18 +58,26 @@ var (
 	AllRouters = IP6{0: 0xff, 1: 0x02, 15: 0x02}
 )
 
-// IP4 predicates.
-
+// IsUnspecified reports whether a is 0.0.0.0.
 func (a IP4) IsUnspecified() bool { return a == IP4{} }
-func (a IP4) IsLoopback() bool    { return a[0] == 127 }
-func (a IP4) IsMulticast() bool   { return a[0] >= 224 && a[0] < 240 }
-func (a IP4) IsBroadcast() bool   { return a == IP4{255, 255, 255, 255} }
 
-// IP6 predicates.
+// IsLoopback reports whether a is in 127.0.0.0/8.
+func (a IP4) IsLoopback() bool { return a[0] == 127 }
 
+// IsMulticast reports whether a is in 224.0.0.0/4 (class D).
+func (a IP4) IsMulticast() bool { return a[0] >= 224 && a[0] < 240 }
+
+// IsBroadcast reports whether a is the limited broadcast address.
+func (a IP4) IsBroadcast() bool { return a == IP4{255, 255, 255, 255} }
+
+// IsUnspecified reports whether a is :: (the unspecified address).
 func (a IP6) IsUnspecified() bool { return a == IP6{} }
-func (a IP6) IsLoopback() bool    { return a == IP6Loopback }
-func (a IP6) IsMulticast() bool   { return a[0] == 0xff }
+
+// IsLoopback reports whether a is ::1.
+func (a IP6) IsLoopback() bool { return a == IP6Loopback }
+
+// IsMulticast reports whether a is in ff00::/8.
+func (a IP6) IsMulticast() bool { return a[0] == 0xff }
 
 // IsLinkLocal reports whether a is in fe80::/10, the prefix placed on
 // every interface before any other address (§4.2.1).
@@ -220,6 +230,7 @@ func (l LinkAddr) Token() [8]byte {
 	return [8]byte{l[0] ^ 0x02, l[1], l[2], 0xff, 0xfe, l[3], l[4], l[5]}
 }
 
+// String formats the address in the usual colon-separated hex form.
 func (l LinkAddr) String() string {
 	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", l[0], l[1], l[2], l[3], l[4], l[5])
 }

@@ -82,6 +82,7 @@ func (l *Layer) arpResolve(ifp *netif.Interface, rt *route.Entry, nextHop inet.I
 		}
 		if len(e.queue) < arpMaxQueue {
 			e.queue = append(e.queue, pkt)
+			pkt = nil // ownership moved to the hold queue
 		} else {
 			l.Stats.OutDrops.Inc()
 		}
@@ -94,6 +95,9 @@ func (l *Layer) arpResolve(ifp *netif.Interface, rt *route.Entry, nextHop inet.I
 	if resolved {
 		return mac, true
 	}
+	// Not handed to the device and not on the hold queue (rejected
+	// entry, or queue full): the packet ends here.
+	pkt.Free()
 	if rejected {
 		l.Stats.OutNoRoute.Inc()
 		return inet.LinkAddr{}, false
@@ -114,6 +118,7 @@ func (l *Layer) arpResolve(ifp *netif.Interface, rt *route.Entry, nextHop inet.I
 // ArpInput processes a received ARP frame (the stack demuxes on
 // EtherType and calls this).
 func (l *Layer) ArpInput(ifp *netif.Interface, pkt *mbuf.Mbuf) {
+	defer pkt.Free() // everything kept below is copied out
 	b := pkt.PullUp(28)
 	if b == nil || b[0] != 0 || b[1] != 1 || b[2] != 0x08 || b[3] != 0 || b[4] != 6 || b[5] != 4 {
 		l.Stats.ArpBad.Inc()
@@ -219,6 +224,9 @@ func (l *Layer) arpTimer(now time.Time) {
 		})
 	}
 	l.Stats.OutDrops.Add(uint64(len(drops)))
+	for _, d := range drops {
+		d.Free() // resolution failed; the hold queue was their last stop
+	}
 	for _, r := range retries {
 		src, ok := srcAddrOn(r.ifp)
 		if !ok {

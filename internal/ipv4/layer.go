@@ -24,6 +24,7 @@ type Stats struct {
 	InDelivers    stat.Counter
 	ReasmOverflow stat.Counter // datagrams evicted by a reassembly quota
 	Forwarded     stat.Counter
+	FwdCacheHits  stat.Counter // forwards resolved from the held-route shards
 	OutRequests   stat.Counter
 	OutNoRoute    stat.Counter
 	OutDrops      stat.Counter
@@ -78,6 +79,7 @@ type Layer struct {
 	protos map[uint8]proto.TransportInput
 	ctls   map[uint8]proto.CtlInput
 	frags  *reasm.Queue[fragKey]
+	fwd    route.ShardedCache // forwarding fast path's held routes
 	local  atomic.Pointer[localSet4] // cached unicast-destination set
 	ident  uint16
 	icmp   *ICMP
@@ -283,10 +285,12 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP4, p uint8, opts OutputOp
 	rt, ok := l.routes.LookupCached(inet.AFInet, dst[:], opts.RouteCache)
 	if !ok {
 		l.Stats.OutNoRoute.Inc()
+		pkt.Free()
 		return ErrNoRoute
 	}
 	if l.entryFlags(rt)&route.FlagReject != 0 {
 		l.Stats.OutNoRoute.Inc()
+		pkt.Free()
 		return ErrReject
 	}
 	l.mu.Lock()
@@ -294,11 +298,13 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP4, p uint8, opts OutputOp
 	l.mu.Unlock()
 	if ifp == nil {
 		l.Stats.OutNoRoute.Inc()
+		pkt.Free()
 		return ErrNoRoute
 	}
 	if src.IsUnspecified() {
 		s, ok := srcAddrOn(ifp)
 		if !ok {
+			pkt.Free()
 			return ErrNoRoute
 		}
 		src = s
@@ -311,6 +317,7 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP4, p uint8, opts OutputOp
 	h := &Header{TotalLen: HeaderLen + pkt.Len(), ID: l.nextID(), TTL: ttl, TOS: opts.TOS, DF: opts.DF, Proto: p, Src: src, Dst: dst}
 	if h.TotalLen > mtu {
 		if opts.DF {
+			pkt.Free()
 			return ErrMsgSize
 		}
 		return l.fragment(ifp, rt, h, pkt, mtu)
@@ -320,30 +327,45 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP4, p uint8, opts OutputOp
 }
 
 // loop delivers a fully-formed packet to ourselves via loopback.
+// Like transmit, it consumes pkt even on error.
 func (l *Layer) loop(pkt *mbuf.Mbuf) error {
 	l.mu.Lock()
 	lo := l.lo
 	l.mu.Unlock()
 	if lo == nil {
+		pkt.Free()
 		return ErrNoRoute
 	}
-	return lo.Output(inet.LinkAddr{}, netif.EtherTypeIPv4, pkt)
+	if err := lo.Output(inet.LinkAddr{}, netif.EtherTypeIPv4, pkt); err != nil {
+		pkt.Free()
+		return err
+	}
+	return nil
 }
 
 // transmit resolves the link-layer next hop and hands the frame to the
-// interface. pkt already carries its IP header.
+// interface. pkt already carries its IP header.  It consumes pkt on
+// every path — success hands ownership to the device or the ARP hold
+// queue, failure frees it here.
 func (l *Layer) transmit(ifp *netif.Interface, rt *route.Entry, dst inet.IP4, pkt *mbuf.Mbuf) error {
+	out := func(mac inet.LinkAddr) error {
+		if err := ifp.Output(mac, netif.EtherTypeIPv4, pkt); err != nil {
+			pkt.Free()
+			return err
+		}
+		return nil
+	}
 	if ifp.Flags()&netif.FlagTunnel != 0 {
 		// Point-to-point encapsulating device: no ARP — the device's
 		// output closure wraps the packet and re-enters the outer IP
 		// layer.
-		return ifp.Output(inet.LinkAddr{}, netif.EtherTypeIPv4, pkt)
+		return out(inet.LinkAddr{})
 	}
 	switch {
 	case dst.IsMulticast():
-		return ifp.Output(inet.EthernetMulticast4(dst), netif.EtherTypeIPv4, pkt)
+		return out(inet.EthernetMulticast4(dst))
 	case dst.IsBroadcast():
-		return ifp.Output(netif.Broadcast, netif.EtherTypeIPv4, pkt)
+		return out(netif.Broadcast)
 	}
 	nextHop := dst
 	var flags int
@@ -352,6 +374,7 @@ func (l *Layer) transmit(ifp *netif.Interface, rt *route.Entry, dst inet.IP4, pk
 	if flags&route.FlagGateway != 0 {
 		gw, ok := gwAny.(inet.IP4)
 		if !ok {
+			pkt.Free()
 			return ErrNoRoute
 		}
 		nextHop = gw
@@ -359,6 +382,7 @@ func (l *Layer) transmit(ifp *netif.Interface, rt *route.Entry, dst inet.IP4, pk
 		grt, ok := l.routes.Lookup(inet.AFInet, gw[:])
 		if !ok {
 			l.Stats.OutNoRoute.Inc()
+			pkt.Free()
 			return ErrNoRoute
 		}
 		rt = grt
@@ -367,7 +391,7 @@ func (l *Layer) transmit(ifp *netif.Interface, rt *route.Entry, dst inet.IP4, pk
 	if !ok {
 		return nil // queued on the ARP entry (or dropped); not an error
 	}
-	return ifp.Output(mac, netif.EtherTypeIPv4, pkt)
+	return out(mac)
 }
 
 // fragment splits pkt (payload only; h not yet prepended) into
@@ -376,6 +400,7 @@ func (l *Layer) transmit(ifp *netif.Interface, rt *route.Entry, dst inet.IP4, pk
 func (l *Layer) fragment(ifp *netif.Interface, rt *route.Entry, h *Header, pkt *mbuf.Mbuf, mtu int) error {
 	chunk := (mtu - h.HdrLen()) &^ 7
 	if chunk <= 0 {
+		pkt.Free()
 		return ErrMsgSize
 	}
 	payload := pkt.Bytes()
@@ -388,16 +413,20 @@ func (l *Layer) fragment(ifp *netif.Interface, rt *route.Entry, h *Header, pkt *
 		fh.FragOff = off
 		fh.MF = end < len(payload)
 		fh.TotalLen = h.HdrLen() + (end - off)
-		// Alias the parent's payload rather than copying: the parent
-		// packet is discarded after this loop and reassembly copies.
-		fm := mbuf.NewNoCopy(payload[off:end])
+		// Each fragment gets its own pooled buffer: the parent is
+		// freed (and its slab recycled) right after this loop, so the
+		// in-flight fragments must not alias its bytes.
+		fm := mbuf.Get(end - off)
+		copy(fm.Bytes(), payload[off:end])
 		fm.Hdr().Flags |= mbuf.MFrag
 		fm.Prepend(fh.Marshal(nil))
 		l.Stats.FragsCreated.Inc()
 		if err := l.transmit(ifp, rt, h.Dst, fm); err != nil {
+			pkt.Free()
 			return err
 		}
 	}
+	pkt.Free()
 	return nil
 }
 
@@ -408,23 +437,27 @@ func (l *Layer) Input(ifp *netif.Interface, pkt *mbuf.Mbuf) {
 	if b == nil {
 		l.Stats.InHdrErrors.Inc()
 		l.Drops.DropPkt(stat.RV4BadHeader, pkt.Bytes())
+		pkt.Free()
 		return
 	}
 	hl := int(b[0]&0xf) * 4
 	if full := pkt.PullUp(hl); full == nil {
 		l.Stats.InHdrErrors.Inc()
 		l.Drops.DropPkt(stat.RV4BadHeader, b)
+		pkt.Free()
 		return
 	}
 	h, _, err := Parse(pkt.PullUp(hl))
 	if err != nil {
 		l.Stats.InHdrErrors.Inc()
 		l.Drops.DropPkt(stat.RV4BadHeader, b)
+		pkt.Free()
 		return
 	}
 	if pkt.Len() < h.TotalLen {
 		l.Stats.InHdrErrors.Inc()
 		l.Drops.DropPkt(stat.RV4BadHeader, b)
+		pkt.Free()
 		return
 	}
 	// Trim link-layer padding.
@@ -442,6 +475,7 @@ func (l *Layer) Input(ifp *netif.Interface, pkt *mbuf.Mbuf) {
 	}
 	l.Stats.InAddrErrors.Inc()
 	l.Drops.DropPkt(stat.RV4NotForUs, pkt.Bytes())
+	pkt.Free()
 }
 
 // deliverLocal strips the IP header, reassembles fragments, and runs
@@ -499,6 +533,7 @@ func (l *Layer) deliverLocal(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 		if !h.Dst.IsMulticast() && !h.Dst.IsBroadcast() {
 			l.SendError(IcmpUnreach, CodeProtoUnreach, 0, errCtx)
 		}
+		pkt.Free()
 		return
 	}
 	l.Stats.InDelivers.Inc()
@@ -513,13 +548,24 @@ func (l *Layer) forward(h *Header, pkt *mbuf.Mbuf) {
 	if h.TTL <= 1 {
 		l.Drops.DropPkt(stat.RV4TTLExceeded, errCtx)
 		l.SendError(IcmpTimeExceeded, 0, 0, errCtx)
+		pkt.Free()
 		return
 	}
-	rt, ok := l.routes.Lookup(inet.AFInet, h.Dst[:])
+	// Transit routing through the held-route shards, as in the IPv6
+	// forward path: hit = one generation compare, miss = radix walk
+	// plus refill.
+	rc := l.fwd.For(h.Dst[:])
+	rt, ok := l.routes.CacheGet(rc, inet.AFInet, h.Dst[:])
+	if ok {
+		l.Stats.FwdCacheHits.Inc()
+	} else if rt, ok = l.routes.Lookup(inet.AFInet, h.Dst[:]); ok {
+		l.routes.CacheFill(rc, inet.AFInet, h.Dst[:], rt)
+	}
 	if !ok || l.entryFlags(rt)&route.FlagReject != 0 {
 		l.Stats.OutNoRoute.Inc()
 		l.Drops.DropPkt(stat.RV4NoRoute, errCtx)
 		l.SendError(IcmpUnreach, CodeHostUnreach, 0, errCtx)
+		pkt.Free()
 		return
 	}
 	l.mu.Lock()
@@ -528,6 +574,7 @@ func (l *Layer) forward(h *Header, pkt *mbuf.Mbuf) {
 	if ifp == nil {
 		l.Stats.OutNoRoute.Inc()
 		l.Drops.DropPkt(stat.RV4NoRoute, errCtx)
+		pkt.Free()
 		return
 	}
 	h.TTL--
@@ -541,6 +588,7 @@ func (l *Layer) forward(h *Header, pkt *mbuf.Mbuf) {
 		pkt.Adj(h.HdrLen())
 		if h.DF {
 			l.SendError(IcmpUnreach, CodeFragNeeded, mtu, errCtx)
+			pkt.Free()
 			return
 		}
 		if err := l.fragment(ifp, rt, h, pkt, mtu); err != nil {

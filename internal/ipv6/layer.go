@@ -27,6 +27,7 @@ type Stats struct {
 	ReasmOverflow stat.Counter // datagrams evicted by a reassembly quota
 	InOptErrors   stat.Counter
 	Forwarded     stat.Counter
+	FwdCacheHits  stat.Counter // forwards resolved from the held-route shards
 	OutRequests   stat.Counter
 	OutNoRoute    stat.Counter
 	OutDrops      stat.Counter
@@ -148,6 +149,7 @@ type Layer struct {
 	fragID uint32
 	groups map[string]map[inet.IP6]int // multicast memberships per iface
 	local  atomic.Pointer[localSet]    // cached unicast-destination set
+	fwd    route.ShardedCache          // forwarding fast path's held routes
 
 	// FastPath enables the bypass around pre-parsing for packets with
 	// no optional headers — the optimization §2.2 and §7 say is
@@ -499,6 +501,14 @@ func (l *Layer) ensureHostRoute(dst inet.IP6) (*route.Entry, bool) {
 	return clone, true
 }
 
+// entryIfName reads a route entry's interface name under the table
+// lock.
+func (l *Layer) entryIfName(rt *route.Entry) string {
+	var n string
+	l.routes.View(func() { n = rt.IfName })
+	return n
+}
+
 // entryFlags reads a route entry's flags under the table lock.
 func (l *Layer) entryFlags(rt *route.Entry) int {
 	var f int
@@ -576,6 +586,11 @@ func buildExt(opts *OutputOpts, payloadNH uint8) (extChain, []byte, uint8) {
 // the host route, attach extension headers, run the security output
 // policy, fragment end-to-end if needed, resolve the neighbor, and
 // transmit (§2.2, §3.3).
+//
+// Output always consumes pkt, like BSD's ip_output: on success
+// ownership passes to the wire (or the neighbor queue), and every
+// error path frees it before returning.  Callers must not touch pkt
+// after calling Output, and must not free it on error.
 func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP6, nh uint8, opts OutputOpts) error {
 	l.Stats.OutRequests.Inc()
 	hops := opts.HopLimit
@@ -608,13 +623,21 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP6, nh uint8, opts OutputO
 		ifp = l.Interface(name)
 		if ifp == nil {
 			l.Stats.OutNoRoute.Inc()
+			pkt.Free()
 			return ErrNoRoute
 		}
 		if !dst.IsMulticast() {
 			// Unicast pinned to an interface still needs a neighbor
-			// route for ND.
+			// route for ND.  For link-local destinations the pin is
+			// authoritative: a host route cloned from another
+			// interface's fe80::/64 (one shared prefix route per
+			// stack) must be re-pinned here, or resolution would run
+			// on the wrong link.
 			var ok bool
 			rt, ok = l.ensureHostRoute(dst)
+			if ok && dst.IsLinkLocal() && l.entryIfName(rt) != ifp.Name {
+				ok = false
+			}
 			if !ok {
 				rt = l.routes.Add(&route.Entry{
 					Family: inet.AFInet6, Dst: append([]byte(nil), dst[:]...), Plen: 128,
@@ -630,17 +653,20 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP6, nh uint8, opts OutputO
 			rt, ok = l.ensureHostRoute(dst)
 			if !ok {
 				l.Stats.OutNoRoute.Inc()
+				pkt.Free()
 				return ErrNoRoute
 			}
 			l.routes.CacheFill(opts.RouteCache, inet.AFInet6, dst[:], rt)
 		}
 		if l.entryFlags(rt)&route.FlagReject != 0 {
 			l.Stats.OutNoRoute.Inc()
+			pkt.Free()
 			return ErrReject
 		}
 		ifp = l.Interface(rt.IfName)
 		if ifp == nil {
 			l.Stats.OutNoRoute.Inc()
+			pkt.Free()
 			return ErrNoRoute
 		}
 	}
@@ -651,6 +677,7 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP6, nh uint8, opts OutputO
 		} else {
 			s, ok := l.SourceFor(dst, ifp)
 			if !ok {
+				pkt.Free()
 				return ErrNoSrc
 			}
 			src = s
@@ -673,6 +700,7 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP6, nh uint8, opts OutputO
 		wrapped, newNH, err := l.SecOut(hdr, pkt, fragNH, opts.Socket)
 		if err != nil {
 			l.Stats.OutDrops.Inc()
+			pkt.Free()
 			return err
 		}
 		secWrapped = newNH != fragNH
@@ -694,11 +722,13 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP6, nh uint8, opts OutputO
 				rt, ok = l.ensureHostRoute(dst)
 				if !ok {
 					l.Stats.OutNoRoute.Inc()
+					pkt.Free()
 					return ErrNoRoute
 				}
 				ifp = l.Interface(rt.IfName)
 				if ifp == nil {
 					l.Stats.OutNoRoute.Inc()
+					pkt.Free()
 					return ErrNoRoute
 				}
 			}
@@ -727,6 +757,7 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP6, nh uint8, opts OutputO
 	if total-HeaderLen > 65535 {
 		// The payload length field is 16 bits; without jumbograms
 		// nothing larger is expressible (even reassembled).
+		pkt.Free()
 		return ErrMsgSize
 	}
 	// A GSO super-segment sails past the MTU gate whole: the netif
@@ -756,6 +787,7 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP6, nh uint8, opts OutputO
 		return l.transmit(ifp, rt, dst, pkt)
 	}
 	if opts.NoFrag && !secWrapped {
+		pkt.Free()
 		return ErrMsgSize
 	}
 	// End-to-end fragmentation (§2.2: IPv6 has no intermediate
@@ -777,6 +809,7 @@ func (l *Layer) fragmentOut(ifp *netif.Interface, rt *route.Entry, hdr *Header, 
 	}
 	chunk := (mtu - HeaderLen - len(chain.unfrag) - FragHeaderLen) &^ 7
 	if chunk <= 0 {
+		pkt.Free()
 		return ErrMsgSize
 	}
 	payload := pkt.Bytes()
@@ -786,9 +819,11 @@ func (l *Layer) fragmentOut(ifp *netif.Interface, rt *route.Entry, hdr *Header, 
 			end = len(payload)
 		}
 		fh := FragHeader{NextHdr: fragNH, Off: off, More: end < len(payload), ID: id}
-		// Alias the parent's payload rather than copying: the parent
-		// packet is discarded after this loop and reassembly copies.
-		fm := mbuf.NewNoCopy(payload[off:end])
+		// Each fragment gets its own pooled buffer: the parent is
+		// freed (and its slab recycled) right after this loop, so the
+		// in-flight fragments must not alias its bytes.
+		fm := mbuf.Get(end - off)
+		copy(fm.Bytes(), payload[off:end])
 		fm.Hdr().Flags |= mbuf.MFrag
 		fm.Prepend(fh.Marshal(nil))
 		if len(chain.unfrag) > 0 {
@@ -805,34 +840,52 @@ func (l *Layer) fragmentOut(ifp *netif.Interface, rt *route.Entry, hdr *Header, 
 			err = l.transmit(ifp, rt, hdr.Dst, fm)
 		}
 		if err != nil {
+			pkt.Free()
 			return err
 		}
 	}
+	pkt.Free()
 	return nil
 }
 
-// loop delivers a packet to ourselves through loopback.
+// loop delivers a packet to ourselves through loopback.  Like
+// transmit, it consumes pkt even on error.
 func (l *Layer) loop(pkt *mbuf.Mbuf) error {
 	l.mu.RLock()
 	lo := l.lo
 	l.mu.RUnlock()
 	if lo == nil {
+		pkt.Free()
 		return ErrNoRoute
 	}
-	return lo.Output(inet.LinkAddr{}, netif.EtherTypeIPv6, pkt)
+	if err := lo.Output(inet.LinkAddr{}, netif.EtherTypeIPv6, pkt); err != nil {
+		pkt.Free()
+		return err
+	}
+	return nil
 }
 
 // transmit resolves the link-layer destination and hands the packet to
-// the interface.
+// the interface.  It consumes pkt on every path: success passes
+// ownership to the device (or queues on the neighbor entry awaiting
+// resolution); failure frees it — the interface's Output contract
+// leaves an errored packet with the caller, and here the buck stops.
 func (l *Layer) transmit(ifp *netif.Interface, rt *route.Entry, dst inet.IP6, pkt *mbuf.Mbuf) error {
+	out := func(mac inet.LinkAddr) error {
+		if err := ifp.Output(mac, netif.EtherTypeIPv6, pkt); err != nil {
+			pkt.Free()
+			return err
+		}
+		return nil
+	}
 	if ifp.Flags()&netif.FlagTunnel != 0 {
 		// Point-to-point encapsulating device: no link addressing, no
 		// neighbor discovery — the device's output closure wraps the
 		// packet and re-enters the outer IP layer.
-		return ifp.Output(inet.LinkAddr{}, netif.EtherTypeIPv6, pkt)
+		return out(inet.LinkAddr{})
 	}
 	if dst.IsMulticast() {
-		return ifp.Output(inet.EthernetMulticast(dst), netif.EtherTypeIPv6, pkt)
+		return out(inet.EthernetMulticast(dst))
 	}
 	nextHop := dst
 	var flags int
@@ -843,12 +896,14 @@ func (l *Layer) transmit(ifp *netif.Interface, rt *route.Entry, dst inet.IP6, pk
 	if rt != nil && flags&route.FlagGateway != 0 {
 		gwAddr, ok := gw.(inet.IP6)
 		if !ok {
+			pkt.Free()
 			return ErrNoRoute
 		}
 		nextHop = gwAddr
 		grt, ok := l.routes.Lookup(inet.AFInet6, gwAddr[:])
 		if !ok {
 			l.Stats.OutNoRoute.Inc()
+			pkt.Free()
 			return ErrNoRoute
 		}
 		rt = grt
@@ -856,22 +911,24 @@ func (l *Layer) transmit(ifp *netif.Interface, rt *route.Entry, dst inet.IP6, pk
 	}
 	if rt != nil && flags&route.FlagReject != 0 {
 		l.Stats.OutNoRoute.Inc()
+		pkt.Free()
 		return ErrReject
 	}
 	// Fast case: the neighbor route already holds a link-layer address.
 	if rt != nil {
 		if mac, ok := gw.(inet.LinkAddr); ok && flags&route.FlagLLInfo != 0 && l.Resolve == nil {
-			return ifp.Output(mac, netif.EtherTypeIPv6, pkt)
+			return out(mac)
 		}
 	}
 	if l.Resolve == nil {
+		pkt.Free()
 		return ErrNoRoute
 	}
 	mac, ok := l.Resolve(ifp, rt, nextHop, pkt)
 	if !ok {
 		return nil // queued on the neighbor entry
 	}
-	return ifp.Output(mac, netif.EtherTypeIPv6, pkt)
+	return out(mac)
 }
 
 //
@@ -890,23 +947,27 @@ func (l *Layer) input(ifp *netif.Interface, pkt *mbuf.Mbuf, depth int) {
 	if depth > maxReinject {
 		l.Stats.InHdrErrors.Inc()
 		l.Drops.DropPkt(stat.RV6ReinjectLoop, pkt.Bytes())
+		pkt.Free()
 		return
 	}
 	b := pkt.PullUp(HeaderLen)
 	if b == nil {
 		l.Stats.InHdrErrors.Inc()
 		l.Drops.DropPkt(stat.RV6BadHeader, pkt.Bytes())
+		pkt.Free()
 		return
 	}
 	h, err := Parse(b)
 	if err != nil {
 		l.Stats.InHdrErrors.Inc()
 		l.Drops.DropPkt(stat.RV6BadHeader, b)
+		pkt.Free()
 		return
 	}
 	if pkt.Len() < HeaderLen+h.PayloadLen {
 		l.Stats.InTruncated.Inc()
 		l.Drops.DropPkt(stat.RV6Truncated, b)
+		pkt.Free()
 		return
 	}
 	if pkt.Len() > HeaderLen+h.PayloadLen {
@@ -930,6 +991,7 @@ func (l *Layer) input(ifp *netif.Interface, pkt *mbuf.Mbuf, depth int) {
 		}
 		l.Stats.InAddrErrors.Inc()
 		l.Drops.DropPkt(stat.RV6NotForUs, b)
+		pkt.Free()
 		return
 	}
 	l.process(ifp, h, pkt, depth)
@@ -953,6 +1015,7 @@ func (l *Layer) process(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, depth i
 			if l.Error != nil && info != nil && info.Truncated {
 				l.Error(ErrParamProblem, ParamErrHeader, uint32(info.FinalOff), pkt, ifp.Name)
 			}
+			pkt.Free() // the error hook quoted its copy
 			return
 		}
 	}
@@ -963,6 +1026,7 @@ func (l *Layer) process(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, depth i
 			if i != 0 {
 				l.Drops.DropPkt(stat.RV6BadExtChain, b)
 				l.paramProblem(ifp, pkt, ParamErrHeader, uint32(rec.Offset))
+				pkt.Free()
 				return
 			}
 			if !l.processOptions(ifp, h, pkt, rec) {
@@ -986,10 +1050,12 @@ func (l *Layer) process(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, depth i
 				l.Stats.InUnknownProt.Inc()
 				l.Drops.DropPkt(stat.RV6UnknownProt, b)
 				l.paramProblem(ifp, pkt, ParamUnknownNH, uint32(rec.Offset))
+				pkt.Free()
 				return
 			}
 			action, _ := l.SecIn(pkt, h, proto.AH, rec.Offset)
 			if action == SecDrop {
+				pkt.Free() // ipsec recorded the drop; the packet ends here
 				return
 			}
 		}
@@ -1002,21 +1068,26 @@ func (l *Layer) process(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, depth i
 func (l *Layer) dispatch(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, final uint8, off int, depth int) {
 	switch final {
 	case proto.NoNext:
+		pkt.Free() // nothing follows the headers; terminal by definition
 		return
 	case proto.ESP:
 		if l.SecIn == nil {
 			l.Stats.InUnknownProt.Inc()
 			l.Drops.DropPkt(stat.RV6UnknownProt, pkt.Bytes())
 			l.paramProblem(ifp, pkt, ParamUnknownNH, uint32(off))
+			pkt.Free()
 			return
 		}
 		action, replacement := l.SecIn(pkt, h, proto.ESP, off)
 		if action != SecReinject || replacement == nil {
+			pkt.Free()
 			return
 		}
 		// Decrypted transport content or tunneled inner datagram:
 		// reprocess from the top ("After security input processing is
-		// completed, the normal input processing resumes", §3.4).
+		// completed, the normal input processing resumes", §3.4).  The
+		// replacement owns fresh bytes; the ciphertext carrier is done.
+		pkt.Free()
 		l.input(ifp, replacement, depth+1)
 		return
 	}
@@ -1032,6 +1103,7 @@ func (l *Layer) dispatch(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, final 
 		l.Stats.InUnknownProt.Inc()
 		l.Drops.DropPkt(stat.RV6UnknownProt, pkt.Bytes())
 		l.paramProblem(ifp, pkt, ParamUnknownNH, uint32(off))
+		pkt.Free()
 		return
 	}
 	l.Stats.InDelivers.Inc()
@@ -1040,7 +1112,9 @@ func (l *Layer) dispatch(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, final 
 }
 
 // processOptions parses a hop-by-hop or destination options header and
-// applies the unknown-option action bits.
+// applies the unknown-option action bits.  A false return is terminal
+// in every caller, so the failure paths free the packet here (the
+// param-problem hook quotes a copy before that).
 func (l *Layer) processOptions(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, rec HeaderRec) bool {
 	b := pkt.Bytes()
 	body := b[rec.Offset+2 : rec.Offset+rec.Len]
@@ -1060,10 +1134,12 @@ func (l *Layer) processOptions(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 				l.paramProblem(ifp, pkt, ParamUnknownOpt, uint32(rec.Offset+oe.Offset))
 			}
 		}
+		pkt.Free()
 		return false
 	}
 	l.Drops.DropPkt(stat.RV6BadExtChain, b)
 	l.paramProblem(ifp, pkt, ParamErrHeader, uint32(rec.Offset))
+	pkt.Free()
 	return false
 }
 
@@ -1078,6 +1154,7 @@ func (l *Layer) processRouting(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 		l.Stats.InHdrErrors.Inc()
 		l.Drops.DropPkt(stat.RV6RouteHdrErr, b)
 		l.paramProblem(ifp, pkt, ParamErrHeader, uint32(rec.Offset))
+		pkt.Free()
 		return true, false
 	}
 	if rh.SegLeft == 0 {
@@ -1088,6 +1165,7 @@ func (l *Layer) processRouting(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 	if next.IsMulticast() {
 		l.Drops.DropPkt(stat.RV6RouteHdrErr, b)
 		l.paramProblem(ifp, pkt, ParamErrHeader, uint32(rec.Offset))
+		pkt.Free()
 		return true, false
 	}
 	// Swap dst and the current segment, decrement segments-left.
@@ -1098,6 +1176,7 @@ func (l *Layer) processRouting(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 	if b[7] <= 1 {
 		l.Drops.DropPkt(stat.RV6HopLimit, b)
 		l.sendErr(ErrTimeExceeded, 0, 0, pkt, ifp.Name)
+		pkt.Free()
 		return true, false
 	}
 	b[7]--
@@ -1106,6 +1185,7 @@ func (l *Layer) processRouting(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 	if !ok {
 		l.Drops.DropPkt(stat.RV6NoRoute, b)
 		l.sendErr(ErrDstUnreach, 0, 0, pkt, ifp.Name)
+		pkt.Free()
 		return true, false
 	}
 	// Strict hops must be on-link neighbors: a set strict bit with a
@@ -1114,12 +1194,14 @@ func (l *Layer) processRouting(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf, 
 	if rh.StrictBits&(1<<uint(i)) != 0 && l.entryFlags(rt)&route.FlagGateway != 0 {
 		l.Drops.DropPkt(stat.RV6RouteHdrErr, b)
 		l.sendErr(ErrDstUnreach, 2 /* not a neighbor */, 0, pkt, ifp.Name)
+		pkt.Free()
 		return true, false
 	}
 	oifp := l.Interface(rt.IfName)
 	if oifp == nil {
 		l.Stats.OutNoRoute.Inc()
 		l.Drops.DropPkt(stat.RV6NoRoute, b)
+		pkt.Free()
 		return true, false
 	}
 	if err := l.transmit(oifp, rt, next, pkt); err != nil {
@@ -1204,6 +1286,7 @@ func (l *Layer) forward(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 	if h.HopLimit <= 1 {
 		l.Drops.DropPkt(stat.RV6HopLimit, b)
 		l.sendErr(ErrTimeExceeded, 0, 0, pkt, ifp.Name)
+		pkt.Free()
 		return
 	}
 	// Routers process hop-by-hop options when present (§2.1).
@@ -1212,29 +1295,43 @@ func (l *Layer) forward(ifp *netif.Interface, h *Header, pkt *mbuf.Mbuf) {
 		if n < 0 || HeaderLen+n > len(b) {
 			l.Stats.InHdrErrors.Inc()
 			l.Drops.DropPkt(stat.RV6BadExtChain, b)
+			pkt.Free()
 			return
 		}
 		if !l.processOptions(ifp, h, pkt, HeaderRec{Proto: proto.HopByHop, Offset: HeaderLen, Len: n}) {
 			return
 		}
 	}
-	rt, ok := l.routes.Lookup(inet.AFInet6, h.Dst[:])
+	// Transit routing through the held-route shards: a repeat
+	// destination costs one generation compare instead of a radix
+	// walk; any structural table change (route delete, ND expiry)
+	// bumps the generation and the next packet re-walks the radix.
+	rc := l.fwd.For(h.Dst[:])
+	rt, ok := l.routes.CacheGet(rc, inet.AFInet6, h.Dst[:])
+	if ok {
+		l.Stats.FwdCacheHits.Inc()
+	} else if rt, ok = l.routes.Lookup(inet.AFInet6, h.Dst[:]); ok {
+		l.routes.CacheFill(rc, inet.AFInet6, h.Dst[:], rt)
+	}
 	if !ok || l.entryFlags(rt)&route.FlagReject != 0 {
 		l.Stats.OutNoRoute.Inc()
 		l.Drops.DropPkt(stat.RV6NoRoute, b)
 		l.sendErr(ErrDstUnreach, 0, 0, pkt, ifp.Name)
+		pkt.Free()
 		return
 	}
 	oifp := l.Interface(rt.IfName)
 	if oifp == nil {
 		l.Stats.OutNoRoute.Inc()
 		l.Drops.DropPkt(stat.RV6NoRoute, b)
+		pkt.Free()
 		return
 	}
 	mtu := oifp.MTU()
 	if pkt.Len() > mtu {
 		l.Drops.DropPkt(stat.RV6TooBig, b)
 		l.sendErr(ErrPacketTooBig, 0, uint32(mtu), pkt, ifp.Name)
+		pkt.Free()
 		return
 	}
 	b[7]-- // hop limit; no checksum to fix up afterwards

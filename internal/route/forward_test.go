@@ -1,0 +1,177 @@
+package route_test
+
+// Forwarding-path edge cases exercised over real multi-node
+// topologies: a hop-limit-expired burst must elicit exactly one Time
+// Exceeded per packet (no duplicates from the batched fast path, no
+// silent discards), and a route deleted mid-burst must fail cleanly —
+// the held-route cache's generation bump means no packet is ever
+// forwarded through the deleted entry, and every casualty carries a
+// typed drop reason.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bsd6/internal/inet"
+	"bsd6/internal/ipv6"
+	"bsd6/internal/mbuf"
+	"bsd6/internal/netif"
+	"bsd6/internal/proto"
+	"bsd6/internal/route"
+	"bsd6/internal/testnet"
+	"bsd6/internal/topo"
+	"bsd6/internal/vclock"
+)
+
+func lineNet(t *testing.T, n int) *topo.Network {
+	t.Helper()
+	nw, err := topo.Build(topo.Spec{Kind: topo.Line, N: n, Seed: 1,
+		Clock: vclock.NewVirtual(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+	nw.Start()
+	return nw
+}
+
+// echoRequest builds a raw ICMPv6 echo request with an arbitrary hop
+// limit — the stack's own Ping6 always stamps the default, so expiry
+// tests inject the wire bytes directly.
+func echoRequest(src, dst inet.IP6, hops uint8, seq uint16) *mbuf.Mbuf {
+	msg := make([]byte, 8)
+	msg[0] = 128 // echo request
+	msg[6], msg[7] = byte(seq>>8), byte(seq)
+	ck := inet.TransportChecksum6(src, dst, proto.ICMPv6, msg)
+	msg[2], msg[3] = byte(ck>>8), byte(ck)
+	h := &ipv6.Header{NextHdr: proto.ICMPv6, HopLimit: hops, PayloadLen: len(msg), Src: src, Dst: dst}
+	pkt := mbuf.New(h.Marshal(nil))
+	pkt.Append(msg)
+	return pkt
+}
+
+// injector attaches a bare promiscuous-free interface to a link's hub
+// so tests can place hand-built frames on the wire.
+func injector(t *testing.T, hub *netif.Hub) *netif.Interface {
+	t.Helper()
+	atk := netif.New("atk0", inet.LinkAddr{2, 0xa7, 0, 0, 0, 1}, 1500)
+	atk.SetInput(func(_ *netif.Interface, fr netif.Frame) { fr.Payload.Free() })
+	hub.Attach(atk)
+	return atk
+}
+
+// TestHopLimitExpiryOneErrorPerPacket injects a burst of echo requests
+// with hop limit 1 at a transit router: each must be dropped with the
+// typed hop-limit reason and answered with exactly one ICMPv6 Time
+// Exceeded back to the source — not zero (silent discard) and not more
+// (duplicated errors from the forwarding fast path).
+func TestHopLimitExpiryOneErrorPerPacket(t *testing.T) {
+	const burst = 5 // well under the router's DefaultErrPPS budget
+	nw := lineNet(t, 3)
+	n0, router := nw.Nodes[0], nw.Nodes[1]
+
+	var timeExceeded atomic.Uint64
+	n0.S.ICMP6.OnErrorMsg = func(typ, _ uint8, _ inet.IP6, _ []byte) {
+		if typ == 3 { // time exceeded
+			timeExceeded.Add(1)
+		}
+	}
+
+	atk := injector(t, nw.Links[0].Hub)
+	src := topo.NodeAddr(0, 0) // n0: real, resolvable — the errors must land
+	dst := topo.NodeAddr(2, 3) // far end of the line, two hops away
+	for i := 0; i < burst; i++ {
+		pkt := echoRequest(src, dst, 1, uint16(i))
+		if err := atk.Output(router.Ports[0].HW, netif.EtherTypeIPv6, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	testnet.WaitFor(t, "time exceeded burst", func() bool {
+		return timeExceeded.Load() >= burst
+	})
+	testnet.WaitFor(t, "quiescent", func() bool { return nw.Pending() == 0 })
+	if got := timeExceeded.Load(); got != burst {
+		t.Fatalf("time exceeded errors = %d, want exactly %d", got, burst)
+	}
+	snap := router.S.Snapshot()
+	if d := snap.Reasons["ip6-hop-limit"]; d != burst {
+		t.Errorf("router ip6-hop-limit drops = %d, want %d", d, burst)
+	}
+	if e := snap.ICMP6["OutErrors"]; e != burst {
+		t.Errorf("router OutErrors = %d, want %d", e, burst)
+	}
+	if f := snap.IP6["Forwarded"]; f != 0 {
+		t.Errorf("router forwarded %d expired packets", f)
+	}
+}
+
+// TestRouteDeleteMidBurst deletes a transit router's route while
+// traffic flows through its warmed held-route cache.  The delete bumps
+// the table generation, so the very next packet re-walks the radix and
+// fails with a typed no-route drop — never a forward through the stale
+// cached entry — and restoring the route restores the path.
+func TestRouteDeleteMidBurst(t *testing.T) {
+	nw := lineNet(t, 4)
+	n0, r1 := nw.Nodes[0], nw.Nodes[1]
+	dst, _ := nw.Nodes[3].Addr()
+
+	replies := func() uint64 { return n0.S.Snapshot().ICMP6["InEchoReps"] }
+	ping := func(seq uint16) {
+		if err := n0.S.Ping6(dst, 44, seq, []byte("burst")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm r1's forwarding cache until transit hits it.
+	seq := uint16(0)
+	testnet.WaitFor(t, "forward cache warm", func() bool {
+		seq++
+		ping(seq)
+		s := r1.S.Snapshot()
+		return s.IP6["FwdCacheHits"] > 0 && replies() > 0
+	})
+	testnet.WaitFor(t, "quiescent before delete", func() bool { return nw.Pending() == 0 })
+
+	// Delete r1's route toward the far link mid-stream.
+	prefix := topo.LinkPrefix(2)
+	if _, ok := r1.S.RT.Delete(inet.AFInet6, prefix[:], 64); !ok {
+		t.Fatalf("no %v/64 route on r1 to delete", prefix)
+	}
+	before := r1.S.Snapshot()
+	gotReplies := replies()
+	for i := 0; i < 5; i++ {
+		seq++
+		ping(seq)
+	}
+	testnet.WaitFor(t, "no-route drops typed", func() bool {
+		return r1.S.Snapshot().Reasons["ip6-no-route"] >= before.Reasons["ip6-no-route"]+5
+	})
+	testnet.WaitFor(t, "quiescent after burst", func() bool { return nw.Pending() == 0 })
+	after := r1.S.Snapshot()
+	if after.IP6["Forwarded"] != before.IP6["Forwarded"] {
+		t.Fatalf("router forwarded %d packets through a deleted route",
+			after.IP6["Forwarded"]-before.IP6["Forwarded"])
+	}
+	if after.IP6["OutNoRoute"] <= before.IP6["OutNoRoute"] {
+		t.Fatal("OutNoRoute did not rise across the dead burst")
+	}
+	if replies() != gotReplies {
+		t.Fatalf("%d echo replies crossed a deleted route", replies()-gotReplies)
+	}
+
+	// Restore the route exactly as the builder installed it and the
+	// path must come back — including refilling the bumped cache.
+	r1.S.RT.Add(&route.Entry{
+		Family: inet.AFInet6, Dst: append([]byte(nil), prefix[:]...), Plen: 64,
+		Gateway: topo.NodeAddr(1, 2), Flags: route.FlagUp | route.FlagGateway | route.FlagStatic,
+		IfName: r1.Ports[1].Name,
+	})
+	seq++
+	ping(seq)
+	testnet.WaitFor(t, "reply after re-add", func() bool { return replies() > gotReplies })
+	if hits := r1.S.Snapshot().IP6["FwdCacheHits"]; hits <= before.IP6["FwdCacheHits"] {
+		t.Logf("note: cache not yet re-warmed (hits=%d)", hits) // first packet re-walks; not fatal
+	}
+}

@@ -379,8 +379,19 @@ func (t *Table) Add(e *Entry) *Entry {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if old, ok := t.tree(e.Family).LookupExact(e.Dst, e.Plen); ok && isNeighbor(old.(*Entry)) {
-		*t.nbrCount(e.Family)-- // replaced below
+	if old, ok := t.tree(e.Family).LookupExact(e.Dst, e.Plen); ok {
+		oe := old.(*Entry)
+		if isNeighbor(oe) {
+			*t.nbrCount(e.Family)-- // replaced below
+		}
+		// The replaced entry leaves the table for good: anything its
+		// LLInfo holds (packets queued awaiting resolution) would be
+		// orphaned — no timer or walk will ever see the entry again.
+		if oe != e {
+			if rel, ok := oe.LLInfo.(NeighborRelease); ok {
+				rel.ReleaseOnEvict()
+			}
+		}
 	}
 	if isNeighbor(e) {
 		t.admitNeighborLocked(e.Family)

@@ -1,0 +1,30 @@
+package topo
+
+import "bsd6/internal/admin"
+
+// Admin builds the topology's admin plane: one endpoint per node,
+// registered under the node's name, with the static link adjacency
+// served as the peer list.  Crawling it from any node reaches the
+// whole fleet regardless of data-plane partitions.
+func (nw *Network) Admin() *admin.Network {
+	an := admin.NewNetwork()
+	for _, n := range nw.Nodes {
+		peers := make([]admin.Peer, 0, len(n.Links))
+		for _, l := range n.Links {
+			lk := nw.Links[l]
+			peerID := lk.A
+			if peerID == n.ID {
+				peerID = lk.B
+			}
+			p := admin.Peer{Name: nw.Nodes[peerID].Name, Link: l, MTU: lk.MTU}
+			if a, ok := nw.Nodes[peerID].Addrs[l]; ok {
+				p.Addr = a.String()
+			}
+			peers = append(peers, p)
+		}
+		an.Register(admin.NewServer(n.S, admin.NodeInfo{
+			Name: n.Name, Router: n.Router, Peers: peers,
+		}))
+	}
+	return an
+}

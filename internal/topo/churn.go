@@ -1,0 +1,112 @@
+package topo
+
+import (
+	"math/rand"
+
+	"bsd6/internal/netif"
+)
+
+// SeverLink partitions link id's hub so its two endpoints can no
+// longer hear each other — the link is down without either interface
+// knowing.  Idempotent.
+func (nw *Network) SeverLink(id int) {
+	lk := nw.Links[id]
+	lk.Hub.Partition(
+		[]*netif.Interface{nw.Nodes[lk.A].Ports[id]},
+		[]*netif.Interface{nw.Nodes[lk.B].Ports[id]},
+	)
+	nw.mu.Lock()
+	nw.severed[id] = true
+	nw.mu.Unlock()
+}
+
+// HealLink removes link id's partition.  Idempotent.
+func (nw *Network) HealLink(id int) {
+	nw.Links[id].Hub.Partition()
+	nw.mu.Lock()
+	delete(nw.severed, id)
+	nw.mu.Unlock()
+}
+
+// HealAll heals every severed link.
+func (nw *Network) HealAll() {
+	nw.mu.Lock()
+	down := make([]int, 0, len(nw.severed))
+	for id := range nw.severed {
+		down = append(down, id)
+	}
+	nw.mu.Unlock()
+	for _, id := range down {
+		nw.HealLink(id)
+	}
+}
+
+// SeveredLinks reports how many links are currently down.
+func (nw *Network) SeveredLinks() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return len(nw.severed)
+}
+
+// ChurnStep flips the state of one rng-chosen link — severs it if up,
+// heals it if down — and reports which link and its new state.  A
+// loop of ChurnStep calls is a partition/heal storm.
+func (nw *Network) ChurnStep(rng *rand.Rand) (link int, nowSevered bool) {
+	link = rng.Intn(len(nw.Links))
+	nw.mu.Lock()
+	down := nw.severed[link]
+	nw.mu.Unlock()
+	if down {
+		nw.HealLink(link)
+		return link, false
+	}
+	nw.SeverLink(link)
+	return link, true
+}
+
+// Reachable reports whether a path of healed links connects nodes a
+// and b right now (graph reachability, not a data-plane probe).
+func (nw *Network) Reachable(a, b int) bool {
+	return nw.hops(a, b) >= 0
+}
+
+// Hops returns the healed-path hop count between nodes a and b (0 for
+// a == b), or -1 when the current partitions disconnect them.
+func (nw *Network) Hops(a, b int) int { return nw.hops(a, b) }
+
+func (nw *Network) hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	nw.mu.Lock()
+	adj := make([][]int, len(nw.Nodes))
+	for _, lk := range nw.Links {
+		if nw.severed[lk.ID] {
+			continue
+		}
+		adj[lk.A] = append(adj[lk.A], lk.B)
+		adj[lk.B] = append(adj[lk.B], lk.A)
+	}
+	nw.mu.Unlock()
+	dist := make([]int, len(nw.Nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[a] = 0
+	queue := []int{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, p := range adj[v] {
+			if dist[p] != -1 {
+				continue
+			}
+			dist[p] = dist[v] + 1
+			if p == b {
+				return dist[p]
+			}
+			queue = append(queue, p)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,103 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// generate returns the deterministic edge list for spec: each edge is
+// a node-ID pair (a, b) with a < b except where the shape dictates
+// otherwise; edge order is the link-ID order.
+func generate(spec Spec) ([][2]int, error) {
+	n := spec.N
+	if n < 2 {
+		return nil, fmt.Errorf("topo: need at least 2 nodes, got %d", n)
+	}
+	switch spec.Kind {
+	case Line:
+		edges := make([][2]int, 0, n-1)
+		for i := 0; i < n-1; i++ {
+			edges = append(edges, [2]int{i, i + 1})
+		}
+		return edges, nil
+	case Ring:
+		if n < 3 {
+			return nil, fmt.Errorf("topo: ring needs at least 3 nodes, got %d", n)
+		}
+		edges := make([][2]int, 0, n)
+		for i := 0; i < n-1; i++ {
+			edges = append(edges, [2]int{i, i + 1})
+		}
+		return append(edges, [2]int{0, n - 1}), nil
+	case Star:
+		edges := make([][2]int, 0, n-1)
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{0, i})
+		}
+		return edges, nil
+	case Tree:
+		k := spec.Fanout
+		if k == 0 {
+			k = 2
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("topo: tree fanout must be ≥ 1, got %d", k)
+		}
+		edges := make([][2]int, 0, n-1)
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{(i - 1) / k, i})
+		}
+		return edges, nil
+	case Waxman:
+		return waxman(spec)
+	}
+	return nil, fmt.Errorf("topo: unknown kind %d", int(spec.Kind))
+}
+
+// waxman scatters the nodes on the unit square, guarantees
+// connectivity with a random spanning tree, then adds each remaining
+// pair (i, j) with the Waxman probability α·e^(−d(i,j)/(β·L)), L the
+// diagonal.  Everything is driven by spec.Seed.
+func waxman(spec Spec) ([][2]int, error) {
+	alpha, beta := spec.Alpha, spec.Beta
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	if beta == 0 {
+		beta = DefaultBeta
+	}
+	if alpha < 0 || alpha > 1 || beta <= 0 {
+		return nil, fmt.Errorf("topo: waxman needs 0 ≤ alpha ≤ 1 and beta > 0 (got %v, %v)", alpha, beta)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	pos := make([][2]float64, spec.N)
+	for i := range pos {
+		pos[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	have := make(map[[2]int]bool)
+	var edges [][2]int
+	add := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if !have[[2]int{a, b}] {
+			have[[2]int{a, b}] = true
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	for i := 1; i < spec.N; i++ {
+		add(rng.Intn(i), i) // spanning structure: always connected
+	}
+	l := math.Sqrt2
+	for i := 0; i < spec.N; i++ {
+		for j := i + 1; j < spec.N; j++ {
+			dx, dy := pos[i][0]-pos[j][0], pos[i][1]-pos[j][1]
+			d := math.Hypot(dx, dy)
+			if rng.Float64() < alpha*math.Exp(-d/(beta*l)) {
+				add(i, j)
+			}
+		}
+	}
+	return edges, nil
+}
