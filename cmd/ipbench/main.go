@@ -5,6 +5,9 @@
 //
 //	ipbench [-t table1|table2|table3|table4|table5|figure8|micro|conns|stream|tunnel|topo|all] [-iters N] [-mb N] [-json] [-tag NAME] [-baseline]
 //
+// -t also accepts a comma-separated list (e.g. -t table5,tunnel) so
+// one run — and one JSON report — can cover several tables.
+//
 // With -json, every measured cell is also written to BENCH_<date>.json
 // so before/after runs can be diffed mechanically.  -tag inserts a
 // suffix into the filename (several runs can then coexist on one
@@ -18,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strings"
+	"sync"
 	"time"
 
 	"bsd6"
@@ -58,9 +63,15 @@ type streamCell struct {
 }
 
 // securityCell is one row of Table 5: IPv6 TCP throughput under a
-// security configuration.
+// security configuration.  Alg names the transform family (the paper's
+// des-cbc/keyed-md5 oracles or the AEAD entries), SAs is the size of
+// the association table the row was measured against, and Churn marks
+// rows where PF_KEY mutations raced the datapath.
 type securityCell struct {
 	Security string  `json:"security"`
+	Alg      string  `json:"alg,omitempty"`
+	SAs      int     `json:"sas,omitempty"`
+	Churn    bool    `json:"churn,omitempty"`
 	KBps     float64 `json:"kbps"`
 }
 
@@ -182,14 +193,60 @@ func (tb *testbed) addr(v6 bool, port uint16) core.Sockaddr6 {
 
 func (tb *testbed) nextPort() uint16 { tb.port++; return tb.port }
 
-func (tb *testbed) addSAs() {
-	authKey := []byte("0123456789abcdef")
-	encKey := []byte("DESCBC!!")
+// keyOf derives a deterministic key of the size an algorithm switch
+// entry demands.
+func keyOf(n int) []byte {
+	k := make([]byte, n)
+	for i := range k {
+		k[i] = byte(i*7 + 13)
+	}
+	return k
+}
+
+// saEpoch distinguishes successive setSAs generations: each gets
+// distinct keys, so straggler packets from a previous row's dying
+// connections fail the ICV harmlessly instead of decrypting under a
+// same-keyed fresh association and sliding its replay window to their
+// ancient sequence numbers.
+var saEpoch byte
+
+// setSAs flushes both engines and installs the four stream
+// associations (AH + ESP transport in each direction) under the given
+// transform family, so a Table 5 row measures exactly one algorithm
+// generation.
+func (tb *testbed) setSAs(ahAlg string, ahKey []byte, espAlg string, espKey []byte) {
+	saEpoch++
+	salt := func(k []byte) []byte {
+		out := append([]byte(nil), k...)
+		out[0] ^= saEpoch
+		return out
+	}
+	ahKey, espKey = salt(ahKey), salt(espKey)
 	for _, s := range []*bsd6.Stack{tb.cli, tb.srv} {
-		s.Keys.Add(&bsd6.SA{SPI: 0x100, Src: tb.cli6, Dst: tb.dst6, Proto: bsd6.ProtoAH, AuthAlg: "keyed-md5", AuthKey: authKey})
-		s.Keys.Add(&bsd6.SA{SPI: 0x101, Src: tb.dst6, Dst: tb.cli6, Proto: bsd6.ProtoAH, AuthAlg: "keyed-md5", AuthKey: authKey})
-		s.Keys.Add(&bsd6.SA{SPI: 0x200, Src: tb.cli6, Dst: tb.dst6, Proto: bsd6.ProtoESPTransport, EncAlg: "des-cbc", EncKey: encKey})
-		s.Keys.Add(&bsd6.SA{SPI: 0x201, Src: tb.dst6, Dst: tb.cli6, Proto: bsd6.ProtoESPTransport, EncAlg: "des-cbc", EncKey: encKey})
+		s.Keys.Flush()
+		s.Keys.Add(&bsd6.SA{SPI: 0x100, Src: tb.cli6, Dst: tb.dst6, Proto: bsd6.ProtoAH, AuthAlg: ahAlg, AuthKey: ahKey})
+		s.Keys.Add(&bsd6.SA{SPI: 0x101, Src: tb.dst6, Dst: tb.cli6, Proto: bsd6.ProtoAH, AuthAlg: ahAlg, AuthKey: ahKey})
+		s.Keys.Add(&bsd6.SA{SPI: 0x200, Src: tb.cli6, Dst: tb.dst6, Proto: bsd6.ProtoESPTransport, EncAlg: espAlg, EncKey: espKey})
+		s.Keys.Add(&bsd6.SA{SPI: 0x201, Src: tb.dst6, Dst: tb.cli6, Proto: bsd6.ProtoESPTransport, EncAlg: espAlg, EncKey: espKey})
+	}
+}
+
+// addDecoySAs grows both association tables to n entries with
+// associations for unrelated destinations: they load the SPI shards
+// and the outbound destination index without ever matching the
+// measured stream, which is exactly what a busy security gateway's
+// table looks like.
+func (tb *testbed) addDecoySAs(n int) {
+	authKey := []byte("0123456789abcdef")
+	for _, s := range []*bsd6.Stack{tb.cli, tb.srv} {
+		for i := 0; i < n; i++ {
+			dst := tb.dst6
+			dst[15] ^= byte(i) | 0x80 // never the real peer
+			dst[14] ^= byte(i >> 8)
+			dst[13] ^= byte(i >> 16)
+			s.Keys.Add(&bsd6.SA{SPI: uint32(0x10000 + i), Dst: dst, Proto: bsd6.ProtoAH,
+				AuthAlg: "keyed-md5", AuthKey: authKey})
+		}
 	}
 }
 
@@ -294,41 +351,140 @@ func table4() {
 	}
 }
 
+// secCases are the paper's four Table 5 configurations; the tuner sets
+// the measured socket's required services.
+var secCases = []struct {
+	name string
+	tune netperf.SocketTuner
+}{
+	{"None", nil},
+	{"Authentication", func(s *core.Socket) {
+		s.SetSecurity(bsd6.SoSecurityAuthentication, bsd6.LevelRequire)
+	}},
+	{"Encryption", func(s *core.Socket) {
+		s.SetSecurity(bsd6.SoSecurityEncryptTrans, bsd6.LevelRequire)
+	}},
+	{"Both", func(s *core.Socket) {
+		s.SetSecurity(bsd6.SoSecurityAuthentication, bsd6.LevelRequire)
+		s.SetSecurity(bsd6.SoSecurityEncryptTrans, bsd6.LevelRequire)
+	}},
+}
+
 func table5() {
 	fmt.Println("\nTable 5: Impact of IPv6 Security On Throughput (ttcp-style, KB/s)")
-	fmt.Printf("%-16s %12s\n", "Security", "Throughput")
+	fmt.Printf("%-16s %-22s %8s %6s %12s\n", "Security", "Alg", "SAs", "churn", "Throughput")
 	tb := newTestbed()
 	defer tb.close()
-	tb.addSAs()
-	cases := []struct {
-		name string
-		tune netperf.SocketTuner
-	}{
-		{"None", nil},
-		{"Authentication", func(s *core.Socket) {
-			s.SetSecurity(bsd6.SoSecurityAuthentication, bsd6.LevelRequire)
-		}},
-		{"Encryption", func(s *core.Socket) {
-			s.SetSecurity(bsd6.SoSecurityEncryptTrans, bsd6.LevelRequire)
-		}},
-		{"Both", func(s *core.Socket) {
-			s.SetSecurity(bsd6.SoSecurityAuthentication, bsd6.LevelRequire)
-			s.SetSecurity(bsd6.SoSecurityEncryptTrans, bsd6.LevelRequire)
-		}},
+	emit := func(security, alg string, sas int, churn bool, kbps float64) {
+		c := "-"
+		if churn {
+			c = "yes"
+		}
+		fmt.Printf("%-16s %-22s %8d %6s %12.0f\n", security, alg, sas, c, kbps)
+		results.Table5 = append(results.Table5, securityCell{
+			Security: security, Alg: alg, SAs: sas, Churn: churn, KBps: kbps})
 	}
-	// Interleave trials across the four configurations so machine-load
-	// drift hits every row equally; keep each row's best.
-	best := make([]float64, len(cases))
-	for round := 0; round < 4; round++ {
-		for i, c := range cases {
-			if v := tb.stream(true, true, 8192, 32768, c.tune); v > best[i] {
-				best[i] = v
+
+	// The paper's table, twice over: once under the 1996 conformance
+	// oracles (keyed-MD5 AH, DES-CBC ESP) and once under the AEAD
+	// switch entries (HMAC-SHA-256 AH, AES-GCM ESP).  Trials are
+	// interleaved across the four configurations so machine-load drift
+	// hits every row equally; each row keeps its best.
+	families := []struct {
+		label         string
+		ahAlg, espAlg string
+		ahKey, espKey []byte
+		algFor        [4]string // per-configuration alg column
+	}{
+		{label: "classic", ahAlg: "keyed-md5", espAlg: "des-cbc",
+			ahKey: keyOf(16), espKey: []byte("DESCBC!!"),
+			algFor: [4]string{"-", "keyed-md5", "des-cbc", "des-cbc+keyed-md5"}},
+		{label: "aead", ahAlg: "hmac-sha256", espAlg: "aes-gcm",
+			ahKey: keyOf(32), espKey: keyOf(20),
+			algFor: [4]string{"-", "hmac-sha256", "aes-gcm", "aes-gcm+hmac-sha256"}},
+	}
+	for fi, fam := range families {
+		tb.setSAs(fam.ahAlg, fam.ahKey, fam.espAlg, fam.espKey)
+		best := make([]float64, len(secCases))
+		for round := 0; round < 4; round++ {
+			for i, c := range secCases {
+				if fi == 1 && i == 0 {
+					continue // the cleartext row does not change with the family
+				}
+				if v := tb.stream(true, true, 8192, 32768, c.tune); v > best[i] {
+					best[i] = v
+				}
 			}
 		}
+		for i, c := range secCases {
+			if fi == 1 && i == 0 {
+				continue
+			}
+			emit(c.name, fam.algFor[i], 4, false, best[i])
+		}
 	}
-	for i, c := range cases {
-		fmt.Printf("%-16s %12.0f\n", c.name, best[i])
-		results.Table5 = append(results.Table5, securityCell{Security: c.name, KBps: best[i]})
+
+	// SA-population scaling: the same AES-GCM ESP stream measured
+	// against association tables of 1k and 100k entries.  With the
+	// sharded SPI index and the PCB verdict cache these rows should
+	// sit on top of the 4-entry row.
+	for _, pop := range []int{1_000, 100_000} {
+		fam := families[1]
+		tb.setSAs(fam.ahAlg, fam.ahKey, fam.espAlg, fam.espKey)
+		tb.addDecoySAs(pop - 4)
+		best := 0.0
+		for round := 0; round < 2; round++ {
+			if v := tb.stream(true, true, 8192, 32768, secCases[2].tune); v > best {
+				best = v
+			}
+		}
+		emit("Encryption", "aes-gcm", pop, false, best)
+	}
+
+	// PF_KEY churn racing the datapath: unrelated associations are
+	// added and deleted at full speed on both engines while the
+	// AES-GCM stream runs.  Every mutation bumps the generation and
+	// invalidates every cached verdict, so this row prices the
+	// re-resolution path, not just the steady-state cache hit.
+	{
+		fam := families[1]
+		tb.setSAs(fam.ahAlg, fam.ahKey, fam.espAlg, fam.espKey)
+		tb.addDecoySAs(1_000 - 4)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for _, s := range []*bsd6.Stack{tb.cli, tb.srv} {
+			wg.Add(1)
+			go func(s *bsd6.Stack) {
+				defer wg.Done()
+				authKey := []byte("0123456789abcdef")
+				for i := uint32(0); ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					time.Sleep(50 * time.Microsecond)
+					dst := tb.dst6
+					dst[15] ^= 0xc3
+					spi := uint32(0x40000 + i%512)
+					if i%2 == 0 {
+						s.Keys.Add(&bsd6.SA{SPI: spi, Dst: dst, Proto: bsd6.ProtoAH,
+							AuthAlg: "keyed-md5", AuthKey: authKey})
+					} else {
+						s.Keys.Delete(spi-1, dst, bsd6.ProtoAH)
+					}
+				}
+			}(s)
+		}
+		best := 0.0
+		for round := 0; round < 2; round++ {
+			if v := tb.stream(true, true, 8192, 32768, secCases[2].tune); v > best {
+				best = v
+			}
+		}
+		close(stop)
+		wg.Wait()
+		emit("Encryption", "aes-gcm", 1_000, true, best)
 	}
 }
 
@@ -494,10 +650,11 @@ func streamTable() {
 // tunnelStream builds a two-stack world whose hub carries only the
 // outer protocol, joins the stacks with configured tunnels of the
 // given mode, and measures bulk TCP throughput across the tunnel
-// (best of three).  With secure set, gateway-style ESP tunnel-mode
-// associations cover the outer endpoints and a system-wide "use"
-// policy wraps the encapsulated traffic — the full §3 composition.
-func tunnelStream(mode bsd6.TunnelMode, secure bool) float64 {
+// (best of three).  With espAlg set, gateway-style ESP tunnel-mode
+// associations under that cipher cover the outer endpoints and a
+// system-wide "use" policy wraps the encapsulated traffic — the full
+// §3 composition.
+func tunnelStream(mode bsd6.TunnelMode, espAlg string) float64 {
 	var opts bsd6.Options
 	if *flagNoBatch {
 		opts = bsd6.Options{BurstSize: -1, GRO: -1, GSO: -1}
@@ -554,13 +711,16 @@ func tunnelStream(mode bsd6.TunnelMode, secure bool) float64 {
 		dial = func(port uint16) core.Sockaddr6 { return bsd6.Addr6(in6S, port) }
 	}
 
-	if secure {
+	if espAlg != "" {
 		encKey := []byte("DESCBC!!")
+		if espAlg != "des-cbc" {
+			encKey = keyOf(20) // aes-gcm: 16-byte key || 4-byte salt
+		}
 		for _, s := range []*bsd6.Stack{cli, srv} {
 			s.Keys.Add(&bsd6.SA{SPI: 0x61, Src: core6C, Dst: core6S, Proto: bsd6.ProtoESPTunnel,
-				EncAlg: "des-cbc", EncKey: encKey, SelDst: core6S, SelPlen: 128})
+				EncAlg: espAlg, EncKey: encKey, SelDst: core6S, SelPlen: 128})
 			s.Keys.Add(&bsd6.SA{SPI: 0x62, Src: core6S, Dst: core6C, Proto: bsd6.ProtoESPTunnel,
-				EncAlg: "des-cbc", EncKey: encKey, SelDst: core6C, SelPlen: 128})
+				EncAlg: espAlg, EncKey: encKey, SelDst: core6C, SelPlen: 128})
 			s.Sec.SetSystemPolicy(bsd6.SockOpts{ESPTunnel: bsd6.LevelUse})
 		}
 	}
@@ -607,10 +767,11 @@ func tunnelTable() {
 	row("native IPv4", tb.stream(true, false, 8192, 57344, nil))
 	row("native IPv6", tb.stream(true, true, 8192, 57344, nil))
 	tb.close()
-	row("IPv6 over 6in4", tunnelStream(bsd6.Tunnel6in4, false))
-	row("IPv4 over 4in6", tunnelStream(bsd6.Tunnel4in6, false))
-	row("IPv6 over 6in6", tunnelStream(bsd6.Tunnel6in6, false))
-	row("6in6 + ESP tunnel", tunnelStream(bsd6.Tunnel6in6, true))
+	row("IPv6 over 6in4", tunnelStream(bsd6.Tunnel6in4, ""))
+	row("IPv4 over 4in6", tunnelStream(bsd6.Tunnel4in6, ""))
+	row("IPv6 over 6in6", tunnelStream(bsd6.Tunnel6in6, ""))
+	row("6in6 + ESP (des-cbc)", tunnelStream(bsd6.Tunnel6in6, "des-cbc"))
+	row("6in6 + ESP (aes-gcm)", tunnelStream(bsd6.Tunnel6in6, "aes-gcm"))
 }
 
 // topoTable measures end-to-end IPv6 throughput and UDP packet rate
@@ -707,7 +868,17 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	run := func(name string) bool { return *flagTable == "all" || *flagTable == name }
+	run := func(name string) bool {
+		if *flagTable == "all" {
+			return true
+		}
+		for _, t := range strings.Split(*flagTable, ",") {
+			if t == name {
+				return true
+			}
+		}
+		return false
+	}
 	if run("table1") {
 		results.Table1 = latencyTable("Table 1: TCP Latency", true)
 	}

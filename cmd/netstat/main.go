@@ -102,6 +102,38 @@ func main() {
 	cli, _ := a.NewSocket(bsd6.AFInet6, bsd6.SockDgram)
 	cli.SendTo([]byte("hello"), bsd6.Addr6(bAddr, 7))
 	cli.RecvFrom(512, 2*time.Second)
+
+	// A secured exchange, so the per-SA netstat rows (§3.4) have
+	// byte/packet counters to show: AES-GCM ESP transport associations
+	// between A and B, and a short TCP conversation that requires them.
+	aAddr := autoconfAddr(aIf, prefix1)
+	gcmKey := make([]byte, 20) // 16-byte AES-128 key || 4-byte salt
+	for i := range gcmKey {
+		gcmKey[i] = byte(i*5 + 1)
+	}
+	for _, s := range []*bsd6.Stack{a, b} {
+		s.Keys.Add(&bsd6.SA{SPI: 0x1001, Src: aAddr, Dst: bAddr, Proto: bsd6.ProtoESPTransport,
+			EncAlg: "aes-gcm", EncKey: gcmKey})
+		s.Keys.Add(&bsd6.SA{SPI: 0x1002, Src: bAddr, Dst: aAddr, Proto: bsd6.ProtoESPTransport,
+			EncAlg: "aes-gcm", EncKey: gcmKey})
+	}
+	tl, _ := b.NewSocket(bsd6.AFInet6, bsd6.SockStream)
+	tl.SetSecurity(bsd6.SoSecurityEncryptTrans, bsd6.LevelRequire)
+	tl.Bind(core.Sockaddr6{Family: bsd6.AFInet6, Port: 23})
+	tl.Listen(1)
+	tc, _ := a.NewSocket(bsd6.AFInet6, bsd6.SockStream)
+	tc.SetSecurity(bsd6.SoSecurityEncryptTrans, bsd6.LevelRequire)
+	if err := tc.Connect(bsd6.Addr6(bAddr, 23), 2*time.Second); err == nil {
+		if ts, err := tl.Accept(2 * time.Second); err == nil {
+			tc.Send([]byte("secured across the router"), 2*time.Second)
+			ts.Recv(64, 2*time.Second)
+			ts.Send([]byte("and back"), 2*time.Second)
+			tc.Recv(64, 2*time.Second)
+			ts.Close()
+		}
+		tc.Close()
+	}
+	tl.Close()
 	time.Sleep(100 * time.Millisecond)
 
 	all := !*flagRoutes && !*flagStats && !*flagIfs

@@ -36,8 +36,8 @@ type FleetReport struct {
 	Unreachable []string     `json:"unreachable,omitempty"`
 	Nodes       []NodeReport `json:"nodes"`
 
-	TotalForwarded    uint64            `json:"totalForwarded"`
-	TotalFwdCacheHits uint64            `json:"totalFwdCacheHits"`
+	TotalForwarded    uint64 `json:"totalForwarded"`
+	TotalFwdCacheHits uint64 `json:"totalFwdCacheHits"`
 	// TotalDrops sums every node's typed drop-reason map.
 	TotalDrops map[string]uint64 `json:"totalDrops"`
 	// LimitDrops sums the discards induced by each governance

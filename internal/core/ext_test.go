@@ -219,6 +219,9 @@ func TestAlgorithmSubstitutionEndToEnd(t *testing.T) {
 		{"des-cbc", 8},
 		{"3des-cbc", 24},
 		{"idea-cbc", 16},
+		// The AEAD switch entries: key = cipher key || 4-byte salt.
+		{"aes-gcm", 20},
+		{"aes256-gcm", 36},
 	}
 	for _, c := range cases {
 		t.Run(c.alg, func(t *testing.T) {

@@ -149,9 +149,19 @@ func (s *Stack) ProtoStats() string {
 	fmt.Fprintf(&b, "ipsec: out ah/esp/tunnel %d/%d/%d; in auth ok/fail %d/%d, decrypt ok/fail %d/%d, no-SA %d, policy drops out/in %d/%d, tunnel src fails %d\n",
 		sec["OutAH"], sec["OutESP"], sec["OutTunnel"], sec["InAuthOK"], sec["InAuthFail"],
 		sec["InDecryptOK"], sec["InDecryptFail"], sec["InNoSA"], sec["OutPolicyDrops"], sec["InPolicyDrops"], sec["TunnelSrcFail"])
+	fmt.Fprintf(&b, "ipsec-fast: %d cached verdicts, %d replay drops\n",
+		sec["OutCacheHits"], sec["InReplay"])
 	ks := snap.Key
 	fmt.Fprintf(&b, "key: %d adds, %d deletes, %d lookups (%d misses), %d acquires, expires soft/hard %d/%d\n",
 		ks["Adds"], ks["Deletes"], ks["Lookups"], ks["Misses"], ks["Acquires"], ks["SoftExpires"], ks["HardExpires"])
+	for _, sa := range snap.SAs {
+		alg := sa.AuthAlg
+		if sa.EncAlg != "" {
+			alg = sa.EncAlg
+		}
+		fmt.Fprintf(&b, "sa spi=%#x %s %s alg=%s: in %d pkts/%d bytes, out %d pkts/%d bytes, replay drops %d, seq %d\n",
+			sa.SPI, sa.Proto, sa.Dst, alg, sa.InPkts, sa.InBytes, sa.OutPkts, sa.OutBytes, sa.ReplayDrops, sa.SeqOut)
+	}
 	fmt.Fprintf(&b, "netisr: %d workers, burst %d, %d drops, queue depths %v\n",
 		snap.Netisr.Workers, snap.Netisr.Burst, snap.Netisr.Drops, snap.Netisr.Depths)
 	for _, t := range snap.Tunnels {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bsd6/internal/dump"
@@ -79,6 +81,24 @@ type TunnelSnap struct {
 	PMTUUpdates uint64 `json:"pmtuUpdates"`
 }
 
+// SASnap is one security association's row: its name (SPI, service,
+// endpoints, algorithms) and the per-SA datapath counters the
+// line-rate paths charge atomically — packets and bytes per direction,
+// replay-window rejections, and the outbound sequence position.
+type SASnap struct {
+	SPI         uint32 `json:"spi"`
+	Proto       string `json:"proto"`
+	Dst         string `json:"dst"`
+	AuthAlg     string `json:"authAlg,omitempty"`
+	EncAlg      string `json:"encAlg,omitempty"`
+	InPkts      uint64 `json:"inPkts"`
+	InBytes     uint64 `json:"inBytes"`
+	OutPkts     uint64 `json:"outPkts"`
+	OutBytes    uint64 `json:"outBytes"`
+	ReplayDrops uint64 `json:"replayDrops"`
+	SeqOut      uint64 `json:"seqOut"`
+}
+
 // Snapshot is the structured counterpart of Netstat(): every protocol,
 // security, key-engine and netisr counter, the drop-reason map, and
 // the flight-recorder trace — JSON-serializable so benchmarks and
@@ -98,6 +118,7 @@ type Snapshot struct {
 	Netisr  NetisrSnapshot    `json:"netisr"`
 	Limits  LimitsSnapshot    `json:"limits"`
 	Tunnels []TunnelSnap      `json:"tunnels,omitempty"`
+	SAs     []SASnap          `json:"sas,omitempty"`
 	Reasons map[string]uint64 `json:"dropReasons"`
 	Trace   []TraceLine       `json:"trace,omitempty"`
 }
@@ -152,6 +173,28 @@ func (s *Stack) Snapshot() Snapshot {
 			row.Local, row.Remote = cfg.Local6.String(), cfg.Remote6.String()
 		}
 		snap.Tunnels = append(snap.Tunnels, row)
+	}
+	sas := s.Keys.Dump()
+	sort.Slice(sas, func(i, j int) bool {
+		if sas[i].SPI != sas[j].SPI {
+			return sas[i].SPI < sas[j].SPI
+		}
+		return sas[i].Proto < sas[j].Proto
+	})
+	for _, sa := range sas {
+		snap.SAs = append(snap.SAs, SASnap{
+			SPI:         sa.SPI,
+			Proto:       sa.Proto.String(),
+			Dst:         sa.Dst.String(),
+			AuthAlg:     sa.AuthAlg,
+			EncAlg:      sa.EncAlg,
+			InPkts:      atomic.LoadUint64(&sa.InPkts),
+			InBytes:     atomic.LoadUint64(&sa.InBytes),
+			OutPkts:     atomic.LoadUint64(&sa.OutPkts),
+			OutBytes:    atomic.LoadUint64(&sa.OutBytes),
+			ReplayDrops: atomic.LoadUint64(&sa.ReplayDrops),
+			SeqOut:      atomic.LoadUint64(&sa.SeqOut),
+		})
 	}
 	for _, ev := range s.Drops.Events() {
 		snap.Trace = append(snap.Trace, TraceLine{

@@ -579,7 +579,7 @@ func (s *Stack) startTimers() {
 	})
 	s.every(time.Second, func(now time.Time) {
 		s.ICMP6.FastTimo(now)
-		s.Keys.SlowTimo(now)
+		s.Keys.SlowTimo()
 	})
 }
 
@@ -612,7 +612,7 @@ func (s *Stack) Tick(now time.Time) {
 	s.V4.SlowTimo(now)
 	s.V6.SlowTimo(now)
 	s.ICMP6.FastTimo(now)
-	s.Keys.SlowTimo(now)
+	s.Keys.SlowTimo()
 }
 
 //

@@ -31,6 +31,8 @@ var lintedPackages = []string{
 	"../inet",
 	"../topo",
 	"../admin",
+	"../ipsec",
+	"../key",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

@@ -49,3 +49,54 @@ func FuzzESPUnpad(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAEADSeal attacks the sequenced AEAD framing from both sides:
+// Unwrap must survive arbitrary bytes (truncations, bit flips, forged
+// tags) without panicking and without ever returning success for
+// anything the matching Wrap did not produce; Wrap→Unwrap must be the
+// identity on plaintext and payload type for every input length.
+func FuzzAEADSeal(f *testing.F) {
+	f.Add([]byte("payload"), uint8(41), []byte{})
+	f.Add([]byte{}, uint8(6), []byte{1, 2, 3})
+	f.Add(make([]byte, 64), uint8(17), make([]byte, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte, ptype uint8, garbage []byte) {
+		alg, ok := LookupAEAD("aes-gcm")
+		if !ok {
+			t.Skip("aes-gcm not registered")
+		}
+		k := make([]byte, alg.KeySize())
+		for i := range k {
+			k[i] = byte(i * 3)
+		}
+		sa := &key.SA{SPI: 0x2002, EncAlg: "aes-gcm", EncKey: k}
+		tr := &aeadTransform{alg: alg}
+
+		// Arbitrary bytes as ciphertext: must error, never panic (the
+		// odds of garbage carrying a valid 128-bit tag are nil).
+		if _, _, err := tr.Unwrap(sa, nil, garbage); err == nil && len(garbage) > 0 {
+			t.Fatalf("%d random bytes authenticated", len(garbage))
+		}
+
+		wrapped, err := tr.Wrap(sa, nil, data, ptype)
+		if err != nil {
+			t.Fatalf("wrap(%d bytes): %v", len(data), err)
+		}
+		inner, pt, err := tr.Unwrap(sa, nil, wrapped)
+		if err != nil {
+			t.Fatalf("unwrap of own wrap failed: %v", err)
+		}
+		if pt != ptype || !bytes.Equal(inner, data) {
+			t.Fatalf("round trip mangled payload: type %d->%d, %d->%d bytes",
+				ptype, pt, len(data), len(inner))
+		}
+		// Any single-byte corruption must be rejected.
+		if len(wrapped) > 0 {
+			i := len(data) % len(wrapped)
+			wrapped[i] ^= 1
+			if _, _, err := tr.Unwrap(sa, nil, wrapped); err == nil {
+				t.Fatalf("corruption at byte %d authenticated", i)
+			}
+		}
+	})
+}

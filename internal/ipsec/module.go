@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bsd6/internal/inet"
 	"bsd6/internal/ipv6"
@@ -27,6 +28,7 @@ var EIPSEC = errors.New("EIPSEC: IP security processing error")
 //	3: level 2, with a security association unique to the socket
 type Level int
 
+// The four security levels of §6.1, one per service.
 const (
 	LevelNone    Level = 0
 	LevelUse     Level = 1
@@ -73,11 +75,13 @@ type Stats struct {
 	OutESP         stat.Counter
 	OutTunnel      stat.Counter
 	OutPolicyDrops stat.Counter
+	OutCacheHits   stat.Counter
 	InAuthOK       stat.Counter
 	InAuthFail     stat.Counter
 	InDecryptOK    stat.Counter
 	InDecryptFail  stat.Counter
 	InNoSA         stat.Counter
+	InReplay       stat.Counter
 	InPolicyDrops  stat.Counter
 	TunnelSrcFail  stat.Counter
 }
@@ -92,7 +96,8 @@ type portPolicy struct {
 
 // Module is the IP security instance of one stack.
 type Module struct {
-	l   *ipv6.Layer
+	l *ipv6.Layer
+	// Key is the stack's Key Engine (§3.1).
 	Key *key.Engine
 
 	mu     sync.Mutex
@@ -107,6 +112,7 @@ type Module struct {
 	// sockets layer); nil sockets get zero levels.
 	SocketOpts func(socket any) SockOpts
 
+	// Stats counts security processing events.
 	Stats Stats
 }
 
@@ -177,17 +183,21 @@ func (m *Module) portRequirements(port uint16) SockOpts {
 	return req
 }
 
-// OutputPolicy is ipsec_output_policy() (§3.3), installed as the IPv6
-// layer's SecOut hook and called immediately before fragmentation.  It
-// merges system and socket policy, obtains associations from the Key
-// Engine, and applies the needed services to the fragmentable part:
-// ESP transport innermost, then ESP tunnel, then AH outermost.
-func (m *Module) OutputPolicy(hdr *ipv6.Header, payload *mbuf.Mbuf, nh uint8, socket any) (*mbuf.Mbuf, uint8, error) {
-	eff := m.effective(socket)
-	if eff.Bypass || eff == (SockOpts{}) {
-		return payload, nh, nil
-	}
+// secVerdict is one resolved outbound decision: the effective policy
+// it was computed under and the association for each service (nil
+// where the level is none, or use-with-no-SA).  It is what a PCB's
+// key.Cache holds.
+type secVerdict struct {
+	eff          SockOpts
+	esp, tun, ah *key.SA
+	deadline     time.Time
+}
 
+// resolveOut computes the outbound verdict for (hdr.Src, hdr.Dst)
+// under eff by querying the Key Engine per service.  Resolution
+// failures (EIPSEC, acquire-delayed) return an error and are never
+// cached.
+func (m *Module) resolveOut(hdr *ipv6.Header, socket any, eff SockOpts) (*secVerdict, error) {
 	get := func(p key.SecProto, lvl Level) (*key.SA, error) {
 		if lvl == LevelNone {
 			return nil, nil
@@ -203,79 +213,169 @@ func (m *Module) OutputPolicy(hdr *ipv6.Header, payload *mbuf.Mbuf, nh uint8, so
 		}
 		return sa, nil
 	}
-
-	data := payload.Bytes()
-	applied := false
-
-	if sa, err := get(key.ProtoESPTransport, eff.ESPTransport); err != nil {
-		return nil, 0, err
-	} else if sa != nil {
-		wrapped, werr := buildESPTransport(sa, data, nh)
-		if werr != nil {
-			m.Stats.OutPolicyDrops.Inc()
-			return nil, 0, fmt.Errorf("%w: %v", EIPSEC, werr)
+	v := &secVerdict{eff: eff}
+	var err error
+	if v.esp, err = get(key.ProtoESPTransport, eff.ESPTransport); err != nil {
+		return nil, err
+	}
+	if v.tun, err = get(key.ProtoESPTunnel, eff.ESPTunnel); err != nil {
+		return nil, err
+	}
+	if v.ah, err = get(key.ProtoAH, eff.Auth); err != nil {
+		return nil, err
+	}
+	for _, sa := range []*key.SA{v.esp, v.tun, v.ah} {
+		if sa == nil || sa.HardLife == 0 {
+			continue
 		}
-		m.Stats.OutESP.Inc()
-		m.Key.CountBytes(sa, len(data))
-		data, nh = wrapped, proto.ESP
-		applied = true
+		d := sa.AddedAt.Add(sa.HardLife)
+		if v.deadline.IsZero() || d.Before(v.deadline) {
+			v.deadline = d
+		}
+	}
+	return v, nil
+}
+
+// OutputPolicy is ipsec_output_policy() (§3.3), installed as the IPv6
+// layer's SecOut hook and called immediately before fragmentation.  It
+// merges system and socket policy, obtains associations from the Key
+// Engine — through the caller's generation-validated cache when one is
+// supplied, so steady-state sends never touch the SA table — and
+// applies the needed services to the fragmentable part: ESP transport
+// innermost, then ESP tunnel, then AH outermost.  The transforms are
+// chain-aware: the payload chain is gathered at most once, directly
+// into the pooled output buffer, and AH is prepended in place.
+func (m *Module) OutputPolicy(hdr *ipv6.Header, payload *mbuf.Mbuf, nh uint8, socket any, sc *key.Cache) (*mbuf.Mbuf, uint8, error) {
+	eff := m.effective(socket)
+	if eff.Bypass || eff == (SockOpts{}) {
+		return payload, nh, nil
 	}
 
-	if sa, err := get(key.ProtoESPTunnel, eff.ESPTunnel); err != nil {
-		return nil, 0, err
-	} else if sa != nil {
+	var v *secVerdict
+	if sc != nil {
+		if cv, ok := sc.Get(m.Key, hdr.Src, hdr.Dst); ok {
+			if vv := cv.(*secVerdict); vv.eff == eff {
+				v = vv
+				m.Stats.OutCacheHits.Inc()
+			}
+		}
+	}
+	if v == nil {
+		// Sample the generation before resolving: a table change racing
+		// the resolution then leaves the filled cache stale on its next
+		// compare, never wrongly fresh (the route.Cache discipline).
+		gen := m.Key.Gen()
+		var err error
+		if v, err = m.resolveOut(hdr, socket, eff); err != nil {
+			return nil, 0, err
+		}
+		if sc != nil {
+			sc.Fill(m.Key, gen, hdr.Src, hdr.Dst, v.deadline, v)
+		}
+	}
+
+	// Apply the services.  cur tracks the working packet; the caller's
+	// payload stays alive (and owned by the caller) until the whole
+	// pipeline succeeds, so an error mid-way never double-frees.
+	cur, curNH := payload, nh
+	fail := func(werr error) (*mbuf.Mbuf, uint8, error) {
+		if cur != payload {
+			cur.Free()
+		}
+		m.Stats.OutPolicyDrops.Inc()
+		return nil, 0, fmt.Errorf("%w: %v", EIPSEC, werr)
+	}
+
+	if sa := v.esp; sa != nil {
+		e, werr := espLookup(sa.EncAlg)
+		if werr != nil {
+			return fail(werr)
+		}
+		out, werr := wrapESPChain(sa, e, nil, cur, curNH)
+		if werr != nil {
+			return fail(werr)
+		}
+		m.Stats.OutESP.Inc()
+		sa.CountOut(cur.Len())
+		if cur != payload {
+			cur.Free()
+		}
+		cur, curNH = out, proto.ESP
+	}
+
+	if sa := v.tun; sa != nil {
 		// The inner datagram keeps the real destination; the outer
 		// header is readdressed to the association's endpoint when it
 		// is a security gateway ("prepending an additional cleartext
 		// IP header outside the encrypted IP datagram so that the
 		// packet can be routed", §3).
-		wrapped, werr := buildESPTunnel(sa, hdr, data, nh)
+		e, werr := espLookup(sa.EncAlg)
 		if werr != nil {
-			m.Stats.OutPolicyDrops.Inc()
-			return nil, 0, fmt.Errorf("%w: %v", EIPSEC, werr)
+			return fail(werr)
+		}
+		inner := *hdr
+		inner.NextHdr = curNH
+		inner.PayloadLen = cur.Len()
+		out, werr := wrapESPChain(sa, e, inner.Marshal(nil), cur, proto.IPv6)
+		if werr != nil {
+			return fail(werr)
 		}
 		m.Stats.OutTunnel.Inc()
-		m.Key.CountBytes(sa, len(data))
-		data, nh = wrapped, proto.ESP
-		applied = true
+		sa.CountOut(cur.Len())
+		if cur != payload {
+			cur.Free()
+		}
+		cur, curNH = out, proto.ESP
 		if sa.Dst != hdr.Dst {
 			hdr.Dst = sa.Dst // the layer re-routes toward the gateway
 		}
 	}
 
-	if sa, err := get(key.ProtoAH, eff.Auth); err != nil {
-		return nil, 0, err
-	} else if sa != nil {
-		wrapped, werr := buildAH(sa, hdr, data, nh)
-		if werr != nil {
-			m.Stats.OutPolicyDrops.Inc()
-			return nil, 0, fmt.Errorf("%w: %v", EIPSEC, werr)
+	if sa := v.ah; sa != nil {
+		if werr := buildAHChain(sa, hdr, cur, curNH); werr != nil {
+			return fail(werr)
 		}
 		m.Stats.OutAH.Inc()
-		m.Key.CountBytes(sa, len(data))
-		data, nh = wrapped, proto.AH
-		applied = true
+		sa.CountOut(cur.Len())
+		curNH = proto.AH
 	}
 
-	// No association applied (every level was none/use-without-SA):
-	// pass the original chain through untouched.  Building a NewNoCopy
-	// replacement here would silently strand the transport layer's
-	// pooled slab — the replacement aliases the bytes but not the pool
-	// bookkeeping, so the slab would never return to its pool.
-	if !applied {
-		return payload, nh, nil
+	if cur != payload {
+		cur.Hdr().Socket = payload.Hdr().Socket
+		// Every wrap above gathered the bytes into a fresh pooled
+		// buffer; the original chain is dead — recycle it.
+		payload.Free()
 	}
-	out := mbuf.NewNoCopy(data)
-	out.Hdr().Socket = payload.Hdr().Socket
-	// Every wrap above copied the bytes into a fresh buffer; the
-	// original pooled chain is dead — recycle it.
-	payload.Free()
-	return out, nh, nil
+	return cur, curNH, nil
+}
+
+// spiMissReason types an inbound SA lookup failure for the drop
+// taxonomy.
+func spiMissReason(r key.SPIResult) stat.Reason {
+	switch r {
+	case key.SPIExpired:
+		return stat.RSecExpired
+	case key.SPIStale:
+		return stat.RSecStaleSA
+	}
+	return stat.RSecNoSA
+}
+
+// replayDrop charges a replay-window rejection everywhere it is
+// visible: the per-SA counter, the module stats, and the drop
+// taxonomy.
+func (m *Module) replayDrop(sa *key.SA, b []byte) {
+	atomic.AddUint64(&sa.ReplayDrops, 1)
+	m.Stats.InReplay.Inc()
+	m.l.Drops.DropPkt(stat.RSecReplay, b)
 }
 
 // Input is the IPv6 layer's SecIn hook (§3.4): process an AH or ESP
 // header found during input, setting M_AUTHENTIC / M_DECRYPTED and
-// recording the SPI for the transport-layer policy check.
+// recording the SPI for the transport-layer policy check.  Sequenced
+// framings are checked against the association's replay window before
+// the cryptography (a replayed packet is rejected for free) and
+// committed to it only after the integrity check passes.
 func (m *Module) Input(pkt *mbuf.Mbuf, hdr *ipv6.Header, p uint8, off int) (ipv6.SecAction, *mbuf.Mbuf) {
 	b := pkt.Bytes()
 	switch p {
@@ -286,18 +386,39 @@ func (m *Module) Input(pkt *mbuf.Mbuf, hdr *ipv6.Header, p uint8, off int) (ipv6
 			return ipv6.SecDrop, nil
 		}
 		spi := get32be(b[off+4:])
-		sa, ok := m.Key.GetBySPI(spi, hdr.Dst, key.ProtoAH)
-		if !ok {
+		sa, res := m.Key.LookupSPI(spi, hdr.Dst, key.ProtoAH)
+		if sa == nil {
 			m.Stats.InNoSA.Inc()
-			m.l.Drops.DropPkt(stat.RSecNoSA, b)
+			m.l.Drops.DropPkt(spiMissReason(res), b)
 			return ipv6.SecDrop, nil
 		}
-		if _, _, ok := verifyAH(sa, hdr, b, off); !ok {
+		// Replay pre-check for sequenced framings, before paying for
+		// the digest.
+		seqFramed := false
+		if alg, ok := LookupAuth(sa.AuthAlg); ok && sequenced(alg) {
+			seqFramed = true
+			if off+ahFixedLen+ahSeqLen > len(b) {
+				m.Stats.InAuthFail.Inc()
+				m.l.Drops.DropPkt(stat.RSecAuthFail, b)
+				return ipv6.SecDrop, nil
+			}
+			if sa.Replay != nil && !sa.Replay.Check(get64be(b[off+ahFixedLen:])) {
+				m.replayDrop(sa, b)
+				return ipv6.SecDrop, nil
+			}
+		}
+		_, _, seq, ok := verifyAHSeq(sa, hdr, b, off)
+		if !ok {
 			m.Stats.InAuthFail.Inc()
 			m.l.Drops.DropPkt(stat.RSecAuthFail, b)
 			return ipv6.SecDrop, nil
 		}
+		if seqFramed && sa.Replay != nil && !sa.Replay.Update(seq) {
+			m.replayDrop(sa, b)
+			return ipv6.SecDrop, nil
+		}
 		m.Stats.InAuthOK.Inc()
+		sa.CountIn(len(b) - off)
 		pkt.Hdr().Flags |= mbuf.MAuthentic
 		pkt.Hdr().AuxSPI = append(pkt.Hdr().AuxSPI, spi)
 		return ipv6.SecContinue, nil
@@ -309,22 +430,55 @@ func (m *Module) Input(pkt *mbuf.Mbuf, hdr *ipv6.Header, p uint8, off int) (ipv6
 			return ipv6.SecDrop, nil
 		}
 		spi := get32be(b[off:])
-		sa, ok := m.Key.GetBySPI(spi, hdr.Dst, key.ProtoESPTransport)
-		if !ok {
-			sa, ok = m.Key.GetBySPI(spi, hdr.Dst, key.ProtoESPTunnel)
+		sa, res := m.Key.LookupSPI(spi, hdr.Dst, key.ProtoESPTransport)
+		if sa == nil {
+			sa2, res2 := m.Key.LookupSPI(spi, hdr.Dst, key.ProtoESPTunnel)
+			if sa2 != nil || res2 > res {
+				sa, res = sa2, res2
+			}
 		}
-		if !ok {
+		if sa == nil {
 			m.Stats.InNoSA.Inc()
-			m.l.Drops.DropPkt(stat.RSecNoSA, b)
+			m.l.Drops.DropPkt(spiMissReason(res), b)
 			return ipv6.SecDrop, nil
 		}
-		inner, payloadType, err := openESP(sa, b[off:])
-		if err != nil {
+		e, lerr := espLookup(sa.EncAlg)
+		if lerr != nil {
 			m.Stats.InDecryptFail.Inc()
 			m.l.Drops.DropPkt(stat.RSecDecryptFail, b)
 			return ipv6.SecDrop, nil
 		}
+		var seq uint64
+		seqFramed := false
+		if st, ok := e.transform.(SeqTransform); ok {
+			seq, ok = st.WireSeq(b[off:])
+			if !ok {
+				m.Stats.InDecryptFail.Inc()
+				m.l.Drops.DropPkt(stat.RSecDecryptFail, b)
+				return ipv6.SecDrop, nil
+			}
+			seqFramed = true
+			if sa.Replay != nil && !sa.Replay.Check(seq) {
+				m.replayDrop(sa, b)
+				return ipv6.SecDrop, nil
+			}
+		}
+		inner, payloadType, err := e.transform.Unwrap(sa, e.cipher, b[off:])
+		if err != nil {
+			m.Stats.InDecryptFail.Inc()
+			if errors.Is(err, errESPAuth) {
+				m.l.Drops.DropPkt(stat.RSecBadICV, b)
+			} else {
+				m.l.Drops.DropPkt(stat.RSecDecryptFail, b)
+			}
+			return ipv6.SecDrop, nil
+		}
+		if seqFramed && sa.Replay != nil && !sa.Replay.Update(seq) {
+			m.replayDrop(sa, b)
+			return ipv6.SecDrop, nil
+		}
 		m.Stats.InDecryptOK.Inc()
+		sa.CountIn(len(b) - off)
 
 		if sa.Proto == key.ProtoESPTunnel || payloadType == proto.IPv6 {
 			// Tunnel mode: the plaintext is a complete datagram.
@@ -425,18 +579,20 @@ func (m *Module) InputPolicyPort(pkt *mbuf.Mbuf, dst inet.IP6, socket any, lport
 // HdrSize estimates the wrapping overhead the socket's effective
 // policy will add to each packet (BSD's ipsec_hdrsiz): transports
 // subtract it from the MSS so secured segments do not overflow the
-// path MTU and fragment.
+// path MTU and fragment.  The estimates cover the largest registered
+// framing per service (sequenced AH with a 32-byte digest, AEAD ESP
+// with its tag).
 func (m *Module) HdrSize(socket any) int {
 	eff := m.effective(socket)
 	n := 0
 	if eff.Auth >= LevelUse {
-		n += ahFixedLen + 20 // header + largest registered digest in use
+		n += ahFixedLen + ahSeqLen + 32 // header + seq + largest digest
 	}
 	if eff.ESPTransport >= LevelUse {
-		n += 4 + 8 + 8 + 2 // SPI + IV + worst-case pad + trailer
+		n += espAEADHdr + 1 + 16 + 8 // SPI+seq + type + tag, or IV+pad+trailer
 	}
 	if eff.ESPTunnel >= LevelUse {
-		n += 40 + 4 + 8 + 8 + 2 // inner header + ESP framing
+		n += 40 + espAEADHdr + 1 + 16 + 8 // inner header + ESP framing
 	}
 	return n
 }

@@ -79,7 +79,7 @@ type Layer struct {
 	protos map[uint8]proto.TransportInput
 	ctls   map[uint8]proto.CtlInput
 	frags  *reasm.Queue[fragKey]
-	fwd    route.ShardedCache // forwarding fast path's held routes
+	fwd    route.ShardedCache        // forwarding fast path's held routes
 	local  atomic.Pointer[localSet4] // cached unicast-destination set
 	ident  uint16
 	icmp   *ICMP

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bsd6/internal/inet"
+	"bsd6/internal/key"
 	"bsd6/internal/mbuf"
 	"bsd6/internal/netif"
 	"bsd6/internal/proto"
@@ -96,8 +97,11 @@ type SecInputFunc func(pkt *mbuf.Mbuf, hdr *Header, p uint8, off int) (SecAction
 // beginning with first-next-header nh. It returns the (possibly
 // wrapped) payload and its first next-header, or an error (EIPSEC).
 // The hook may rewrite hdr.Dst (tunnel mode to a security gateway);
-// the layer then re-routes toward the new destination.
-type SecOutputFunc func(hdr *Header, payload *mbuf.Mbuf, nh uint8, socket any) (*mbuf.Mbuf, uint8, error)
+// the layer then re-routes toward the new destination.  sc, when
+// non-nil, is the caller's held security verdict (a PCB's key.Cache):
+// the hook validates it with one generation compare and refills it
+// after a full resolution, so steady-state sends skip the SA table.
+type SecOutputFunc func(hdr *Header, payload *mbuf.Mbuf, nh uint8, socket any, sc *key.Cache) (*mbuf.Mbuf, uint8, error)
 
 type fragKey struct {
 	src, dst inet.IP6
@@ -135,6 +139,11 @@ type OutputOpts struct {
 	// ro->ro_rt): Output validates it with one generation compare
 	// before falling back to ensureHostRoute's lookup-and-clone.
 	RouteCache *route.Cache
+	// SecCache, when non-nil, is the caller's held security verdict
+	// (a PCB's key.Cache, same discipline as RouteCache): the security
+	// output hook resolves policy and associations through it instead
+	// of scanning the SA table per packet.
+	SecCache *key.Cache
 }
 
 // Layer is the IPv6 protocol instance of one stack.
@@ -697,7 +706,7 @@ func (l *Layer) Output(pkt *mbuf.Mbuf, src, dst inet.IP6, nh uint8, opts OutputO
 	effFragNH := fragNH
 	secWrapped := false
 	if l.SecOut != nil && !opts.NoSecurity {
-		wrapped, newNH, err := l.SecOut(hdr, pkt, fragNH, opts.Socket)
+		wrapped, newNH, err := l.SecOut(hdr, pkt, fragNH, opts.Socket, opts.SecCache)
 		if err != nil {
 			l.Stats.OutDrops.Inc()
 			pkt.Free()

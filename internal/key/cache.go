@@ -1,0 +1,67 @@
+package key
+
+import (
+	"sync/atomic"
+	"time"
+
+	"bsd6/internal/inet"
+)
+
+// Cache memoizes one resolved outbound security decision in the style
+// of route.Cache: a PCB (or tunnel device) embeds one so repeated
+// sends to the same peer skip the Key Engine's table scan and policy
+// resolution entirely.
+//
+// Validation is one atomic generation compare: any structural SA table
+// change — add, update, delete, flush, hard expiry — bumps Engine.Gen
+// and implicitly drops every cached decision in the stack, so a PF_KEY
+// storm racing the datapath can only make caches stale, never wrongly
+// fresh.  Decisions whose associations carry a hard lifetime also
+// record the earliest deadline, since time-based expiry is invisible
+// to the generation counter.
+//
+// What is cached is the consumer's business: the IPsec output path
+// stores its full verdict (effective policy plus the resolved
+// associations for each service).  The zero value is an empty cache.
+// All methods are safe for concurrent use, though a cache is normally
+// owned by one PCB.
+type Cache struct {
+	p atomic.Pointer[cacheEntry]
+}
+
+type cacheEntry struct {
+	gen      uint64
+	src, dst inet.IP6
+	deadline time.Time // earliest hard expiry among the cached SAs; zero = none
+	v        any
+}
+
+// Get returns the cached decision for (src, dst) if it is still
+// current: same endpoints, no table change since Fill's generation
+// sample, and no cached association past its hard deadline.
+func (c *Cache) Get(e *Engine, src, dst inet.IP6) (any, bool) {
+	ce := c.p.Load()
+	if ce == nil || e == nil || ce.src != src || ce.dst != dst || ce.gen != e.gen.Load() {
+		return nil, false
+	}
+	if !ce.deadline.IsZero() && e.Now().After(ce.deadline) {
+		return nil, false
+	}
+	return ce.v, true
+}
+
+// Fill remembers v as the decision for (src, dst).  gen must be the
+// Engine.Gen value sampled *before* the resolution began: a table
+// change racing the resolution then leaves the cached decision stale
+// (gen mismatch on the next Get), never wrongly fresh.  deadline is
+// the earliest hard expiry among the resolved associations (zero if
+// none expires).
+func (c *Cache) Fill(e *Engine, gen uint64, src, dst inet.IP6, deadline time.Time, v any) {
+	if e == nil {
+		return
+	}
+	c.p.Store(&cacheEntry{gen: gen, src: src, dst: dst, deadline: deadline, v: v})
+}
+
+// Invalidate empties the cache (socket disconnect, policy change).
+func (c *Cache) Invalidate() { c.p.Store(nil) }

@@ -11,6 +11,15 @@
 // that "the key management system [is] completely decoupled from the IP
 // security implementation" and can be replaced by installing a new
 // daemon, with no kernel rebuild.
+//
+// Per-packet resolution is lock-light: the inbound SPI lookup reads a
+// sharded index under a per-shard read lock (no global lock, no
+// allocation), and the outbound resolution is memoized in a PCB-held
+// Cache validated by one atomic generation compare — the route.Cache
+// discipline applied to the SA table.  Every structural table change
+// (add, update, delete, flush, hard expiry) bumps the generation, so a
+// PF_KEY storm racing the datapath can only make caches stale, never
+// wrongly fresh.
 package key
 
 import (
@@ -27,12 +36,15 @@ import (
 // SecProto identifies which security service an association keys.
 type SecProto int
 
+// Security services an association can key: the Authentication Header,
+// transport-mode ESP, and tunnel-mode ESP (§3.1).
 const (
 	ProtoAH SecProto = iota + 1
 	ProtoESPTransport
 	ProtoESPTunnel
 )
 
+// String names the service the way key(8) would print it.
 func (p SecProto) String() string {
 	switch p {
 	case ProtoAH:
@@ -50,12 +62,16 @@ func (p SecProto) String() string {
 // Associations are one-way from source to destination (so a telnet
 // session needs two) in order to support multicast as well as unicast.
 type SA struct {
-	SPI      uint32
+	// SPI is the Security Parameters Index carried in cleartext on
+	// every AH/ESP packet; (SPI, Dst, Proto) names the association.
+	SPI uint32
+	// Src and Dst are the association's endpoints.
 	Src, Dst inet.IP6
-	Proto    SecProto
+	// Proto is the security service this association keys.
+	Proto SecProto
 
-	// Algorithm selectors index the algorithm switches in the ipsec
-	// package (§3.6).
+	// AuthAlg/AuthKey and EncAlg/EncKey select entries in the ipsec
+	// package's algorithm switches (§3.6) and supply their key material.
 	AuthAlg string
 	AuthKey []byte
 	EncAlg  string
@@ -77,53 +93,129 @@ type SA struct {
 	// §6.1: "outbound packets use a security association unique to this
 	// socket").
 	Unique bool
+	// Socket is the owning socket of a Unique association.
 	Socket any
 
-	// Lifetimes. Soft expiry asks key management for a replacement;
-	// hard expiry removes the association. Zero means no limit.
+	// AddedAt stamps installation; SoftLife/HardLife are lifetimes
+	// measured from it on the engine's clock.  Soft expiry asks key
+	// management for a replacement; hard expiry removes the
+	// association.  Zero means no limit.
 	AddedAt  time.Time
 	SoftLife time.Duration
 	HardLife time.Duration
 
-	// Usage counters. Updated atomically: per-packet lookups charge
-	// them under the engine's shared (read) lock.
+	// UseCount and ByteCount are lifetime usage counters, updated
+	// atomically: per-packet lookups charge them without the table lock.
 	UseCount  uint64
 	ByteCount uint64
+
+	// Per-direction datapath counters, updated atomically by the IPsec
+	// transforms; netstat renders them per SA.
+	InPkts      uint64
+	InBytes     uint64
+	OutPkts     uint64
+	OutBytes    uint64
+	ReplayDrops uint64
+
+	// SeqOut is the outbound sequence counter for transforms that
+	// carry one (AEAD ESP, sequenced AH); advance it with NextSeq.
+	SeqOut uint64
+
+	// Replay is the inbound anti-replay window, allocated by
+	// Engine.Add; nil until the association is installed.
+	Replay *Replay
 
 	softSent bool // soft-expire notification already emitted
 }
 
+// String renders the association for logs and key(8)-style dumps.
 func (sa *SA) String() string {
 	return fmt.Sprintf("SA{spi=%#x %s %s->%s auth=%s enc=%s}", sa.SPI, sa.Proto, sa.Src, sa.Dst, sa.AuthAlg, sa.EncAlg)
 }
 
+// NextSeq atomically advances and returns the outbound sequence
+// number; the first packet of an association carries sequence 1.
+func (sa *SA) NextSeq() uint64 {
+	return atomic.AddUint64(&sa.SeqOut, 1)
+}
+
+// CountOut charges one outbound packet of n bytes against the
+// association's per-direction counters and lifetime byte count.
+func (sa *SA) CountOut(n int) {
+	atomic.AddUint64(&sa.OutPkts, 1)
+	atomic.AddUint64(&sa.OutBytes, uint64(n))
+	atomic.AddUint64(&sa.ByteCount, uint64(n))
+}
+
+// CountIn charges one inbound packet of n bytes.
+func (sa *SA) CountIn(n int) {
+	atomic.AddUint64(&sa.InPkts, 1)
+	atomic.AddUint64(&sa.InBytes, uint64(n))
+	atomic.AddUint64(&sa.ByteCount, uint64(n))
+}
+
 // Errors from the Key Engine.
 var (
+	// ErrNoAssoc reports that no matching association exists and no key
+	// management daemon is registered to create one.
 	ErrNoAssoc = errors.New("key: no security association")
 	// ErrAcquireDelayed reports that no association exists but a key
 	// management daemon has been asked for one (§3.3: "the Key Engine
 	// sends a Request message to that daemon and informs the output
 	// policy function that the Security Association has been delayed").
 	ErrAcquireDelayed = errors.New("key: security association delayed (acquire sent)")
-	ErrExists         = errors.New("key: association already exists")
+	// ErrExists reports an Add colliding with an installed association.
+	ErrExists = errors.New("key: association already exists")
 )
 
+// spiShardCount is the size of the sharded inbound SPI index.  64
+// shards (indexed by the SPI's low bits) keep concurrent inbound flows
+// off each other's locks without measurable memory cost.
+const spiShardCount = 64
+
+// spiShard is one slot of the inbound index: a per-shard map guarded
+// by a per-shard RWMutex, so GetBySPI never touches the engine lock.
+type spiShard struct {
+	mu sync.RWMutex
+	m  map[saKey]*SA
+}
+
+// staleRingSize bounds the recently-deleted ring used to classify
+// inbound SPI misses as stale (a just-removed association) versus
+// never-known — the SYN-cookie-style "we used to know you" signal.
+const staleRingSize = 512
+
 // Engine is the in-kernel Security Association table plus the PF_KEY
-// plumbing.  Per-packet lookups (GetBySPI, GetBySocket hits) take the
-// lock shared so concurrent secured flows do not serialize on the SA
-// table; table changes and the acquire path take it exclusive.
+// plumbing.  The flat table and its scan live under e.mu; the
+// per-packet paths avoid it entirely (sharded SPI index inbound, the
+// generation-validated Cache outbound).
 type Engine struct {
 	mu    sync.RWMutex
 	sas   map[saKey]*SA
+	byDst map[dstKey][]*SA // exact-destination outbound index
+	sel   []*SA            // tunnel SAs with a destination selector
 	socks []*Socket
 	acq   map[acqKey]time.Time // outstanding acquires, rate-limited
 	seq   uint32
 
-	// Now is the clock; tests may replace it.
+	gen    atomic.Uint64 // bumped on every structural table change
+	shards [spiShardCount]spiShard
+
+	// Recently-deleted associations, for stale-SPI classification.
+	delMu   sync.Mutex
+	delSet  map[saKey]struct{}
+	delRing [staleRingSize]saKey
+	delLen  int
+	delPos  int
+
+	// Now is the clock; the stack wires it to the virtual clock, tests
+	// may replace it.  SA lifetimes are measured on this clock, never
+	// on the wall clock.
 	Now func() time.Time
 	// AcquireWindow suppresses duplicate ACQUIREs for a destination.
 	AcquireWindow time.Duration
 
+	// Stats counts Key Engine events.
 	Stats Stats
 }
 
@@ -144,6 +236,11 @@ type saKey struct {
 	proto SecProto
 }
 
+type dstKey struct {
+	dst   inet.IP6
+	proto SecProto
+}
+
 type acqKey struct {
 	dst   inet.IP6
 	proto SecProto
@@ -151,16 +248,98 @@ type acqKey struct {
 
 // NewEngine returns an empty Key Engine.
 func NewEngine() *Engine {
-	return &Engine{
+	e := &Engine{
 		sas:           make(map[saKey]*SA),
+		byDst:         make(map[dstKey][]*SA),
 		acq:           make(map[acqKey]time.Time),
+		delSet:        make(map[saKey]struct{}),
 		Now:           time.Now,
 		AcquireWindow: 10 * time.Second,
 	}
+	for i := range e.shards {
+		e.shards[i].m = make(map[saKey]*SA)
+	}
+	return e
+}
+
+// Gen returns the table generation.  Any structural change — add,
+// update, delete, flush, hard expiry — bumps it, implicitly dropping
+// every Cache in the stack on its next validity compare.
+func (e *Engine) Gen() uint64 { return e.gen.Load() }
+
+// shardFor returns the inbound index shard holding spi.
+func (e *Engine) shardFor(spi uint32) *spiShard {
+	return &e.shards[spi%spiShardCount]
+}
+
+// indexAddLocked inserts sa into the inbound and outbound indexes.
+// Caller holds e.mu exclusive.
+func (e *Engine) indexAddLocked(k saKey, sa *SA) {
+	sh := e.shardFor(k.spi)
+	sh.mu.Lock()
+	sh.m[k] = sa
+	sh.mu.Unlock()
+	dk := dstKey{k.dst, k.proto}
+	e.byDst[dk] = append(e.byDst[dk], sa)
+	if sa.Proto == ProtoESPTunnel && sa.SelPlen > 0 {
+		e.sel = append(e.sel, sa)
+	}
+}
+
+// indexDelLocked removes the association stored under k from the
+// inbound and outbound indexes.  Caller holds e.mu exclusive.
+func (e *Engine) indexDelLocked(k saKey, sa *SA) {
+	sh := e.shardFor(k.spi)
+	sh.mu.Lock()
+	delete(sh.m, k)
+	sh.mu.Unlock()
+	dk := dstKey{k.dst, k.proto}
+	l := e.byDst[dk]
+	for i, x := range l {
+		if x == sa {
+			e.byDst[dk] = append(l[:i], l[i+1:]...)
+			break
+		}
+	}
+	if len(e.byDst[dk]) == 0 {
+		delete(e.byDst, dk)
+	}
+	if sa.Proto == ProtoESPTunnel && sa.SelPlen > 0 {
+		for i, x := range e.sel {
+			if x == sa {
+				e.sel = append(e.sel[:i], e.sel[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// recordDeleted remembers k in the bounded recently-deleted ring.
+func (e *Engine) recordDeleted(k saKey) {
+	e.delMu.Lock()
+	if e.delLen == staleRingSize {
+		delete(e.delSet, e.delRing[e.delPos])
+	} else {
+		e.delLen++
+	}
+	e.delRing[e.delPos] = k
+	e.delPos = (e.delPos + 1) % staleRingSize
+	e.delSet[k] = struct{}{}
+	e.delMu.Unlock()
+}
+
+// recentlyDeleted reports whether k was removed within the ring's
+// memory — the inbound path's stale-versus-unknown discriminator.
+func (e *Engine) recentlyDeleted(k saKey) bool {
+	e.delMu.Lock()
+	_, ok := e.delSet[k]
+	e.delMu.Unlock()
+	return ok
 }
 
 // Add installs an association. An existing (SPI, dst, proto) entry is
-// an error; use Update to replace keys.
+// an error; use Update to replace keys.  Add allocates the inbound
+// replay window and stamps AddedAt from the engine clock.
 func (e *Engine) Add(sa *SA) error {
 	if sa.SPI == 0 {
 		return errors.New("key: SPI 0 is reserved")
@@ -174,25 +353,58 @@ func (e *Engine) Add(sa *SA) error {
 	if sa.AddedAt.IsZero() {
 		sa.AddedAt = e.Now()
 	}
+	if sa.Replay == nil {
+		sa.Replay = &Replay{}
+	}
 	e.sas[k] = sa
+	e.indexAddLocked(k, sa)
+	e.gen.Add(1)
 	e.Stats.Adds.Inc()
 	delete(e.acq, acqKey{sa.Dst, sa.Proto}) // acquire satisfied
 	e.notifyLocked(Message{Type: MsgAdd, SA: sa})
 	return nil
 }
 
-// Update replaces an existing association's keys/lifetimes.
+// Update replaces an existing association's keys/lifetimes.  The new
+// association object supersedes the old everywhere at once: the
+// generation bump drops any cached pointer to the old one.
 func (e *Engine) Update(sa *SA) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	k := saKey{sa.SPI, sa.Dst, sa.Proto}
-	if _, ok := e.sas[k]; !ok {
+	old, ok := e.sas[k]
+	if !ok {
 		return ErrNoAssoc
 	}
 	if sa.AddedAt.IsZero() {
 		sa.AddedAt = e.Now()
 	}
+	// SADB_UPDATE of a live association is a rekey in place: sequence
+	// state must survive the swap.  A sender restarting at 1 would
+	// re-use nonces, and a receiver with an emptied window would first
+	// slide to a still-in-flight old sequence number and then reject
+	// the sender's fresh low ones as replays — poisoning the stream it
+	// was meant to protect.
+	atomic.StoreUint64(&sa.SeqOut, atomic.LoadUint64(&old.SeqOut))
+	if sa.Replay == nil {
+		sa.Replay = old.Replay
+	}
+	if sa.Replay == nil {
+		sa.Replay = &Replay{}
+	}
+	// Traffic accounting continues across the update: it describes the
+	// association, not the SA object carrying it.
+	for _, c := range [][2]*uint64{
+		{&sa.InPkts, &old.InPkts}, {&sa.InBytes, &old.InBytes},
+		{&sa.OutPkts, &old.OutPkts}, {&sa.OutBytes, &old.OutBytes},
+		{&sa.ReplayDrops, &old.ReplayDrops},
+	} {
+		atomic.AddUint64(c[0], atomic.LoadUint64(c[1]))
+	}
+	e.indexDelLocked(k, old)
 	e.sas[k] = sa
+	e.indexAddLocked(k, sa)
+	e.gen.Add(1)
 	e.notifyLocked(Message{Type: MsgUpdate, SA: sa})
 	return nil
 }
@@ -207,6 +419,9 @@ func (e *Engine) Delete(spi uint32, dst inet.IP6, proto SecProto) error {
 		return ErrNoAssoc
 	}
 	delete(e.sas, k)
+	e.indexDelLocked(k, sa)
+	e.recordDeleted(k)
+	e.gen.Add(1)
 	e.Stats.Deletes.Inc()
 	e.notifyLocked(Message{Type: MsgDelete, SA: sa})
 	return nil
@@ -216,7 +431,19 @@ func (e *Engine) Delete(spi uint32, dst inet.IP6, proto SecProto) error {
 func (e *Engine) Flush() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	for k := range e.sas {
+		e.recordDeleted(k)
+	}
 	e.sas = make(map[saKey]*SA)
+	e.byDst = make(map[dstKey][]*SA)
+	e.sel = nil
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[saKey]*SA)
+		sh.mu.Unlock()
+	}
+	e.gen.Add(1)
 	e.notifyLocked(Message{Type: MsgFlush})
 }
 
@@ -231,24 +458,71 @@ func (e *Engine) Dump() []*SA {
 	return out
 }
 
-// expired reports hard expiry (association unusable).
+// expired reports hard expiry (association unusable) on the engine
+// clock.
 func (e *Engine) expired(sa *SA, now time.Time) bool {
 	return sa.HardLife != 0 && now.After(sa.AddedAt.Add(sa.HardLife))
+}
+
+// SPIResult classifies an inbound SPI lookup.
+type SPIResult int
+
+// Inbound lookup outcomes: a live association, an SPI this engine
+// never knew, one past its hard lifetime but not yet reaped, and one
+// recently deleted (the typed "stale SA" miss a rekey race produces).
+const (
+	SPIHit SPIResult = iota
+	SPIMiss
+	SPIExpired
+	SPIStale
+)
+
+// String names the outcome for drop attribution.
+func (r SPIResult) String() string {
+	switch r {
+	case SPIHit:
+		return "hit"
+	case SPIMiss:
+		return "miss"
+	case SPIExpired:
+		return "expired"
+	case SPIStale:
+		return "stale"
+	}
+	return "spi?"
+}
+
+// LookupSPI is the datapath form of getassocbyspi (§3.4): it resolves
+// an inbound packet's cleartext SPI against the sharded index — one
+// per-shard read lock, no global lock, no allocation — and classifies
+// misses so the caller can charge a typed drop reason.
+func (e *Engine) LookupSPI(spi uint32, dst inet.IP6, proto SecProto) (*SA, SPIResult) {
+	e.Stats.Lookups.Inc()
+	k := saKey{spi, dst, proto}
+	sh := e.shardFor(spi)
+	sh.mu.RLock()
+	sa := sh.m[k]
+	sh.mu.RUnlock()
+	if sa == nil {
+		e.Stats.Misses.Inc()
+		if e.recentlyDeleted(k) {
+			return nil, SPIStale
+		}
+		return nil, SPIMiss
+	}
+	if e.expired(sa, e.Now()) {
+		e.Stats.Misses.Inc()
+		return nil, SPIExpired
+	}
+	atomic.AddUint64(&sa.UseCount, 1)
+	return sa, SPIHit
 }
 
 // GetBySPI is getassocbyspi (§3.4): locate the association for an
 // inbound packet from the SPI in its cleartext header.
 func (e *Engine) GetBySPI(spi uint32, dst inet.IP6, proto SecProto) (*SA, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	e.Stats.Lookups.Inc()
-	sa, ok := e.sas[saKey{spi, dst, proto}]
-	if !ok || e.expired(sa, e.Now()) {
-		e.Stats.Misses.Inc()
-		return nil, false
-	}
-	atomic.AddUint64(&sa.UseCount, 1)
-	return sa, true
+	sa, res := e.LookupSPI(spi, dst, proto)
+	return sa, res == SPIHit
 }
 
 // GetBySocket is getassocbysocket (§3.3): locate an outbound
@@ -297,32 +571,44 @@ func (e *Engine) GetBySocket(src, dst inet.IP6, proto SecProto, socket any, want
 }
 
 // scanLocked finds the best matching live association; caller holds
-// e.mu (shared or exclusive).
+// e.mu (shared or exclusive).  Candidates come from the
+// exact-destination index plus the (small) selector list, so the cost
+// scales with the destination's associations, not the table.
 func (e *Engine) scanLocked(src, dst inet.IP6, proto SecProto, socket any, wantUnique bool) *SA {
 	now := e.Now()
 	var shared, bound *SA
-	for _, sa := range e.sas {
+	consider := func(sa *SA, selector bool) {
 		if sa.Proto != proto || e.expired(sa, now) {
-			continue
+			return
 		}
 		// Direct match on the association's destination, or — for
 		// gateway tunnels — on the destination selector prefix.
 		if sa.Dst != dst {
-			if !(proto == ProtoESPTunnel && sa.SelPlen > 0 && inet.MatchPrefix(dst, sa.SelDst, sa.SelPlen)) {
-				continue
+			if !(selector && inet.MatchPrefix(dst, sa.SelDst, sa.SelPlen)) {
+				return
 			}
 		}
 		if !sa.Src.IsUnspecified() && !src.IsUnspecified() && sa.Src != src {
-			continue
+			return
 		}
 		if sa.Unique {
-			if sa.Socket == socket && socket != nil {
+			if sa.Socket == socket && socket != nil && bound == nil {
 				bound = sa
 			}
-			continue
+			return
 		}
 		if shared == nil {
 			shared = sa
+		}
+	}
+	for _, sa := range e.byDst[dstKey{dst, proto}] {
+		consider(sa, false)
+	}
+	if proto == ProtoESPTunnel {
+		for _, sa := range e.sel {
+			if sa.Dst != dst { // exact-dst selector SAs were already seen
+				consider(sa, true)
+			}
 		}
 	}
 	pick := bound
@@ -337,15 +623,19 @@ func (e *Engine) CountBytes(sa *SA, n int) {
 	atomic.AddUint64(&sa.ByteCount, uint64(n))
 }
 
-// SlowTimo expires associations: soft expiry notifies key management
-// so a replacement can be negotiated before the hard cutoff removes
-// the association.
-func (e *Engine) SlowTimo(now time.Time) {
+// SlowTimo expires associations on the engine clock: soft expiry
+// notifies key management so a replacement can be negotiated before
+// the hard cutoff removes the association.
+func (e *Engine) SlowTimo() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	now := e.Now()
 	for k, sa := range e.sas {
 		if sa.HardLife != 0 && now.After(sa.AddedAt.Add(sa.HardLife)) {
 			delete(e.sas, k)
+			e.indexDelLocked(k, sa)
+			e.recordDeleted(k)
+			e.gen.Add(1)
 			e.Stats.HardExpires.Inc()
 			e.notifyRegisteredLocked(Message{Type: MsgExpire, SA: sa, Hard: true})
 			continue
@@ -365,6 +655,7 @@ func (e *Engine) SlowTimo(now time.Time) {
 // MsgType enumerates PF_KEY message types.
 type MsgType int
 
+// PF_KEY message types, named after their SADB_* constants.
 const (
 	MsgAdd MsgType = iota + 1
 	MsgUpdate
@@ -377,6 +668,7 @@ const (
 	MsgDump
 )
 
+// String names the message type as PF_KEY's SADB_* constant.
 func (t MsgType) String() string {
 	switch t {
 	case MsgAdd:

@@ -175,7 +175,7 @@ func TestLifetimes(t *testing.T) {
 
 	// Soft expiry notifies but keeps the SA usable.
 	now = now.Add(11 * time.Second)
-	e.SlowTimo(now)
+	e.SlowTimo()
 	m := <-daemon.C
 	if m.Type != MsgExpire || m.Hard {
 		t.Fatalf("soft expire: %+v", m)
@@ -184,13 +184,14 @@ func TestLifetimes(t *testing.T) {
 		t.Fatal("soft-expired SA unusable")
 	}
 	// Soft expiry fires once.
-	e.SlowTimo(now.Add(time.Second))
+	now = now.Add(time.Second)
+	e.SlowTimo()
 	if len(daemon.C) != 0 {
 		t.Fatal("duplicate soft expire")
 	}
 	// Hard expiry removes it.
 	now = now.Add(10 * time.Second)
-	e.SlowTimo(now)
+	e.SlowTimo()
 	m = <-daemon.C
 	if m.Type != MsgExpire || !m.Hard {
 		t.Fatalf("hard expire: %+v", m)

@@ -1,0 +1,82 @@
+package key
+
+import "sync"
+
+// ReplayWindowSize is the width of the anti-replay window in packets:
+// the RFC 4303 default of 64, one machine word of bitmap.
+const ReplayWindowSize = 64
+
+// Replay is an RFC 4303-style sliding anti-replay window: a 64-bit
+// bitmap anchored at the highest sequence number accepted so far.  The
+// receiver peeks with Check before paying for ICV verification (a
+// replayed or ancient sequence number is rejected for free) and
+// commits with Update only after the ICV verified, so a forger cannot
+// advance the window with garbage packets.
+//
+// The zero value is an empty window that has accepted nothing.
+// Sequence number 0 is never valid (senders start at 1), matching the
+// transform framing.  All methods are safe for concurrent use.
+type Replay struct {
+	mu     sync.Mutex
+	top    uint64 // highest sequence number accepted
+	bitmap uint64 // bit i set => sequence top-i was accepted
+}
+
+// Check reports whether seq would be accepted right now: in the
+// window and not yet seen, or ahead of it.  It does not mark seq as
+// seen — that is Update's job, after authentication.
+func (r *Replay) Check(seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.admissible(seq)
+}
+
+// Update atomically re-checks and marks seq as seen, returning whether
+// it was accepted.  Callers run it after ICV verification: the
+// re-check closes the race where two copies of one packet both pass
+// Check before either commits.
+func (r *Replay) Update(seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.admissible(seq) {
+		return false
+	}
+	if seq > r.top {
+		shift := seq - r.top
+		if shift >= ReplayWindowSize {
+			r.bitmap = 1
+		} else {
+			r.bitmap = r.bitmap<<shift | 1
+		}
+		r.top = seq
+		return true
+	}
+	r.bitmap |= 1 << (r.top - seq)
+	return true
+}
+
+// admissible implements the window test; caller holds r.mu.
+func (r *Replay) admissible(seq uint64) bool {
+	if seq > r.top {
+		return true
+	}
+	off := r.top - seq
+	if off >= ReplayWindowSize {
+		return false // left of the window: too old to judge
+	}
+	return r.bitmap&(1<<off) == 0
+}
+
+// Top returns the highest sequence number accepted (0 if none), for
+// netstat-style reporting.
+func (r *Replay) Top() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.top
+}

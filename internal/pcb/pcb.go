@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"bsd6/internal/inet"
+	"bsd6/internal/key"
 	"bsd6/internal/route"
 )
 
@@ -78,6 +79,12 @@ type PCB struct {
 	// revalidates it with one generation compare instead of walking
 	// the radix tree per packet.
 	Route route.Cache
+
+	// Sec is the session's held security verdict (same discipline as
+	// Route, against the Key Engine's generation): the security output
+	// policy revalidates it with one compare instead of resolving
+	// policy and scanning the SA table per packet.
+	Sec key.Cache
 
 	// Owner is protocol-private state (the tcpcb for TCP sessions).
 	Owner any

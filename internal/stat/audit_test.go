@@ -161,3 +161,72 @@ func TestEveryTCPCounterHasASource(t *testing.T) {
 	}
 	t.Logf("tcp stats: %d counters, %d instrumented sites", len(fields), sites)
 }
+
+// TestEveryIPsecCounterHasASource applies the source audit to the
+// security module's Stats block: every counter must be bumped by a
+// non-test site in the ipsec package.  The must-list pins the
+// line-rate machinery — the PCB verdict cache, the replay window, and
+// the inbound SA-lookup classification — whose silent death would read
+// as "security is free" (cache) or "no attacks happened" (replay).
+func TestEveryIPsecCounterHasASource(t *testing.T) {
+	src, err := os.ReadFile("../ipsec/module.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := regexp.MustCompile(`(?s)type Stats struct \{.*?\n\}`).Find(src)
+	if block == nil {
+		t.Fatal("no Stats struct found in ../ipsec/module.go")
+	}
+	fieldRe := regexp.MustCompile(`(?m)^\t([A-Z][A-Za-z0-9]*)\s+stat\.(?:Counter|Sharded)`)
+	var fields []string
+	for _, m := range fieldRe.FindAllStringSubmatch(string(block), -1) {
+		fields = append(fields, m[1])
+	}
+	if len(fields) < 8 {
+		t.Fatalf("parsed only %d counter fields; struct regex out of date", len(fields))
+	}
+	for _, must := range []string{
+		"OutCacheHits", "InReplay", "InNoSA",
+		"InAuthFail", "InDecryptFail", "OutPolicyDrops",
+	} {
+		found := false
+		for _, f := range fields {
+			if f == must {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("line-rate counter %s missing from the ipsec Stats struct", must)
+		}
+	}
+
+	used := make(map[string]int)
+	useRe := regexp.MustCompile(`\bStats\.([A-Z][A-Za-z0-9]*)\.(Inc|Add)\(`)
+	ents, err := os.ReadDir("../ipsec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join("../ipsec", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range useRe.FindAllStringSubmatch(string(b), -1) {
+			used[m[1]]++
+		}
+	}
+
+	sites := 0
+	for _, f := range fields {
+		n := used[f]
+		if n == 0 {
+			t.Errorf("counter Stats.%s is declared but never incremented", f)
+		}
+		sites += n
+	}
+	t.Logf("ipsec stats: %d counters, %d instrumented sites", len(fields), sites)
+}

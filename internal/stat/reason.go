@@ -85,6 +85,10 @@ const (
 	RSecPolicyDrop  // cleartext packet a policy says must be protected
 	RSecTunnelAddr  // inner/outer source mismatch on a tunneled datagram
 	RSecNoSAOut     // required association unavailable on output (EIPSEC)
+	RSecReplay      // sequence number outside or already in the replay window
+	RSecBadICV      // AEAD ESP integrity check value failed
+	RSecExpired     // association past its hard lifetime but not yet reaped
+	RSecStaleSA     // SPI of a recently deleted association (rekey race)
 
 	// Resource governance: induced discards when a ceiling is hit.
 	RV6ReasmOverflow // reassembly quota evicted an in-progress v6 datagram
@@ -158,6 +162,10 @@ var reasonNames = [reasonCount]string{
 	RSecPolicyDrop:    "ipsec-policy-drop",
 	RSecTunnelAddr:    "ipsec-tunnel-src",
 	RSecNoSAOut:       "ipsec-no-sa-out",
+	RSecReplay:        "ipsec-replay",
+	RSecBadICV:        "ipsec-bad-icv",
+	RSecExpired:       "ipsec-sa-expired",
+	RSecStaleSA:       "ipsec-sa-stale",
 	RV6ReasmOverflow:  "ip6-reasm-overflow",
 	RV4ReasmOverflow:  "ip4-reasm-overflow",
 	RNbrCacheEvicted:  "nd-cache-evicted",

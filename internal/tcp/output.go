@@ -253,6 +253,7 @@ func (c *Conn) queueSegment(hdr *Header, payload []byte) {
 	c.t.outbox = append(c.t.outbox, outSeg{
 		v6: v6, src: src, dst: dst, pkt: pkt,
 		flow: c.pcb.FlowInfo, sock: c.pcb.Socket, conn: c, rc: &c.pcb.Route,
+		sc: &c.pcb.Sec,
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"bsd6/internal/inet"
 	"bsd6/internal/ipv4"
 	"bsd6/internal/ipv6"
+	"bsd6/internal/key"
 	"bsd6/internal/mbuf"
 	"bsd6/internal/pcb"
 	"bsd6/internal/proto"
@@ -229,6 +230,7 @@ type outSeg struct {
 	sock     any
 	conn     *Conn        // for surfacing fatal output errors; nil for RSTs
 	rc       *route.Cache // the session's held route; nil for RSTs
+	sc       *key.Cache   // the session's held security verdict; nil for RSTs
 }
 
 // New creates the TCP instance and registers it with both IP layers.
@@ -857,6 +859,7 @@ func (t *TCP) flush() {
 			if s.v6 {
 				err = t.v6.Output(s.pkt, s.src, s.dst, proto.TCP, ipv6.OutputOpts{
 					FlowInfo: s.flow, Socket: s.sock, NoFrag: true, RouteCache: s.rc,
+					SecCache: s.sc,
 				})
 			} else {
 				src4, _ := s.src.MappedV4()

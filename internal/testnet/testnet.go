@@ -228,7 +228,7 @@ func (s *Sim) NewNode(name string) *Node {
 	s.Every(500*time.Millisecond, func(now time.Time) {
 		n.V4.SlowTimo(now)
 		n.V6.SlowTimo(now)
-		n.Keys.SlowTimo(now)
+		n.Keys.SlowTimo()
 	})
 	return n
 }

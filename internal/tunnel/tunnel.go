@@ -38,6 +38,7 @@ import (
 	"bsd6/internal/inet"
 	"bsd6/internal/ipv4"
 	"bsd6/internal/ipv6"
+	"bsd6/internal/key"
 	"bsd6/internal/mbuf"
 	"bsd6/internal/netif"
 	"bsd6/internal/proto"
@@ -140,6 +141,11 @@ type Tunnel struct {
 
 	cfg Config
 	mod *Module
+
+	// sec is the tunnel's held security verdict for the outer path
+	// (v6 outers only): tunnel-mode IPsec over the encapsulated flow
+	// resolves through it instead of per-packet SA scans.
+	sec key.Cache
 
 	mu    sync.Mutex
 	stats Stats
@@ -296,7 +302,7 @@ func (t *Tunnel) encap(fr netif.Frame) error {
 		// silently fragmenting the outer path.
 		return m.v4.Output(pkt, t.cfg.Local4, t.cfg.Remote4, t.Mode.innerProto(), ipv4.OutputOpts{DF: true})
 	}
-	return m.v6.Output(pkt, t.cfg.Local6, t.cfg.Remote6, t.Mode.innerProto(), ipv6.OutputOpts{})
+	return m.v6.Output(pkt, t.cfg.Local6, t.cfg.Remote6, t.Mode.innerProto(), ipv6.OutputOpts{SecCache: &t.sec})
 }
 
 func (m *Module) nestLimit() int {

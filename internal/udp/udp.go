@@ -205,7 +205,7 @@ func (u *UDP) Output(p *pcb.PCB, data []byte, faddr inet.IP6, fport uint16) erro
 	u.Stats.OutDatagrams.Inc()
 	return u.v6.Output(pkt, src, faddr, proto.UDP, ipv6.OutputOpts{
 		FlowInfo: p.FlowInfo, HopLimit: p.HopLimit, Socket: p.Socket,
-		RouteCache: &p.Route,
+		RouteCache: &p.Route, SecCache: &p.Sec,
 	})
 }
 
